@@ -1,0 +1,201 @@
+// Command paradigmscan applies the paper's Table 4 methodology — "we used
+// grep to locate all uses of thread primitives and then read the
+// surrounding code" — to a Go source tree: it parses every .go file and
+// counts call sites of this repository's paradigm API (and of raw thread
+// primitives, which land in "Unknown or other"), printing a Table 4-style
+// census.
+//
+// Usage:
+//
+//	paradigmscan [dir]    # default: current directory
+//	paradigmscan -tests   # include _test.go files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/paradigm"
+	"repro/internal/stats"
+)
+
+// callKinds maps paradigm-API function names to the Table 4 categories
+// they instantiate. A call may register under several kinds, mirroring
+// the paper's "threads may be counted in more than one category".
+var callKinds = map[string][]paradigm.Kind{
+	"DeferTo":               {paradigm.KindDeferWork},
+	"DeferAt":               {paradigm.KindDeferWork},
+	"StartPump":             {paradigm.KindGeneralPump},
+	"SpawnPumpChain":        {paradigm.KindGeneralPump, paradigm.KindSleeper},
+	"StartSlack":            {paradigm.KindSlackProcess},
+	"StartPipeline":         {paradigm.KindSlackProcess, paradigm.KindGeneralPump},
+	"StartSleeper":          {paradigm.KindSleeper},
+	"SpawnEternals":         {paradigm.KindSleeper},
+	"SpawnPokeables":        {paradigm.KindSleeper},
+	"SpawnSleeperGroup":     {paradigm.KindSleeper},
+	"SpawnSleeperGroupFunc": {paradigm.KindSleeper},
+	"NewWorkQueue":          {paradigm.KindSleeper},
+	"PeriodicalProcess":     {paradigm.KindSleeper, paradigm.KindEncapsulatedFork},
+	"DelayedFork":           {paradigm.KindOneShot, paradigm.KindEncapsulatedFork},
+	"PeriodicalFork":        {paradigm.KindOneShot, paradigm.KindEncapsulatedFork},
+	"NewGuardedButton":      {paradigm.KindOneShot},
+	"AvoidFork":             {paradigm.KindDeadlockAvoid},
+	"ForkingCallback":       {paradigm.KindDeadlockAvoid},
+	"StartService":          {paradigm.KindTaskRejuvenate},
+	"NewMBQueue":            {paradigm.KindSerializer},
+	"ParallelDo":            {paradigm.KindConcurrencyExploit},
+	// Raw primitives whose paradigm we cannot classify statically.
+	"Spawn":   {paradigm.KindUnknown},
+	"Fork":    {paradigm.KindUnknown},
+	"ForkPri": {paradigm.KindUnknown},
+}
+
+func main() {
+	includeTests := flag.Bool("tests", false, "include _test.go files")
+	waitcheck := flag.Bool("waitcheck", false, "also flag §5.3 IF-guarded Wait calls")
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	counts, files, sites, err := scan(root, *includeTests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paradigmscan:", err)
+		os.Exit(1)
+	}
+	if *waitcheck {
+		findings, err := scanWaits(root, *includeTests)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paradigmscan:", err)
+			os.Exit(1)
+		}
+		for _, f := range findings {
+			fmt.Println(f.text)
+		}
+		fmt.Printf("%d IF-guarded Wait call(s) found\n\n", len(findings))
+	}
+
+	t := stats.NewTable(
+		fmt.Sprintf("Static paradigm census of %s (%d files, %d call sites)", root, files, sites),
+		"Paradigm", "Count", "%")
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	for k := paradigm.Kind(0); k < paradigm.NumKinds; k++ {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(counts[k]) / float64(total)
+		}
+		t.AddRowf("%s", k.String(), "%d", counts[k], "%.0f%%", pct)
+	}
+	t.AddRowf("%s", "TOTAL", "%d", total, "%s", "100%")
+	fmt.Println(t.String())
+}
+
+// scan walks root, parsing .go files and counting paradigm call sites.
+func scan(root string, includeTests bool) (counts [paradigm.NumKinds]int, files, sites int, err error) {
+	fset := token.NewFileSet()
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		if !includeTests && strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			// Unparseable files are skipped, like the authors skipping
+			// modules their grep could not classify.
+			return nil
+		}
+		files++
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			kinds, ok := callKinds[name]
+			if !ok {
+				return true
+			}
+			sites++
+			for _, k := range kinds {
+				counts[k]++
+			}
+			return true
+		})
+		return nil
+	})
+	return counts, files, sites, err
+}
+
+// scanWaits walks root applying the §5.3 IF-wait check to every file.
+func scanWaits(root string, includeTests bool) ([]waitFinding, error) {
+	fset := token.NewFileSet()
+	var findings []waitFinding
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || (!includeTests && strings.HasSuffix(path, "_test.go")) {
+			return nil
+		}
+		file, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if perr != nil {
+			return nil
+		}
+		findings = append(findings, checkWaits(fset, file)...)
+		return nil
+	})
+	return findings, err
+}
+
+// calleeName extracts the final identifier of a call expression:
+// paradigm.DeferTo -> DeferTo, w.Spawn -> Spawn, Fork -> Fork.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// sortedNames is used by tests to verify the kind map stays in sync with
+// the paradigm package.
+func sortedNames() []string {
+	var names []string
+	for n := range callKinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

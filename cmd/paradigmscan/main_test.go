@@ -1,0 +1,205 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/paradigm"
+)
+
+func writeFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanCountsParadigmCalls(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `package a
+func f() {
+	paradigm.DeferTo(reg, t, "x", body)
+	paradigm.DeferTo(reg, t, "y", body)
+	paradigm.StartSlack(w, reg, src, dst, cfg)
+	paradigm.NewMBQueue(w, reg, "q", 0)
+	w.Spawn("raw", 4, body)
+}
+`)
+	writeFile(t, dir, "b.go", `package a
+func g() {
+	paradigm.PeriodicalProcess(w, reg, "pp", p, fn) // sleeper + encapsulated fork
+	t.Fork("child", body)
+}
+`)
+	counts, files, sites, err := scan(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 2 {
+		t.Fatalf("files = %d, want 2", files)
+	}
+	if sites != 7 {
+		t.Fatalf("sites = %d, want 7", sites)
+	}
+	if counts[paradigm.KindDeferWork] != 2 {
+		t.Errorf("defer work = %d, want 2", counts[paradigm.KindDeferWork])
+	}
+	if counts[paradigm.KindSlackProcess] != 1 {
+		t.Errorf("slack = %d", counts[paradigm.KindSlackProcess])
+	}
+	if counts[paradigm.KindSerializer] != 1 {
+		t.Errorf("serializer = %d", counts[paradigm.KindSerializer])
+	}
+	if counts[paradigm.KindSleeper] != 1 || counts[paradigm.KindEncapsulatedFork] != 1 {
+		t.Errorf("periodical process should register sleeper+encap: %d/%d",
+			counts[paradigm.KindSleeper], counts[paradigm.KindEncapsulatedFork])
+	}
+	if counts[paradigm.KindUnknown] != 2 { // Spawn + Fork
+		t.Errorf("unknown = %d, want 2", counts[paradigm.KindUnknown])
+	}
+}
+
+func TestScanSkipsTestsAndBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a_test.go", `package a
+func f() { paradigm.DeferTo(reg, t, "x", body) }
+`)
+	writeFile(t, dir, "broken.go", `this is not go`)
+	counts, files, sites, err := scan(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 0 || sites != 0 || counts[paradigm.KindDeferWork] != 0 {
+		t.Fatalf("expected nothing scanned: files=%d sites=%d", files, sites)
+	}
+	// With -tests the test file is included.
+	counts, files, sites, err = scan(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 1 || sites != 1 || counts[paradigm.KindDeferWork] != 1 {
+		t.Fatalf("with tests: files=%d sites=%d defer=%d", files, sites, counts[paradigm.KindDeferWork])
+	}
+}
+
+func TestScanSkipsVendorAndHidden(t *testing.T) {
+	dir := t.TempDir()
+	for _, sub := range []string{"vendor", ".git", "testdata"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		writeFile(t, dir, filepath.Join(sub, "x.go"), `package x
+func f() { paradigm.DeferTo(reg, t, "x", body) }
+`)
+	}
+	_, files, sites, err := scan(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 0 || sites != 0 {
+		t.Fatalf("vendor/hidden/testdata should be skipped: files=%d sites=%d", files, sites)
+	}
+}
+
+func TestScanSelfFindsParadigms(t *testing.T) {
+	// Scanning our own workload models must find the census shape: defer
+	// work and sleepers present, serializer present.
+	counts, files, _, err := scan("../../internal/workload", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files == 0 {
+		t.Fatal("no files scanned")
+	}
+	for _, k := range []paradigm.Kind{paradigm.KindDeferWork, paradigm.KindSleeper, paradigm.KindSerializer} {
+		if counts[k] == 0 {
+			t.Errorf("paradigm %v not found in internal/workload", k)
+		}
+	}
+}
+
+func TestKindMapNamesValid(t *testing.T) {
+	for _, name := range sortedNames() {
+		for _, k := range callKinds[name] {
+			if k < 0 || k >= paradigm.NumKinds {
+				t.Errorf("callKinds[%q] has invalid kind %d", name, k)
+			}
+		}
+	}
+}
+
+func TestCalleeNameForms(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "c.go", `package a
+func h() {
+	DeferTo(reg, t, "bare", body)      // bare identifier
+	x.y.StartSlack(a, b, c, d, e)      // nested selector
+	(func(){})()                       // anonymous call: ignored
+}
+`)
+	counts, _, sites, err := scan(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sites != 2 || counts[paradigm.KindDeferWork] != 1 || counts[paradigm.KindSlackProcess] != 1 {
+		t.Fatalf("sites=%d defer=%d slack=%d", sites, counts[paradigm.KindDeferWork], counts[paradigm.KindSlackProcess])
+	}
+}
+
+func TestWaitCheckFlagsIFWaits(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "w.go", `package a
+func good(t *T) {
+	m.Enter(t)
+	for len(queue) == 0 {
+		cv.Wait(t) // looped: correct
+	}
+	m.Exit(t)
+}
+func bad(t *T) {
+	m.Enter(t)
+	if len(queue) == 0 {
+		cv.Wait(t) // the bug
+	}
+	m.Exit(t)
+}
+func unguarded(t *T) {
+	cv.Wait(t) // no surrounding control structure: not flagged
+}
+func loopInsideIf(t *T) {
+	if enabled {
+		for len(queue) == 0 {
+			cv.Wait(t) // loop is nearer than the if: correct
+		}
+	}
+}
+`)
+	findings, err := scanWaits(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		for _, f := range findings {
+			t.Log(f.text)
+		}
+		t.Fatalf("findings = %d, want exactly 1 (the IF-wait in bad)", len(findings))
+	}
+	if !strings.Contains(findings[0].text, "w.go:12") {
+		t.Errorf("finding at wrong location: %s", findings[0].text)
+	}
+}
+
+func TestWaitCheckCleanOnOwnCode(t *testing.T) {
+	// Our own monitor-using packages obey the WHILE law.
+	for _, dir := range []string{"../../internal/paradigm", "../../internal/workload", "../../internal/xwin"} {
+		findings, err := scanWaits(dir, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range findings {
+			t.Errorf("IF-wait in our own code: %s", f.text)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// waitFinding is one suspected §5.3 IF-wait.
+type waitFinding struct {
+	pos  token.Position
+	text string
+}
+
+// checkWaits walks a parsed file looking for the paper's most persistent
+// bug: a condition-variable Wait guarded by an IF instead of re-checked
+// in a loop. "The practice has been a continuing source of bugs as
+// programs are modified and the correctness conditions become untrue."
+//
+// The check is syntactic, like the authors' grep-then-read method: a call
+// to a method named Wait whose nearest enclosing control structure is an
+// *ast.IfStmt (with no intervening for-loop) is flagged.
+func checkWaits(fset *token.FileSet, file *ast.File) []waitFinding {
+	var findings []waitFinding
+
+	// Walk with an explicit stack of enclosing statements so we know,
+	// for each Wait call, whether an if or a for is nearest.
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Wait" {
+			return true
+		}
+		// Find the nearest enclosing if/for above this call.
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch enc := stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				return true // looped: fine
+			case *ast.IfStmt:
+				// A Wait inside the if's *condition* (the idiomatic
+				// `if cv.Wait(t) { ... }` timeout check inside a loop)
+				// is not the guarded-body pattern; keep walking up.
+				if enc.Cond != nil && call.Pos() >= enc.Cond.Pos() && call.End() <= enc.Cond.End() {
+					continue
+				}
+				pos := fset.Position(call.Pos())
+				findings = append(findings, waitFinding{
+					pos:  pos,
+					text: fmt.Sprintf("%s: Wait guarded by IF, not re-checked in a loop (§5.3)", pos),
+				})
+				return true
+			case *ast.FuncLit, *ast.FuncDecl:
+				return true // top of the function: un-guarded Wait, fine
+			}
+		}
+		return true
+	})
+	return findings
+}

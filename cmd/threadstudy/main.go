@@ -1,0 +1,138 @@
+// Command threadstudy regenerates the tables and figures of "Using
+// Threads in Interactive Systems: A Case Study" (Hauser et al., SOSP '93)
+// from the simulated Cedar/GVX worlds.
+//
+// Usage:
+//
+//	threadstudy                  # run everything (T1..T4, F1..F8)
+//	threadstudy -list            # list experiment IDs
+//	threadstudy -experiment T2   # run one experiment
+//	threadstudy -quick           # ~3x shorter measurement windows
+//	threadstudy -seed 7          # change the deterministic seed
+//	threadstudy -trace out.bin -benchmark "Cedar/Idle Cedar"
+//	                             # capture a benchmark's raw event trace
+//	                             # (inspect with cmd/traceview)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		expID     = flag.String("experiment", "", "run a single experiment by ID (default: all)")
+		quick     = flag.Bool("quick", false, "use ~3x shorter measurement windows")
+		format    = flag.String("format", "text", "output format: text or markdown")
+		verify    = flag.Bool("verify", false, "run each experiment twice and fail on nondeterminism")
+		seed      = flag.Int64("seed", 1, "deterministic seed")
+		traceOut  = flag.String("trace", "", "write a benchmark's binary event trace to this file")
+		benchName = flag.String("benchmark", "Cedar/Idle Cedar", "benchmark for -trace, as System/Name")
+		traceDur  = flag.Duration("traceduration", 5*time.Second, "virtual duration for -trace (wall-clock syntax, interpreted as virtual time)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *traceOut != "" {
+		if err := captureTrace(*traceOut, *benchName, *seed, vclock.Duration((*traceDur).Microseconds())); err != nil {
+			fmt.Fprintln(os.Stderr, "threadstudy:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	var todo []experiments.Experiment
+	if *expID != "" {
+		e, err := experiments.ByID(*expID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "threadstudy:", err)
+			os.Exit(1)
+		}
+		todo = []experiments.Experiment{e}
+	} else {
+		todo = experiments.All()
+	}
+	failed := false
+	for _, e := range todo {
+		r := e.Run(cfg)
+		if *verify {
+			again := e.Run(cfg)
+			if r.String() != again.String() {
+				fmt.Fprintf(os.Stderr, "threadstudy: %s is NOT deterministic\n", e.ID)
+				failed = true
+				continue
+			}
+			fmt.Printf("%-4s deterministic ok\n", e.ID)
+			continue
+		}
+		if *format == "markdown" {
+			fmt.Println(r.Markdown())
+		} else {
+			fmt.Println(r.String())
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// captureTrace runs one benchmark and writes its raw event stream.
+func captureTrace(path, benchName string, seed int64, dur vclock.Duration) error {
+	system, name, ok := strings.Cut(benchName, "/")
+	if !ok {
+		return fmt.Errorf("benchmark must be System/Name, e.g. %q", "Cedar/Idle Cedar")
+	}
+	b, err := workload.FindBenchmark(system, name)
+	if err != nil {
+		var names []string
+		for _, bb := range workload.AllBenchmarks() {
+			names = append(names, bb.System+"/"+bb.Name)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("%v; available: %s", err, strings.Join(names, ", "))
+	}
+	if dur <= 0 {
+		dur = 5 * vclock.Second
+	}
+	var buf trace.Buffer
+	w := sim.NewWorld(sim.Config{Trace: &buf, Seed: seed, SystemDaemon: true})
+	defer w.Shutdown()
+	reg := paradigm.NewRegistry()
+	b.Build(w, reg)
+	w.Run(vclock.Time(0).Add(dur))
+
+	names := make(map[int32]string)
+	for _, th := range w.Threads() {
+		names[th.ID()] = th.Name()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.WriteTrace(f, trace.Trace{Events: buf.Events, Names: names}); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d events, %d thread names (%s of virtual time) to %s\n", buf.Len(), len(names), dur, path)
+	return nil
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// TestCaptureTraceRoundTrip writes a benchmark trace and decodes it with
+// the trace package — the threadstudy->traceview pipeline.
+func TestCaptureTraceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "idle.bin")
+	if err := captureTrace(path, "Cedar/Idle Cedar", 1, 2*vclock.Second); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events
+	if len(events) < 1000 {
+		t.Fatalf("suspiciously few events: %d", len(events))
+	}
+	if len(tr.Names) < 30 {
+		t.Fatalf("thread name table too small: %d", len(tr.Names))
+	}
+	foundNotifier := false
+	for _, n := range tr.Names {
+		if n == "Notifier" {
+			foundNotifier = true
+		}
+	}
+	if !foundNotifier {
+		t.Error("name table missing the Notifier")
+	}
+	a := stats.Analyze(events, 0, vclock.Never)
+	if a.MLEnters == 0 || a.Switches == 0 || a.WaitDones == 0 {
+		t.Fatalf("trace missing core activity: %+v", a)
+	}
+	// Idle Cedar shape survives the encode/decode.
+	if a.TimeoutFraction() < 0.6 {
+		t.Errorf("timeout fraction = %v, want timeout-dominated", a.TimeoutFraction())
+	}
+}
+
+func TestCaptureTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := captureTrace(filepath.Join(dir, "x.bin"), "no-slash", 1, vclock.Second); err == nil {
+		t.Fatal("expected error for malformed benchmark name")
+	}
+	err := captureTrace(filepath.Join(dir, "x.bin"), "Cedar/Nonexistent", 1, vclock.Second)
+	if err == nil || !strings.Contains(err.Error(), "available:") {
+		t.Fatalf("expected helpful error, got %v", err)
+	}
+	// Zero duration falls back to the default.
+	if err := captureTrace(filepath.Join(dir, "y.bin"), "GVX/Idle GVX", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}

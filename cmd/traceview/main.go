@@ -1,0 +1,124 @@
+// Command traceview inspects binary thread-event traces written by
+// cmd/threadstudy -trace: it can dump them as text (the microscopic
+// "100 millisecond event histories" the paper's authors pored over) or
+// summarize them with the paper's macroscopic statistics.
+//
+// Usage:
+//
+//	threadstudy -trace idle.bin -benchmark "Cedar/Idle Cedar"
+//	traceview idle.bin                       # summary
+//	traceview -dump idle.bin                 # full text dump
+//	traceview -dump -from 1s -to 1.1s idle.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+func main() {
+	var (
+		dump     = flag.Bool("dump", false, "dump events as text instead of summarizing")
+		timeline = flag.Bool("timeline", false, "render an ASCII thread timeline of the window")
+		svg      = flag.String("svg", "", "write an SVG thread timeline of the window to this file")
+		width    = flag.Int("width", 100, "timeline width in columns")
+		rows     = flag.Int("rows", 20, "timeline rows (busiest threads first)")
+		from     = flag.Duration("from", 0, "window start (virtual)")
+		to       = flag.Duration("to", 0, "window end (virtual; 0 = end of trace)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [-dump|-timeline] [-from d] [-to d] trace.bin")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), mode{dump: *dump, timeline: *timeline, svg: *svg, width: *width, rows: *rows}, *from, *to); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+// mode selects the output form.
+type mode struct {
+	dump, timeline bool
+	svg            string
+	width, rows    int
+}
+
+func run(path string, m mode, from, to time.Duration) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	events := tr.Events
+	lo := vclock.Time(from.Microseconds())
+	hi := vclock.Never
+	if to > 0 {
+		hi = vclock.Time(to.Microseconds())
+	}
+
+	if m.timeline || m.svg != "" {
+		end := hi
+		if end == vclock.Never {
+			if len(events) == 0 {
+				return fmt.Errorf("empty trace")
+			}
+			end = events[len(events)-1].Time
+		}
+		tl := stats.Timeline{From: lo, To: end, Width: m.width, MaxRows: m.rows}
+		if m.svg != "" {
+			if err := os.WriteFile(m.svg, []byte(tl.RenderSVG(tr)), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", m.svg)
+		}
+		if m.timeline {
+			fmt.Print(tl.Render(tr))
+		}
+		return nil
+	}
+	if m.dump {
+		var window []trace.Event
+		for _, ev := range events {
+			if ev.Time >= lo && ev.Time <= hi {
+				window = append(window, ev)
+			}
+		}
+		return trace.WriteTextNamed(os.Stdout, trace.Trace{Events: window, Names: tr.Names})
+	}
+
+	a := stats.Analyze(events, lo, hi)
+	t := stats.NewTable(fmt.Sprintf("%s: %d events, window %s..%s", path, len(events), a.From, a.To),
+		"Metric", "Value")
+	t.AddRowf("%s", "forks/sec", "%.2f", a.ForksPerSec())
+	t.AddRowf("%s", "thread switches/sec", "%.1f", a.SwitchesPerSec())
+	t.AddRowf("%s", "waits/sec", "%.1f", a.WaitsPerSec())
+	t.AddRowf("%s", "% waits timing out", "%.1f%%", 100*a.TimeoutFraction())
+	t.AddRowf("%s", "ML-enters/sec", "%.1f", a.MLEntersPerSec())
+	t.AddRowf("%s", "% entries contended", "%.3f%%", 100*a.ContentionFraction())
+	t.AddRowf("%s", "distinct CVs", "%d", a.DistinctCVs)
+	t.AddRowf("%s", "distinct MLs", "%d", a.DistinctMLs)
+	t.AddRowf("%s", "max live threads", "%d", a.MaxLive)
+	fmt.Println(t.String())
+	fmt.Println("execution intervals:")
+	fmt.Println(a.Intervals.String())
+	fmt.Println("CPU time by priority:")
+	for p := 1; p <= 7; p++ {
+		fmt.Printf("  pri %d: %5.1f%%\n", p, 100*a.CPUShareOfPriority(p))
+	}
+	fmt.Println("\nbusiest threads (virtual CPU):")
+	for _, id := range a.BusiestThreads(10) {
+		fmt.Printf("  %-28s %s\n", tr.NameOf(id), a.ExecByThread[id])
+	}
+	return nil
+}

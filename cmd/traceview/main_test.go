@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	events := []trace.Event{
+		{Time: 0, Kind: trace.KindFork, Thread: trace.NoThread, Arg: 1, Aux: 4},
+		{Time: 0, Kind: trace.KindSwitch, Thread: 1, Arg: trace.NoThread, Aux: 0},
+		{Time: vclock.Time(10 * vclock.Millisecond), Kind: trace.KindMLEnter, Thread: 1, Arg: 7},
+		{Time: vclock.Time(20 * vclock.Millisecond), Kind: trace.KindExit, Thread: 1},
+		{Time: vclock.Time(20 * vclock.Millisecond), Kind: trace.KindSwitch, Thread: trace.NoThread, Arg: 1, Aux: 0},
+	}
+	path := filepath.Join(t.TempDir(), "t.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, events); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSummaryAndDump(t *testing.T) {
+	path := writeTrace(t)
+	if err := run(path, mode{}, 0, 0); err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if err := run(path, mode{dump: true}, 0, 0); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	if err := run(path, mode{dump: true}, 5*time.Millisecond, 15*time.Millisecond); err != nil {
+		t.Fatalf("windowed dump: %v", err)
+	}
+	if err := run(path, mode{timeline: true, width: 40, rows: 5}, 0, 0); err != nil {
+		t.Fatalf("timeline: %v", err)
+	}
+	svgPath := filepath.Join(t.TempDir(), "out.svg")
+	if err := run(path, mode{svg: svgPath, rows: 5}, 0, 0); err != nil {
+		t.Fatalf("svg: %v", err)
+	}
+	b, err := os.ReadFile(svgPath)
+	if err != nil || !strings.Contains(string(b), "<svg") {
+		t.Fatalf("svg output bad: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "missing.bin"), mode{}, 0, 0); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, mode{}, 0, 0); err == nil {
+		t.Fatal("expected error for garbage trace")
+	}
+}

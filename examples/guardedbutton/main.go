@@ -1,0 +1,62 @@
+// Guardedbutton: the paper's worked one-shot example (§4.3). A guarded
+// button "must be pressed twice, in close, but not too close succession"
+// — it renders as "Bu-tt-on" while guarded, a one-shot thread arms it
+// after the arming period, and a second one-shot period repaints the
+// guard if the user never confirms.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+func main() {
+	w := core.NewWorld(core.WorldConfig{Seed: 1})
+	defer w.Shutdown()
+	reg := core.NewRegistry()
+
+	deleted := 0
+	b := paradigm.NewGuardedButton(w, reg, "delete-everything", func(t *sim.Thread) {
+		deleted++
+		fmt.Printf("%-10s *** ACTION FIRED (delete everything) ***\n", t.Now())
+	})
+	b.ArmDelay = 200 * core.Millisecond
+	b.FireWindow = 1 * core.Second
+
+	click := func(at core.Duration, label string) {
+		w.At(core.Time(at), func() {
+			w.Spawn("user-click", core.PriorityHigh, func(t *sim.Thread) any {
+				fmt.Printf("%-10s click (%s); button shows %q\n", t.Now(), label, b.Appearance())
+				b.Click(t)
+				return nil
+			})
+		})
+	}
+	probe := func(at core.Duration) {
+		w.At(core.Time(at), func() {
+			fmt.Printf("%-10s button shows %q\n", w.Now(), b.Appearance())
+		})
+	}
+
+	fmt.Println("-- attempt 1: double-click too fast (second click inside the arming period) --")
+	click(0, "first")
+	click(100*core.Millisecond, "too close — ignored")
+	probe(300 * core.Millisecond)  // armed now, shows "Button"
+	probe(1600 * core.Millisecond) // window expired, guard repainted
+
+	fmt.Println()
+	w.At(core.Time(1700*core.Millisecond), func() {
+		fmt.Println("-- attempt 2: proper confirmation (second click inside the fire window) --")
+	})
+	click(1700*core.Millisecond, "first")
+	click(2200*core.Millisecond, "confirm")
+
+	w.Run(core.At(5 * core.Second))
+	fmt.Printf("\nfired %d time(s); repaints after expiry: %d; one-shot sites registered: %d\n",
+		deleted, b.Repaints(), reg.Count(paradigm.KindOneShot))
+	_ = vclock.Second
+}

@@ -1,0 +1,65 @@
+// Inversion: the §6.2 stable priority inversion, live. A low-priority
+// thread holds a lock a high-priority thread needs, while a
+// middle-priority CPU hog keeps the holder off the processor. Watch the
+// three cures: nothing (stable inversion), PCR's SystemDaemon (random
+// timeslice donations), and priority inheritance (the paper's §7 future
+// work, implemented here).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+func scenario(name string, daemon, inheritance bool) {
+	w := core.NewWorld(core.WorldConfig{Seed: 9, SystemDaemon: daemon})
+	defer w.Shutdown()
+	m := monitor.NewWithOptions(w, "shared-resource", monitor.Options{PriorityInheritance: inheritance})
+
+	w.Spawn("lo-holder(pri 3)", core.PriorityLow, func(t *sim.Thread) any {
+		m.Enter(t)
+		t.Compute(20 * core.Millisecond) // 20ms critical section
+		m.Exit(t)
+		return nil
+	})
+	start := core.Time(core.Millisecond)
+	var acquired core.Time
+	w.At(start, func() {
+		w.Spawn("mid-hog(pri 4)", core.PriorityNormal, func(t *sim.Thread) any {
+			for {
+				t.Compute(10 * core.Millisecond)
+			}
+		})
+		w.Spawn("hi-waiter(pri 5)", core.PriorityHigh, func(t *sim.Thread) any {
+			m.Enter(t)
+			acquired = t.Now()
+			m.Exit(t)
+			w.Stop()
+			return nil
+		})
+	})
+	w.Run(core.At(10 * core.Second))
+	if acquired == 0 {
+		fmt.Printf("%-38s hi-waiter NEVER acquired the lock (10s horizon)\n", name+":")
+		return
+	}
+	fmt.Printf("%-38s hi-waiter acquired after %s\n", name+":", acquired.Sub(start))
+}
+
+func main() {
+	fmt.Println("A low-priority thread holds a lock for 20ms; a middle-priority hog owns the CPU;")
+	fmt.Println("a high-priority thread wants the lock. (\"The problem is not hypothetical\" — §6.2)")
+	fmt.Println()
+	scenario("strict priority, no workarounds", false, false)
+	scenario("SystemDaemon random donation (PCR)", true, false)
+	scenario("priority inheritance (§7 future work)", false, true)
+	fmt.Println()
+	fmt.Println("PCR shipped the SystemDaemon and metalock donation instead of inheritance, at the")
+	fmt.Println("price the paper laments: \"the thread model is incompletely specified with respect")
+	fmt.Println("to priorities, adversely affecting our ability to reason about existing code\".")
+	_ = vclock.Second
+}

@@ -1,0 +1,125 @@
+// Mailer: the paper's everyday motifs in one small mail client — "forking
+// to send a mail message" (§4.1's defer-work list), a sleeper that
+// "check[s] for network connection timeout every T seconds" (§4.3), and
+// the §5.5 lesson about timeout values rotting when the network changes,
+// fixed with an adaptive estimator.
+//
+// The user queues three messages; each send is deferred to a forked
+// worker so the compose window never blocks; the connection keepalive
+// sleeper ticks in the background; and halfway through, the "network"
+// degrades 25x — watch the fixed-timeout retry counter spin while the
+// adaptive sender shrugs.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+func main() {
+	w := core.NewWorld(core.WorldConfig{Seed: 4, TimeoutGranularity: core.Millisecond})
+	defer w.Shutdown()
+	reg := core.NewRegistry()
+
+	// The "network": a server thread that acknowledges sends after a
+	// delay that degrades from 8ms to 200ms at t=2s (§5.5's "now-obsolete
+	// network architecture").
+	var netDelay = 8 * core.Millisecond
+	w.At(core.At(2*core.Second), func() {
+		netDelay = 200 * core.Millisecond
+		fmt.Printf("%-10s [network degrades: RTT 8ms -> 200ms]\n", w.Now())
+	})
+
+	smtp := monitor.New(w, "smtp-conn")
+	ackCV := smtp.NewCondTimeout("ack", 20*core.Millisecond) // tuned for the fast era
+	var awaitingAck, acked bool
+
+	// The server side of the connection.
+	w.Spawn("smtp-server", core.PriorityNormal, func(t *sim.Thread) any {
+		for {
+			smtp.Enter(t)
+			for !awaitingAck {
+				ackCV.Wait(t)
+			}
+			smtp.Exit(t)
+			t.BlockIO(netDelay) // the round trip
+			smtp.Enter(t)
+			awaitingAck = false
+			acked = true
+			ackCV.Notify(t)
+			smtp.Exit(t)
+		}
+	})
+
+	est := paradigm.NewAdaptiveTimeout(20 * core.Millisecond)
+	retries := 0
+
+	// send delivers one message over the shared connection, retrying on
+	// timeout; adaptive=false uses the hardcoded 20ms forever.
+	send := func(t *sim.Thread, msg string, adaptive bool) {
+		start := t.Now()
+		smtp.Enter(t)
+		awaitingAck = true
+		acked = false
+		ackCV.Notify(t)
+		for !acked {
+			if adaptive {
+				ackCV.SetTimeout(est.Next())
+			} else {
+				ackCV.SetTimeout(20 * core.Millisecond)
+			}
+			if ackCV.Wait(t) && !acked {
+				retries++
+				if adaptive {
+					est.ObserveTimeout()
+				}
+			}
+		}
+		smtp.Exit(t)
+		lat := t.Now().Sub(start)
+		if adaptive {
+			est.Observe(lat)
+		}
+		fmt.Printf("%-10s sent %-28q in %-10s (total retries so far: %d)\n", t.Now(), msg, lat, retries)
+	}
+
+	// The compose window: a serializer handling user commands; hitting
+	// "send" forks the delivery (defer work) so typing never stalls.
+	compose := paradigm.NewMBQueue(w, reg, "compose-window", core.PriorityHigh)
+	queueMail := func(at core.Duration, msg string, adaptive bool) {
+		w.At(core.Time(at), func() {
+			compose.EnqueueExternal(200*core.Microsecond, func(t *sim.Thread) {
+				fmt.Printf("%-10s compose: queued %q — window free immediately\n", t.Now(), msg)
+				paradigm.DeferTo(reg, t, "mail-sender", func(s *sim.Thread) {
+					send(s, msg, adaptive)
+				})
+			})
+		})
+	}
+
+	// A keepalive sleeper checks the connection every 800ms (§4.3).
+	keepalives := 0
+	paradigm.StartSleeper(w, reg, "conn-keepalive", core.PriorityLow, 800*core.Millisecond, func(t *sim.Thread) {
+		keepalives++
+	})
+
+	queueMail(500*core.Millisecond, "status report (fast era)", false)
+	queueMail(2500*core.Millisecond, "meeting notes (slow era, fixed)", false)
+	queueMail(3500*core.Millisecond, "quarterly review (slow era, adaptive)", true)
+
+	w.At(core.At(6*core.Second), w.Stop)
+	w.Run(core.At(core.Minute))
+
+	fmt.Printf("\nkeepalive checks: %d; paradigm census: defer-work=%d sleepers=%d serializers=%d\n",
+		keepalives,
+		reg.Count(paradigm.KindDeferWork), reg.Count(paradigm.KindSleeper), reg.Count(paradigm.KindSerializer))
+	fmt.Println(`the paper (§5.5): "timeouts related to ... expected network server response times`)
+	fmt.Println(`are more difficult to specify simply for all time ... dynamically tuning application`)
+	fmt.Println(`timeout values based on end-to-end system performance may be a workable solution."`)
+	_ = vclock.Second
+}

@@ -1,0 +1,66 @@
+// Quickstart: the Mesa thread model in 80 lines — FORK/JOIN, a monitor
+// with a condition variable, priorities and preemption, all on virtual
+// time (the program finishes instantly in wall-clock terms but simulates
+// seconds of thread behavior, deterministically).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func main() {
+	w := core.NewWorld(core.WorldConfig{Seed: 42})
+	defer w.Shutdown()
+
+	// A monitor-protected queue with a condition variable, exactly the
+	// §2 model: WAIT in a loop, NOTIFY on state change.
+	mu := core.NewMonitor(w, "queue")
+	nonEmpty := mu.NewCond("non-empty")
+	var queue []string
+
+	w.Spawn("consumer", core.PriorityNormal, func(t *core.Thread) any {
+		for received := 0; received < 3; received++ {
+			mu.Enter(t)
+			for len(queue) == 0 {
+				nonEmpty.Wait(t) // WHILE, never IF (§5.3)
+			}
+			msg := queue[0]
+			queue = queue[1:]
+			mu.Exit(t)
+			fmt.Printf("%-10s consumer got %q\n", t.Now(), msg)
+		}
+		return nil
+	})
+
+	w.Spawn("producer", core.PriorityNormal, func(t *core.Thread) any {
+		for _, msg := range []string{"defer", "work", "freely"} {
+			t.Compute(100 * core.Millisecond) // simulate building the message
+			mu.Enter(t)
+			queue = append(queue, msg)
+			nonEmpty.Notify(t)
+			mu.Exit(t)
+		}
+
+		// FORK a child, do something else, JOIN it for its result.
+		child := t.Fork("squarer", func(c *core.Thread) any {
+			c.Compute(50 * core.Millisecond)
+			return 21 * 2
+		})
+		t.Compute(10 * core.Millisecond)
+		result, err := t.Join(child)
+		fmt.Printf("%-10s producer joined child: %v (err=%v)\n", t.Now(), result, err)
+
+		// A higher-priority thread preempts immediately when forked.
+		t.ForkPri("urgent", core.PriorityHigh, func(c *core.Thread) any {
+			fmt.Printf("%-10s urgent work preempted the producer\n", c.Now())
+			return nil
+		}).Detach()
+		fmt.Printf("%-10s producer resumes after the urgent work\n", t.Now())
+		return nil
+	})
+
+	outcome := w.Run(core.At(10 * core.Second))
+	fmt.Printf("%-10s simulation ended: %v\n", w.Now(), outcome)
+}

@@ -1,0 +1,67 @@
+// Rejuvenation: the §4.5 paradigm in action. An input event dispatcher
+// makes unforked callbacks to client code — fast, but one bad callback
+// kills it. ("This thread is in trouble. Ok, let's make two of them!")
+// A task-rejuvenating fork keeps a fresh copy of the dispatcher running
+// after every uncaught error, so the editor keeps responding even with a
+// client that crashes on every 10th event.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+func main() {
+	w := core.NewWorld(core.WorldConfig{Seed: 3})
+	defer w.Shutdown()
+	reg := core.NewRegistry()
+
+	events := paradigm.NewDeviceQueue(w, "events")
+	dispatched := 0
+	crashes := 0
+
+	// The client callback: buggy — panics on every 10th event.
+	callback := func(t *sim.Thread, ev int) {
+		t.Compute(300 * core.Microsecond)
+		if ev%10 == 9 {
+			panic(fmt.Sprintf("client bug handling event %d", ev))
+		}
+		dispatched++
+	}
+
+	// The dispatcher runs the callbacks unforked (they are on the
+	// critical path and usually very short) under task rejuvenation.
+	svc := paradigm.StartService(w, reg, "event-dispatcher", core.PriorityHigh, 100,
+		func(t *sim.Thread) {
+			for {
+				ev, ok := events.Get(t)
+				if !ok {
+					return
+				}
+				callback(t, ev.(int)) // unforked: an error kills this thread
+			}
+		},
+		func(restart int, cause error) {
+			crashes++
+			fmt.Printf("%-10s dispatcher died (%v); forked copy #%d\n", w.Now(), cause, restart)
+		})
+
+	// 50 events, one every 20ms.
+	for i := 0; i < 50; i++ {
+		i := i
+		w.At(core.Time(vclock.Duration(i)*20*core.Millisecond), func() { events.Push(i) })
+	}
+	w.At(core.At(2*core.Second), func() { w.Stop() })
+	w.Run(core.At(core.Minute))
+
+	fmt.Printf("\nevents dispatched: %d/50 (the 5 crashing events die with their incarnation)\n", dispatched)
+	fmt.Printf("dispatcher deaths: %d, restarts: %d, still alive: %v\n",
+		crashes, svc.Restarts(), svc.Alive())
+	fmt.Printf("paradigm census : task rejuvenation sites = %d\n", reg.Count(paradigm.KindTaskRejuvenate))
+	fmt.Println("\nthe paper: task rejuvenation \"adds significantly to the robustness of our systems\"")
+	fmt.Println("but \"its ability to mask underlying design problems suggests that it be used with caution\".")
+}

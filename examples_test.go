@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and executes every example main, checking it
+// exits cleanly and prints something sensible. The examples are the
+// repository's doorway; they must never rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke test skipped in -short mode")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOutput := map[string]string{
+		"quickstart":    "simulation ended: quiescent",
+		"editor":        "latency",
+		"xbatch":        "YieldButNotToMe vs plain YIELD",
+		"rejuvenation":  "still alive: true",
+		"guardedbutton": "fired 1 time(s)",
+		"inversion":     "priority inheritance",
+		"mailer":        "keepalive checks",
+		"timeline":      "yield-but-not-to-me",
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			ctxCmd := exec.Command("go", "run", "./"+filepath.Join("examples", name))
+			ctxCmd.Env = os.Environ()
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = ctxCmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(2 * time.Minute):
+				_ = ctxCmd.Process.Kill()
+				t.Fatalf("example %s timed out", name)
+			}
+			if runErr != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, runErr, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s printed nothing", name)
+			}
+			if want := wantOutput[name]; want != "" && !strings.Contains(string(out), want) {
+				t.Errorf("example %s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+	if found != len(wantOutput) {
+		t.Errorf("found %d examples, expectations for %d — keep the map in sync", found, len(wantOutput))
+	}
+}

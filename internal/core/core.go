@@ -1,0 +1,131 @@
+// Package core is the top-level facade of the reproduction: one import
+// that exposes the PCR-like thread kernel (package sim), Mesa monitors
+// and condition variables (package monitor), the ten thread-usage
+// paradigms with their Table 4 census (package paradigm), the Cedar/GVX
+// workload models (package workload), and the paper's experiments
+// (package experiments).
+//
+// A minimal program:
+//
+//	w := core.NewWorld(core.WorldConfig{})
+//	defer w.Shutdown()
+//	w.Spawn("hello", core.PriorityNormal, func(t *core.Thread) any {
+//		t.Compute(10 * core.Millisecond)
+//		return nil
+//	})
+//	w.Run(core.At(1 * core.Second))
+package core
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/monitor"
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// Re-exported kernel types.
+type (
+	// World is a simulated PCR instance (see sim.World).
+	World = sim.World
+	// Thread is a simulated PCR thread (see sim.Thread).
+	Thread = sim.Thread
+	// WorldConfig parameterizes a World (see sim.Config).
+	WorldConfig = sim.Config
+	// Priority is a PCR thread priority, 1..7.
+	Priority = sim.Priority
+	// Proc is a thread body.
+	Proc = sim.Proc
+
+	// Monitor is a Mesa monitor lock.
+	Monitor = monitor.Monitor
+	// Cond is a Mesa condition variable.
+	Cond = monitor.Cond
+	// MonitorOptions tunes monitor costs and the §6.1/§6.2 options.
+	MonitorOptions = monitor.Options
+
+	// Registry is the paradigm census behind Table 4.
+	Registry = paradigm.Registry
+
+	// Time is a virtual instant; Duration a virtual span.
+	Time = vclock.Time
+	// Duration is a span of virtual time.
+	Duration = vclock.Duration
+
+	// TraceEvent is one microsecond-stamped thread event.
+	TraceEvent = trace.Event
+	// TraceBuffer captures a full event stream.
+	TraceBuffer = trace.Buffer
+
+	// Analysis digests a trace into the paper's metrics.
+	Analysis = stats.Analysis
+
+	// Report is one regenerated table/figure.
+	Report = experiments.Report
+)
+
+// Re-exported priority levels and time units.
+const (
+	PriorityMin        = sim.PriorityMin
+	PriorityBackground = sim.PriorityBackground
+	PriorityLow        = sim.PriorityLow
+	PriorityNormal     = sim.PriorityNormal
+	PriorityHigh       = sim.PriorityHigh
+	PriorityDaemon     = sim.PriorityDaemon
+	PriorityInterrupt  = sim.PriorityInterrupt
+
+	Microsecond = vclock.Microsecond
+	Millisecond = vclock.Millisecond
+	Second      = vclock.Second
+	Minute      = vclock.Minute
+)
+
+// NewWorld creates a simulated PCR world.
+func NewWorld(cfg WorldConfig) *World { return sim.NewWorld(cfg) }
+
+// NewMonitor creates a Mesa monitor with default options.
+func NewMonitor(w *World, name string) *Monitor { return monitor.New(w, name) }
+
+// NewRegistry creates an empty paradigm census.
+func NewRegistry() *Registry { return paradigm.NewRegistry() }
+
+// At converts a duration-from-epoch into an absolute virtual time, for
+// World.Run horizons: w.Run(core.At(30 * core.Second)).
+func At(d Duration) Time { return Time(0).Add(d) }
+
+// Analyze digests captured trace events over [from, to].
+func Analyze(events []TraceEvent, from, to Time) *Analysis {
+	return stats.Analyze(events, from, to)
+}
+
+// Experiments returns the IDs and titles of every regenerable table and
+// figure (T1..T4, F1..F8).
+func Experiments() map[string]string {
+	out := make(map[string]string)
+	for _, e := range experiments.All() {
+		out[e.ID] = e.Title
+	}
+	return out
+}
+
+// RunExperiment regenerates one of the paper's tables or figures by ID.
+// quick shortens the measurement windows about threefold.
+func RunExperiment(id string, quick bool, seed int64) (*Report, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(experiments.Config{Quick: quick, Seed: seed}), nil
+}
+
+// Benchmarks lists the twelve Table 1–3 benchmarks as "System/Name".
+func Benchmarks() []string {
+	var out []string
+	for _, b := range workload.AllBenchmarks() {
+		out = append(out, b.System+"/"+b.Name)
+	}
+	return out
+}

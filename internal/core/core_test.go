@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFacadeEndToEnd drives the whole stack through the public facade:
+// world, monitor, CV, trace capture, analysis.
+func TestFacadeEndToEnd(t *testing.T) {
+	var buf core.TraceBuffer
+	w := core.NewWorld(core.WorldConfig{Seed: 42, Trace: &buf})
+	defer w.Shutdown()
+
+	mu := core.NewMonitor(w, "queue")
+	nonEmpty := mu.NewCond("non-empty")
+	var queue []string
+	var got string
+
+	w.Spawn("consumer", core.PriorityNormal, func(th *core.Thread) any {
+		mu.Enter(th)
+		for len(queue) == 0 {
+			nonEmpty.Wait(th)
+		}
+		got = queue[0]
+		queue = queue[1:]
+		mu.Exit(th)
+		return nil
+	})
+	// Spawned second at equal priority: runs after the consumer waits.
+	w.Spawn("producer", core.PriorityNormal, func(th *core.Thread) any {
+		th.Compute(10 * core.Millisecond)
+		mu.Enter(th)
+		queue = append(queue, "payload")
+		nonEmpty.Notify(th)
+		mu.Exit(th)
+		return nil
+	})
+	w.Run(core.At(core.Second))
+
+	if got != "payload" {
+		t.Fatalf("consumer got %q", got)
+	}
+	a := core.Analyze(buf.Events, 0, core.At(core.Second))
+	if a.MLEnters < 3 || a.WaitDones != 1 || a.Notifies != 1 {
+		t.Fatalf("analysis wrong: enters=%d dones=%d notifies=%d", a.MLEnters, a.WaitDones, a.Notifies)
+	}
+}
+
+func TestExperimentsListing(t *testing.T) {
+	exps := core.Experiments()
+	if len(exps) != 16 {
+		t.Fatalf("experiments = %d, want 16", len(exps))
+	}
+	for _, id := range []string{"T1", "T4", "F5", "F11"} {
+		if exps[id] == "" {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	r, err := core.RunExperiment("F5", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "F5" || len(r.Tables) == 0 {
+		t.Fatalf("report = %+v", r)
+	}
+	if !strings.Contains(r.String(), "Spurious") {
+		t.Fatalf("report text missing title:\n%s", r.String())
+	}
+	if _, err := core.RunExperiment("nope", true, 1); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestBenchmarksListing(t *testing.T) {
+	bs := core.Benchmarks()
+	if len(bs) != 12 {
+		t.Fatalf("benchmarks = %d, want 12", len(bs))
+	}
+	found := false
+	for _, b := range bs {
+		if b == "Cedar/Idle Cedar" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("missing Cedar/Idle Cedar in %v", bs)
+	}
+}
+
+func TestRegistryFacade(t *testing.T) {
+	reg := core.NewRegistry()
+	if reg.Total() != 0 {
+		t.Fatal("fresh registry should be empty")
+	}
+}

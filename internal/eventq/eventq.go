@@ -1,0 +1,136 @@
+// Package eventq implements the deterministic timestamp-ordered event
+// queue at the heart of the discrete-event thread simulator. Events with
+// equal timestamps are delivered in insertion order (FIFO), which keeps
+// simulations reproducible run to run.
+package eventq
+
+import (
+	"container/heap"
+
+	"repro/internal/vclock"
+)
+
+// Event is a scheduled occurrence. The simulator stores arbitrary payloads
+// via the Do callback; cancellation is supported so that, e.g., a quantum
+// expiry can be revoked when its thread blocks early.
+type Event struct {
+	When vclock.Time
+	Do   func()
+
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Canceled reports whether Cancel was called on e.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Queue is a priority queue of events ordered by (When, insertion order).
+// The zero value is an empty queue ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len returns the number of live (non-canceled) events in the queue.
+// Canceled events still physically queued are not counted.
+func (q *Queue) Len() int {
+	n := 0
+	for _, e := range q.h {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Empty reports whether no live events remain.
+func (q *Queue) Empty() bool {
+	for _, e := range q.h {
+		if !e.canceled {
+			return false
+		}
+	}
+	return true
+}
+
+// Schedule enqueues fn to run at t and returns a handle that can cancel it.
+func (q *Queue) Schedule(t vclock.Time, fn func()) *Event {
+	e := &Event{When: t, Do: fn, seq: q.seq, index: -1}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Cancel marks e as canceled. A canceled event is skipped by Pop. Cancel
+// on an already-popped or already-canceled event is a no-op.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 {
+		heap.Remove(&q.h, e.index)
+		e.index = -1
+	}
+}
+
+// NextTime returns the timestamp of the earliest live event, or
+// vclock.Never if the queue is empty.
+func (q *Queue) NextTime() vclock.Time {
+	q.skipCanceled()
+	if len(q.h) == 0 {
+		return vclock.Never
+	}
+	return q.h[0].When
+}
+
+// Pop removes and returns the earliest live event, or nil if none remain.
+func (q *Queue) Pop() *Event {
+	q.skipCanceled()
+	if len(q.h) == 0 {
+		return nil
+	}
+	e := heap.Pop(&q.h).(*Event)
+	e.index = -1
+	return e
+}
+
+func (q *Queue) skipCanceled() {
+	for len(q.h) > 0 && q.h[0].canceled {
+		e := heap.Pop(&q.h).(*Event)
+		e.index = -1
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].When != h[j].When {
+		return h[i].When < h[j].When
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,148 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vclock"
+)
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	var got []int
+	q.Schedule(30, func() { got = append(got, 3) })
+	q.Schedule(10, func() { got = append(got, 1) })
+	q.Schedule(20, func() { got = append(got, 2) })
+	for {
+		e := q.Pop()
+		if e == nil {
+			break
+		}
+		e.Do()
+	}
+	want := []int{1, 2, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("pop order = %v, want %v", got, want)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 50; i++ {
+		i := i
+		q.Schedule(100, func() { got = append(got, i) })
+	}
+	for e := q.Pop(); e != nil; e = q.Pop() {
+		e.Do()
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-timestamp events delivered out of insertion order: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var q Queue
+	ran := false
+	e := q.Schedule(10, func() { ran = true })
+	q.Schedule(20, func() {})
+	q.Cancel(e)
+	if !e.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	if q.NextTime() != 20 {
+		t.Fatalf("NextTime = %v, want 20", q.NextTime())
+	}
+	if got := q.Pop(); got == nil || got.When != 20 {
+		t.Fatalf("Pop returned %+v, want event at 20", got)
+	}
+	if q.Pop() != nil {
+		t.Fatal("expected empty queue")
+	}
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	// Double cancel and cancel-after-pop must not panic.
+	q.Cancel(e)
+	q.Cancel(nil)
+}
+
+func TestNextTimeEmpty(t *testing.T) {
+	var q Queue
+	if q.NextTime() != vclock.Never {
+		t.Fatalf("empty NextTime = %v, want Never", q.NextTime())
+	}
+	if !q.Empty() || q.Len() != 0 {
+		t.Fatal("zero queue should be empty")
+	}
+}
+
+func TestLenExcludesCanceled(t *testing.T) {
+	var q Queue
+	a := q.Schedule(1, func() {})
+	q.Schedule(2, func() {})
+	q.Cancel(a)
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+	if q.Empty() {
+		t.Fatal("queue with one live event reported empty")
+	}
+}
+
+// Property: popping a randomly scheduled set yields a sequence sorted by
+// time, and every non-canceled event is delivered exactly once.
+func TestPopSortedProperty(t *testing.T) {
+	f := func(times []int16, seed int64) bool {
+		var q Queue
+		rng := rand.New(rand.NewSource(seed))
+		var handles []*Event
+		for _, ti := range times {
+			handles = append(handles, q.Schedule(vclock.Time(int64(ti)+1<<15), nil))
+		}
+		canceled := map[*Event]bool{}
+		for _, h := range handles {
+			if rng.Intn(4) == 0 {
+				q.Cancel(h)
+				canceled[h] = true
+			}
+		}
+		var popped []vclock.Time
+		seen := map[*Event]bool{}
+		for e := q.Pop(); e != nil; e = q.Pop() {
+			if canceled[e] || seen[e] {
+				return false
+			}
+			seen[e] = true
+			popped = append(popped, e.When)
+		}
+		if len(popped) != len(times)-len(canceled) {
+			return false
+		}
+		return sort.SliceIsSorted(popped, func(i, j int) bool { return popped[i] < popped[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedScheduleAndPop(t *testing.T) {
+	var q Queue
+	q.Schedule(10, nil)
+	q.Schedule(5, nil)
+	if e := q.Pop(); e.When != 5 {
+		t.Fatalf("first pop at %v, want 5", e.When)
+	}
+	// Schedule earlier than an already queued event.
+	q.Schedule(7, nil)
+	if e := q.Pop(); e.When != 7 {
+		t.Fatalf("second pop at %v, want 7", e.When)
+	}
+	if e := q.Pop(); e.When != 10 {
+		t.Fatalf("third pop at %v, want 10", e.When)
+	}
+}

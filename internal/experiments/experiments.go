@@ -1,0 +1,121 @@
+// Package experiments regenerates every table and figure-equivalent of
+// the paper's evaluation: Tables 1–4 and the case-study results the paper
+// reports in prose (execution-interval distributions, priority usage, the
+// §5.2 slack process, the §6.3 quantum sweep, §6.1 spurious lock
+// conflicts, §6.2 priority inversion, §5.6 Xlib vs Xl, and the §5.3
+// common mistakes). Each experiment has a stable ID (T1..T4, F1..F8) used
+// by cmd/threadstudy, the benchmark harness and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// Config scales the experiments. The zero value selects full-length runs.
+type Config struct {
+	// Quick shortens measurement windows ~3x for tests and -short runs.
+	Quick bool
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) window() vclock.Duration {
+	if c.Quick {
+		return 10 * vclock.Second
+	}
+	return 30 * vclock.Second
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 1
+	}
+	return c.Seed
+}
+
+// Report is one experiment's output: rendered tables plus free-form
+// notes recording the paper-vs-measured comparison.
+type Report struct {
+	ID    string
+	Title string
+
+	Tables []*stats.Table
+	Notes  []string
+}
+
+// String renders the report as plain text.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Markdown renders the report as GitHub-flavored markdown.
+func (r *Report) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		sb.WriteString(t.Markdown())
+		sb.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "> %s\n", n)
+	}
+	return sb.String()
+}
+
+// Experiment couples an ID with its regeneration function.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) *Report
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Forking and thread-switching rates (Table 1)", Table1},
+		{"T2", "Wait-CV and monitor entry rates (Table 2)", Table2},
+		{"T3", "Number of different CVs and monitor locks used (Table 3)", Table3},
+		{"T4", "Static paradigm counts (Table 4)", Table4},
+		{"F1", "Execution-interval distributions (§3)", FigExecIntervals},
+		{"F2", "Priority usage (§3)", FigPriorities},
+		{"F3", "The X-server slack process: YIELD vs YieldButNotToMe (§5.2)", FigSlack},
+		{"F4", "The effect of the time-slice quantum (§6.3)", FigQuantum},
+		{"F5", "Spurious lock conflicts (§6.1)", FigSpurious},
+		{"F6", "Stable priority inversion and its workarounds (§6.2)", FigInversion},
+		{"F7", "Multi-threaded Xlib vs Xl (§5.6)", FigXlib},
+		{"F8", "Common mistakes: IF-waits and timeout-masked notifies (§5.3)", FigMistakes},
+		{"F9", "Priority inheritance for interactive systems (§7 future work)", FigInheritance},
+		{"F10", "Dynamically tuned timeouts (§5.5 future work)", FigAdaptive},
+		{"F11", "Multiprocessors: exploiter scaling and contention (§4.7/§5.1)", FigMultiprocessor},
+		{"F12", "Keystroke echo latency and the priority structure (§1/§3)", FigEchoLatency},
+	}
+}
+
+// ByID returns the experiment with the given ID (case-insensitive).
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, " "))
+}

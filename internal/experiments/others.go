@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// Section 4.9 of the paper checks the taxonomy against three other
+// Mesa-based systems it shares no code with, deducing their paradigm
+// mixes from Lampson & Redell's published description: "Pilot: almost
+// all sleepers. Violet: sleepers, one-shots and work deferral. Gateway:
+// sleepers and pumps." These miniature models instantiate exactly those
+// mixes, and their censuses are appended to the Table 4 report.
+
+func buildPilot(w *sim.World, reg *paradigm.Registry) {
+	// An operating system: device and housekeeping sleepers, nothing else.
+	names := []string{"disk-scavenger", "vm-laundry", "net-watchdog",
+		"clock-daemon", "directory-sweeper", "console-poll", "lease-renewer"}
+	for i, n := range names {
+		period := vclock.Duration(200+100*i) * vclock.Millisecond
+		paradigm.StartSleeper(w, reg, "pilot-"+n, sim.PriorityNormal, period, func(t *sim.Thread) {
+			t.Compute(500 * vclock.Microsecond)
+		})
+	}
+}
+
+func buildViolet(w *sim.World, reg *paradigm.Registry) {
+	// A distributed calendar: refresh sleepers, one-shot reminders, and
+	// commands that defer their work.
+	paradigm.StartSleeper(w, reg, "violet-refresher", sim.PriorityNormal, 300*vclock.Millisecond, func(t *sim.Thread) {
+		t.Compute(vclock.Millisecond)
+	})
+	paradigm.StartSleeper(w, reg, "violet-sync", sim.PriorityLow, 700*vclock.Millisecond, func(t *sim.Thread) {
+		t.Compute(vclock.Millisecond)
+	})
+	paradigm.DelayedFork(w, reg, "violet-reminder", 150*vclock.Millisecond, func(t *sim.Thread) {
+		t.Compute(vclock.Millisecond)
+	})
+	w.Spawn("violet-command", sim.PriorityNormal, func(t *sim.Thread) any {
+		// A user command returns promptly by deferring the update.
+		paradigm.DeferTo(reg, t, "violet-update", func(c *sim.Thread) {
+			c.Compute(5 * vclock.Millisecond)
+		})
+		return nil
+	})
+}
+
+func buildGateway(w *sim.World, reg *paradigm.Registry) {
+	// A store-and-forward communication server: packet pumps between
+	// links, plus timeout sleepers for retransmission.
+	in := paradigm.NewBuffer(w, "gw-in", 16)
+	mid := paradigm.NewBuffer(w, "gw-mid", 16)
+	out := paradigm.NewBuffer(w, "gw-out", 16)
+	paradigm.StartPump(w, reg, in, mid, paradigm.PumpConfig{Name: "gw-route", Work: 200 * vclock.Microsecond})
+	paradigm.StartPump(w, reg, mid, out, paradigm.PumpConfig{Name: "gw-forward", Work: 200 * vclock.Microsecond})
+	paradigm.StartSleeper(w, reg, "gw-retransmit", sim.PriorityNormal, 250*vclock.Millisecond, func(t *sim.Thread) {
+		t.Compute(300 * vclock.Microsecond)
+	})
+	paradigm.StartSleeper(w, reg, "gw-keepalive", sim.PriorityLow, 900*vclock.Millisecond, func(t *sim.Thread) {
+		t.Compute(300 * vclock.Microsecond)
+	})
+	// Feed a little traffic so the pumps run.
+	w.Every(50*vclock.Millisecond, func() {
+		w.Spawn("gw-src", sim.PriorityNormal, func(t *sim.Thread) any {
+			in.Put(t, struct{}{})
+			return nil
+		}).Detach()
+	})
+	w.Spawn("gw-sink", sim.PriorityNormal, func(t *sim.Thread) any {
+		for {
+			if _, ok := out.Get(t); !ok {
+				return nil
+			}
+		}
+	})
+}
+
+// otherSystemsTable runs the three §4.9 models briefly and renders their
+// censuses.
+func otherSystemsTable(cfg Config) *stats.Table {
+	census := func(build func(*sim.World, *paradigm.Registry)) *paradigm.Registry {
+		w := sim.NewWorld(sim.Config{Seed: cfg.seed()})
+		defer w.Shutdown()
+		reg := paradigm.NewRegistry()
+		build(w, reg)
+		w.Run(vclock.Time(2 * vclock.Second))
+		return reg
+	}
+	pilot := census(buildPilot)
+	violet := census(buildViolet)
+	gateway := census(buildGateway)
+
+	t := stats.NewTable("Paradigm mix of other Mesa systems (§4.9's deduction, instantiated)",
+		"Paradigm", "Pilot", "Violet", "Gateway")
+	for _, k := range []paradigm.Kind{
+		paradigm.KindSleeper, paradigm.KindOneShot, paradigm.KindDeferWork, paradigm.KindGeneralPump,
+	} {
+		t.AddRowf("%s", k.String(), "%d", pilot.Count(k), "%d", violet.Count(k), "%d", gateway.Count(k))
+	}
+	return t
+}

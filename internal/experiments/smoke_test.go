@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			r := e.Run(Config{Quick: true})
+			if r.ID != e.ID {
+				t.Errorf("report ID %q != %q", r.ID, e.ID)
+			}
+			out := r.String()
+			if len(out) < 50 {
+				t.Errorf("report suspiciously short:\n%s", out)
+			}
+			fmt.Println(out)
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("f5")
+	if err != nil || e.ID != "F5" {
+		t.Fatalf("ByID(f5) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("T9"); err == nil {
+		t.Fatal("expected error for unknown ID")
+	}
+	if len(All()) != 16 { // T1-T4 + F1-F12
+		t.Fatalf("experiment count = %d, want 16", len(All()))
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestConfigWindows(t *testing.T) {
+	if (Config{Quick: true}).window() >= (Config{}).window() {
+		t.Fatal("quick window should be shorter")
+	}
+	if (Config{}).seed() != 1 || (Config{Seed: 7}).seed() != 7 {
+		t.Fatal("seed defaulting wrong")
+	}
+}
+
+// TestReportsDeterministic: the same config yields byte-identical reports
+// for the cheap experiments (the expensive ones are covered by the
+// workload determinism tests).
+func TestReportsDeterministic(t *testing.T) {
+	for _, id := range []string{"F5", "F6", "F8", "F9", "F10"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := e.Run(Config{Quick: true}).String()
+		b := e.Run(Config{Quick: true}).String()
+		if a != b {
+			t.Errorf("%s: identical configs produced different reports", id)
+		}
+	}
+}

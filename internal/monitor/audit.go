@@ -1,0 +1,49 @@
+package monitor
+
+// CVStats are a condition variable's lifetime counters, the raw material
+// for the §5.3 audit: "there were cases where timeouts had been
+// introduced to compensate for missing NOTIFYs (bugs), instead of fixing
+// the underlying problem."
+type CVStats struct {
+	Waits      int // completed WAIT operations
+	Timeouts   int // completed by timeout
+	Notifies   int // NOTIFY operations (regardless of waiters woken)
+	Broadcasts int
+}
+
+// Stats returns the CV's counters.
+func (c *Cond) Stats() CVStats { return c.stats }
+
+// Suspicious reports the masked-missing-NOTIFY signature: at least
+// minWaits completed waits, every one of them by timeout, and no NOTIFY
+// or BROADCAST ever issued. As the paper warns, "legitimate timeouts can
+// mask an omitted NOTIFY as well" — a purely periodic sleeper looks the
+// same — so this is a lead for a human, not a verdict: the timeout-driven
+// system "apparently works correctly but slowly".
+func (c *Cond) Suspicious(minWaits int) bool {
+	s := c.stats
+	return s.Waits >= minWaits &&
+		s.Timeouts == s.Waits &&
+		s.Notifies == 0 && s.Broadcasts == 0
+}
+
+// Conds returns the monitor's condition variables in creation order.
+func (m *Monitor) Conds() []*Cond {
+	out := make([]*Cond, len(m.conds))
+	copy(out, m.conds)
+	return out
+}
+
+// AuditCVs scans a set of monitors for suspicious CVs (see
+// Cond.Suspicious) and returns them.
+func AuditCVs(minWaits int, monitors ...*Monitor) []*Cond {
+	var out []*Cond
+	for _, m := range monitors {
+		for _, c := range m.conds {
+			if c.Suspicious(minWaits) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

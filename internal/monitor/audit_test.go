@@ -1,0 +1,92 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// TestAuditFlagsMaskedMissingNotify builds the §5.3 bug — a consumer kept
+// alive only by its CV timeout — and checks the audit finds exactly that
+// CV and not the healthy one next to it.
+func TestAuditFlagsMaskedMissingNotify(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "queues", fastOptions())
+	buggy := m.NewCondTimeout("buggy", 10*vclock.Millisecond)
+	healthy := m.NewCondTimeout("healthy", 10*vclock.Millisecond)
+	var itemsA, itemsB int
+
+	consume := func(cv *Cond, items *int) func(*sim.Thread) any {
+		return func(th *sim.Thread) any {
+			for got := 0; got < 10; {
+				m.Enter(th)
+				for *items == 0 {
+					cv.Wait(th)
+				}
+				*items--
+				got++
+				m.Exit(th)
+			}
+			return nil
+		}
+	}
+	w.Spawn("consumer-buggy", sim.PriorityNormal, consume(buggy, &itemsA))
+	w.Spawn("consumer-healthy", sim.PriorityNormal, consume(healthy, &itemsB))
+	w.Spawn("producer", sim.PriorityNormal, func(th *sim.Thread) any {
+		for i := 0; i < 10; i++ {
+			th.BlockIO(3 * vclock.Millisecond) // blocks: consumers get the CPU
+			m.Enter(th)
+			itemsA++ // forgot the NOTIFY: buggy's waiters limp on timeouts
+			itemsB++
+			healthy.Notify(th)
+			m.Exit(th)
+		}
+		return nil
+	})
+	if out := w.Run(vclock.Time(5 * vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+
+	if !buggy.Suspicious(3) {
+		t.Errorf("buggy CV not flagged: %+v", buggy.Stats())
+	}
+	if healthy.Suspicious(3) {
+		t.Errorf("healthy CV wrongly flagged: %+v", healthy.Stats())
+	}
+	found := AuditCVs(3, m)
+	if len(found) != 1 || found[0] != buggy {
+		t.Fatalf("audit = %v", found)
+	}
+	// Counter sanity.
+	bs := buggy.Stats()
+	if bs.Waits == 0 || bs.Timeouts != bs.Waits || bs.Notifies != 0 {
+		t.Errorf("buggy stats = %+v", bs)
+	}
+	hs := healthy.Stats()
+	if hs.Notifies != 10 {
+		t.Errorf("healthy notifies = %d, want 10", hs.Notifies)
+	}
+	if len(m.Conds()) != 2 {
+		t.Errorf("Conds = %d", len(m.Conds()))
+	}
+}
+
+func TestAuditMinWaitsGuard(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", fastOptions())
+	cv := m.NewCondTimeout("cv", vclock.Millisecond)
+	w.Spawn("waiter", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.Enter(th)
+		cv.Wait(th) // a single timed-out wait: below the noise floor
+		m.Exit(th)
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if cv.Suspicious(3) {
+		t.Error("one wait should not trip a minWaits=3 audit")
+	}
+	if !cv.Suspicious(1) {
+		t.Error("minWaits=1 should trip")
+	}
+}

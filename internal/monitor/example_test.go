@@ -1,0 +1,60 @@
+package monitor_test
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// The §2 Mesa idiom: WAIT in a WHILE loop, NOTIFY on state change.
+func Example() {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+
+	m := monitor.NewWithOptions(w, "mailbox", monitor.Options{LockCost: -1, NotifyCost: -1, WaitCost: -1})
+	hasMail := m.NewCond("has-mail")
+	var mail []string
+
+	w.Spawn("reader", sim.PriorityNormal, func(t *sim.Thread) any {
+		m.Enter(t)
+		for len(mail) == 0 { // WHILE, never IF (§5.3)
+			hasMail.Wait(t)
+		}
+		fmt.Printf("read %q at %s\n", mail[0], t.Now())
+		m.Exit(t)
+		return nil
+	})
+	w.Spawn("writer", sim.PriorityNormal, func(t *sim.Thread) any {
+		t.Compute(25 * vclock.Millisecond)
+		m.Enter(t)
+		mail = append(mail, "hello")
+		hasMail.Notify(t)
+		m.Exit(t)
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	// Output:
+	// read "hello" at 0.025000s
+}
+
+// A CV timeout rounds up to PCR's 50ms granularity — why the paper's
+// systems wait in 50ms quanta.
+func ExampleCond_Wait() {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1}) // default 50ms granularity
+	defer w.Shutdown()
+	m := monitor.NewWithOptions(w, "mu", monitor.Options{LockCost: -1, NotifyCost: -1, WaitCost: -1})
+	cv := m.NewCondTimeout("cv", 10*vclock.Millisecond)
+
+	w.Spawn("sleeper", sim.PriorityNormal, func(t *sim.Thread) any {
+		m.Enter(t)
+		timedOut := cv.Wait(t)
+		fmt.Printf("timed out=%v at %s\n", timedOut, t.Now())
+		m.Exit(t)
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	// Output:
+	// timed out=true at 0.050000s
+}

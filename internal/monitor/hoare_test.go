@@ -1,0 +1,256 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+func hoareOptions() Options {
+	o := fastOptions()
+	o.HoareSignal = true
+	return o
+}
+
+// TestHoareSignalGuaranteesCondition: the §5.3 IF-wait, correct under
+// Hoare monitors. The exact thief scenario that breaks Mesa IF-waits
+// (TestMesaSemanticsRequireLoop) cannot steal the condition here, because
+// the monitor is handed directly from the notifier to the waiter.
+func TestHoareSignalGuaranteesCondition(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "queue", hoareOptions())
+	nonEmpty := m.NewCond("non-empty")
+	var queue []int
+
+	var ifWaiterOK bool
+	w.Spawn("if-waiter", sim.PriorityLow, func(th *sim.Thread) any {
+		m.Enter(th)
+		defer m.Exit(th)
+		if len(queue) == 0 { // IF, not WHILE: fine under Hoare
+			nonEmpty.Wait(th)
+		}
+		if len(queue) == 0 {
+			return nil
+		}
+		queue = queue[1:]
+		ifWaiterOK = true
+		return nil
+	})
+	w.At(vclock.Time(5*vclock.Millisecond), func() {
+		w.Spawn("producer", sim.PriorityNormal, func(th *sim.Thread) any {
+			m.Enter(th)
+			queue = append(queue, 1)
+			nonEmpty.Notify(th) // hands the monitor straight to the waiter
+			th.Compute(2 * vclock.Millisecond)
+			m.Exit(th)
+			return nil
+		})
+	})
+	w.At(vclock.Time(6*vclock.Millisecond), func() {
+		w.Spawn("thief", sim.PriorityHigh, func(th *sim.Thread) any {
+			m.Enter(th)
+			if len(queue) > 0 {
+				queue = queue[1:]
+			}
+			m.Exit(th)
+			return nil
+		})
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if !ifWaiterOK {
+		t.Fatal("under Hoare semantics the IF-waiter must receive the condition intact")
+	}
+}
+
+// TestHoareSignallerResumesWithMonitor: after the waiter releases, the
+// signaller gets the monitor back (urgent queue beats ordinary entrants).
+func TestHoareSignallerResumesWithMonitor(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", hoareOptions())
+	cv := m.NewCond("cv")
+	var order []string
+	w.Spawn("waiter", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.Enter(th)
+		cv.Wait(th)
+		order = append(order, "waiter-resumed")
+		m.Exit(th)
+		return nil
+	})
+	// Both arrive at 1ms: the signaller (spawned first) notifies and
+	// parks on the urgent queue; the entrant then finds the monitor
+	// already handed to the waiter and queues behind it.
+	w.At(vclock.Time(vclock.Millisecond), func() {
+		w.Spawn("signaller", sim.PriorityNormal, func(th *sim.Thread) any {
+			m.Enter(th)
+			cv.Notify(th)
+			// Hoare: we resume only after the waiter released the
+			// monitor, and before any ordinary entrant queued meanwhile.
+			order = append(order, "signaller-back")
+			th.Compute(5 * vclock.Millisecond)
+			m.Exit(th)
+			return nil
+		})
+		w.Spawn("entrant", sim.PriorityNormal, func(th *sim.Thread) any {
+			m.Enter(th)
+			order = append(order, "entrant")
+			m.Exit(th)
+			return nil
+		})
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	want := []string{"waiter-resumed", "signaller-back", "entrant"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v (urgent queue outranks entrants)", order, want)
+	}
+}
+
+// TestHoareNotifyNoWaiter: signalling an empty CV is a no-op that keeps
+// the monitor.
+func TestHoareNotifyNoWaiter(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", hoareOptions())
+	cv := m.NewCond("cv")
+	done := false
+	w.Spawn("t", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.Enter(th)
+		cv.Notify(th)
+		if m.Holder() != th {
+			t.Error("lost the monitor on an unheard notify")
+		}
+		m.Exit(th)
+		done = true
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if !done {
+		t.Fatal("thread did not finish")
+	}
+}
+
+// TestHoareBroadcastPanics: BROADCAST is not a Hoare primitive.
+func TestHoareBroadcastPanics(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", hoareOptions())
+	cv := m.NewCond("cv")
+	th := w.Spawn("t", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.Enter(th)
+		cv.Broadcast(th)
+		m.Exit(th)
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if th.Err() == nil {
+		t.Fatal("broadcast under Hoare semantics should panic")
+	}
+}
+
+// TestHoareWaitTimeout: a timed-out Hoare waiter reacquires normally.
+func TestHoareWaitTimeout(t *testing.T) {
+	cfg := sim.Config{SwitchCost: -1, TimeoutGranularity: 50 * vclock.Millisecond}
+	w := testWorld(t, cfg)
+	m := NewWithOptions(w, "mu", hoareOptions())
+	cv := m.NewCondTimeout("cv", 20*vclock.Millisecond)
+	var timedOut bool
+	w.Spawn("waiter", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.Enter(th)
+		timedOut = cv.Wait(th)
+		m.Exit(th)
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if !timedOut {
+		t.Fatal("expected timeout")
+	}
+}
+
+// TestHoareChain: a chain of signals (waiter signals the next waiter
+// while holding the handed-over monitor) preserves exclusion and order.
+func TestHoareChain(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", hoareOptions())
+	cv := m.NewCond("cv")
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		w.Spawn("waiter", sim.PriorityNormal, func(th *sim.Thread) any {
+			th.Compute(vclock.Duration(i+1) * vclock.Millisecond) // stagger wait order
+			m.Enter(th)
+			cv.Wait(th)
+			order = append(order, i)
+			cv.Notify(th) // pass the baton
+			m.Exit(th)
+			return nil
+		})
+	}
+	w.Spawn("starter", sim.PriorityNormal, func(th *sim.Thread) any {
+		th.Compute(10 * vclock.Millisecond)
+		m.Enter(th)
+		cv.Notify(th)
+		m.Exit(th)
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2}) {
+		t.Fatalf("chain order = %v, want FIFO [0 1 2]", order)
+	}
+}
+
+// TestHoareExclusionProperty: mutual exclusion holds under random
+// monitor traffic with Hoare signalling — including across the direct
+// monitor handoffs that make Hoare semantics tricky.
+func TestHoareExclusionProperty(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1, Seed: seed})
+		m := NewWithOptions(w, "mu", hoareOptions())
+		cv := m.NewCondTimeout("cv", 3*vclock.Millisecond)
+		inside, violated := 0, false
+		section := func(th *sim.Thread, d vclock.Duration) {
+			inside++
+			if inside != 1 {
+				violated = true
+			}
+			th.Compute(d)
+			inside--
+		}
+		rng := w.Rand()
+		for i := 0; i < 4; i++ {
+			hold := vclock.Duration(1+rng.Intn(1500)) * vclock.Microsecond
+			gap := vclock.Duration(rng.Intn(1500)) * vclock.Microsecond
+			w.Spawn("worker", sim.Priority(1+rng.Intn(7)), func(th *sim.Thread) any {
+				for j := 0; j < 15; j++ {
+					m.Enter(th)
+					section(th, hold)
+					switch j % 3 {
+					case 0:
+						cv.Notify(th) // may hand the monitor over directly
+						section(th, hold)
+					case 1:
+						cv.Wait(th) // timeout or Hoare handoff back in
+						section(th, hold)
+					}
+					m.Exit(th)
+					th.Compute(gap)
+				}
+				return nil
+			})
+		}
+		out := w.Run(vclock.Time(vclock.Minute))
+		w.Shutdown()
+		if violated {
+			t.Fatalf("seed %d: mutual exclusion violated under Hoare signalling", seed)
+		}
+		if out != sim.OutcomeQuiescent {
+			t.Fatalf("seed %d: outcome = %v", seed, out)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// TestPriorityInheritanceResolvesInversion is the §7 future-work
+// experiment at unit scale: with inheritance the high-priority waiter's
+// delay is bounded by the critical section, not by the middle-priority
+// hog.
+func TestPriorityInheritanceResolvesInversion(t *testing.T) {
+	run := func(inherit bool) vclock.Duration {
+		w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+		defer w.Shutdown()
+		opt := Options{LockCost: -1, NotifyCost: -1, WaitCost: -1, PriorityInheritance: inherit}
+		m := NewWithOptions(w, "mu", opt)
+		var acquired vclock.Time
+		w.Spawn("lo", sim.PriorityLow, func(th *sim.Thread) any {
+			m.Enter(th)
+			th.Compute(20 * vclock.Millisecond)
+			m.Exit(th)
+			return nil
+		})
+		start := vclock.Time(vclock.Millisecond)
+		w.At(start, func() {
+			w.Spawn("hog", sim.PriorityNormal, func(th *sim.Thread) any {
+				th.Compute(500 * vclock.Millisecond)
+				return nil
+			})
+			w.Spawn("hi", sim.PriorityHigh, func(th *sim.Thread) any {
+				m.Enter(th)
+				acquired = th.Now()
+				m.Exit(th)
+				return nil
+			})
+		})
+		w.Run(vclock.Time(2 * vclock.Second))
+		if acquired == 0 {
+			return 2 * vclock.Second
+		}
+		return acquired.Sub(start)
+	}
+	plain := run(false)
+	inherited := run(true)
+	if plain < 400*vclock.Millisecond {
+		t.Errorf("without inheritance the inversion should last past the hog: %v", plain)
+	}
+	if inherited > 25*vclock.Millisecond {
+		t.Errorf("with inheritance the delay should be ~the critical section (19ms): %v", inherited)
+	}
+}
+
+// TestInheritanceRestoresPriority verifies the holder's own priority
+// comes back at release.
+func TestInheritanceRestoresPriority(t *testing.T) {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+	opt := Options{LockCost: -1, NotifyCost: -1, WaitCost: -1, PriorityInheritance: true}
+	m := NewWithOptions(w, "mu", opt)
+	var duringBoost, afterRelease sim.Priority
+	lo := w.Spawn("lo", sim.PriorityLow, func(th *sim.Thread) any {
+		m.Enter(th)
+		th.Compute(10 * vclock.Millisecond)
+		m.Exit(th)
+		afterRelease = th.Priority()
+		return nil
+	})
+	w.At(vclock.Time(vclock.Millisecond), func() {
+		w.Spawn("hi", sim.PriorityHigh, func(th *sim.Thread) any {
+			m.Enter(th)
+			m.Exit(th)
+			return nil
+		})
+	})
+	w.At(vclock.Time(5*vclock.Millisecond), func() {
+		duringBoost = lo.Priority()
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if duringBoost != sim.PriorityHigh {
+		t.Errorf("holder priority during boost = %d, want %d", duringBoost, sim.PriorityHigh)
+	}
+	if afterRelease != sim.PriorityLow {
+		t.Errorf("holder priority after release = %d, want %d", afterRelease, sim.PriorityLow)
+	}
+}
+
+// TestInheritanceAcrossHandoff: when the mutex is handed to a queued
+// waiter, the new holder's own base is snapshotted (no stale boost).
+func TestInheritanceAcrossHandoff(t *testing.T) {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+	opt := Options{LockCost: -1, NotifyCost: -1, WaitCost: -1, PriorityInheritance: true}
+	m := NewWithOptions(w, "mu", opt)
+	var prios []sim.Priority
+	mk := func(name string, pri sim.Priority, hold vclock.Duration, delay vclock.Duration) {
+		w.At(vclock.Time(delay), func() {
+			w.Spawn(name, pri, func(th *sim.Thread) any {
+				m.Enter(th)
+				th.Compute(hold)
+				m.Exit(th)
+				prios = append(prios, th.Priority())
+				return nil
+			})
+		})
+	}
+	mk("a-low", sim.PriorityLow, 10*vclock.Millisecond, 0)
+	mk("b-high", sim.PriorityHigh, vclock.Millisecond, vclock.Millisecond)
+	mk("c-normal", sim.PriorityNormal, vclock.Millisecond, 2*vclock.Millisecond)
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	want := []sim.Priority{sim.PriorityLow, sim.PriorityHigh, sim.PriorityNormal}
+	for i, p := range prios {
+		if p != want[i] {
+			t.Errorf("thread %d final priority = %d, want %d (no stale boost)", i, p, want[i])
+		}
+	}
+}
+
+// TestInheritanceWithCVReacquire exposes a genuine interplay between the
+// §6.1 "spurious lock conflict" and priority inheritance: the very
+// conflict the paper's NOTIFY fix eliminates — a woken high-priority
+// waiter blocking on the still-held mutex — is what lets inheritance
+// donate priority to the low-priority notifier. With the naive NOTIFY the
+// high thread enters within the notifier's hold time; the §6.1 deferral
+// removes the donation channel and leaves the notifier starved behind a
+// middle-priority hog (the condition itself is an "abstract resource...
+// the thread implementation has little hope of automatically adjusting
+// thread priority", §5.2).
+func TestInheritanceWithCVReacquire(t *testing.T) {
+	run := func(deferFix bool) vclock.Duration {
+		w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+		defer w.Shutdown()
+		opt := Options{LockCost: -1, NotifyCost: -1, WaitCost: -1,
+			PriorityInheritance: true, DeferNotifyReschedule: deferFix}
+		m := NewWithOptions(w, "mu", opt)
+		cv := m.NewCond("cv")
+		var hiEnteredAt vclock.Time
+		// hi waits first; lo enters and notifies; a hog arrives while lo
+		// still holds the monitor.
+		w.Spawn("hi-waiter", sim.PriorityHigh, func(th *sim.Thread) any {
+			m.Enter(th)
+			cv.Wait(th)
+			hiEnteredAt = th.Now()
+			m.Exit(th)
+			return nil
+		})
+		w.Spawn("lo-notifier", sim.PriorityLow, func(th *sim.Thread) any {
+			m.Enter(th)
+			cv.Notify(th)
+			th.Compute(5 * vclock.Millisecond)
+			m.Exit(th)
+			return nil
+		})
+		w.At(vclock.Time(vclock.Millisecond), func() {
+			w.Spawn("hog", sim.PriorityNormal, func(th *sim.Thread) any {
+				th.Compute(300 * vclock.Millisecond)
+				return nil
+			})
+		})
+		w.Run(vclock.Time(2 * vclock.Second))
+		return vclock.Duration(hiEnteredAt)
+	}
+	naive := run(false)
+	deferred := run(true)
+	if naive > 10*vclock.Millisecond {
+		t.Errorf("naive NOTIFY + inheritance: hi entered at %v, want within the notifier's 5ms hold", naive)
+	}
+	if deferred < 250*vclock.Millisecond {
+		t.Errorf("deferred NOTIFY removes the donation channel: hi entered at %v, want ~300ms (starved)", deferred)
+	}
+}

@@ -1,0 +1,472 @@
+package monitor
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+func testWorld(t *testing.T, cfg sim.Config) *sim.World {
+	t.Helper()
+	w := sim.NewWorld(cfg)
+	t.Cleanup(w.Shutdown)
+	return w
+}
+
+// fastOptions disables modeled op costs for tests that assert timing.
+func fastOptions() Options {
+	return Options{LockCost: -1, NotifyCost: -1, WaitCost: -1}
+}
+
+func cfgFast() sim.Config {
+	return sim.Config{SwitchCost: -1, TimeoutGranularity: 1}
+}
+
+func TestMutualExclusion(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", fastOptions())
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 5; i++ {
+		w.Spawn("worker", sim.PriorityNormal, func(th *sim.Thread) any {
+			for j := 0; j < 10; j++ {
+				m.Enter(th)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				th.Compute(vclock.Millisecond) // invite preemption inside
+				inside--
+				m.Exit(th)
+				th.Compute(100 * vclock.Microsecond)
+			}
+			return nil
+		})
+	}
+	if out := w.Run(vclock.Time(10 * vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if maxInside != 1 {
+		t.Fatalf("max threads inside monitor = %d, want 1", maxInside)
+	}
+}
+
+func TestFIFOHandoff(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", fastOptions())
+	var order []string
+	w.Spawn("holder", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.Enter(th)
+		th.Compute(10 * vclock.Millisecond)
+		m.Exit(th)
+		return nil
+	})
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		w.Spawn(name, sim.PriorityNormal, func(th *sim.Thread) any {
+			th.Compute(vclock.Millisecond) // let holder grab it first
+			m.Enter(th)
+			order = append(order, name)
+			m.Exit(th)
+			return nil
+		})
+	}
+	w.Run(vclock.Time(vclock.Second))
+	if !reflect.DeepEqual(order, []string{"a", "b", "c"}) {
+		t.Fatalf("handoff order = %v, want FIFO", order)
+	}
+}
+
+func TestReentryPanics(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", fastOptions())
+	var err error
+	th := w.Spawn("t", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.Enter(th)
+		m.Enter(th) // Mesa monitors are not reentrant
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	err = th.Err()
+	if err == nil {
+		t.Fatal("reentry did not panic")
+	}
+}
+
+func TestExitWithoutHoldPanics(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", fastOptions())
+	th := w.Spawn("t", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.Exit(th)
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if th.Err() == nil {
+		t.Fatal("exit without hold did not panic")
+	}
+}
+
+func TestWaitRequiresMonitor(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", fastOptions())
+	cv := m.NewCond("cv")
+	th := w.Spawn("t", sim.PriorityNormal, func(th *sim.Thread) any {
+		cv.Wait(th) // compiler-enforced rule in Mesa: CV ops only with lock held
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if th.Err() == nil {
+		t.Fatal("WAIT without monitor did not panic")
+	}
+}
+
+func TestProducerConsumer(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "queue", fastOptions())
+	nonEmpty := m.NewCond("non-empty")
+	var queue []int
+	var got []int
+	w.Spawn("consumer", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.Enter(th)
+		for len(got) < 10 {
+			for len(queue) == 0 {
+				nonEmpty.Wait(th)
+			}
+			got = append(got, queue[0])
+			queue = queue[1:]
+		}
+		m.Exit(th)
+		return nil
+	})
+	w.Spawn("producer", sim.PriorityNormal, func(th *sim.Thread) any {
+		for i := 0; i < 10; i++ {
+			th.Compute(vclock.Millisecond)
+			m.Enter(th)
+			queue = append(queue, i)
+			nonEmpty.Notify(th)
+			m.Exit(th)
+		}
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	want := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("consumed %v", got)
+	}
+}
+
+func TestNotifyWakesExactlyOne(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", fastOptions())
+	cv := m.NewCond("cv")
+	woken := 0
+	for i := 0; i < 3; i++ {
+		w.Spawn("waiter", sim.PriorityNormal, func(th *sim.Thread) any {
+			m.Enter(th)
+			cv.Wait(th)
+			woken++
+			m.Exit(th)
+			return nil
+		})
+	}
+	w.Spawn("notifier", sim.PriorityNormal, func(th *sim.Thread) any {
+		th.Compute(vclock.Millisecond)
+		m.Enter(th)
+		cv.Notify(th)
+		m.Exit(th)
+		return nil
+	})
+	out := w.Run(vclock.Time(vclock.Second))
+	if woken != 1 {
+		t.Fatalf("woken = %d, want exactly 1", woken)
+	}
+	// The other two waiters are stuck forever: deadlock outcome.
+	if out != sim.OutcomeDeadlock {
+		t.Fatalf("outcome = %v, want deadlock (2 waiters remain)", out)
+	}
+	if cv.Waiters() != 2 {
+		t.Fatalf("cv.Waiters = %d, want 2", cv.Waiters())
+	}
+}
+
+func TestBroadcastWakesAll(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", fastOptions())
+	cv := m.NewCond("cv")
+	woken := 0
+	for i := 0; i < 4; i++ {
+		w.Spawn("waiter", sim.PriorityNormal, func(th *sim.Thread) any {
+			m.Enter(th)
+			cv.Wait(th)
+			woken++
+			m.Exit(th)
+			return nil
+		})
+	}
+	w.Spawn("notifier", sim.PriorityNormal, func(th *sim.Thread) any {
+		th.Compute(vclock.Millisecond)
+		m.With(th, func() { cv.Broadcast(th) })
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if woken != 4 {
+		t.Fatalf("woken = %d, want 4", woken)
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	cfg := sim.Config{SwitchCost: -1, TimeoutGranularity: 50 * vclock.Millisecond}
+	w := testWorld(t, cfg)
+	m := NewWithOptions(w, "mu", fastOptions())
+	cv := m.NewCondTimeout("cv", 20*vclock.Millisecond) // rounds up to 50ms
+	var timedOut bool
+	var woke vclock.Time
+	w.Spawn("waiter", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.Enter(th)
+		timedOut = cv.Wait(th)
+		woke = th.Now()
+		m.Exit(th)
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if !timedOut {
+		t.Fatal("wait should have timed out")
+	}
+	if woke != vclock.Time(50*vclock.Millisecond) {
+		t.Fatalf("woke at %v, want 50ms (granularity-rounded)", woke)
+	}
+}
+
+func TestNotifyBeatsTimeout(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", fastOptions())
+	cv := m.NewCondTimeout("cv", 100*vclock.Millisecond)
+	var timedOut bool
+	w.Spawn("waiter", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.Enter(th)
+		timedOut = cv.Wait(th)
+		m.Exit(th)
+		return nil
+	})
+	w.Spawn("notifier", sim.PriorityNormal, func(th *sim.Thread) any {
+		th.Compute(10 * vclock.Millisecond)
+		m.With(th, func() { cv.Notify(th) })
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if timedOut {
+		t.Fatal("wait reported timeout despite notify at 10ms < 100ms")
+	}
+}
+
+// TestMesaSemanticsRequireLoop demonstrates §5.3: with Mesa monitors a
+// waiter's condition can be stolen between NOTIFY and reacquisition, so
+// IF-based waits are wrong. We build the failure deliberately.
+func TestMesaSemanticsRequireLoop(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "queue", fastOptions())
+	nonEmpty := m.NewCond("non-empty")
+	var queue []int
+
+	consumeIF := func(th *sim.Thread) (ok bool) {
+		m.Enter(th)
+		defer m.Exit(th)
+		if len(queue) == 0 { // WRONG: IF, not WHILE
+			nonEmpty.Wait(th)
+		}
+		if len(queue) == 0 {
+			return false // would have crashed dequeueing
+		}
+		queue = queue[1:]
+		return true
+	}
+
+	var ifWaiterOK bool
+	// Phase 1 (t=0): the IF-waiter waits. Phase 2 (5ms): the producer
+	// enqueues an item and notifies while holding the monitor for 2ms.
+	// Phase 3 (6ms): a high-priority thief queues on the mutex; FIFO
+	// handoff admits it at 7ms, before the low-priority waiter gets
+	// scheduled to reacquire — so the thief steals the item between the
+	// NOTIFY and the waiter's re-entry.
+	w.Spawn("if-waiter", sim.PriorityLow, func(th *sim.Thread) any {
+		ifWaiterOK = consumeIF(th)
+		return nil
+	})
+	w.At(vclock.Time(5*vclock.Millisecond), func() {
+		w.Spawn("producer", sim.PriorityNormal, func(th *sim.Thread) any {
+			m.Enter(th)
+			queue = append(queue, 1)
+			nonEmpty.Notify(th)
+			th.Compute(2 * vclock.Millisecond) // hold the monitor past the notify
+			m.Exit(th)
+			return nil
+		})
+	})
+	w.At(vclock.Time(6*vclock.Millisecond), func() {
+		w.Spawn("thief", sim.PriorityHigh, func(th *sim.Thread) any {
+			m.Enter(th)
+			if len(queue) > 0 {
+				queue = queue[1:]
+			}
+			m.Exit(th)
+			return nil
+		})
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if ifWaiterOK {
+		t.Fatal("IF-based wait observed its condition; expected it stolen (the §5.3 bug should reproduce)")
+	}
+}
+
+// TestSpuriousLockConflict reproduces §6.1 on a uniprocessor: a
+// higher-priority notifyee preempts the notifier while it still holds the
+// monitor, wakes, and immediately blocks on the mutex — unless the
+// reschedule is deferred to monitor exit.
+func TestSpuriousLockConflict(t *testing.T) {
+	run := func(deferFix bool) (contendedEnters int) {
+		var buf trace.Buffer
+		cfg := sim.Config{SwitchCost: -1, TimeoutGranularity: 1, Trace: &buf}
+		w := sim.NewWorld(cfg)
+		defer w.Shutdown()
+		opt := fastOptions()
+		opt.DeferNotifyReschedule = deferFix
+		m := NewWithOptions(w, "mu", opt)
+		cv := m.NewCond("cv")
+		w.Spawn("hi-waiter", sim.PriorityHigh, func(th *sim.Thread) any {
+			m.Enter(th)
+			cv.Wait(th)
+			m.Exit(th)
+			return nil
+		})
+		w.Spawn("lo-notifier", sim.PriorityLow, func(th *sim.Thread) any {
+			th.Compute(vclock.Millisecond)
+			m.Enter(th)
+			cv.Notify(th)
+			th.Compute(vclock.Millisecond) // work between NOTIFY and exit
+			m.Exit(th)
+			return nil
+		})
+		w.Run(vclock.Time(vclock.Second))
+		for _, ev := range buf.Events {
+			if ev.Kind == trace.KindMLEnter && ev.Aux == 1 {
+				contendedEnters++
+			}
+		}
+		return contendedEnters
+	}
+	if got := run(false); got != 1 {
+		t.Fatalf("without fix: contended enters = %d, want 1 (spurious conflict)", got)
+	}
+	if got := run(true); got != 0 {
+		t.Fatalf("with fix: contended enters = %d, want 0", got)
+	}
+}
+
+func TestWithReleasesOnPanic(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := NewWithOptions(w, "mu", fastOptions())
+	entered := false
+	w.Spawn("dier", sim.PriorityNormal, func(th *sim.Thread) any {
+		m.With(th, func() { panic("die inside") })
+		return nil
+	})
+	w.Spawn("after", sim.PriorityNormal, func(th *sim.Thread) any {
+		th.Compute(vclock.Millisecond)
+		m.With(th, func() { entered = true })
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if !entered {
+		t.Fatal("monitor not released after panic inside With")
+	}
+}
+
+func TestCondAccessors(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m := New(w, "mu")
+	cv := m.NewCondTimeout("cv", 30*vclock.Millisecond)
+	if cv.Name() != "cv" || cv.Monitor() != m || cv.Timeout() != 30*vclock.Millisecond {
+		t.Fatal("accessors wrong")
+	}
+	cv.SetTimeout(-5)
+	if cv.Timeout() != 0 {
+		t.Fatal("negative timeout should clamp to 0")
+	}
+	if m.Name() != "mu" || m.ID() == 0 || cv.ID() == 0 {
+		t.Fatal("IDs/names wrong")
+	}
+	if m.Holder() != nil {
+		t.Fatal("fresh monitor should be free")
+	}
+}
+
+func TestDistinctIDs(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m1, m2 := New(w, "a"), New(w, "b")
+	c1, c2 := m1.NewCond("x"), m2.NewCond("y")
+	if m1.ID() == m2.ID() || c1.ID() == c2.ID() {
+		t.Fatal("IDs must be world-unique")
+	}
+}
+
+// TestMetalockDonation checks §6.2's metalock cycle donation: with a
+// middle-priority hog and a preempted low-priority metalock holder, a
+// high-priority contender resolves the inversion only when donation is on.
+func TestMetalockDonation(t *testing.T) {
+	run := func(donation bool) vclock.Time {
+		cfg := sim.Config{SwitchCost: -1, TimeoutGranularity: 1}
+		w := sim.NewWorld(cfg)
+		defer w.Shutdown()
+		opt := Options{LockCost: -1, NotifyCost: -1, WaitCost: -1,
+			MetalockHold: 10 * vclock.Microsecond, MetalockDonation: donation}
+		m := NewWithOptions(w, "mu", opt)
+		var acquired vclock.Time
+		w.Spawn("lo", sim.PriorityLow, func(th *sim.Thread) any {
+			m.Enter(th) // metalock held [0,10µs), then the mutex
+			th.Compute(vclock.Millisecond)
+			m.Exit(th) // metalock held [1010µs,1020µs)
+			return nil
+		})
+		// The hog arrives while lo is inside the Exit-path metalock hold
+		// (the mutex release happens the instant the metalock is done),
+		// then monopolizes the CPU at middle priority. PCR donates
+		// cycles only for the metalock, never for monitors themselves,
+		// so this is the one inversion donation can fix.
+		w.At(vclock.Time(1015*vclock.Microsecond), func() {
+			w.Spawn("hog", sim.PriorityNormal, func(th *sim.Thread) any {
+				th.Compute(300 * vclock.Millisecond)
+				return nil
+			})
+			w.Spawn("hi", sim.PriorityHigh, func(th *sim.Thread) any {
+				m.Enter(th)
+				acquired = th.Now()
+				m.Exit(th)
+				return nil
+			})
+		})
+		w.Run(vclock.Time(vclock.Second))
+		return acquired
+	}
+	withDonation := run(true)
+	withoutDonation := run(false)
+	if withDonation == 0 || withoutDonation == 0 {
+		t.Fatalf("hi never acquired: with=%v without=%v", withDonation, withoutDonation)
+	}
+	if withoutDonation < vclock.Time(100*vclock.Millisecond) {
+		t.Fatalf("without donation, inversion should persist behind the hog: acquired at %v", withoutDonation)
+	}
+	if withDonation > vclock.Time(2*vclock.Millisecond) {
+		t.Fatalf("with donation, hi should acquire quickly: acquired at %v", withDonation)
+	}
+}

@@ -1,0 +1,241 @@
+package monitor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// TestMPSpuriousConflict reproduces Birrell's original multiprocessor
+// form of the §6.1 problem: "the scheduler starts to run the notified
+// thread on another processor while the notifying thread, still running
+// on its processor, holds the associated monitor lock." The deferred
+// reschedule prevents it here too.
+func TestMPSpuriousConflict(t *testing.T) {
+	run := func(deferFix bool) (contended int) {
+		var buf trace.Buffer
+		cfg := sim.Config{SwitchCost: -1, TimeoutGranularity: 1, Trace: &buf, CPUs: 2}
+		w := sim.NewWorld(cfg)
+		defer w.Shutdown()
+		opt := fastOptions()
+		opt.DeferNotifyReschedule = deferFix
+		m := NewWithOptions(w, "mu", opt)
+		cv := m.NewCond("cv")
+		const rounds = 50
+		items := 0
+		w.Spawn("consumer", sim.PriorityNormal, func(th *sim.Thread) any {
+			for got := 0; got < rounds; got++ {
+				m.Enter(th)
+				for items == 0 {
+					cv.Wait(th)
+				}
+				items--
+				m.Exit(th)
+			}
+			w.Stop()
+			return nil
+		})
+		w.Spawn("producer", sim.PriorityNormal, func(th *sim.Thread) any {
+			for {
+				th.Compute(vclock.Millisecond)
+				m.Enter(th)
+				items++
+				cv.Notify(th)
+				th.Compute(100 * vclock.Microsecond) // still holding: the MP window
+				m.Exit(th)
+			}
+		})
+		w.Run(vclock.Time(vclock.Minute))
+		for _, ev := range buf.Events {
+			if ev.Kind == trace.KindMLEnter && ev.Aux == 1 {
+				contended++
+			}
+		}
+		return contended
+	}
+	naive := run(false)
+	fixed := run(true)
+	if naive < 40 {
+		t.Errorf("naive NOTIFY on 2 CPUs: contended enters = %d, want ~50 (the notified thread starts on the other CPU and blocks)", naive)
+	}
+	if fixed != 0 {
+		t.Errorf("deferred reschedule on 2 CPUs: contended enters = %d, want 0", fixed)
+	}
+}
+
+// TestBroadcastNotifyEquivalence checks the paper's §2 claim: "under
+// this ['WAIT only in a loop'] convention BROADCAST can be substituted
+// for NOTIFY without affecting program correctness." A multi-producer,
+// multi-consumer bounded buffer must deliver exactly the same multiset of
+// items either way.
+func TestBroadcastNotifyEquivalence(t *testing.T) {
+	run := func(useBroadcast bool, seed int64) []int {
+		w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1, Seed: seed})
+		defer w.Shutdown()
+		m := NewWithOptions(w, "buf", fastOptions())
+		nonEmpty := m.NewCond("non-empty")
+		nonFull := m.NewCond("non-full")
+		signal := func(th *sim.Thread, cv *Cond) {
+			if useBroadcast {
+				cv.Broadcast(th)
+			} else {
+				cv.Notify(th)
+			}
+		}
+		const cap = 3
+		const total = 60
+		var queue []int
+		var got []int
+		rng := rand.New(rand.NewSource(seed))
+		for p := 0; p < 3; p++ {
+			p := p
+			w.Spawn("producer", sim.PriorityNormal, func(th *sim.Thread) any {
+				for i := 0; i < total/3; i++ {
+					th.Compute(vclock.Duration(1+rng.Intn(3)) * vclock.Millisecond)
+					m.Enter(th)
+					for len(queue) >= cap {
+						nonFull.Wait(th)
+					}
+					queue = append(queue, p*1000+i)
+					signal(th, nonEmpty)
+					m.Exit(th)
+				}
+				return nil
+			})
+		}
+		for c := 0; c < 2; c++ {
+			w.Spawn("consumer", sim.PriorityNormal, func(th *sim.Thread) any {
+				for {
+					m.Enter(th)
+					for len(queue) == 0 && len(got) < total {
+						nonEmpty.Wait(th)
+					}
+					if len(got) >= total {
+						// Wake any sibling stuck waiting and leave.
+						nonEmpty.Broadcast(th)
+						m.Exit(th)
+						return nil
+					}
+					got = append(got, queue[0])
+					queue = queue[1:]
+					signal(th, nonFull)
+					th.Compute(vclock.Duration(1+rng.Intn(2)) * vclock.Millisecond)
+					m.Exit(th)
+				}
+			})
+		}
+		w.Run(vclock.Time(vclock.Minute))
+		return got
+	}
+
+	for seed := int64(1); seed <= 5; seed++ {
+		n := run(false, seed)
+		bc := run(true, seed)
+		if len(n) != 60 || len(bc) != 60 {
+			t.Fatalf("seed %d: delivered %d/%d items, want 60/60", seed, len(n), len(bc))
+		}
+		// Same multiset (scheduling order may differ).
+		count := func(xs []int) map[int]int {
+			m := map[int]int{}
+			for _, x := range xs {
+				m[x]++
+			}
+			return m
+		}
+		cn, cb := count(n), count(bc)
+		for k, v := range cn {
+			if cb[k] != v {
+				t.Fatalf("seed %d: item %d delivered %d times with NOTIFY but %d with BROADCAST", seed, k, v, cb[k])
+			}
+		}
+	}
+}
+
+// Property: under random monitor traffic, mutual exclusion always holds
+// and every Enter is eventually paired with an Exit (checked by the
+// monitor's own holder assertions plus an in-section counter).
+func TestMonitorExclusionProperty(t *testing.T) {
+	f := func(seed int64, nThreads, nOps uint8) bool {
+		threads := 2 + int(nThreads%5)
+		ops := 5 + int(nOps%40)
+		w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1, Seed: seed})
+		defer w.Shutdown()
+		m := NewWithOptions(w, "mu", fastOptions())
+		rng := rand.New(rand.NewSource(seed))
+		inside := 0
+		violated := false
+		for i := 0; i < threads; i++ {
+			pri := sim.Priority(1 + rng.Intn(7))
+			hold := vclock.Duration(rng.Intn(2000)) * vclock.Microsecond
+			gap := vclock.Duration(rng.Intn(2000)) * vclock.Microsecond
+			w.Spawn("t", pri, func(th *sim.Thread) any {
+				for j := 0; j < ops; j++ {
+					m.Enter(th)
+					inside++
+					if inside != 1 {
+						violated = true
+					}
+					th.Compute(hold)
+					inside--
+					m.Exit(th)
+					th.Compute(gap)
+				}
+				return nil
+			})
+		}
+		out := w.Run(vclock.Time(vclock.Minute))
+		return !violated && out == sim.OutcomeQuiescent
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CV wait bookkeeping conserves waiters — after any mix of
+// notifies, broadcasts and timeouts, the number of Wait returns equals
+// the number of Wait calls, and the CV queue ends empty.
+func TestCVConservationProperty(t *testing.T) {
+	f := func(seed int64, nWaiters uint8) bool {
+		waiters := 1 + int(nWaiters%6)
+		w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: vclock.Millisecond, Seed: seed})
+		defer w.Shutdown()
+		m := NewWithOptions(w, "mu", fastOptions())
+		cv := m.NewCondTimeout("cv", 5*vclock.Millisecond)
+		started, finished := 0, 0
+		for i := 0; i < waiters; i++ {
+			w.Spawn("waiter", sim.PriorityNormal, func(th *sim.Thread) any {
+				for j := 0; j < 10; j++ {
+					m.Enter(th)
+					started++
+					cv.Wait(th)
+					finished++
+					m.Exit(th)
+				}
+				return nil
+			})
+		}
+		rng := rand.New(rand.NewSource(seed))
+		w.Spawn("signaller", sim.PriorityNormal, func(th *sim.Thread) any {
+			for j := 0; j < 30; j++ {
+				th.Compute(vclock.Duration(1+rng.Intn(3)) * vclock.Millisecond)
+				m.Enter(th)
+				if rng.Intn(2) == 0 {
+					cv.Notify(th)
+				} else {
+					cv.Broadcast(th)
+				}
+				m.Exit(th)
+			}
+			return nil
+		})
+		w.Run(vclock.Time(vclock.Minute))
+		return started == finished && started == waiters*10 && cv.Waiters() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package paradigm
+
+import "repro/internal/vclock"
+
+// AdaptiveTimeout implements the future-work idea of §5.5: the authors
+// found "many instances of timeouts and pauses with ridiculous values
+// ... presumably chosen with some particular now-obsolete processor
+// speed or network architecture in mind" and suggested that "dynamically
+// tuning application timeout values based on end-to-end system
+// performance may be a workable solution."
+//
+// It maintains an exponentially weighted moving average of observed
+// response times and proposes a timeout of Margin times that average,
+// clamped to [Min, Max]. The zero value is not usable; use
+// NewAdaptiveTimeout.
+type AdaptiveTimeout struct {
+	// Margin is the safety multiplier over the estimated response time.
+	Margin float64
+	// Min and Max clamp the proposed timeout.
+	Min, Max vclock.Duration
+	// Gain is the EWMA weight of each new observation (0 < Gain <= 1).
+	Gain float64
+
+	est      float64 // EWMA of observed response times, in microseconds
+	observed int
+}
+
+// NewAdaptiveTimeout returns an estimator seeded with an initial guess
+// (the value a fixed-timeout implementation would have hardcoded).
+func NewAdaptiveTimeout(initial vclock.Duration) *AdaptiveTimeout {
+	return &AdaptiveTimeout{
+		Margin: 2.0,
+		Min:    vclock.Millisecond,
+		Max:    10 * vclock.Second,
+		Gain:   0.25,
+		est:    float64(initial),
+	}
+}
+
+// Observe feeds one measured end-to-end response time.
+func (a *AdaptiveTimeout) Observe(d vclock.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	a.est += a.Gain * (float64(d) - a.est)
+	a.observed++
+}
+
+// ObserveTimeout feeds a wait that expired unanswered at the current
+// timeout: the true response time is at least that long, so the estimate
+// grows multiplicatively (the classic RTO backoff shape).
+func (a *AdaptiveTimeout) ObserveTimeout() {
+	a.est *= 1.5
+	if max := float64(a.Max); a.est > max {
+		a.est = max
+	}
+	a.observed++
+}
+
+// Next returns the timeout to use for the next wait.
+func (a *AdaptiveTimeout) Next() vclock.Duration {
+	d := vclock.Duration(a.Margin * a.est)
+	if d < a.Min {
+		d = a.Min
+	}
+	if d > a.Max {
+		d = a.Max
+	}
+	return d
+}
+
+// Estimate returns the current response-time estimate.
+func (a *AdaptiveTimeout) Estimate() vclock.Duration { return vclock.Duration(a.est) }
+
+// Observations returns how many samples have been fed.
+func (a *AdaptiveTimeout) Observations() int { return a.observed }

@@ -1,0 +1,75 @@
+package paradigm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vclock"
+)
+
+func TestAdaptiveTimeoutConverges(t *testing.T) {
+	a := NewAdaptiveTimeout(10 * vclock.Millisecond)
+	// Feed a steady 100ms response time; the estimate should converge
+	// and Next should propose ~200ms (2x margin).
+	for i := 0; i < 50; i++ {
+		a.Observe(100 * vclock.Millisecond)
+	}
+	est := a.Estimate()
+	if est < 95*vclock.Millisecond || est > 105*vclock.Millisecond {
+		t.Fatalf("estimate = %v, want ~100ms", est)
+	}
+	next := a.Next()
+	if next < 190*vclock.Millisecond || next > 210*vclock.Millisecond {
+		t.Fatalf("Next = %v, want ~200ms", next)
+	}
+	if a.Observations() != 50 {
+		t.Fatalf("observations = %d", a.Observations())
+	}
+}
+
+func TestAdaptiveTimeoutBackoff(t *testing.T) {
+	a := NewAdaptiveTimeout(10 * vclock.Millisecond)
+	first := a.Next()
+	a.ObserveTimeout()
+	second := a.Next()
+	if second <= first {
+		t.Fatalf("backoff did not grow: %v -> %v", first, second)
+	}
+	// Repeated timeouts saturate at Max * Margin clamp.
+	for i := 0; i < 100; i++ {
+		a.ObserveTimeout()
+	}
+	if a.Next() > a.Max {
+		t.Fatalf("Next %v exceeded Max %v", a.Next(), a.Max)
+	}
+}
+
+func TestAdaptiveTimeoutClamps(t *testing.T) {
+	a := NewAdaptiveTimeout(vclock.Microsecond)
+	if a.Next() < a.Min {
+		t.Fatalf("Next %v below Min %v", a.Next(), a.Min)
+	}
+	a.Observe(-5) // negative observations clamp to 0
+	if a.Estimate() < 0 {
+		t.Fatalf("estimate went negative: %v", a.Estimate())
+	}
+}
+
+// Property: Next always lies in [Min, Max] and the estimate is always
+// non-negative, under arbitrary observation sequences.
+func TestAdaptiveTimeoutBounds(t *testing.T) {
+	f := func(obs []int32, timeouts uint8) bool {
+		a := NewAdaptiveTimeout(10 * vclock.Millisecond)
+		for _, o := range obs {
+			a.Observe(vclock.Duration(o) * vclock.Microsecond)
+		}
+		for i := 0; i < int(timeouts%16); i++ {
+			a.ObserveTimeout()
+		}
+		n := a.Next()
+		return n >= a.Min && n <= a.Max && a.Estimate() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

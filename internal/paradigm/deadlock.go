@@ -1,0 +1,153 @@
+package paradigm
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+)
+
+// AvoidFork is the deadlock-avoidance paradigm of §4.4: a thread that
+// "already holds some, but not all, of the locks needed" forks the rest
+// of the work so the child can acquire locks in proper order with a clean
+// slate, instead of unwinding and reacquiring. The forked thread is
+// detached; the caller continues (and typically releases its locks soon
+// after).
+func AvoidFork(reg *Registry, t *sim.Thread, name string, body func(t *sim.Thread)) *sim.Thread {
+	reg.registerInternal(KindDeadlockAvoid)
+	child := t.Fork(name, func(c *sim.Thread) any {
+		body(c)
+		return nil
+	})
+	child.Detach()
+	return child
+}
+
+// ForkingCallback models the §4.8 convention: "many modules that do
+// callbacks offer a fork boolean parameter in their interface ... The
+// default is almost always TRUE", because an unforked callback "makes
+// future execution of the calling thread within the module dependent on
+// successful completion of the client callback" — it is for experts. It
+// also insulates the service from client errors (§4.4).
+func ForkingCallback(reg *Registry, t *sim.Thread, name string, fork bool, fn func(t *sim.Thread)) {
+	if fork {
+		reg.registerInternal(KindDeadlockAvoid)
+		t.Fork(name, func(c *sim.Thread) any {
+			fn(c)
+			return nil
+		}).Detach()
+		return
+	}
+	fn(t) // expert mode: any client error kills the service thread
+}
+
+// LockSet enforces a global lock ordering over a set of monitors: Acquire
+// takes monitors in rank order and panics on an out-of-order acquisition
+// attempt, surfacing the "very, very complicated" overall locking schemes
+// (§5.1) as an explicit invariant.
+type LockSet struct {
+	ranks map[*monitor.Monitor]int
+	held  map[*sim.Thread][]*monitor.Monitor
+}
+
+// NewLockSet creates an ordering over monitors; earlier arguments rank
+// lower and must be acquired first.
+func NewLockSet(monitors ...*monitor.Monitor) *LockSet {
+	ls := &LockSet{
+		ranks: make(map[*monitor.Monitor]int, len(monitors)),
+		held:  make(map[*sim.Thread][]*monitor.Monitor),
+	}
+	for i, m := range monitors {
+		ls.ranks[m] = i
+	}
+	return ls
+}
+
+// Acquire enters m, checking the ordering against locks t already holds
+// through this set.
+func (ls *LockSet) Acquire(t *sim.Thread, m *monitor.Monitor) {
+	rank, ok := ls.ranks[m]
+	if !ok {
+		panic(fmt.Sprintf("paradigm: monitor %q not in lock set", m.Name()))
+	}
+	for _, h := range ls.held[t] {
+		if ls.ranks[h] >= rank {
+			panic(fmt.Sprintf("paradigm: lock-order violation: %q (rank %d) acquired while holding %q (rank %d)",
+				m.Name(), rank, h.Name(), ls.ranks[h]))
+		}
+	}
+	m.Enter(t)
+	ls.held[t] = append(ls.held[t], m)
+}
+
+// Release exits m and clears the bookkeeping.
+func (ls *LockSet) Release(t *sim.Thread, m *monitor.Monitor) {
+	held := ls.held[t]
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i] == m {
+			ls.held[t] = append(held[:i], held[i+1:]...)
+			m.Exit(t)
+			return
+		}
+	}
+	panic(fmt.Sprintf("paradigm: release of %q not held via lock set", m.Name()))
+}
+
+// Holding returns the monitors t currently holds through this set, in
+// acquisition order.
+func (ls *LockSet) Holding(t *sim.Thread) []*monitor.Monitor {
+	out := make([]*monitor.Monitor, len(ls.held[t]))
+	copy(out, ls.held[t])
+	return out
+}
+
+// ParallelDo is the concurrency-exploiter paradigm (§4.7): fork n workers
+// "specifically to make use of multiple processors" and join them all.
+// The paper found very few of these — the systems only recently ran on
+// multiprocessors — and they "tend to be very problem-specific".
+func ParallelDo(reg *Registry, t *sim.Thread, name string, n int, work func(t *sim.Thread, i int)) error {
+	reg.registerInternal(KindConcurrencyExploit)
+	children := make([]*sim.Thread, 0, n)
+	for i := 0; i < n; i++ {
+		i := i
+		children = append(children, t.Fork(fmt.Sprintf("%s-%d", name, i), func(c *sim.Thread) any {
+			work(c, i)
+			return nil
+		}))
+	}
+	var firstErr error
+	for _, c := range children {
+		if _, err := t.Join(c); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// DeferTo forks body as a detached worker — the paper's most common
+// paradigm (§4.1): "a procedure can often reduce the latency seen by its
+// clients by forking a thread to do work not required for the procedure's
+// return value". Returns the worker so callers may still observe it.
+func DeferTo(reg *Registry, t *sim.Thread, name string, body func(t *sim.Thread)) *sim.Thread {
+	reg.registerInternal(KindDeferWork)
+	child := t.Fork(name, func(c *sim.Thread) any {
+		body(c)
+		return nil
+	})
+	child.Detach()
+	return child
+}
+
+// DeferAt forks body at an explicit priority — critical threads "fork to
+// defer almost any work at all", pushing the real work to a lower
+// priority so the critical thread can respond to the next event (§4.1's
+// Notifier).
+func DeferAt(reg *Registry, t *sim.Thread, name string, pri sim.Priority, body func(t *sim.Thread)) *sim.Thread {
+	reg.registerInternal(KindDeferWork)
+	child := t.ForkPri(name, pri, func(c *sim.Thread) any {
+		body(c)
+		return nil
+	})
+	child.Detach()
+	return child
+}

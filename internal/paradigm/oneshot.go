@@ -1,0 +1,153 @@
+package paradigm
+
+import (
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// DelayedFork calls fn on a fresh thread at some time in the future — the
+// encapsulated one-shot of §4.8 ("although one-shots are common in our
+// system, DelayedFork is only used in our window systems"). It counts as
+// both a OneShot and an EncapsulatedFork in the census.
+func DelayedFork(w *sim.World, reg *Registry, name string, delay vclock.Duration, fn func(t *sim.Thread)) *sim.Thread {
+	reg.registerInternal(KindOneShot)
+	reg.registerInternal(KindEncapsulatedFork)
+	th := w.Spawn(name, sim.PriorityNormal, func(t *sim.Thread) any {
+		t.Sleep(delay)
+		fn(t)
+		return nil
+	})
+	th.Detach()
+	return th
+}
+
+// PeriodicalFork repeats a DelayedFork "over and over again at fixed
+// intervals" (§4.8). It returns a stop function usable from driver or
+// thread context; the sleeper notices the flag at its next activation.
+func PeriodicalFork(w *sim.World, reg *Registry, name string, period vclock.Duration, fn func(t *sim.Thread)) (stop func()) {
+	reg.registerInternal(KindOneShot)
+	reg.registerInternal(KindEncapsulatedFork)
+	reg.registerInternal(KindSleeper)
+	stopped := false
+	th := w.Spawn(name, sim.PriorityNormal, func(t *sim.Thread) any {
+		for {
+			t.Sleep(period)
+			if stopped {
+				return nil
+			}
+			fn(t)
+		}
+	})
+	th.Detach()
+	return func() { stopped = true }
+}
+
+// ButtonState is the visible state of a GuardedButton.
+type ButtonState int
+
+// Guarded-button states: a guarded button "must be pressed twice, in
+// close, but not too close succession" (§4.3). They render as "Bu-tt-on"
+// while guarded.
+const (
+	ButtonGuarded ButtonState = iota // renders "Bu-tt-on"
+	ButtonArming                     // first click seen, arm delay running
+	ButtonArmed                      // renders "Button"; second click fires
+)
+
+var buttonNames = [...]string{"guarded", "arming", "armed"}
+
+// String names the state.
+func (s ButtonState) String() string {
+	if int(s) < len(buttonNames) {
+		return buttonNames[s]
+	}
+	return "invalid"
+}
+
+// GuardedButton implements the paper's worked one-shot example: after the
+// first click a one-shot thread sleeps an arming period (a second click
+// during it is "too close" and ignored), then changes the appearance to
+// "Button" and sleeps again; a click during this window invokes the
+// action, and if the window expires the one-shot repaints the guard.
+type GuardedButton struct {
+	w   *sim.World
+	reg *Registry
+	m   *monitor.Monitor
+
+	ArmDelay   vclock.Duration // "too close" window after the first click
+	FireWindow vclock.Duration // how long the button stays armed
+
+	state    ButtonState
+	epoch    int // invalidates stale one-shots
+	action   func(t *sim.Thread)
+	fired    int
+	repaints int
+}
+
+// NewGuardedButton creates a guarded button that runs action when fired.
+func NewGuardedButton(w *sim.World, reg *Registry, name string, action func(t *sim.Thread)) *GuardedButton {
+	return &GuardedButton{
+		w:          w,
+		reg:        reg,
+		m:          monitor.New(w, name+".button"),
+		ArmDelay:   200 * vclock.Millisecond,
+		FireWindow: 2 * vclock.Second,
+		action:     action,
+	}
+}
+
+// State returns the button's current visible state.
+func (b *GuardedButton) State() ButtonState { return b.state }
+
+// Appearance returns the label a user would see.
+func (b *GuardedButton) Appearance() string {
+	if b.state == ButtonArmed {
+		return "Button"
+	}
+	return "Bu-tt-on"
+}
+
+// Fired returns how many times the action ran.
+func (b *GuardedButton) Fired() int { return b.fired }
+
+// Repaints returns how many times the guard was repainted after an armed
+// window expired unfired.
+func (b *GuardedButton) Repaints() int { return b.repaints }
+
+// Click delivers one mouse click from thread context.
+func (b *GuardedButton) Click(t *sim.Thread) {
+	b.m.Enter(t)
+	defer b.m.Exit(t)
+	switch b.state {
+	case ButtonGuarded:
+		b.state = ButtonArming
+		b.epoch++
+		epoch := b.epoch
+		b.reg.registerInternal(KindOneShot)
+		th := b.w.Spawn("guarded-button-oneshot", sim.PriorityNormal, func(os *sim.Thread) any {
+			os.Sleep(b.ArmDelay)
+			b.m.Enter(os)
+			if b.epoch == epoch && b.state == ButtonArming {
+				b.state = ButtonArmed // appearance becomes "Button"
+			}
+			b.m.Exit(os)
+			os.Sleep(b.FireWindow)
+			b.m.Enter(os)
+			if b.epoch == epoch && b.state == ButtonArmed {
+				b.state = ButtonGuarded // expired: repaint the guard
+				b.repaints++
+			}
+			b.m.Exit(os)
+			return nil
+		})
+		th.Detach()
+	case ButtonArming:
+		// Second click too close: ignored.
+	case ButtonArmed:
+		b.state = ButtonGuarded
+		b.epoch++
+		b.fired++
+		b.action(t)
+	}
+}

@@ -1,0 +1,109 @@
+package paradigm
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// StageFunc transforms one item into zero or more outputs, with full
+// thread context (so a stage may enter monitors, sleep, or do I/O).
+type StageFunc func(t *sim.Thread, item any) []any
+
+// PipelineBuilder composes pump stages connected by bounded buffers —
+// §4.2's point that pipelines in these systems are "a programming
+// convenience ... conceptually simpler: tokens just appear in a queue.
+// The programmer needs to understand less about the pieces being
+// connected." Build wires the stages front to back; closing the input
+// shuts the pipeline down stage by stage.
+type PipelineBuilder struct {
+	w      *sim.World
+	reg    *Registry
+	name   string
+	cap    int
+	stages []stageSpec
+}
+
+type stageSpec struct {
+	name string
+	pri  sim.Priority
+	work vclock.Duration
+	fn   StageFunc
+}
+
+// NewPipeline starts a builder. Buffers between stages default to
+// capacity 8.
+func NewPipeline(w *sim.World, reg *Registry, name string) *PipelineBuilder {
+	return &PipelineBuilder{w: w, reg: reg, name: name, cap: 8}
+}
+
+// Buffers sets the capacity of the connecting buffers (0 = unbounded).
+func (b *PipelineBuilder) Buffers(capacity int) *PipelineBuilder {
+	b.cap = capacity
+	return b
+}
+
+// Stage appends a pump stage. work is CPU charged per item before fn
+// runs; pri 0 means sim.PriorityNormal; a nil fn passes items through.
+func (b *PipelineBuilder) Stage(name string, pri sim.Priority, work vclock.Duration, fn StageFunc) *PipelineBuilder {
+	b.stages = append(b.stages, stageSpec{name: name, pri: pri, work: work, fn: fn})
+	return b
+}
+
+// Pipeline is a built pipeline: Put into In, Get from Out.
+type Pipeline struct {
+	In  *Buffer
+	Out *Buffer
+	// Threads are the stage threads, front to back.
+	Threads []*sim.Thread
+	moved   []int
+}
+
+// Moved returns how many items stage i has emitted so far.
+func (p *Pipeline) Moved(i int) int { return p.moved[i] }
+
+// Build spawns the stage threads and returns the pipeline. It panics if
+// no stages were added.
+func (b *PipelineBuilder) Build() *Pipeline {
+	if len(b.stages) == 0 {
+		panic("paradigm: pipeline with no stages")
+	}
+	p := &Pipeline{moved: make([]int, len(b.stages))}
+	bufs := make([]*Buffer, len(b.stages)+1)
+	for i := range bufs {
+		bufs[i] = NewBuffer(b.w, fmt.Sprintf("%s.q%d", b.name, i), b.cap)
+	}
+	p.In = bufs[0]
+	p.Out = bufs[len(bufs)-1]
+	for i, st := range b.stages {
+		i, st := i, st
+		if st.pri == 0 {
+			st.pri = sim.PriorityNormal
+		}
+		b.reg.registerInternal(KindGeneralPump)
+		src, dst := bufs[i], bufs[i+1]
+		th := b.w.Spawn(fmt.Sprintf("%s.%s", b.name, st.name), st.pri, func(t *sim.Thread) any {
+			for {
+				item, ok := src.Get(t)
+				if !ok {
+					dst.Close(t)
+					return p.moved[i]
+				}
+				t.Compute(st.work)
+				outs := []any{item}
+				if st.fn != nil {
+					outs = st.fn(t, item)
+				}
+				for _, out := range outs {
+					if !dst.Put(t, out) {
+						return p.moved[i]
+					}
+					p.moved[i]++
+				}
+			}
+		})
+		p.Threads = append(p.Threads, th)
+	}
+	return p
+}

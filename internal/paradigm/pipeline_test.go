@@ -1,0 +1,100 @@
+package paradigm
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+func TestPipelineBuilder(t *testing.T) {
+	w := testWorld(t, fastCfg())
+	reg := NewRegistry()
+	p := NewPipeline(w, reg, "etl").
+		Buffers(4).
+		Stage("double", 0, vclock.Millisecond, func(t *sim.Thread, item any) []any {
+			return []any{item.(int) * 2}
+		}).
+		Stage("filter-odd", sim.PriorityLow, 0, func(t *sim.Thread, item any) []any {
+			if item.(int)%4 == 0 {
+				return []any{item}
+			}
+			return nil
+		}).
+		Stage("passthrough", 0, 0, nil).
+		Build()
+
+	var got []int
+	w.Spawn("source", sim.PriorityNormal, func(th *sim.Thread) any {
+		for i := 1; i <= 6; i++ {
+			p.In.Put(th, i)
+		}
+		p.In.Close(th)
+		return nil
+	})
+	w.Spawn("drain", sim.PriorityNormal, func(th *sim.Thread) any {
+		for {
+			v, ok := p.Out.Get(th)
+			if !ok {
+				return nil
+			}
+			got = append(got, v.(int))
+		}
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	// doubles: 2,4,6,8,10,12; keep multiples of 4: 4,8,12
+	if !reflect.DeepEqual(got, []int{4, 8, 12}) {
+		t.Fatalf("got %v", got)
+	}
+	if p.Moved(0) != 6 || p.Moved(1) != 3 || p.Moved(2) != 3 {
+		t.Fatalf("moved = %d %d %d", p.Moved(0), p.Moved(1), p.Moved(2))
+	}
+	if len(p.Threads) != 3 {
+		t.Fatalf("threads = %d", len(p.Threads))
+	}
+	if reg.Count(KindGeneralPump) == 0 {
+		t.Fatal("pumps not registered")
+	}
+}
+
+func TestPipelineNoStagesPanics(t *testing.T) {
+	w := testWorld(t, fastCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPipeline(w, NewRegistry(), "empty").Build()
+}
+
+func TestPipelineBackpressure(t *testing.T) {
+	w := testWorld(t, fastCfg())
+	reg := NewRegistry()
+	p := NewPipeline(w, reg, "slow").
+		Buffers(1).
+		Stage("slow", 0, 10*vclock.Millisecond, nil).
+		Build()
+	var srcDone vclock.Time
+	w.Spawn("source", sim.PriorityNormal, func(th *sim.Thread) any {
+		for i := 0; i < 5; i++ {
+			p.In.Put(th, i) // bounded buffers throttle the producer
+		}
+		p.In.Close(th)
+		srcDone = th.Now()
+		return nil
+	})
+	w.Spawn("drain", sim.PriorityNormal, func(th *sim.Thread) any {
+		for {
+			if _, ok := p.Out.Get(th); !ok {
+				return nil
+			}
+		}
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if srcDone < vclock.Time(20*vclock.Millisecond) {
+		t.Fatalf("producer finished at %v; backpressure should have throttled it", srcDone)
+	}
+}

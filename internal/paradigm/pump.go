@@ -1,0 +1,256 @@
+package paradigm
+
+import (
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Source yields items to a consuming thread, blocking until one is
+// available; ok=false means the source is closed and drained.
+type Source interface {
+	Get(t *sim.Thread) (item any, ok bool)
+	// TryGet returns immediately; ok=false means empty right now or
+	// closed (use Get to distinguish).
+	TryGet(t *sim.Thread) (item any, ok bool)
+}
+
+// Sink accepts items from a producing thread. Put reports false when the
+// sink has been closed.
+type Sink interface {
+	Put(t *sim.Thread, item any) bool
+	Close(t *sim.Thread)
+}
+
+// Buffer is a monitor-protected bounded buffer — the connective tissue of
+// the paper's pipelines ("bounded buffers and external devices are two
+// common sources and sinks", §4.2). It implements Source and Sink.
+type Buffer struct {
+	m        *monitor.Monitor
+	nonEmpty *monitor.Cond
+	nonFull  *monitor.Cond
+	items    []any
+	capacity int
+	closed   bool
+}
+
+// NewBuffer creates a bounded buffer. capacity <= 0 means unbounded.
+func NewBuffer(w *sim.World, name string, capacity int) *Buffer {
+	return NewBufferWithOptions(w, name, capacity, monitor.Options{})
+}
+
+// NewBufferWithOptions creates a bounded buffer with explicit monitor
+// options (e.g. the §6.1 deferred-reschedule fix on or off).
+func NewBufferWithOptions(w *sim.World, name string, capacity int, opt monitor.Options) *Buffer {
+	m := monitor.NewWithOptions(w, name, opt)
+	return &Buffer{
+		m:        m,
+		nonEmpty: m.NewCond(name + ".non-empty"),
+		nonFull:  m.NewCond(name + ".non-full"),
+		capacity: capacity,
+	}
+}
+
+// Monitor exposes the buffer's monitor (for tests and instrumentation).
+func (b *Buffer) Monitor() *monitor.Monitor { return b.m }
+
+// Len returns the number of queued items.
+func (b *Buffer) Len() int { return len(b.items) }
+
+// Put appends item, blocking while the buffer is full. It returns false
+// if the buffer is (or becomes) closed.
+func (b *Buffer) Put(t *sim.Thread, item any) bool {
+	b.m.Enter(t)
+	defer b.m.Exit(t)
+	for b.capacity > 0 && len(b.items) >= b.capacity && !b.closed {
+		b.nonFull.Wait(t)
+	}
+	if b.closed {
+		return false
+	}
+	b.items = append(b.items, item)
+	b.nonEmpty.Notify(t)
+	return true
+}
+
+// Get removes and returns the oldest item, blocking while the buffer is
+// empty. ok=false means closed and drained.
+func (b *Buffer) Get(t *sim.Thread) (any, bool) {
+	b.m.Enter(t)
+	defer b.m.Exit(t)
+	for len(b.items) == 0 && !b.closed {
+		b.nonEmpty.Wait(t)
+	}
+	return b.takeLocked(t)
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (b *Buffer) TryGet(t *sim.Thread) (any, bool) {
+	b.m.Enter(t)
+	defer b.m.Exit(t)
+	if len(b.items) == 0 {
+		return nil, false
+	}
+	item, ok := b.takeLocked(t)
+	return item, ok
+}
+
+func (b *Buffer) takeLocked(t *sim.Thread) (any, bool) {
+	if len(b.items) == 0 {
+		return nil, false
+	}
+	item := b.items[0]
+	b.items = b.items[1:]
+	b.nonFull.Notify(t)
+	return item, true
+}
+
+// Close marks the buffer closed: pending and future Puts fail, Gets drain
+// the remaining items and then report ok=false.
+func (b *Buffer) Close(t *sim.Thread) {
+	b.m.Enter(t)
+	defer b.m.Exit(t)
+	b.closed = true
+	b.nonEmpty.Broadcast(t)
+	b.nonFull.Broadcast(t)
+}
+
+// Pump is the paper's §4.2 paradigm: a thread that picks up input from
+// one place, possibly transforms it, and produces it someplace else.
+// Birrell framed pumps as multiprocessor pipeline stages; Cedar and GVX
+// "mostly used [them] for structuring": tokens just appear in a queue and
+// the programmer needs to understand less about the pieces connected.
+type Pump struct {
+	thread *sim.Thread
+	moved  int
+}
+
+// PumpConfig parameterizes StartPump.
+type PumpConfig struct {
+	Name     string
+	Priority sim.Priority // 0 means sim.PriorityNormal
+	// Work is virtual CPU charged per item moved.
+	Work vclock.Duration
+	// Transform maps each input item to zero or more outputs; nil passes
+	// items through unchanged.
+	Transform func(item any) []any
+}
+
+// StartPump forks a pump thread moving items from src to dst until src
+// closes, then closes dst (so pipelines shut down front to back).
+func StartPump(w *sim.World, reg *Registry, src Source, dst Sink, cfg PumpConfig) *Pump {
+	reg.registerInternal(KindGeneralPump)
+	if cfg.Priority == 0 {
+		cfg.Priority = sim.PriorityNormal
+	}
+	if cfg.Name == "" {
+		cfg.Name = "pump"
+	}
+	p := &Pump{}
+	p.thread = w.Spawn(cfg.Name, cfg.Priority, func(t *sim.Thread) any {
+		for {
+			item, ok := src.Get(t)
+			if !ok {
+				dst.Close(t)
+				return p.moved
+			}
+			t.Compute(cfg.Work)
+			outs := []any{item}
+			if cfg.Transform != nil {
+				outs = cfg.Transform(item)
+			}
+			for _, out := range outs {
+				if !dst.Put(t, out) {
+					return p.moved
+				}
+				p.moved++
+			}
+		}
+	})
+	return p
+}
+
+// Thread returns the pump's thread.
+func (p *Pump) Thread() *sim.Thread { return p.thread }
+
+// Moved returns the number of items delivered downstream so far.
+func (p *Pump) Moved() int { return p.moved }
+
+// DeviceQueue models an external event source (keyboard, mouse, network
+// socket): the driver side pushes events with no thread context — the
+// hardware interrupt — and a single consuming thread (the paper's
+// Notifier, or Xl's reading thread) blocks on Get. It implements Source.
+// The consumer's waits are traced as CV waits (in the real system they
+// are), so they count toward Table 2's wait rates.
+type DeviceQueue struct {
+	w      *sim.World
+	name   string
+	cvID   int64
+	items  []any
+	waiter *sim.Thread
+	closed bool
+}
+
+// NewDeviceQueue creates an empty device queue.
+func NewDeviceQueue(w *sim.World, name string) *DeviceQueue {
+	return &DeviceQueue{w: w, name: name, cvID: w.AllocCVID()}
+}
+
+// Push appends an event from driver context (an At callback) and wakes
+// the consuming thread if it is blocked. It must not be called from
+// thread context; threads feeding a queue should use a Buffer.
+func (d *DeviceQueue) Push(item any) {
+	if d.closed {
+		return
+	}
+	d.items = append(d.items, item)
+	d.wakeWaiter()
+}
+
+// CloseDevice closes the queue from driver context.
+func (d *DeviceQueue) CloseDevice() {
+	d.closed = true
+	d.wakeWaiter()
+}
+
+func (d *DeviceQueue) wakeWaiter() {
+	if d.waiter != nil {
+		w := d.waiter
+		d.waiter = nil
+		d.w.WakeIfBlocked(w, nil)
+	}
+}
+
+// Get blocks the calling thread until an event is available; ok=false
+// means the device is closed and drained. Only one thread may consume.
+func (d *DeviceQueue) Get(t *sim.Thread) (any, bool) {
+	for len(d.items) == 0 && !d.closed {
+		if d.waiter != nil && d.waiter != t {
+			panic("paradigm: DeviceQueue has a single consumer")
+		}
+		d.waiter = t
+		d.w.Trace().Record(trace.Event{Time: d.w.Now(), Kind: trace.KindWait, Thread: t.ID(), Arg: d.cvID, Aux: -1})
+		t.Block(sim.BlockCV)
+		d.w.Trace().Record(trace.Event{Time: d.w.Now(), Kind: trace.KindWaitDone, Thread: t.ID(), Arg: d.cvID, Aux: 0})
+	}
+	if len(d.items) == 0 {
+		return nil, false
+	}
+	item := d.items[0]
+	d.items = d.items[1:]
+	return item, true
+}
+
+// TryGet removes an event without blocking.
+func (d *DeviceQueue) TryGet(t *sim.Thread) (any, bool) {
+	if len(d.items) == 0 {
+		return nil, false
+	}
+	item := d.items[0]
+	d.items = d.items[1:]
+	return item, true
+}
+
+// Len returns the number of pending events.
+func (d *DeviceQueue) Len() int { return len(d.items) }

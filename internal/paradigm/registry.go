@@ -1,0 +1,152 @@
+// Package paradigm implements the ten thread-usage paradigms that the
+// paper identifies in Cedar and GVX (§4): defer work, general pumps,
+// slack processes, sleepers, one-shots, deadlock avoiders, task
+// rejuvenation, serializers, encapsulated forks and concurrency
+// exploiters.
+//
+// Each paradigm is provided as a small, documented building block over
+// the sim kernel and monitor package, and every instantiation registers
+// itself with a Registry so that a world's static paradigm census — the
+// paper's Table 4 — can be printed for any program built from these
+// pieces.
+package paradigm
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/stats"
+)
+
+// Kind classifies a thread-usage paradigm (the paper's Table 4 rows).
+type Kind int
+
+// The ten paradigms, plus Unknown for threads that fit no category
+// (Table 4 keeps an "Unknown or other" row too).
+const (
+	KindDeferWork Kind = iota
+	KindGeneralPump
+	KindSlackProcess
+	KindSleeper
+	KindOneShot
+	KindDeadlockAvoid
+	KindTaskRejuvenate
+	KindSerializer
+	KindEncapsulatedFork
+	KindConcurrencyExploit
+	KindUnknown
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	"Defer work",
+	"General pumps",
+	"Slack processes",
+	"Sleepers",
+	"Oneshots",
+	"Deadlock avoidance",
+	"Task rejuvenation",
+	"Serializers",
+	"Encapsulated fork",
+	"Concurrency exploiters",
+	"Unknown or other",
+}
+
+// String returns the paper's Table 4 row label for k.
+func (k Kind) String() string {
+	if k >= 0 && k < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Registry counts paradigm uses as a static census in the paper's sense:
+// what is counted is the distinct *code sites* that use each paradigm,
+// not how many threads they dynamically create — the authors "examined
+// about 650 different code fragments that create threads". Registering
+// the same kind twice from the same source line counts once. A use may be
+// registered under more than one kind ("threads may be counted in more
+// than one category"), e.g. a PeriodicalProcess is both a Sleeper and an
+// EncapsulatedFork. A nil *Registry is valid and counts nothing, so
+// instrumentation can be left in place unconditionally.
+type Registry struct {
+	counts [NumKinds]int
+	sites  map[siteKey]bool
+}
+
+type siteKey struct {
+	kind Kind
+	file string
+	line int
+}
+
+// NewRegistry returns an empty census.
+func NewRegistry() *Registry { return &Registry{sites: make(map[siteKey]bool)} }
+
+// Register records one use of kind k, attributed to the caller's source
+// location. Nil-safe.
+func (r *Registry) Register(k Kind) { r.registerDepth(k, 3) }
+
+// registerInternal attributes the use to the caller of the paradigm
+// function that invoked it (one more frame up).
+func (r *Registry) registerInternal(k Kind) { r.registerDepth(k, 4) }
+
+func (r *Registry) registerDepth(k Kind, depth int) {
+	if r == nil {
+		return
+	}
+	if k < 0 || k >= NumKinds {
+		panic(fmt.Sprintf("paradigm: invalid kind %d", int(k)))
+	}
+	// Key on file:line, not PC: the compiler duplicates inlined closure
+	// bodies, so one source site can have several PCs.
+	_, file, line, ok := runtime.Caller(depth - 1)
+	if !ok {
+		file, line = "?", 0
+	}
+	key := siteKey{kind: k, file: file, line: line}
+	if r.sites[key] {
+		return
+	}
+	if r.sites == nil {
+		r.sites = make(map[siteKey]bool)
+	}
+	r.sites[key] = true
+	r.counts[k]++
+}
+
+// Count returns the number of registered uses of k.
+func (r *Registry) Count(k Kind) int {
+	if r == nil || k < 0 || k >= NumKinds {
+		return 0
+	}
+	return r.counts[k]
+}
+
+// Total returns the number of registered uses across all kinds.
+func (r *Registry) Total() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range r.counts {
+		n += c
+	}
+	return n
+}
+
+// Table renders the census in the shape of the paper's Table 4.
+func (r *Registry) Table(title string) *stats.Table {
+	t := stats.NewTable(title, "Paradigm", "Count", "%")
+	total := r.Total()
+	for k := Kind(0); k < NumKinds; k++ {
+		c := r.Count(k)
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(c) / float64(total)
+		}
+		t.AddRowf("%s", k.String(), "%d", c, "%.0f%%", pct)
+	}
+	t.AddRowf("%s", "TOTAL", "%d", total, "%s", "100%")
+	return t
+}

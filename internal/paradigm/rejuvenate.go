@@ -1,0 +1,78 @@
+package paradigm
+
+import (
+	"repro/internal/sim"
+)
+
+// Service is a task-rejuvenating service (§4.5): when the service thread
+// dies of an uncaught error "an exception handler may simply fork a new
+// copy of the service". The paper calls the paradigm tricky and a bit
+// counter-intuitive ("This thread is in trouble. OK, let's make two of
+// them!") but credits it with real robustness gains — a rejuvenating FORK
+// was added to Cedar's input event dispatcher precisely because unforked
+// callbacks left it vulnerable to client errors.
+type Service struct {
+	name     string
+	restarts int
+	max      int
+	deaths   []error
+	current  *sim.Thread
+}
+
+// StartService spawns body under rejuvenation: if it panics, the dying
+// thread forks a replacement from its exception handler, up to
+// maxRestarts times. onRestart (optional) observes each death. The
+// paradigm can mask underlying design problems, which is why the paper
+// calls for caution — hence the hard restart bound.
+func StartService(w *sim.World, reg *Registry, name string, pri sim.Priority, maxRestarts int, body func(t *sim.Thread), onRestart func(restart int, cause error)) *Service {
+	reg.registerInternal(KindTaskRejuvenate)
+	if pri == 0 {
+		pri = sim.PriorityNormal
+	}
+	s := &Service{name: name, max: maxRestarts}
+	var wrap sim.Proc
+	wrap = func(t *sim.Thread) any {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			if t.Killed() {
+				panic(r) // world teardown, not an application error
+			}
+			err := &sim.PanicError{Thread: name, Value: r}
+			s.deaths = append(s.deaths, err)
+			if s.restarts >= s.max {
+				// Out of lives: die for real, propagating the error.
+				panic(r)
+			}
+			s.restarts++
+			if onRestart != nil {
+				onRestart(s.restarts, err)
+			}
+			// Fork the new copy of the service from the handler of the
+			// dying thread.
+			s.current = t.Fork(name, wrap)
+			s.current.Detach()
+		}()
+		body(t)
+		return nil
+	}
+	s.current = w.Spawn(name, pri, wrap)
+	s.current.Detach()
+	return s
+}
+
+// Restarts returns how many times the service has been rejuvenated.
+func (s *Service) Restarts() int { return s.restarts }
+
+// Deaths returns the errors that killed each incarnation.
+func (s *Service) Deaths() []error { return s.deaths }
+
+// Thread returns the current incarnation's thread.
+func (s *Service) Thread() *sim.Thread { return s.current }
+
+// Alive reports whether the current incarnation is still running.
+func (s *Service) Alive() bool {
+	return s.current != nil && s.current.State() != sim.StateDead
+}

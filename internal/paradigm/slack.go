@@ -1,0 +1,147 @@
+package paradigm
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// WaitStrategy selects how a slack process adds latency between noticing
+// work and forwarding it, hoping more work arrives to merge (§5.2
+// discusses why the choice is so delicate).
+type WaitStrategy int
+
+// The strategies contrasted in §5.2 and §6.3 of the paper.
+const (
+	// SlackNone forwards immediately: a plain pump, no slack at all.
+	SlackNone WaitStrategy = iota
+	// SlackYield does a plain YIELD after waking. When the slack thread
+	// outranks its producer the scheduler chooses the slack thread right
+	// back and no merging happens — the §5.2 bug.
+	SlackYield
+	// SlackYieldButNotToMe cedes the processor to the best other ready
+	// thread until the end of the timeslice — the §5.2 fix, which makes
+	// the scheduling quantum clock the batches (§6.3).
+	SlackYieldButNotToMe
+	// SlackSleep waits a fixed interval before forwarding. With PCR's
+	// 50 ms timeout granularity the smallest real sleep is too long for
+	// snappy echoing; §6.3 notes this would work with a ~20 ms quantum.
+	SlackSleep
+)
+
+var strategyNames = [...]string{"none", "yield", "yield-but-not-to-me", "sleep"}
+
+// String names the strategy.
+func (s WaitStrategy) String() string {
+	if int(s) < len(strategyNames) {
+		return strategyNames[s]
+	}
+	return "invalid"
+}
+
+// SlackConfig parameterizes a slack process.
+type SlackConfig struct {
+	Name     string
+	Priority sim.Priority // 0 means sim.PriorityHigh: the §5.2 buffer thread outranked its producers
+	Strategy WaitStrategy
+	// Slack is the SlackSleep interval (subject to the world's timeout
+	// granularity, like any PCR sleep).
+	Slack vclock.Duration
+	// MaxBatch bounds how many items are gathered per flush; 0 = no bound.
+	MaxBatch int
+	// Merge reduces a gathered batch before forwarding, "either by
+	// merging input or replacing earlier data with later data". Nil
+	// forwards the batch unchanged.
+	Merge func(batch []any) []any
+	// PerItemWork is CPU charged per item gathered.
+	PerItemWork vclock.Duration
+}
+
+// Slack is the §4.2/§5.2 slack process: a pump that deliberately adds
+// latency "in the hope of reducing the total amount of work done",
+// useful when the downstream consumer incurs high per-transaction costs
+// (an X server round trip, in the paper's case).
+type Slack struct {
+	thread  *sim.Thread
+	in      int // items gathered
+	out     int // items forwarded after merging
+	flushes int // downstream transactions
+}
+
+// StartSlack forks the slack-process thread moving items from src to dst
+// until src closes, then closes dst.
+func StartSlack(w *sim.World, reg *Registry, src Source, dst Sink, cfg SlackConfig) *Slack {
+	reg.registerInternal(KindSlackProcess)
+	if cfg.Priority == 0 {
+		cfg.Priority = sim.PriorityHigh
+	}
+	if cfg.Name == "" {
+		cfg.Name = "slack"
+	}
+	s := &Slack{}
+	s.thread = w.Spawn(cfg.Name, cfg.Priority, func(t *sim.Thread) any {
+		for {
+			// Block for the first item of a batch.
+			first, ok := src.Get(t)
+			if !ok {
+				dst.Close(t)
+				return s.flushes
+			}
+			batch := []any{first}
+			t.Compute(cfg.PerItemWork)
+
+			// Add slack so the producer can get ahead of us.
+			switch cfg.Strategy {
+			case SlackYield:
+				t.Yield()
+			case SlackYieldButNotToMe:
+				t.YieldButNotToMe()
+			case SlackSleep:
+				t.Sleep(cfg.Slack)
+			}
+
+			// Gather whatever accumulated.
+			for cfg.MaxBatch <= 0 || len(batch) < cfg.MaxBatch {
+				item, ok := src.TryGet(t)
+				if !ok {
+					break
+				}
+				batch = append(batch, item)
+				t.Compute(cfg.PerItemWork)
+			}
+			s.in += len(batch)
+
+			if cfg.Merge != nil {
+				batch = cfg.Merge(batch)
+			}
+			for _, item := range batch {
+				if !dst.Put(t, item) {
+					return s.flushes
+				}
+			}
+			s.out += len(batch)
+			s.flushes++
+		}
+	})
+	return s
+}
+
+// Thread returns the slack process's thread.
+func (s *Slack) Thread() *sim.Thread { return s.thread }
+
+// In returns the number of items gathered from upstream.
+func (s *Slack) In() int { return s.in }
+
+// Out returns the number of items forwarded downstream after merging.
+func (s *Slack) Out() int { return s.out }
+
+// Flushes returns the number of downstream transactions (batch sends).
+func (s *Slack) Flushes() int { return s.flushes }
+
+// MergeRatio returns In/Out — how many upstream items each forwarded item
+// represents (1.0 means no merging happened).
+func (s *Slack) MergeRatio() float64 {
+	if s.out == 0 {
+		return 0
+	}
+	return float64(s.in) / float64(s.out)
+}

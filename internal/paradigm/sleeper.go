@@ -1,0 +1,151 @@
+package paradigm
+
+import (
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// Sleeper is the §4.3 paradigm: a thread that "repeatedly waits for a
+// triggering event and then executes". The trigger is usually a timeout
+// (cache sweeps, cursor blinks, connection-timeout checks) but can also
+// be an explicit poke (service callbacks queued by the GC or filesystem).
+// Sleepers are why idle Cedar/GVX systems still wait on CVs ~120/30
+// times a second with most waits timing out (Table 2).
+type Sleeper struct {
+	w       *sim.World
+	m       *monitor.Monitor
+	trigger *monitor.Cond
+	thread  *sim.Thread
+	stopped bool
+	pending int // pokes not yet consumed
+	runs    int
+	fires   int // runs caused by a poke rather than a timeout
+}
+
+// StartSleeper forks a sleeper thread that runs fn every period, or
+// sooner when Poke'd. fn runs outside the sleeper's monitor. A period of
+// 0 makes the sleeper purely event-driven.
+func StartSleeper(w *sim.World, reg *Registry, name string, pri sim.Priority, period vclock.Duration, fn func(t *sim.Thread)) *Sleeper {
+	reg.registerInternal(KindSleeper)
+	if pri == 0 {
+		pri = sim.PriorityNormal
+	}
+	s := &Sleeper{w: w}
+	s.m = monitor.New(w, name+".mon")
+	s.trigger = s.m.NewCondTimeout(name+".trigger", period)
+	s.thread = w.Spawn(name, pri, func(t *sim.Thread) any {
+		for {
+			s.m.Enter(t)
+			// The §5.3 law: WAIT in a loop that re-checks the condition.
+			// A timed-out wait is itself a trigger for a periodic sleeper.
+			timedOut := false
+			for s.pending == 0 && !s.stopped && !timedOut {
+				timedOut = s.trigger.Wait(t)
+			}
+			if s.stopped {
+				s.m.Exit(t)
+				return s.runs
+			}
+			poked := s.pending > 0
+			if poked {
+				s.pending--
+			}
+			s.m.Exit(t)
+			s.runs++
+			if poked {
+				s.fires++
+			}
+			fn(t)
+		}
+	})
+	return s
+}
+
+// Poke triggers the sleeper from another thread before its timeout.
+func (s *Sleeper) Poke(t *sim.Thread) {
+	s.m.Enter(t)
+	s.pending++
+	s.trigger.Notify(t)
+	s.m.Exit(t)
+}
+
+// PokeExternal triggers the sleeper from driver context (a device event).
+// A waiting sleeper is notified (its wait counts as notified, not timed
+// out); a mid-cycle sleeper just has the poke recorded for its next
+// check.
+func (s *Sleeper) PokeExternal() {
+	s.pending++
+	s.trigger.NotifyExternal()
+}
+
+// Stop makes the sleeper exit after its current cycle.
+func (s *Sleeper) Stop(t *sim.Thread) {
+	s.m.Enter(t)
+	s.stopped = true
+	s.trigger.Notify(t)
+	s.m.Exit(t)
+}
+
+// Thread returns the sleeper's thread.
+func (s *Sleeper) Thread() *sim.Thread { return s.thread }
+
+// Runs returns how many times the body has executed.
+func (s *Sleeper) Runs() int { return s.runs }
+
+// Fires returns how many runs were poke-driven rather than timeouts.
+func (s *Sleeper) Fires() int { return s.fires }
+
+// PeriodicalProcess encapsulates the timeout-driven sleeper exactly as
+// Cedar's PeriodicalProcess module did (§5.1: sleeper encapsulations
+// that keep "the little bit of state necessary between activations" in a
+// closure instead of a 100-kilobyte thread stack). It counts as both a
+// Sleeper and an EncapsulatedFork in the census.
+func PeriodicalProcess(w *sim.World, reg *Registry, name string, period vclock.Duration, fn func(t *sim.Thread)) *Sleeper {
+	reg.registerInternal(KindEncapsulatedFork)
+	return StartSleeper(w, reg, name, sim.PriorityNormal, period, fn)
+}
+
+// WorkQueue is the callback-servicing sleeper of §4.3: clients enqueue
+// work "removed from time-critical paths in the garbage collector and
+// filesystem", and the client's code is then called from the sleeper.
+type WorkQueue struct {
+	buf     *Buffer
+	sleeper *sim.Thread
+	reg     *Registry
+	served  int
+}
+
+// NewWorkQueue forks the servicing thread.
+func NewWorkQueue(w *sim.World, reg *Registry, name string, pri sim.Priority) *WorkQueue {
+	reg.registerInternal(KindSleeper)
+	if pri == 0 {
+		pri = sim.PriorityNormal
+	}
+	q := &WorkQueue{buf: NewBuffer(w, name+".q", 0), reg: reg}
+	q.sleeper = w.Spawn(name, pri, func(t *sim.Thread) any {
+		for {
+			item, ok := q.buf.Get(t)
+			if !ok {
+				return q.served
+			}
+			item.(func(*sim.Thread))(t)
+			q.served++
+		}
+	})
+	return q
+}
+
+// Add enqueues fn to be called from the servicing thread.
+func (q *WorkQueue) Add(t *sim.Thread, fn func(*sim.Thread)) {
+	q.buf.Put(t, fn)
+}
+
+// Close shuts the queue down after draining.
+func (q *WorkQueue) Close(t *sim.Thread) { q.buf.Close(t) }
+
+// Served returns the number of callbacks run.
+func (q *WorkQueue) Served() int { return q.served }
+
+// Thread returns the servicing thread.
+func (q *WorkQueue) Thread() *sim.Thread { return q.sleeper }

@@ -1,0 +1,74 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// A minimal world: fork a child, join it, observe virtual time.
+func ExampleWorld() {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+
+	w.Spawn("parent", sim.PriorityNormal, func(t *sim.Thread) any {
+		child := t.Fork("child", func(c *sim.Thread) any {
+			c.Compute(30 * vclock.Millisecond)
+			return "result"
+		})
+		v, err := t.Join(child)
+		fmt.Printf("joined %q (err=%v) at %s\n", v, err, t.Now())
+		return nil
+	})
+	outcome := w.Run(vclock.Time(vclock.Second))
+	fmt.Println("outcome:", outcome)
+	// Output:
+	// joined "result" (err=<nil>) at 0.030000s
+	// outcome: quiescent
+}
+
+// Preemption: a higher-priority thread takes the CPU the instant it
+// becomes runnable.
+func ExampleThread_ForkPri() {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+
+	w.Spawn("worker", sim.PriorityNormal, func(t *sim.Thread) any {
+		t.ForkPri("urgent", sim.PriorityHigh, func(c *sim.Thread) any {
+			fmt.Println("urgent first")
+			return nil
+		}).Detach()
+		fmt.Println("worker resumes")
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	// Output:
+	// urgent first
+	// worker resumes
+}
+
+// YieldButNotToMe gives the CPU to a lower-priority thread until the end
+// of the timeslice — the §5.2 primitive.
+func ExampleThread_YieldButNotToMe() {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1, Quantum: 50 * vclock.Millisecond})
+	defer w.Shutdown()
+
+	w.Spawn("background", sim.PriorityLow, func(t *sim.Thread) any {
+		t.Compute(10 * vclock.Millisecond)
+		fmt.Println("background progressed at", t.Now())
+		t.Compute(200 * vclock.Millisecond) // still busy at quantum end
+		return nil
+	})
+	w.Spawn("buffer", sim.PriorityHigh, func(t *sim.Thread) any {
+		t.YieldButNotToMe() // cede to the low thread despite outranking it
+		fmt.Println("buffer back at", t.Now())
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	// The boost ends with the timeslice: the buffer thread resumes at the
+	// 50ms quantum boundary, not when the background thread finishes.
+	// Output:
+	// background progressed at 0.010000s
+	// buffer back at 0.050000s
+}

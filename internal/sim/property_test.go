@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// TestSchedulerChaosProperty throws a random soup of threads at the
+// kernel — computing, sleeping, yielding, forking, joining, changing
+// priority, blocking with timeouts — and checks the invariants that must
+// survive anything:
+//
+//   - the trace clock never runs backwards;
+//   - every fork has at most one exit, and exits never exceed forks;
+//   - every thread that was created eventually exits (the bodies are
+//     finite), i.e. the run quiesces before the horizon;
+//   - with the SystemDaemon enabled, no runnable thread starves forever.
+func TestSchedulerChaosProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%8)
+		var buf trace.Buffer
+		w := NewWorld(Config{Seed: seed, Trace: &buf, SystemDaemon: true})
+		rng := rand.New(rand.NewSource(seed))
+
+		var mkBody func(depth int) Proc
+		mkBody = func(depth int) Proc {
+			ops := 1 + rng.Intn(12)
+			type op struct {
+				kind int
+				d    vclock.Duration
+			}
+			plan := make([]op, ops)
+			for i := range plan {
+				plan[i] = op{kind: rng.Intn(6), d: vclock.Duration(rng.Intn(5000)) * vclock.Microsecond}
+			}
+			pri := Priority(1 + rng.Intn(7))
+			canFork := depth < 2
+			return func(th *Thread) any {
+				for _, o := range plan {
+					switch o.kind {
+					case 0:
+						th.Compute(o.d)
+					case 1:
+						th.Sleep(o.d)
+					case 2:
+						th.Yield()
+					case 3:
+						th.SetPriority(pri)
+					case 4:
+						if canFork {
+							c := th.Fork("child", mkBody(depth+1))
+							if o.d%2 == 0 {
+								th.Join(c)
+							} else {
+								c.Detach()
+							}
+						} else {
+							th.Compute(o.d)
+						}
+					case 5:
+						th.BlockTimed(BlockCV, o.d) // always times out
+					}
+				}
+				return nil
+			}
+		}
+		for i := 0; i < n; i++ {
+			w.Spawn("root", Priority(1+rng.Intn(7)), mkBody(0))
+		}
+		out := w.Run(vclock.Time(10 * vclock.Minute))
+		w.Shutdown()
+
+		// Invariants over the trace.
+		var last vclock.Time
+		forks, exits := 0, 0
+		for _, ev := range buf.Events {
+			if ev.Time < last {
+				return false // clock ran backwards
+			}
+			last = ev.Time
+			switch ev.Kind {
+			case trace.KindFork:
+				forks++
+			case trace.KindExit:
+				exits++
+			}
+			if exits > forks {
+				return false
+			}
+		}
+		// The SystemDaemon itself never exits, so quiescence is not
+		// expected; but every non-daemon thread must have exited by the
+		// (enormous) horizon. Daemon = 1 live thread.
+		if out == OutcomeDeadlock {
+			return false
+		}
+		return forks-exits <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunQueueConservation: a thread is never simultaneously on a CPU and
+// in the run queue, and the number of live threads reported by the world
+// always matches forks minus exits observed in the trace.
+func TestRunQueueConservation(t *testing.T) {
+	var buf trace.Buffer
+	w := NewWorld(Config{Seed: 5, Trace: &buf})
+	defer w.Shutdown()
+	for i := 0; i < 6; i++ {
+		w.Spawn("worker", Priority(1+i%7), func(th *Thread) any {
+			for j := 0; j < 30; j++ {
+				th.Compute(vclock.Duration(1+j%7) * vclock.Millisecond)
+				th.Yield()
+			}
+			return nil
+		})
+	}
+	// Probe the live count against the trace at several instants.
+	for _, at := range []vclock.Duration{10, 50, 200, 800} {
+		at := at
+		w.At(vclock.Time(at*vclock.Millisecond), func() {
+			forks, exits := 0, 0
+			for _, ev := range buf.Events {
+				switch ev.Kind {
+				case trace.KindFork:
+					forks++
+				case trace.KindExit:
+					exits++
+				}
+			}
+			if w.LiveThreads() != forks-exits {
+				t.Errorf("at %v: live=%d but trace says %d-%d=%d", w.Now(), w.LiveThreads(), forks, exits, forks-exits)
+			}
+		})
+	}
+	if out := w.Run(vclock.Time(vclock.Minute)); out != OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+}
+
+// TestMaxLiveNeverExceedsLimit: the §5.4 thread limit is a hard bound.
+func TestMaxLiveNeverExceedsLimit(t *testing.T) {
+	f := func(seed int64, limRaw uint8) bool {
+		limit := 2 + int(limRaw%6)
+		cfg := Config{Seed: seed, MaxThreads: limit, SwitchCost: -1, TimeoutGranularity: 1}
+		var buf trace.Buffer
+		cfg.Trace = &buf
+		w := NewWorld(cfg)
+		defer w.Shutdown()
+		w.Spawn("spawner", PriorityNormal, func(th *Thread) any {
+			for i := 0; i < 20; i++ {
+				c := th.Fork("c", func(c *Thread) any {
+					c.Compute(vclock.Duration(1+i%3) * vclock.Millisecond)
+					return nil
+				})
+				c.Detach()
+			}
+			return nil
+		})
+		w.Run(vclock.Time(vclock.Minute))
+		live, maxLive := 0, 0
+		for _, ev := range buf.Events {
+			switch ev.Kind {
+			case trace.KindFork:
+				live++
+			case trace.KindExit:
+				live--
+			}
+			if live > maxLive {
+				maxLive = live
+			}
+		}
+		return maxLive <= limit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

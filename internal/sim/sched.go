@@ -1,0 +1,266 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// settle brings the scheduler to a fixed point at the current instant:
+// every CPU either is idle with an empty run queue, or runs the thread
+// strict-priority dispatch (as modified by any boost) selects, with that
+// thread's pending compute scheduled as a completion event. Threads whose
+// goroutines have instantaneous work to do are pumped until they park
+// again. The driver calls settle after every event.
+func (w *World) settle() {
+	for {
+		progress := false
+		for _, c := range w.cpus {
+			if w.adjust(c) {
+				progress = true
+			}
+		}
+		pumped := false
+		for _, c := range w.cpus {
+			t := c.current
+			if t != nil && t.state == StateRunning && t.computeLeft == 0 && t.completion == nil {
+				w.pump(t)
+				pumped = true
+				break // re-evaluate dispatch after each pump
+			}
+		}
+		if !pumped && !progress {
+			return
+		}
+	}
+}
+
+// adjust performs at most one dispatch change on c and ensures the
+// resident thread's compute is scheduled. It reports whether it switched.
+func (w *World) adjust(c *cpu) bool {
+	desired := w.pickFor(c)
+	if desired != c.current {
+		w.switchTo(c, desired)
+		return true
+	}
+	t := c.current
+	if t != nil && t.computeLeft > 0 && t.completion == nil {
+		t.grantStart = w.clock
+		tt := t
+		t.completion = w.evq.Schedule(w.clock.Add(t.computeLeft), func() {
+			tt.completion = nil
+			tt.computeLeft = 0
+		})
+	}
+	return false
+}
+
+// pickFor returns the thread c should be running right now: the boost
+// target while a boost is in force, otherwise the current thread unless a
+// strictly higher-priority thread is runnable (PCR preempts only for
+// higher priority between quantum expiries).
+func (w *World) pickFor(c *cpu) *Thread {
+	if c.boost != nil {
+		b := c.boost
+		stale := w.clock >= c.boostEnd ||
+			b.state == StateDead || b.state == StateBlocked ||
+			(b.state == StateRunning && b.cpu != c.index)
+		if stale {
+			c.boost = nil
+		} else {
+			return b
+		}
+	}
+	top := w.topRunnable()
+	cur := c.current
+	if cur != nil {
+		if top != nil && top.pri > cur.pri {
+			return top
+		}
+		return cur
+	}
+	return top
+}
+
+// topRunnable returns the head of the highest non-empty priority queue.
+func (w *World) topRunnable() *Thread {
+	for p := PriorityInterrupt; p >= PriorityMin; p-- {
+		if q := w.runq[p]; len(q) > 0 {
+			return q[0]
+		}
+	}
+	return nil
+}
+
+// switchTo installs `to` (possibly nil, meaning idle) on c, preempting
+// any current thread back to the tail of its run queue. It charges the
+// context-switch cost to the incoming thread and emits the switch trace
+// event that Table 1's "thread switches/sec" column counts.
+func (w *World) switchTo(c *cpu, to *Thread) {
+	from := c.current
+	if from == to {
+		return
+	}
+	fromID := int64(trace.NoThread)
+	if from != nil {
+		fromID = int64(from.id)
+		w.unscheduleCompute(from)
+		from.state = StateRunnable
+		from.cpu = -1
+		w.runq[from.pri] = append(w.runq[from.pri], from)
+	}
+	c.current = to
+	if to == nil {
+		if c.quantumEv != nil {
+			w.evq.Cancel(c.quantumEv)
+			c.quantumEv = nil
+		}
+		w.record(trace.Event{Time: w.clock, Kind: trace.KindSwitch, Thread: trace.NoThread, Arg: fromID, Aux: int64(c.index)})
+		return
+	}
+	w.removeFromRunq(to)
+	to.state = StateRunning
+	to.cpu = c.index
+	// A boost continues the current timeslice ("the end of a timeslice
+	// ends the effect of a YieldButNotToMe", §6.3); a normal dispatch
+	// starts a fresh quantum.
+	if !(c.boost == to && c.quantumEv != nil) {
+		if c.quantumEv != nil {
+			w.evq.Cancel(c.quantumEv)
+		}
+		c.quantumEnd = w.clock.Add(w.cfg.Quantum)
+		cc := c
+		c.quantumEv = w.evq.Schedule(c.quantumEnd, func() { w.quantumExpire(cc) })
+	}
+	if w.cfg.SwitchCost > 0 {
+		to.computeLeft += w.cfg.SwitchCost
+	}
+	w.record(trace.Event{Time: w.clock, Kind: trace.KindSwitch, Thread: to.id, Arg: fromID, Aux: int64(c.index)})
+}
+
+// unscheduleCompute cancels t's pending completion event and banks the
+// virtual CPU it has consumed so far.
+func (w *World) unscheduleCompute(t *Thread) {
+	if t.completion == nil {
+		return
+	}
+	w.evq.Cancel(t.completion)
+	t.completion = nil
+	consumed := w.clock.Sub(t.grantStart)
+	t.computeLeft -= consumed
+	if t.computeLeft < 0 {
+		panic(fmt.Sprintf("sim: thread %s over-consumed its grant by %v", t.name, -t.computeLeft))
+	}
+}
+
+// quantumExpire implements end-of-timeslice: any boost ends, and the CPU
+// round-robins to another thread of equal or higher priority if one is
+// ready; otherwise the current thread continues with a fresh quantum.
+func (w *World) quantumExpire(c *cpu) {
+	c.quantumEv = nil
+	c.boost = nil
+	t := c.current
+	if t == nil {
+		return
+	}
+	top := w.topRunnable()
+	if top != nil && top.pri >= t.pri {
+		w.switchTo(c, top)
+		return
+	}
+	c.quantumEnd = w.clock.Add(w.cfg.Quantum)
+	cc := c
+	c.quantumEv = w.evq.Schedule(c.quantumEnd, func() { w.quantumExpire(cc) })
+}
+
+// pump resumes t's goroutine, waits for it to park again, and applies the
+// state transition it requested.
+func (w *World) pump(t *Thread) {
+	t.resume <- struct{}{}
+	parked := <-w.yield
+	if parked != t {
+		panic(fmt.Sprintf("sim: pumped %s but %s parked", t.name, parked.name))
+	}
+	w.afterPark(t)
+}
+
+// afterPark applies the effect of whatever sim call made t park.
+func (w *World) afterPark(t *Thread) {
+	req := t.yieldReq
+	t.yieldReq = yieldNone
+	target := t.yieldTarget
+	t.yieldTarget = nil
+	slice := t.yieldSlice
+	t.yieldSlice = 0
+
+	var c *cpu
+	if t.cpu >= 0 {
+		c = w.cpus[t.cpu]
+	}
+
+	switch {
+	case t.state == StateDead || t.state == StateBlocked:
+		if c != nil && c.current == t {
+			c.current = nil
+			t.cpu = -1
+			if c.quantumEv != nil {
+				w.evq.Cancel(c.quantumEv)
+				c.quantumEv = nil
+			}
+			// Mark the CPU idle so interval accounting sees the end of
+			// this thread's execution interval; a successor dispatched
+			// at the same instant appears as a separate switch-in.
+			w.record(trace.Event{Time: w.clock, Kind: trace.KindSwitch, Thread: trace.NoThread, Arg: int64(t.id), Aux: int64(c.index)})
+		}
+
+	case req == yieldPlain || req == yieldButNotToMe || req == yieldDirected:
+		if c == nil || c.current != t {
+			panic(fmt.Sprintf("sim: yield from off-CPU thread %s", t.name))
+		}
+		switch req {
+		case yieldButNotToMe:
+			other := w.topRunnable()
+			if other == nil {
+				return // no other ready thread: caller keeps the CPU
+			}
+			c.boost = other
+			c.boostEnd = c.quantumEnd
+		case yieldDirected:
+			if target != nil && target.state == StateRunnable {
+				c.boost = target
+				end := c.quantumEnd
+				if slice > 0 {
+					if e := w.clock.Add(slice); e < end {
+						end = e
+						// Force a dispatch pass when the donated slice
+						// ends; the quantum event is too late.
+						cc := c
+						w.evq.Schedule(end, func() {
+							if cc.boost == target && w.clock >= cc.boostEnd {
+								cc.boost = nil
+							}
+						})
+					}
+				}
+				c.boostEnd = end
+			}
+			// An unrunnable target degrades to a plain yield.
+		}
+		// Vacate: back of our priority's queue; the timeslice keeps
+		// running so a boost lasts only until quantum end.
+		w.unscheduleCompute(t)
+		t.state = StateRunnable
+		t.cpu = -1
+		c.current = nil
+		w.runq[t.pri] = append(w.runq[t.pri], t)
+
+	case req == yieldPoll:
+		// Scheduler poll (Fork, SetPriority): adjust() decides.
+
+	case t.computeLeft > 0:
+		// Compute request: adjust() schedules the completion.
+
+	default:
+		panic(fmt.Sprintf("sim: thread %s parked for no reason (state %v)", t.name, t.state))
+	}
+}

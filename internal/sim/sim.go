@@ -1,0 +1,187 @@
+// Package sim is a deterministic discrete-event simulator of the PCR
+// (Portable Common Runtime) thread system described in "Using Threads in
+// Interactive Systems: A Case Study" (Hauser et al., SOSP '93).
+//
+// It provides the thread model of §2 of the paper: multiple lightweight,
+// pre-emptively scheduled threads sharing an address space, FORK/JOIN/
+// DETACH, seven strict priorities with round-robin within a priority, a
+// 50 ms default scheduling quantum, preemption when a higher-priority
+// thread becomes runnable, YIELD, the paper's YieldButNotToMe and directed
+// yield, and the high-priority SystemDaemon that donates random timeslices
+// to overcome stable priority inversions (§6.2).
+//
+// Simulated threads are goroutines, but exactly one goroutine — a thread
+// or the driver loop — runs at a time, enforced by unbuffered channel
+// handoff. All time is virtual (package vclock), so every run is exactly
+// reproducible and the instrumentation has true microsecond resolution,
+// like the instrumented PCR the paper's authors built.
+//
+// A thread's body interacts with the world only through its *Thread
+// handle: Compute consumes virtual CPU, Sleep blocks for virtual time,
+// Fork/Join create and reap children, and package monitor supplies Mesa
+// monitors and condition variables on top of the Block/Wake primitives.
+// Bodies must reach a sim call on every code path of every loop;
+// a body that spins without one would hang the (real) driver.
+package sim
+
+import (
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Priority is a PCR thread priority. There are 7 priorities; higher values
+// run first. The default is the middle priority, 4. By convention (paper
+// §2, §3) lower priorities are used for long-running background work and
+// higher priorities for device- and UI-related threads.
+type Priority int
+
+// The priority levels of PCR, as used by Cedar and GVX.
+const (
+	PriorityMin        Priority = 1
+	PriorityBackground Priority = 2
+	PriorityLow        Priority = 3
+	PriorityNormal     Priority = 4 // the default
+	PriorityHigh       Priority = 5
+	PriorityDaemon     Priority = 6 // SystemDaemon, GC daemon
+	PriorityInterrupt  Priority = 7
+	NumPriorities               = 7
+)
+
+func (p Priority) valid() bool { return p >= PriorityMin && p <= PriorityInterrupt }
+
+// State is a thread's lifecycle state.
+type State int
+
+// Thread states.
+const (
+	StateNew State = iota
+	StateRunnable
+	StateRunning
+	StateBlocked
+	StateDead
+)
+
+var stateNames = [...]string{"new", "runnable", "running", "blocked", "dead"}
+
+// String returns the lowercase name of s.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "invalid"
+}
+
+// Proc is a thread body. Its return value is delivered to JOIN. The
+// thread handle gives the body access to all thread operations.
+type Proc func(t *Thread) any
+
+// Config parameterizes a World. The zero value is usable; Defaults fills
+// in the paper's PCR operating point.
+type Config struct {
+	// CPUs is the number of simulated processors. Default 1: the paper
+	// emphasizes the uniprocessor heritage of Cedar and GVX.
+	CPUs int
+
+	// Quantum is the scheduling timeslice. PCR's was 50 ms, a value §6.3
+	// shows is "not to be taken lightly".
+	Quantum vclock.Duration
+
+	// SwitchCost is charged each time a CPU switches between different
+	// threads ("less than 50 microseconds ... on a SPARCstation-2").
+	// Zero selects the 50 µs default; a negative value disables the
+	// charge entirely (useful in tests that assert exact timings).
+	SwitchCost vclock.Duration
+
+	// TimeoutGranularity rounds up CV timeouts and sleeps, modeling the
+	// 50 ms CV-timeout granularity of PCR.
+	TimeoutGranularity vclock.Duration
+
+	// MaxThreads, when positive, bounds the number of live threads. A
+	// FORK past the bound waits for resources, the "more recent"
+	// behavior of §5.4 (earlier PCRs raised an error instead).
+	MaxThreads int
+
+	// Trace receives every thread event. Nil means discard.
+	Trace trace.Sink
+
+	// Seed seeds the world's deterministic RNG (SystemDaemon victim
+	// choice and workload jitter).
+	Seed int64
+
+	// SystemDaemon enables the priority-6 sleeper that "regularly wakes
+	// up and donates, using a directed yield, a small timeslice to
+	// another thread chosen at random" (§6.2).
+	SystemDaemon bool
+
+	// SystemDaemonPeriod is how often the daemon wakes. Default 100 ms.
+	SystemDaemonPeriod vclock.Duration
+
+	// SystemDaemonSlice is the donated timeslice. Default 5 ms.
+	SystemDaemonSlice vclock.Duration
+}
+
+// Defaults returns cfg with unset fields replaced by the paper's PCR
+// operating point.
+func (cfg Config) Defaults() Config {
+	if cfg.CPUs <= 0 {
+		cfg.CPUs = 1
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 50 * vclock.Millisecond
+	}
+	if cfg.SwitchCost < 0 {
+		cfg.SwitchCost = 0
+	} else if cfg.SwitchCost == 0 {
+		cfg.SwitchCost = 50 * vclock.Microsecond
+	}
+	if cfg.TimeoutGranularity <= 0 {
+		cfg.TimeoutGranularity = 50 * vclock.Millisecond
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = trace.Discard
+	}
+	if cfg.SystemDaemonPeriod <= 0 {
+		cfg.SystemDaemonPeriod = 100 * vclock.Millisecond
+	}
+	if cfg.SystemDaemonSlice <= 0 {
+		cfg.SystemDaemonSlice = 5 * vclock.Millisecond
+	}
+	return cfg
+}
+
+// Block reasons, re-exported from package trace for callers of Block and
+// BlockTimed.
+const (
+	BlockMutex = trace.BlockMutex
+	BlockCV    = trace.BlockCV
+	BlockJoin  = trace.BlockJoin
+	BlockSleep = trace.BlockSleep
+	BlockFork  = trace.BlockFork
+)
+
+// Outcome says why Run returned.
+type Outcome int
+
+// Run outcomes.
+const (
+	// OutcomeHorizon: the time horizon was reached with activity pending.
+	OutcomeHorizon Outcome = iota
+	// OutcomeQuiescent: no events and no runnable threads remain, and no
+	// thread is blocked (every thread exited).
+	OutcomeQuiescent
+	// OutcomeDeadlock: no events and no runnable threads remain but
+	// blocked threads exist — they can never be woken.
+	OutcomeDeadlock
+	// OutcomeStopped: Stop was called.
+	OutcomeStopped
+)
+
+var outcomeNames = [...]string{"horizon", "quiescent", "deadlock", "stopped"}
+
+// String returns the lowercase name of o.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return "invalid"
+}

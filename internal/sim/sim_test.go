@@ -1,0 +1,694 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// testConfig returns a config with zero switch cost and 1 µs timeout
+// granularity so tests can assert exact virtual timings.
+func testConfig() Config {
+	return Config{SwitchCost: -1, TimeoutGranularity: 1}
+}
+
+func TestSingleThreadCompute(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var finished vclock.Time
+	w.Spawn("worker", PriorityNormal, func(th *Thread) any {
+		th.Compute(10 * vclock.Millisecond)
+		finished = th.Now()
+		return nil
+	})
+	out := w.Run(vclock.Time(vclock.Second))
+	if out != OutcomeQuiescent {
+		t.Fatalf("outcome = %v, want quiescent", out)
+	}
+	if finished != vclock.Time(10*vclock.Millisecond) {
+		t.Fatalf("finished at %v, want 10ms", finished)
+	}
+	if w.LiveThreads() != 0 {
+		t.Fatalf("live threads = %d, want 0", w.LiveThreads())
+	}
+}
+
+func TestForkJoinResult(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var got any
+	var gotErr error
+	w.Spawn("parent", PriorityNormal, func(th *Thread) any {
+		child := th.Fork("child", func(c *Thread) any {
+			c.Compute(vclock.Millisecond)
+			return 42
+		})
+		got, gotErr = th.Join(child)
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if gotErr != nil || got != 42 {
+		t.Fatalf("Join = (%v, %v), want (42, nil)", got, gotErr)
+	}
+}
+
+func TestJoinAlreadyDead(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var got any
+	w.Spawn("parent", PriorityNormal, func(th *Thread) any {
+		child := th.Fork("child", func(c *Thread) any { return "done" })
+		th.Compute(10 * vclock.Millisecond) // child exits long before join
+		got, _ = th.Join(child)
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if got != "done" {
+		t.Fatalf("Join after child death = %v, want done", got)
+	}
+}
+
+func TestDoubleJoinPanics(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var err error
+	w.Spawn("parent", PriorityNormal, func(th *Thread) any {
+		child := th.Fork("child", func(c *Thread) any { return nil })
+		th.Join(child)
+		th.Join(child) // must panic -> PanicError on this thread
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	for _, th := range w.Threads() {
+		if th.Name() == "parent" {
+			err = th.Err()
+		}
+	}
+	if err == nil || !strings.Contains(err.Error(), "joined twice") {
+		t.Fatalf("double join error = %v", err)
+	}
+}
+
+func TestJoinDetachedPanics(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	w.Spawn("parent", PriorityNormal, func(th *Thread) any {
+		child := th.Fork("child", func(c *Thread) any { return nil })
+		child.Detach()
+		th.Join(child)
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	parent := w.Threads()[0]
+	if parent.Err() == nil || !strings.Contains(parent.Err().Error(), "detached") {
+		t.Fatalf("join-detached error = %v", parent.Err())
+	}
+}
+
+func TestPanicBecomesError(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var joinErr error
+	w.Spawn("parent", PriorityNormal, func(th *Thread) any {
+		child := th.Fork("child", func(c *Thread) any {
+			panic("boom")
+		})
+		_, joinErr = th.Join(child)
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	pe, ok := joinErr.(*PanicError)
+	if !ok {
+		t.Fatalf("join error = %v (%T), want *PanicError", joinErr, joinErr)
+	}
+	if pe.Value != "boom" || pe.Thread != "child" {
+		t.Fatalf("PanicError = %+v", pe)
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var order []string
+	w.Spawn("low", PriorityLow, func(th *Thread) any {
+		th.Compute(100 * vclock.Millisecond)
+		order = append(order, "low@"+th.Now().String())
+		return nil
+	})
+	// A high-priority thread arriving mid-compute must preempt low
+	// immediately and finish first.
+	w.At(vclock.Time(10*vclock.Millisecond), func() {
+		w.Spawn("high", PriorityHigh, func(th *Thread) any {
+			th.Compute(5 * vclock.Millisecond)
+			order = append(order, "high@"+th.Now().String())
+			return nil
+		})
+	})
+	w.Run(vclock.Time(vclock.Second))
+	want := []string{"high@0.015000s", "low@0.105000s"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestRoundRobinAtQuantum(t *testing.T) {
+	cfg := testConfig()
+	cfg.Quantum = 50 * vclock.Millisecond
+	var buf trace.Buffer
+	cfg.Trace = &buf
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+	for _, name := range []string{"a", "b"} {
+		w.Spawn(name, PriorityNormal, func(th *Thread) any {
+			th.Compute(100 * vclock.Millisecond)
+			return nil
+		})
+	}
+	w.Run(vclock.Time(vclock.Second))
+	// a runs [0,50), b [50,100), a [100,150), b [150,200). Both finish
+	// their compute exactly at a quantum boundary, are preempted, and are
+	// re-dispatched at 200ms to run their (instantaneous) exits — so the
+	// trace shows switch-ins at 0, 50, 100, 150 and two at 200.
+	var switches []vclock.Time
+	for _, ev := range buf.Events {
+		if ev.Kind == trace.KindSwitch && ev.Thread != trace.NoThread {
+			switches = append(switches, ev.Time)
+		}
+	}
+	ms := func(n int64) vclock.Time { return vclock.Time(vclock.Duration(n) * vclock.Millisecond) }
+	want := []vclock.Time{ms(0), ms(50), ms(100), ms(150), ms(200), ms(200)}
+	if !reflect.DeepEqual(switches, want) {
+		t.Fatalf("switch times = %v, want %v", switches, want)
+	}
+	if w.Now() != vclock.Time(200*vclock.Millisecond) {
+		t.Fatalf("end time = %v, want 200ms", w.Now())
+	}
+}
+
+func TestQuantumNotResetWhenAlone(t *testing.T) {
+	// A lone thread keeps running across quantum expiries with no
+	// spurious switch events.
+	cfg := testConfig()
+	var buf trace.Buffer
+	cfg.Trace = &buf
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+	w.Spawn("solo", PriorityNormal, func(th *Thread) any {
+		th.Compute(500 * vclock.Millisecond)
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	n := 0
+	for _, ev := range buf.Events {
+		if ev.Kind == trace.KindSwitch {
+			n++
+		}
+	}
+	if n != 2 { // switch-in at 0, switch-to-idle at exit
+		t.Fatalf("switch events = %d, want 2", n)
+	}
+}
+
+func TestYieldRoundRobins(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var order []string
+	mk := func(name string) {
+		w.Spawn(name, PriorityNormal, func(th *Thread) any {
+			for i := 0; i < 3; i++ {
+				order = append(order, name)
+				th.Yield()
+			}
+			return nil
+		})
+	}
+	mk("a")
+	mk("b")
+	w.Run(vclock.Time(vclock.Second))
+	want := []string{"a", "b", "a", "b", "a", "b"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestYieldAloneIsImmediate(t *testing.T) {
+	// §5.2: a high-priority thread that YIELDs while it is the only
+	// ready thread at its level gets rescheduled immediately.
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var reran vclock.Time
+	w.Spawn("buffer", PriorityHigh, func(th *Thread) any {
+		th.Yield()
+		reran = th.Now()
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if reran != 0 {
+		t.Fatalf("rescheduled at %v, want 0 (immediate)", reran)
+	}
+}
+
+func TestYieldButNotToMeRunsLowerPriority(t *testing.T) {
+	// The §5.2 fix: the high-priority buffer thread cedes the CPU to a
+	// lower-priority image thread until the end of the timeslice.
+	cfg := testConfig()
+	cfg.Quantum = 50 * vclock.Millisecond
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+	var imageRan vclock.Time
+	var bufferBack vclock.Time
+	w.Spawn("image", PriorityLow, func(th *Thread) any {
+		th.Compute(10 * vclock.Millisecond)
+		imageRan = th.Now()
+		th.Compute(200 * vclock.Millisecond)
+		return nil
+	})
+	w.Spawn("buffer", PriorityHigh, func(th *Thread) any {
+		th.Compute(vclock.Millisecond)
+		th.YieldButNotToMe()
+		bufferBack = th.Now()
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	// buffer runs [0,1ms), YBNTM boosts image despite lower priority;
+	// image runs from 1ms; the boost ends at the buffer's quantum end
+	// (50ms), when strict priority resumes and buffer preempts image.
+	if imageRan != vclock.Time(11*vclock.Millisecond) {
+		t.Fatalf("image first ran to completion at %v, want 11ms", imageRan)
+	}
+	if bufferBack != vclock.Time(50*vclock.Millisecond) {
+		t.Fatalf("buffer resumed at %v, want 50ms (quantum end)", bufferBack)
+	}
+}
+
+func TestYieldButNotToMeNoOtherThread(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var resumed vclock.Time
+	w.Spawn("only", PriorityNormal, func(th *Thread) any {
+		th.YieldButNotToMe()
+		resumed = th.Now()
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if resumed != 0 {
+		t.Fatalf("resumed at %v, want 0", resumed)
+	}
+}
+
+func TestDirectedYield(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var order []string
+	var lo *Thread
+	lo = w.Spawn("lo", PriorityLow, func(th *Thread) any {
+		th.Compute(vclock.Millisecond)
+		order = append(order, "lo")
+		return nil
+	})
+	w.Spawn("mid1", PriorityNormal, func(th *Thread) any {
+		th.DirectedYield(lo) // donate to lo, skipping mid2
+		order = append(order, "mid1")
+		return nil
+	})
+	w.Spawn("mid2", PriorityNormal, func(th *Thread) any {
+		th.Compute(vclock.Millisecond)
+		order = append(order, "mid2")
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	// mid1 donates to lo; lo finishes within the boost; then strict
+	// priority resumes with mid1 and mid2 (round robin: mid2 was queued
+	// before mid1 re-queued itself).
+	want := []string{"lo", "mid2", "mid1"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestSleepRoundsToGranularity(t *testing.T) {
+	cfg := Config{SwitchCost: -1, TimeoutGranularity: 50 * vclock.Millisecond}
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+	var woke vclock.Time
+	w.Spawn("sleeper", PriorityNormal, func(th *Thread) any {
+		th.Sleep(vclock.Millisecond) // rounds up to 50ms
+		woke = th.Now()
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if woke != vclock.Time(50*vclock.Millisecond) {
+		t.Fatalf("woke at %v, want 50ms (granularity rounding)", woke)
+	}
+}
+
+func TestBlockTimedTimeoutAndWake(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var timedOut1, timedOut2 bool
+	t1 := w.Spawn("waiter1", PriorityNormal, func(th *Thread) any {
+		timedOut1 = th.BlockTimed(BlockCV, 10*vclock.Millisecond)
+		return nil
+	})
+	w.Spawn("waiter2", PriorityNormal, func(th *Thread) any {
+		timedOut2 = th.BlockTimed(BlockCV, 100*vclock.Millisecond)
+		return nil
+	})
+	_ = t1
+	w.At(vclock.Time(20*vclock.Millisecond), func() {
+		// waiter2 is still blocked; wake it before its timeout.
+		for _, th := range w.Threads() {
+			if th.Name() == "waiter2" {
+				if !w.WakeIfBlocked(th, nil) {
+					t.Error("waiter2 was not blocked")
+				}
+			}
+		}
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if !timedOut1 {
+		t.Error("waiter1 should have timed out")
+	}
+	if timedOut2 {
+		t.Error("waiter2 should have been woken, not timed out")
+	}
+}
+
+func TestWakeIfBlockedOnRunnable(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	th := w.Spawn("t", PriorityNormal, func(th *Thread) any {
+		th.Compute(10 * vclock.Millisecond)
+		return nil
+	})
+	w.At(vclock.Time(vclock.Millisecond), func() {
+		if w.WakeIfBlocked(th, nil) {
+			t.Error("WakeIfBlocked succeeded on a running thread")
+		}
+	})
+	w.Run(vclock.Time(vclock.Second))
+}
+
+func TestMaxThreadsForkWaits(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxThreads = 2
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+	var forkedAt vclock.Time
+	w.Spawn("parent", PriorityNormal, func(th *Thread) any {
+		c1 := th.Fork("c1", func(c *Thread) any {
+			c.Compute(30 * vclock.Millisecond)
+			return nil
+		})
+		c1.Detach()
+		// Limit reached (parent + c1): this fork must wait until c1
+		// exits — the unexplained delay of §5.4.
+		c2 := th.Fork("c2", func(c *Thread) any { return nil })
+		forkedAt = th.Now()
+		th.Join(c2)
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if forkedAt != vclock.Time(30*vclock.Millisecond) {
+		t.Fatalf("second fork completed at %v, want 30ms (after c1 exit)", forkedAt)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	w.Spawn("stuck", PriorityNormal, func(th *Thread) any {
+		th.Block(BlockMutex) // nobody will ever wake it
+		return nil
+	})
+	out := w.Run(vclock.Time(vclock.Second))
+	if out != OutcomeDeadlock {
+		t.Fatalf("outcome = %v, want deadlock", out)
+	}
+	if len(w.Deadlocked()) != 1 || w.Deadlocked()[0].Name() != "stuck" {
+		t.Fatalf("deadlocked = %v", w.Deadlocked())
+	}
+}
+
+func TestHorizonAndResume(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var done vclock.Time
+	w.Spawn("worker", PriorityNormal, func(th *Thread) any {
+		th.Compute(100 * vclock.Millisecond)
+		done = th.Now()
+		return nil
+	})
+	if out := w.Run(vclock.Time(30 * vclock.Millisecond)); out != OutcomeHorizon {
+		t.Fatalf("first run outcome = %v", out)
+	}
+	if w.Now() != vclock.Time(30*vclock.Millisecond) {
+		t.Fatalf("clock = %v, want 30ms", w.Now())
+	}
+	if done != 0 {
+		t.Fatal("worker finished early")
+	}
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeQuiescent {
+		t.Fatalf("second run outcome = %v", out)
+	}
+	if done != vclock.Time(100*vclock.Millisecond) {
+		t.Fatalf("done = %v, want 100ms", done)
+	}
+}
+
+func TestStop(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	w.Spawn("spinner", PriorityNormal, func(th *Thread) any {
+		for {
+			th.Compute(vclock.Millisecond)
+		}
+	})
+	w.At(vclock.Time(10*vclock.Millisecond), w.Stop)
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeStopped {
+		t.Fatalf("outcome = %v, want stopped", out)
+	}
+	if w.Now() != vclock.Time(10*vclock.Millisecond) {
+		t.Fatalf("stopped at %v", w.Now())
+	}
+}
+
+func TestMultiprocessorParallelism(t *testing.T) {
+	cfg := testConfig()
+	cfg.CPUs = 2
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+	for _, n := range []string{"a", "b"} {
+		w.Spawn(n, PriorityNormal, func(th *Thread) any {
+			th.Compute(100 * vclock.Millisecond)
+			return nil
+		})
+	}
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if w.Now() != vclock.Time(100*vclock.Millisecond) {
+		t.Fatalf("2 CPUs finished at %v, want 100ms (parallel)", w.Now())
+	}
+}
+
+func TestSystemDaemonBreaksStarvation(t *testing.T) {
+	// A middle-priority CPU hog starves a low-priority thread under
+	// strict priority. With the SystemDaemon donating random slices, the
+	// low thread makes progress (§6.2).
+	run := func(daemon bool) bool {
+		cfg := testConfig()
+		cfg.SystemDaemon = daemon
+		cfg.Seed = 7
+		w := NewWorld(cfg)
+		defer w.Shutdown()
+		lowRan := false
+		w.Spawn("hog", PriorityNormal, func(th *Thread) any {
+			for {
+				th.Compute(10 * vclock.Millisecond)
+			}
+		})
+		w.Spawn("low", PriorityLow, func(th *Thread) any {
+			th.Compute(vclock.Millisecond)
+			lowRan = true
+			return nil
+		})
+		w.Run(vclock.Time(5 * vclock.Second))
+		return lowRan
+	}
+	if run(false) {
+		t.Fatal("low-priority thread ran without the SystemDaemon under a CPU hog")
+	}
+	if !run(true) {
+		t.Fatal("SystemDaemon failed to give the low-priority thread CPU")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	capture := func() []trace.Event {
+		var buf trace.Buffer
+		cfg := Config{Seed: 42, Trace: &buf, SystemDaemon: true}
+		w := NewWorld(cfg)
+		defer w.Shutdown()
+		for i := 0; i < 5; i++ {
+			w.Spawn("worker", PriorityNormal, func(th *Thread) any {
+				for j := 0; j < 20; j++ {
+					th.Compute(vclock.Duration(1+j) * vclock.Millisecond)
+					th.Yield()
+				}
+				return nil
+			})
+		}
+		w.Spawn("sleeper", PriorityLow, func(th *Thread) any {
+			for k := 0; k < 10; k++ {
+				th.Sleep(30 * vclock.Millisecond)
+			}
+			return nil
+		})
+		w.Run(vclock.Time(2 * vclock.Second))
+		return buf.Events
+	}
+	a, b := capture(), capture()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identically seeded runs diverged: %d vs %d events", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("no events captured")
+	}
+}
+
+func TestSwitchCostCharged(t *testing.T) {
+	cfg := Config{SwitchCost: 50 * vclock.Microsecond, TimeoutGranularity: 1}
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+	var done vclock.Time
+	w.Spawn("worker", PriorityNormal, func(th *Thread) any {
+		th.Compute(vclock.Millisecond)
+		done = th.Now()
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	// 50µs switch-in cost + 1ms compute.
+	if done != vclock.Time(1050*vclock.Microsecond) {
+		t.Fatalf("done = %v, want 1.05ms", done)
+	}
+}
+
+func TestForkGenerations(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var gens []int
+	w.Spawn("root", PriorityNormal, func(th *Thread) any {
+		gens = append(gens, th.Generation())
+		c := th.Fork("gen1", func(c1 *Thread) any {
+			gens = append(gens, c1.Generation())
+			g2 := c1.Fork("gen2", func(c2 *Thread) any {
+				gens = append(gens, c2.Generation())
+				return nil
+			})
+			c1.Join(g2)
+			return nil
+		})
+		th.Join(c)
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if !reflect.DeepEqual(gens, []int{0, 1, 2}) {
+		t.Fatalf("generations = %v, want [0 1 2]", gens)
+	}
+}
+
+func TestHigherPriorityChildPreemptsParent(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var order []string
+	w.Spawn("parent", PriorityNormal, func(th *Thread) any {
+		th.ForkPri("hi-child", PriorityHigh, func(c *Thread) any {
+			c.Compute(vclock.Millisecond)
+			order = append(order, "child")
+			return nil
+		}).Detach()
+		order = append(order, "parent")
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if !reflect.DeepEqual(order, []string{"child", "parent"}) {
+		t.Fatalf("order = %v, want child first", order)
+	}
+}
+
+func TestEveryCallback(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var ticks []vclock.Time
+	w.Every(10*vclock.Millisecond, func() {
+		ticks = append(ticks, w.Now())
+		if len(ticks) == 3 {
+			w.Stop()
+		}
+	})
+	w.Run(vclock.Time(vclock.Second))
+	want := []vclock.Time{
+		vclock.Time(10 * vclock.Millisecond),
+		vclock.Time(20 * vclock.Millisecond),
+		vclock.Time(30 * vclock.Millisecond),
+	}
+	if !reflect.DeepEqual(ticks, want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+}
+
+func TestSetPriorityPreemptsSelf(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	var order []string
+	w.Spawn("self-demoter", PriorityHigh, func(th *Thread) any {
+		th.Compute(vclock.Millisecond)
+		th.SetPriority(PriorityLow) // other thread should now run first
+		order = append(order, "demoted")
+		return nil
+	})
+	w.Spawn("other", PriorityNormal, func(th *Thread) any {
+		th.Compute(vclock.Millisecond)
+		order = append(order, "other")
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if !reflect.DeepEqual(order, []string{"other", "demoted"}) {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestOutcomeAndStateStrings(t *testing.T) {
+	if OutcomeDeadlock.String() != "deadlock" || OutcomeQuiescent.String() != "quiescent" {
+		t.Fatal("outcome names wrong")
+	}
+	if StateRunnable.String() != "runnable" || StateDead.String() != "dead" {
+		t.Fatal("state names wrong")
+	}
+	if State(99).String() != "invalid" || Outcome(99).String() != "invalid" {
+		t.Fatal("out-of-range names wrong")
+	}
+}
+
+func TestSpawnInvalidPriorityPanics(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid priority")
+		}
+	}()
+	w.Spawn("bad", Priority(9), func(th *Thread) any { return nil })
+}

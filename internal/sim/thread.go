@@ -1,0 +1,424 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// killSignal is panicked into a thread goroutine by Shutdown.
+type killSignalT struct{}
+
+var killSignal any = killSignalT{}
+
+// PanicError wraps a panic value recovered from a thread body, the
+// simulator's equivalent of Mesa's "uncaught errors" that motivate the
+// task-rejuvenation paradigm (§4.5).
+type PanicError struct {
+	Thread string
+	Value  any
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sim: thread %q died of uncaught error: %v", e.Thread, e.Value)
+}
+
+// yieldKind describes a pending reschedule request set by a thread before
+// it parks.
+type yieldKind int
+
+const (
+	yieldNone yieldKind = iota
+	yieldPlain
+	yieldButNotToMe
+	yieldDirected
+	yieldPoll // re-evaluate scheduling only (SetPriority)
+)
+
+// Thread is one simulated PCR thread. All methods except the accessors
+// must be called from the thread's own body (thread context). The zero
+// value is not usable; threads are created by World.Spawn and
+// Thread.Fork.
+type Thread struct {
+	w     *World
+	id    int32
+	name  string
+	pri   Priority
+	state State
+	gen   int // fork generation: 0 for spawned roots
+
+	cpu int // index of the CPU running this thread, or -1
+
+	// Virtual CPU demand. When positive, a completion event is scheduled
+	// while the thread occupies a CPU.
+	computeLeft vclock.Duration
+	grantStart  vclock.Time
+	completion  *eventq.Event
+
+	// Pending reschedule request, consumed by the driver at park.
+	yieldReq    yieldKind
+	yieldTarget *Thread
+	yieldSlice  vclock.Duration // cap for DirectedYieldFor; 0 = rest of slice
+
+	blockReason int
+	wakeTimer   *eventq.Event
+	timedOut    bool
+
+	// fork/join linkage
+	detached bool
+	joined   bool
+	joiner   *Thread
+	finished bool
+	result   any
+	err      error
+
+	body    Proc
+	resume  chan struct{}
+	started bool
+	killed  bool
+}
+
+// ID returns the thread's world-unique identifier (also used in traces).
+func (t *Thread) ID() int32 { return t.id }
+
+// Name returns the thread's debug name.
+func (t *Thread) Name() string { return t.name }
+
+// Priority returns the thread's current priority.
+func (t *Thread) Priority() Priority { return t.pri }
+
+// State returns the thread's current lifecycle state.
+func (t *Thread) State() State { return t.state }
+
+// Generation returns the fork depth: 0 for threads created with Spawn,
+// parent+1 for forked threads. Section 3 of the paper observed that "none
+// of our benchmarks exhibited forking generations greater than 2".
+func (t *Thread) Generation() int { return t.gen }
+
+// Err returns the uncaught error that killed the thread, if any.
+func (t *Thread) Err() error { return t.err }
+
+// Killed reports whether the world is tearing this thread down
+// (World.Shutdown). Bodies that recover panics for their own purposes —
+// task rejuvenation, most notably — must re-panic when Killed is true so
+// the teardown can complete:
+//
+//	if r := recover(); r != nil {
+//		if t.Killed() {
+//			panic(r)
+//		}
+//		// ... handle the application error
+//	}
+func (t *Thread) Killed() bool { return t.killed }
+
+// BlockedOn returns the Block* reason the thread is currently blocked
+// for, or -1 if it is not blocked. External wakers use it to avoid
+// disturbing a thread that is blocked on something else (e.g. a monitor
+// mutex) than the event they deliver.
+func (t *Thread) BlockedOn() int {
+	if t.state != StateBlocked {
+		return -1
+	}
+	return t.blockReason
+}
+
+// World returns the world the thread belongs to.
+func (t *Thread) World() *World { return t.w }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() vclock.Time { return t.w.clock }
+
+// String implements fmt.Stringer.
+func (t *Thread) String() string {
+	return fmt.Sprintf("t%d(%s pri=%d %v)", t.id, t.name, t.pri, t.state)
+}
+
+// main is the goroutine body wrapping the thread's Proc.
+func (t *Thread) main() {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == killSignal {
+				t.finished = true
+				t.w.yield <- t // hand control back to Shutdown
+				return
+			}
+			// An uncaught error: the thread dies (paper §4.5); JOIN
+			// observes the error.
+			t.exit(nil, &PanicError{Thread: t.name, Value: r})
+			t.w.yield <- t
+			return
+		}
+	}()
+	<-t.resume // first dispatch
+	t.started = true
+	if t.killed {
+		panic(killSignal)
+	}
+	res := t.body(t)
+	t.exit(res, nil)
+	t.w.yield <- t // final handoff; goroutine ends
+}
+
+// exit performs end-of-life bookkeeping in thread context (which is
+// driver-exclusive, so direct mutation is safe).
+func (t *Thread) exit(result any, err error) {
+	w := t.w
+	t.result, t.err = result, err
+	t.finished = true
+	t.state = StateDead
+	t.computeLeft = 0
+	w.liveCount--
+	detachedFlag := int64(0)
+	if t.detached {
+		detachedFlag = 1
+	}
+	w.record(trace.Event{Time: w.clock, Kind: trace.KindExit, Thread: t.id, Arg: detachedFlag})
+	if t.joiner != nil {
+		w.WakeIfBlocked(t.joiner, t)
+		t.joiner = nil
+	}
+	// A thread slot freed: admit one fork waiter (§5.4).
+	if len(w.forkWaiters) > 0 {
+		waiter := w.forkWaiters[0]
+		w.forkWaiters = w.forkWaiters[1:]
+		w.WakeIfBlocked(waiter, t)
+	}
+}
+
+// park transfers control to the driver and blocks until the driver
+// resumes this thread. Every operation that consumes time or gives up the
+// CPU funnels through here.
+func (t *Thread) park() {
+	t.w.yield <- t
+	<-t.resume
+	if t.killed {
+		panic(killSignal)
+	}
+}
+
+// Compute consumes d of virtual CPU time. The thread may be preempted and
+// rescheduled arbitrarily many times before Compute returns. Non-positive
+// d returns immediately.
+func (t *Thread) Compute(d vclock.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.computeLeft += d
+	for t.computeLeft > 0 {
+		t.park()
+	}
+}
+
+// Block parks the thread until some other agent calls
+// World.WakeIfBlocked. reason is one of the Block* constants and is
+// recorded in the trace.
+func (t *Thread) Block(reason int) {
+	t.blockAt(reason, vclock.Never)
+}
+
+// BlockTimed parks the thread until woken or until d elapses, whichever
+// comes first, and reports whether the timeout fired. The duration is
+// rounded up to the world's timeout granularity (50 ms in PCR), which is
+// why §3 of the paper sees CV wait times quantized at 50 ms.
+func (t *Thread) BlockTimed(reason int, d vclock.Duration) (timedOut bool) {
+	if d < 0 {
+		d = 0
+	}
+	d = d.RoundUp(t.w.cfg.TimeoutGranularity)
+	return t.blockAt(reason, t.w.clock.Add(d))
+}
+
+func (t *Thread) blockAt(reason int, deadline vclock.Time) (timedOut bool) {
+	w := t.w
+	t.checkThreadContext("Block")
+	t.blockReason = reason
+	t.timedOut = false
+	t.state = StateBlocked
+	w.record(trace.Event{Time: w.clock, Kind: trace.KindBlock, Thread: t.id, Aux: int64(reason)})
+	if deadline != vclock.Never {
+		tt := t
+		t.wakeTimer = w.evq.Schedule(deadline, func() {
+			tt.wakeTimer = nil
+			tt.timedOut = true
+			w.makeRunnable(tt, nil)
+		})
+	}
+	t.park()
+	return t.timedOut
+}
+
+// Sleep blocks the thread for d of virtual time (rounded up to the
+// timeout granularity). It is the primitive under the sleeper and
+// one-shot paradigms.
+func (t *Thread) Sleep(d vclock.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.w.record(trace.Event{Time: t.w.clock, Kind: trace.KindSleep, Thread: t.id, Aux: int64(d)})
+	t.BlockTimed(BlockSleep, d)
+}
+
+// BlockTimedExact is BlockTimed without the CV-timeout granularity
+// rounding: it models OS-level waits (a read or poll with a timeout)
+// whose deadline the kernel honors precisely.
+func (t *Thread) BlockTimedExact(reason int, d vclock.Duration) (timedOut bool) {
+	if d < 0 {
+		d = 0
+	}
+	return t.blockAt(reason, t.w.clock.Add(d))
+}
+
+// BlockIO blocks the thread for exactly d, modeling synchronous device or
+// file I/O: the completion interrupt wakes the thread precisely, so —
+// unlike Sleep — the 50 ms CV-timeout granularity does not apply.
+func (t *Thread) BlockIO(d vclock.Duration) {
+	if d <= 0 {
+		return
+	}
+	t.w.record(trace.Event{Time: t.w.clock, Kind: trace.KindSleep, Thread: t.id, Aux: int64(d)})
+	t.blockAt(BlockSleep, t.w.clock.Add(d))
+}
+
+// Yield invokes the scheduler: the calling thread remains runnable and
+// competes again. If it is still the highest-priority ready thread it is
+// rescheduled immediately — the behavior that defeats the slack process in
+// §5.2 when the buffer thread outranks the imaging thread.
+func (t *Thread) Yield() {
+	t.checkThreadContext("Yield")
+	t.w.record(trace.Event{Time: t.w.clock, Kind: trace.KindYield, Thread: t.id, Arg: trace.NoThread, Aux: trace.YieldPlain})
+	t.yieldReq = yieldPlain
+	t.park()
+}
+
+// YieldButNotToMe gives the processor to the highest-priority ready
+// thread other than the caller, if such a thread exists, even if that
+// thread has lower priority than the caller. The effect lasts until the
+// end of the current timeslice (§6.3). This is the primitive the authors
+// invented to make the X-server slack process batch effectively (§5.2).
+func (t *Thread) YieldButNotToMe() {
+	t.checkThreadContext("YieldButNotToMe")
+	t.w.record(trace.Event{Time: t.w.clock, Kind: trace.KindYield, Thread: t.id, Arg: trace.NoThread, Aux: trace.YieldButNotToMe})
+	t.yieldReq = yieldButNotToMe
+	t.park()
+}
+
+// DirectedYield donates the remainder of the caller's timeslice to the
+// target thread if it is runnable; otherwise it behaves like Yield. The
+// SystemDaemon uses directed yields to give all ready threads some CPU
+// regardless of priority (§6.2).
+func (t *Thread) DirectedYield(target *Thread) {
+	t.checkThreadContext("DirectedYield")
+	arg := int64(trace.NoThread)
+	if target != nil {
+		arg = int64(target.id)
+	}
+	t.w.record(trace.Event{Time: t.w.clock, Kind: trace.KindYield, Thread: t.id, Arg: arg, Aux: trace.YieldDirected})
+	t.yieldReq = yieldDirected
+	t.yieldTarget = target
+	t.park()
+}
+
+// SetPriority changes the thread's own priority and invokes the
+// scheduler, which may preempt the caller if it no longer ranks highest.
+func (t *Thread) SetPriority(p Priority) {
+	t.checkThreadContext("SetPriority")
+	if !p.valid() {
+		panic(fmt.Sprintf("sim: invalid priority %d", p))
+	}
+	if p == t.pri {
+		return
+	}
+	t.w.record(trace.Event{Time: t.w.clock, Kind: trace.KindSetPriority, Thread: t.id, Arg: int64(t.pri), Aux: int64(p)})
+	t.pri = p
+	t.yieldReq = yieldPoll
+	t.park()
+}
+
+// Fork creates a child thread running body at the caller's priority and
+// returns it. If the world has a thread limit and it is reached, Fork
+// waits for resources (the §5.4 behavior: "our more recent
+// implementations simply wait in the fork implementation"), which the
+// user experiences as an unexplained delay.
+func (t *Thread) Fork(name string, body Proc) *Thread {
+	return t.ForkPri(name, t.pri, body)
+}
+
+// ForkPri creates a child thread with an explicit initial priority.
+func (t *Thread) ForkPri(name string, pri Priority, body Proc) *Thread {
+	w := t.w
+	t.checkThreadContext("Fork")
+	for w.cfg.MaxThreads > 0 && w.liveCount >= w.cfg.MaxThreads {
+		w.forkWaiters = append(w.forkWaiters, t)
+		t.Block(BlockFork)
+	}
+	child := w.newThread(name, pri, body, t)
+	w.record(trace.Event{Time: w.clock, Kind: trace.KindFork, Thread: t.id, Arg: int64(child.id), Aux: int64(pri)})
+	w.makeRunnable(child, t)
+	// Forking invokes the scheduler: a higher-priority child preempts
+	// its parent at this point.
+	t.yieldReq = yieldPoll
+	t.park()
+	return child
+}
+
+// ErrNoThreads is returned by TryFork when the world's thread limit is
+// reached — the behavior of "earlier versions of the systems [which]
+// would raise an error when a FORK failed" (§5.4). The paper records that
+// "the standard programming practice was to catch the error and to try to
+// recover, but good recovery schemes seem never to have been worked out."
+var ErrNoThreads = fmt.Errorf("sim: FORK failed: thread limit reached")
+
+// TryFork is Fork with the old §5.4 failure semantics: instead of waiting
+// for resources it returns ErrNoThreads when the world's MaxThreads limit
+// is reached.
+func (t *Thread) TryFork(name string, body Proc) (*Thread, error) {
+	w := t.w
+	t.checkThreadContext("TryFork")
+	if w.cfg.MaxThreads > 0 && w.liveCount >= w.cfg.MaxThreads {
+		return nil, ErrNoThreads
+	}
+	child := w.newThread(name, t.pri, body, t)
+	w.record(trace.Event{Time: w.clock, Kind: trace.KindFork, Thread: t.id, Arg: int64(child.id), Aux: int64(t.pri)})
+	w.makeRunnable(child, t)
+	t.yieldReq = yieldPoll
+	t.park()
+	return child, nil
+}
+
+// Join waits for child to exit and returns its body's result and error.
+// A thread may be joined at most once, and never after Detach; violations
+// panic, as they indicate a programming error in the simulation.
+func (t *Thread) Join(child *Thread) (any, error) {
+	t.checkThreadContext("Join")
+	if child.detached {
+		panic(fmt.Sprintf("sim: JOIN of detached thread %s", child.name))
+	}
+	if child.joined {
+		panic(fmt.Sprintf("sim: thread %s joined twice", child.name))
+	}
+	child.joined = true
+	for !child.finished {
+		child.joiner = t
+		t.Block(BlockJoin)
+	}
+	t.w.record(trace.Event{Time: t.w.clock, Kind: trace.KindJoin, Thread: t.id, Arg: int64(child.id)})
+	return child.result, child.err
+}
+
+// Detach declares that the thread will never be joined, letting the
+// implementation recover its resources at exit.
+func (t *Thread) Detach() {
+	if t.joined {
+		panic(fmt.Sprintf("sim: DETACH after JOIN of thread %s", t.name))
+	}
+	t.detached = true
+}
+
+func (t *Thread) checkThreadContext(op string) {
+	if t.state != StateRunning {
+		panic(fmt.Sprintf("sim: %s called on thread %s which is %v (thread-context operations may only be invoked from the thread's own body)", op, t.name, t.state))
+	}
+}

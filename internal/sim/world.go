@@ -1,0 +1,356 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/eventq"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// World is one simulated PCR instance: a clock, an event queue, a set of
+// CPUs, a run queue, and the population of threads. Create one with
+// NewWorld, populate it with Spawn and At, then drive it with Run.
+//
+// A World is not safe for concurrent use; the simulation itself supplies
+// all the concurrency semantics.
+type World struct {
+	cfg   Config
+	clock vclock.Time
+	evq   eventq.Queue
+	sink  trace.Sink
+	rng   *rand.Rand
+
+	cpus []*cpu
+	runq [NumPriorities + 1][]*Thread // index by priority; FIFO per level
+
+	threads     []*Thread // every thread ever created (for Shutdown)
+	liveCount   int
+	nextID      int32
+	forkWaiters []*Thread
+
+	yield   chan *Thread // a thread hands control back to the driver
+	stopped bool
+
+	monitorIDs int64
+	cvIDs      int64
+
+	// onIdleDeadlock, if set, is invoked (driver context) when the world
+	// detects deadlock; used by tests.
+	deadlocked []*Thread
+}
+
+type cpu struct {
+	index   int
+	current *Thread
+
+	quantumEv  *eventq.Event
+	quantumEnd vclock.Time
+
+	boost    *Thread // dispatch override from YieldButNotToMe / directed yield
+	boostEnd vclock.Time
+}
+
+// NewWorld creates a world from cfg (see Config.Defaults). If
+// cfg.SystemDaemon is set, the daemon thread is spawned immediately.
+func NewWorld(cfg Config) *World {
+	cfg = cfg.Defaults()
+	w := &World{
+		cfg:   cfg,
+		sink:  cfg.Trace,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		yield: make(chan *Thread),
+	}
+	for i := 0; i < cfg.CPUs; i++ {
+		w.cpus = append(w.cpus, &cpu{index: i})
+	}
+	if cfg.SystemDaemon {
+		w.spawnSystemDaemon()
+	}
+	return w
+}
+
+// Now returns the current virtual time.
+func (w *World) Now() vclock.Time { return w.clock }
+
+// Config returns the world's effective (defaulted) configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Rand returns the world's deterministic random source.
+func (w *World) Rand() *rand.Rand { return w.rng }
+
+// Trace returns the world's trace sink, letting higher layers (monitors,
+// workloads) emit their own events into the same stream.
+func (w *World) Trace() trace.Sink { return w.sink }
+
+// LiveThreads returns the number of threads that have been created and
+// not yet exited.
+func (w *World) LiveThreads() int { return w.liveCount }
+
+// Threads returns all threads ever created, in creation order.
+func (w *World) Threads() []*Thread { return w.threads }
+
+// AllocMonitorID and AllocCVID hand out world-unique identifiers so the
+// monitor package can stamp trace events; Table 3 of the paper counts the
+// distinct IDs observed during a benchmark.
+func (w *World) AllocMonitorID() int64 { w.monitorIDs++; return w.monitorIDs }
+
+// AllocCVID allocates a world-unique condition-variable identifier.
+func (w *World) AllocCVID() int64 { w.cvIDs++; return w.cvIDs }
+
+func (w *World) record(ev trace.Event) { w.sink.Record(ev) }
+
+// At schedules fn to run in driver context at time t (or now, if t is in
+// the past). Driver-context callbacks may Spawn threads and schedule more
+// callbacks but must not call thread-context operations (Compute, monitor
+// entry, ...). Workload generators are built from At callbacks.
+func (w *World) At(t vclock.Time, fn func()) {
+	if t < w.clock {
+		t = w.clock
+	}
+	w.evq.Schedule(t, fn)
+}
+
+// After schedules fn to run in driver context d from now.
+func (w *World) After(d vclock.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	w.At(w.clock.Add(d), fn)
+}
+
+// Every schedules fn to run in driver context every period, starting one
+// period from now, until the world stops.
+func (w *World) Every(period vclock.Duration, fn func()) {
+	if period <= 0 {
+		panic("sim: Every period must be positive")
+	}
+	var tick func()
+	tick = func() {
+		fn()
+		if !w.stopped {
+			w.After(period, tick)
+		}
+	}
+	w.After(period, tick)
+}
+
+// Stop makes the current Run return at the end of the current event.
+func (w *World) Stop() { w.stopped = true }
+
+// Spawn creates a thread from driver context (before Run, or inside an At
+// callback) and makes it runnable. Threads created by other threads
+// should use Thread.Fork instead, which also traces the fork edge.
+func (w *World) Spawn(name string, pri Priority, body Proc) *Thread {
+	t := w.newThread(name, pri, body, nil)
+	w.record(trace.Event{Time: w.clock, Kind: trace.KindFork, Thread: trace.NoThread, Arg: int64(t.id), Aux: int64(pri)})
+	w.makeRunnable(t, nil)
+	return t
+}
+
+func (w *World) newThread(name string, pri Priority, body Proc, parent *Thread) *Thread {
+	if !pri.valid() {
+		panic(fmt.Sprintf("sim: invalid priority %d for thread %q", pri, name))
+	}
+	if body == nil {
+		panic("sim: nil thread body")
+	}
+	w.nextID++
+	t := &Thread{
+		w:      w,
+		id:     w.nextID,
+		name:   name,
+		pri:    pri,
+		state:  StateNew,
+		cpu:    -1,
+		body:   body,
+		resume: make(chan struct{}),
+	}
+	if parent != nil {
+		t.gen = parent.gen + 1
+	}
+	w.threads = append(w.threads, t)
+	w.liveCount++
+	go t.main()
+	return t
+}
+
+// Run drives the simulation until the given horizon, until it quiesces or
+// deadlocks, or until Stop is called, and reports why it returned. Run may
+// be called repeatedly with increasing horizons to continue a simulation.
+func (w *World) Run(until vclock.Time) Outcome {
+	w.stopped = false
+	for {
+		w.settle()
+		if w.stopped {
+			return OutcomeStopped
+		}
+		next := w.evq.NextTime()
+		if next == vclock.Never {
+			// Nothing scheduled: either everyone exited or the rest are
+			// blocked forever.
+			w.deadlocked = w.blockedThreads()
+			if len(w.deadlocked) == 0 {
+				return OutcomeQuiescent
+			}
+			return OutcomeDeadlock
+		}
+		if next > until {
+			w.clock = until
+			return OutcomeHorizon
+		}
+		ev := w.evq.Pop()
+		if ev.When < w.clock {
+			panic(fmt.Sprintf("sim: clock would run backwards: %v -> %v", w.clock, ev.When))
+		}
+		w.clock = ev.When
+		if ev.Do != nil {
+			ev.Do()
+		}
+	}
+}
+
+// Deadlocked returns the threads that were blocked with no possible waker
+// when Run last returned OutcomeDeadlock.
+func (w *World) Deadlocked() []*Thread { return w.deadlocked }
+
+func (w *World) blockedThreads() []*Thread {
+	var out []*Thread
+	for _, t := range w.threads {
+		if t.state == StateBlocked {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DumpState writes a human-readable snapshot of every live thread — its
+// state, priority and block reason — plus the run queue and CPUs, to out.
+// It is the tool to reach for when Run returns OutcomeDeadlock.
+func (w *World) DumpState(out io.Writer) {
+	fmt.Fprintf(out, "world at %s: %d live thread(s), %d runnable\n", w.clock, w.liveCount, w.runnableCount())
+	for i, c := range w.cpus {
+		cur := "idle"
+		if c.current != nil {
+			cur = c.current.String()
+		}
+		boost := ""
+		if c.boost != nil {
+			boost = fmt.Sprintf(" boost=%s until %s", c.boost.name, c.boostEnd)
+		}
+		fmt.Fprintf(out, "  cpu%d: %s%s\n", i, cur, boost)
+	}
+	reasons := [...]string{"mutex", "cv", "join", "sleep", "fork"}
+	for _, t := range w.threads {
+		if t.state == StateDead {
+			continue
+		}
+		extra := ""
+		if t.state == StateBlocked {
+			r := "unknown"
+			if t.blockReason >= 0 && t.blockReason < len(reasons) {
+				r = reasons[t.blockReason]
+			}
+			deadline := "forever"
+			if t.wakeTimer != nil {
+				deadline = "timed"
+			}
+			extra = fmt.Sprintf(" blocked-on=%s (%s)", r, deadline)
+		}
+		fmt.Fprintf(out, "  %s%s\n", t, extra)
+	}
+}
+
+// Shutdown terminates every live thread goroutine. After Shutdown the
+// world must not be used again. Tests use it to avoid leaking goroutines;
+// experiments that simply let the process exit may skip it.
+func (w *World) Shutdown() {
+	for _, t := range w.threads {
+		if t.state == StateDead || t.started && t.finished {
+			continue
+		}
+		t.killed = true
+		t.resume <- struct{}{}
+		<-w.yield
+		t.state = StateDead
+	}
+}
+
+// makeRunnable moves t to the run queue. by is the thread responsible for
+// the wakeup (nil for timers and external events).
+func (w *World) makeRunnable(t *Thread, by *Thread) {
+	if t.state == StateRunnable || t.state == StateRunning {
+		panic(fmt.Sprintf("sim: makeRunnable on %v thread %s", t.state, t.name))
+	}
+	t.state = StateRunnable
+	w.runq[t.pri] = append(w.runq[t.pri], t)
+	byID := int64(trace.NoThread)
+	if by != nil {
+		byID = int64(by.id)
+	}
+	w.record(trace.Event{Time: w.clock, Kind: trace.KindReady, Thread: t.id, Arg: byID})
+}
+
+// SetPriorityOf changes another thread's priority — the primitive under
+// priority inheritance, the §6.2/§7 technique the paper left as future
+// work ("we chose not to incur the implementation overhead of providing
+// priority inheritance from blocked threads to threads holding locks...
+// someone should investigate these techniques for interactive systems").
+// Callable from thread or driver context; any needed preemption happens
+// at the next scheduling point.
+func (w *World) SetPriorityOf(t *Thread, p Priority) {
+	if !p.valid() {
+		panic(fmt.Sprintf("sim: invalid priority %d", p))
+	}
+	if p == t.pri {
+		return
+	}
+	w.record(trace.Event{Time: w.clock, Kind: trace.KindSetPriority, Thread: t.id, Arg: int64(t.pri), Aux: int64(p)})
+	if t.state == StateRunnable {
+		w.removeFromRunq(t)
+		t.pri = p
+		w.runq[p] = append(w.runq[p], t)
+		return
+	}
+	t.pri = p
+}
+
+// WakeIfBlocked makes t runnable if it is currently blocked, and reports
+// whether it did so. It is the low-level wake primitive used by package
+// monitor; by attributes the wake in the trace. A pending block timeout
+// is cancelled.
+func (w *World) WakeIfBlocked(t *Thread, by *Thread) bool {
+	if t.state != StateBlocked {
+		return false
+	}
+	if t.wakeTimer != nil {
+		w.evq.Cancel(t.wakeTimer)
+		t.wakeTimer = nil
+	}
+	w.makeRunnable(t, by)
+	return true
+}
+
+// runnableCount returns the number of threads in the run queue.
+func (w *World) runnableCount() int {
+	n := 0
+	for p := PriorityMin; p <= PriorityInterrupt; p++ {
+		n += len(w.runq[p])
+	}
+	return n
+}
+
+// removeFromRunq removes t from its priority's queue. It panics if t is
+// not queued, which would indicate state corruption.
+func (w *World) removeFromRunq(t *Thread) {
+	q := w.runq[t.pri]
+	for i, x := range q {
+		if x == t {
+			w.runq[t.pri] = append(q[:i], q[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("sim: thread %s not on run queue", t.name))
+}

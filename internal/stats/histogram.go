@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/vclock"
+)
+
+// Histogram accumulates durations into buckets with fixed upper bounds,
+// tracking both counts and summed totals per bucket. It backs the
+// execution-interval analysis of §3 of the paper (the bimodal 3 ms /
+// 45 ms distribution and the share of total execution time accumulated in
+// 45–50 ms intervals).
+type Histogram struct {
+	// bounds are ascending exclusive upper limits; bucket i holds values
+	// in [bounds[i-1], bounds[i]). A final overflow bucket holds values
+	// >= bounds[len-1].
+	bounds []vclock.Duration
+	counts []int64
+	totals []vclock.Duration
+}
+
+// NewHistogram creates a histogram with the given ascending bucket upper
+// bounds. It panics on empty or non-ascending bounds.
+func NewHistogram(bounds ...vclock.Duration) *Histogram {
+	if len(bounds) == 0 {
+		panic("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("stats: histogram bounds must ascend")
+		}
+	}
+	b := make([]vclock.Duration, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		bounds: b,
+		counts: make([]int64, len(bounds)+1),
+		totals: make([]vclock.Duration, len(bounds)+1),
+	}
+}
+
+// NewIntervalHistogram returns the bucketing used for execution-interval
+// analysis: 1 ms bins to 10 ms, then 5 ms bins to 60 ms, then overflow.
+func NewIntervalHistogram() *Histogram {
+	var bounds []vclock.Duration
+	for ms := 1; ms <= 10; ms++ {
+		bounds = append(bounds, vclock.Duration(ms)*vclock.Millisecond)
+	}
+	for ms := 15; ms <= 60; ms += 5 {
+		bounds = append(bounds, vclock.Duration(ms)*vclock.Millisecond)
+	}
+	return NewHistogram(bounds...)
+}
+
+// Add records one duration.
+func (h *Histogram) Add(d vclock.Duration) {
+	i := h.bucketOf(d)
+	h.counts[i]++
+	h.totals[i] += d
+}
+
+func (h *Histogram) bucketOf(d vclock.Duration) int {
+	for i, b := range h.bounds {
+		if d < b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// Buckets returns the number of buckets, including the overflow bucket.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// BucketRange returns bucket i's [lo, hi) range; the overflow bucket's hi
+// is vclock.Never's duration equivalent, reported as lo itself with
+// unbounded=true.
+func (h *Histogram) BucketRange(i int) (lo, hi vclock.Duration, unbounded bool) {
+	if i > 0 {
+		lo = h.bounds[i-1]
+	}
+	if i == len(h.bounds) {
+		return lo, 0, true
+	}
+	return lo, h.bounds[i], false
+}
+
+// BucketCount returns the number of values recorded in bucket i.
+func (h *Histogram) BucketCount(i int) int64 { return h.counts[i] }
+
+// BucketTotal returns the summed durations recorded in bucket i.
+func (h *Histogram) BucketTotal(i int) vclock.Duration { return h.totals[i] }
+
+// Count returns the total number of recorded values.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for _, c := range h.counts {
+		n += c
+	}
+	return n
+}
+
+// Total returns the sum of all recorded values.
+func (h *Histogram) Total() vclock.Duration {
+	var t vclock.Duration
+	for _, x := range h.totals {
+		t += x
+	}
+	return t
+}
+
+// FractionCount returns the fraction of recorded values lying in buckets
+// fully contained in [lo, hi). Bounds should coincide with bucket edges;
+// partially overlapped buckets are excluded.
+func (h *Histogram) FractionCount(lo, hi vclock.Duration) float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	var in int64
+	for i := range h.counts {
+		blo, bhi, unbounded := h.BucketRange(i)
+		if blo >= lo && !unbounded && bhi <= hi {
+			in += h.counts[i]
+		}
+	}
+	return float64(in) / float64(n)
+}
+
+// FractionTotal returns the fraction of summed duration lying in buckets
+// fully contained in [lo, hi).
+func (h *Histogram) FractionTotal(lo, hi vclock.Duration) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	var in vclock.Duration
+	for i := range h.totals {
+		blo, bhi, unbounded := h.BucketRange(i)
+		if blo >= lo && !unbounded && bhi <= hi {
+			in += h.totals[i]
+		}
+	}
+	return float64(in) / float64(t)
+}
+
+// PeakBucket returns the index of the bucket with the highest count
+// (ties broken toward the smaller bucket), or -1 if empty.
+func (h *Histogram) PeakBucket() int {
+	best, bestCount := -1, int64(0)
+	for i, c := range h.counts {
+		if c > bestCount {
+			best, bestCount = i, c
+		}
+	}
+	return best
+}
+
+// String renders the non-empty buckets as an ASCII bar chart.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	total := h.Count()
+	if total == 0 {
+		return "(empty histogram)"
+	}
+	var max int64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		lo, hi, unbounded := h.BucketRange(i)
+		label := fmt.Sprintf("%8s-%-8s", lo, hi)
+		if unbounded {
+			label = fmt.Sprintf("%8s+%-8s", lo, "")
+		}
+		bar := strings.Repeat("#", int(40*c/max))
+		fmt.Fprintf(&sb, "%s %7d (%5.1f%%) %s\n", label, c, 100*float64(c)/float64(total), bar)
+	}
+	return sb.String()
+}

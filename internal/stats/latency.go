@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vclock"
+)
+
+// LatencyRecorder accumulates duration samples and reports percentiles —
+// used for the user-visible latencies the paper cares most about ("the
+// time between when a key is pressed and the corresponding glyph is
+// echoed to a window is very important to the usability of these
+// systems"). The zero value is ready to use.
+type LatencyRecorder struct {
+	samples []vclock.Duration
+	sorted  bool
+	sum     vclock.Duration
+}
+
+// Add records one sample.
+func (r *LatencyRecorder) Add(d vclock.Duration) {
+	r.samples = append(r.samples, d)
+	r.sorted = false
+	r.sum += d
+}
+
+// Count returns the number of samples.
+func (r *LatencyRecorder) Count() int { return len(r.samples) }
+
+// Mean returns the average sample, or 0 if empty.
+func (r *LatencyRecorder) Mean() vclock.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	return r.sum / vclock.Duration(len(r.samples))
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (r *LatencyRecorder) Max() vclock.Duration {
+	return r.Percentile(1)
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) by nearest-rank, or 0
+// if empty.
+func (r *LatencyRecorder) Percentile(p float64) vclock.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	i := int(p * float64(len(r.samples)-1))
+	return r.samples[i]
+}
+
+// String summarizes as "n=120 p50=1.9ms p95=3.1ms max=52ms".
+func (r *LatencyRecorder) String() string {
+	if len(r.samples) == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d p50=%s p95=%s max=%s",
+		r.Count(), r.Percentile(0.5), r.Percentile(0.95), r.Max())
+}

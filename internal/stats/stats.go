@@ -1,0 +1,170 @@
+// Package stats turns simulator traces into the measurements the paper
+// reports: macroscopic rates (Table 1's forks/sec and thread
+// switches/sec, Table 2's waits/sec, %-timeouts and monitor-entry rates),
+// distinct monitor/CV populations (Table 3), execution-interval
+// distributions and per-priority CPU shares (the prose "figures" of §3).
+package stats
+
+import (
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Analysis is the digest of one trace over an observation window.
+// Populate it with Analyze.
+type Analysis struct {
+	From, To vclock.Time
+
+	Forks        int // KindFork events in window
+	Exits        int
+	Switches     int // switch-ins of a real thread
+	Yields       int
+	Waits        int // WAIT operations begun
+	WaitDones    int // WAIT operations completed
+	WaitTimeouts int // completed by timeout rather than notification
+	MLEnters     int // monitor entries (incl. reacquisition after WAIT)
+	MLContended  int // entries that had to queue
+	Notifies     int
+	NotifyMisses int // NOTIFY with no waiter to wake
+	Broadcasts   int
+
+	DistinctMLs int // distinct monitors entered in window (Table 3)
+	DistinctCVs int // distinct CVs waited on in window (Table 3)
+
+	// MaxLive is the peak number of concurrently existing threads,
+	// counted over the whole trace (thread population predates the
+	// window). §3: "the maximum number of threads concurrently existing
+	// ... never exceeded 41".
+	MaxLive int
+
+	// Intervals is the distribution of execution intervals ("the lengths
+	// of time between thread switches").
+	Intervals *Histogram
+
+	// ExecByPriority is virtual CPU time consumed per priority level
+	// during the window (index by priority 1..7).
+	ExecByPriority [8]vclock.Duration
+
+	// ExecByThread is virtual CPU time per thread ID during the window.
+	ExecByThread map[int32]vclock.Duration
+
+	// PriorityOfThread records the last known priority of each thread.
+	PriorityOfThread map[int32]int
+
+	// ForkGenerations counts forks by the forking thread's depth:
+	// index 0 = forks by spawned (eternal/worker) threads, 1 = forks by
+	// their children, etc. (§3: "forking generations greater than 2" do
+	// not occur.)
+	ForkGenerations []int
+
+	// Thread lifetime classification per §3's dynamic-behavior analysis
+	// ("there were eternal threads ... worker threads ... and short-lived
+	// transient threads"), computed over the whole trace:
+	//
+	// EternalCount is threads never observed exiting; ExitedCount is the
+	// rest; TransientCount is exited threads that lived under one second
+	// (§3: "transient threads are by far the most numerous resulting in
+	// an average lifetime for non-eternal threads that is well under 1
+	// second").
+	EternalCount       int
+	ExitedCount        int
+	TransientCount     int
+	MeanExitedLifetime vclock.Duration
+	LongestExitedLife  vclock.Duration
+}
+
+// Window returns the observation window length.
+func (a *Analysis) Window() vclock.Duration {
+	return a.To.Sub(a.From)
+}
+
+func (a *Analysis) rate(n int) float64 {
+	w := a.Window().Seconds()
+	if w <= 0 {
+		return 0
+	}
+	return float64(n) / w
+}
+
+// ForksPerSec is Table 1, column 1.
+func (a *Analysis) ForksPerSec() float64 { return a.rate(a.Forks) }
+
+// SwitchesPerSec is Table 1, column 2.
+func (a *Analysis) SwitchesPerSec() float64 { return a.rate(a.Switches) }
+
+// WaitsPerSec is Table 2, column 1.
+func (a *Analysis) WaitsPerSec() float64 { return a.rate(a.WaitDones) }
+
+// TimeoutFraction is Table 2, column 2: the fraction of completed waits
+// that timed out rather than being notified.
+func (a *Analysis) TimeoutFraction() float64 {
+	if a.WaitDones == 0 {
+		return 0
+	}
+	return float64(a.WaitTimeouts) / float64(a.WaitDones)
+}
+
+// MLEntersPerSec is Table 2, column 3.
+func (a *Analysis) MLEntersPerSec() float64 { return a.rate(a.MLEnters) }
+
+// ContentionFraction is the fraction of monitor entries that contended
+// (§3 reports 0.01–0.1 % for Cedar, up to 0.4 % for GVX).
+func (a *Analysis) ContentionFraction() float64 {
+	if a.MLEnters == 0 {
+		return 0
+	}
+	return float64(a.MLContended) / float64(a.MLEnters)
+}
+
+// CPUShareOfPriority returns the fraction of all executed CPU time that
+// ran at priority p during the window.
+func (a *Analysis) CPUShareOfPriority(p int) float64 {
+	var total vclock.Duration
+	for _, d := range a.ExecByPriority {
+		total += d
+	}
+	if total == 0 || p < 0 || p >= len(a.ExecByPriority) {
+		return 0
+	}
+	return float64(a.ExecByPriority[p]) / float64(total)
+}
+
+// BusiestThreads returns the n thread IDs with the most executed CPU time
+// in the window, busiest first.
+func (a *Analysis) BusiestThreads(n int) []int32 {
+	ids := make([]int32, 0, len(a.ExecByThread))
+	for id := range a.ExecByThread {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := a.ExecByThread[ids[i]], a.ExecByThread[ids[j]]
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > n {
+		ids = ids[:n]
+	}
+	return ids
+}
+
+// Analyze digests events, counting only those with From <= t <= To (pass
+// From=0, To=vclock.Never for everything). Events before From still feed
+// state reconstruction (thread priorities, live counts, CPU occupancy) so
+// a measurement window after a warm-up period is accurate. Analyze is a
+// convenience over Collector, which computes the same Analysis online
+// without retaining events.
+func Analyze(events []trace.Event, from, to vclock.Time) *Analysis {
+	c := NewCollector(from, to)
+	for i := range events {
+		c.Record(events[i])
+	}
+	end := from
+	if len(events) > 0 {
+		end = events[len(events)-1].Time
+	}
+	return c.Finish(end)
+}

@@ -1,0 +1,155 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// segment is one contiguous span of a thread's state.
+type segment struct {
+	from, to vclock.Time
+	state    timelineState
+}
+
+// collectSegments reconstructs per-thread state spans within [from,to].
+func collectSegments(tr trace.Trace, from, to vclock.Time) (map[int32][]segment, map[int32]vclock.Duration) {
+	segs := map[int32][]segment{}
+	exec := map[int32]vclock.Duration{}
+	state := map[int32]timelineState{}
+	lastAt := map[int32]vclock.Time{}
+	cpuCur := map[int64]int32{}
+
+	emit := func(id int32, lo, hi vclock.Time, st timelineState) {
+		if st == tlAbsent || hi < from || lo > to {
+			return
+		}
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi <= lo {
+			return
+		}
+		segs[id] = append(segs[id], segment{from: lo, to: hi, state: st})
+		if st == tlRunning {
+			exec[id] += hi.Sub(lo)
+		}
+	}
+	transition := func(id int32, at vclock.Time, st timelineState) {
+		if prev, ok := state[id]; ok {
+			emit(id, lastAt[id], at, prev)
+		}
+		state[id] = st
+		lastAt[id] = at
+	}
+	for _, ev := range tr.Events {
+		if ev.Time > to {
+			break
+		}
+		switch ev.Kind {
+		case trace.KindFork:
+			transition(int32(ev.Arg), ev.Time, tlRunnable)
+		case trace.KindExit:
+			transition(ev.Thread, ev.Time, tlAbsent)
+		case trace.KindSwitch:
+			// End the previous occupant's running span via per-CPU
+			// occupancy (a yield vacates the CPU without its own switch
+			// record, so Arg alone is not reliable).
+			if prev, ok := cpuCur[ev.Aux]; ok && prev != trace.NoThread && state[prev] == tlRunning {
+				transition(prev, ev.Time, tlRunnable)
+			}
+			cpuCur[ev.Aux] = ev.Thread
+			if ev.Thread != trace.NoThread {
+				transition(ev.Thread, ev.Time, tlRunning)
+			}
+		case trace.KindBlock:
+			transition(ev.Thread, ev.Time, tlBlocked)
+		case trace.KindReady:
+			if state[ev.Thread] != tlRunning {
+				transition(ev.Thread, ev.Time, tlRunnable)
+			}
+		}
+	}
+	for id, st := range state {
+		if st != tlAbsent {
+			emit(id, lastAt[id], to, st)
+		}
+	}
+	return segs, exec
+}
+
+var svgColors = map[timelineState]string{
+	tlRunning:  "#2563eb", // blue: on a CPU
+	tlRunnable: "#f59e0b", // amber: ready, waiting for a CPU
+	tlBlocked:  "#d1d5db", // grey: blocked
+}
+
+// RenderSVG draws the same Gantt view as Render as a standalone SVG
+// document: blue = running, amber = ready, grey = blocked. Open the file
+// in any browser.
+func (tl Timeline) RenderSVG(tr trace.Trace) string {
+	if tl.To <= tl.From {
+		return `<svg xmlns="http://www.w3.org/2000/svg"/>`
+	}
+	const (
+		labelW  = 200
+		rowH    = 18
+		rowPad  = 4
+		chartW  = 1000
+		headerH = 28
+		footerH = 24
+	)
+	segs, exec := collectSegments(tr, tl.From, tl.To)
+	ids := make([]int32, 0, len(segs))
+	for id := range segs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if exec[ids[i]] != exec[ids[j]] {
+			return exec[ids[i]] > exec[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if tl.MaxRows > 0 && len(ids) > tl.MaxRows {
+		ids = ids[:tl.MaxRows]
+	}
+
+	span := float64(tl.To.Sub(tl.From))
+	x := func(t vclock.Time) float64 {
+		return labelW + float64(t.Sub(tl.From))/span*chartW
+	}
+	height := headerH + len(ids)*(rowH+rowPad) + footerH
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n",
+		labelW+chartW+20, height)
+	fmt.Fprintf(&sb, `<text x="%d" y="18">thread timeline %s .. %s (blue=running amber=ready grey=blocked)</text>`+"\n",
+		labelW, tl.From, tl.To)
+	for row, id := range ids {
+		y := headerH + row*(rowH+rowPad)
+		label := tr.NameOf(id)
+		fmt.Fprintf(&sb, `<text x="4" y="%d">%s</text>`+"\n", y+rowH-5, svgEscape(label))
+		for _, s := range segs[id] {
+			x0, x1 := x(s.from), x(s.to)
+			w := x1 - x0
+			if w < 0.5 {
+				w = 0.5
+			}
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"><title>%s %s..%s</title></rect>`+"\n",
+				x0, y, w, rowH, svgColors[s.state], svgEscape(label), s.from, s.to)
+		}
+	}
+	fmt.Fprintf(&sb, `</svg>`+"\n")
+	return sb.String()
+}
+
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

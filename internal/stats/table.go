@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned plain-text tables in the style of the paper's
+// Tables 1–4, for cmd/threadstudy and EXPERIMENTS.md.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row of cells; extra cells beyond the header count are
+// kept and padded with empty headers at render time.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row built from fmt.Sprintf applied pairwise:
+// AddRowf("%s", x, "%.1f", y).
+func (t *Table) AddRowf(pairs ...any) {
+	if len(pairs)%2 != 0 {
+		panic("stats: AddRowf needs format/value pairs")
+	}
+	var cells []string
+	for i := 0; i < len(pairs); i += 2 {
+		cells = append(cells, fmt.Sprintf(pairs[i].(string), pairs[i+1]))
+	}
+	t.AddRow(cells...)
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// String renders the table with a title line, a header rule and aligned
+// columns (first column left-aligned, the rest right-aligned).
+func (t *Table) String() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	cell := func(r []string, i int) string {
+		if i < len(r) {
+			return r[i]
+		}
+		return ""
+	}
+	header := make([]string, cols)
+	for i := range header {
+		header[i] = cell(t.Headers, i)
+	}
+	for i := 0; i < cols; i++ {
+		widths[i] = len(header[i])
+		for _, r := range t.rows {
+			if n := len(cell(r, i)); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			c := cell(r, i)
+			if i == 0 {
+				sb.WriteString(c)
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			} else {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+				sb.WriteString(c)
+			}
+		}
+		// Trim trailing padding.
+		for sb.Len() > 0 {
+			s := sb.String()
+			if s[len(s)-1] != ' ' {
+				break
+			}
+			// strings.Builder has no truncate; rebuild without the pad.
+			trimmed := strings.TrimRight(s, " ")
+			sb.Reset()
+			sb.WriteString(trimmed)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(cols-1)))
+	sb.WriteByte('\n')
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Markdown renders the table as GitHub-flavored markdown with the first
+// column left-aligned and the rest right-aligned — the form EXPERIMENTS.md
+// uses.
+func (t *Table) Markdown() string {
+	cols := len(t.Headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	cell := func(r []string, i int) string {
+		if i < len(r) {
+			return r[i]
+		}
+		return ""
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("**")
+		sb.WriteString(t.Title)
+		sb.WriteString("**\n\n")
+	}
+	writeRow := func(r []string) {
+		sb.WriteString("|")
+		for i := 0; i < cols; i++ {
+			sb.WriteString(" ")
+			sb.WriteString(cell(r, i))
+			sb.WriteString(" |")
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	sb.WriteString("|")
+	for i := 0; i < cols; i++ {
+		if i == 0 {
+			sb.WriteString("---|")
+		} else {
+			sb.WriteString("---:|")
+		}
+	}
+	sb.WriteString("\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Timeline renders the microscopic view the paper's authors lived in —
+// "even after a year of looking at the same 100 millisecond event
+// histories we are seeing new things in them" — as an ASCII Gantt chart:
+// one row per thread, one column per time bucket, with each cell showing
+// the thread's dominant state in that bucket:
+//
+//	# running      - runnable (ready, waiting for a CPU)
+//	. blocked      (space) not yet created / exited
+//
+// Threads are ordered by executed CPU time (busiest first).
+type Timeline struct {
+	From, To vclock.Time
+	Width    int // columns
+	MaxRows  int // threads shown (busiest first); 0 = all
+}
+
+// threadState tracks one thread's state transitions inside the window.
+type timelineState int
+
+const (
+	tlAbsent timelineState = iota
+	tlBlocked
+	tlRunnable
+	tlRunning
+)
+
+var tlChars = [...]byte{' ', '.', '-', '#'}
+
+// Render draws the timeline from a trace.
+func (tl Timeline) Render(tr trace.Trace) string {
+	if tl.Width <= 0 {
+		tl.Width = 100
+	}
+	if tl.To <= tl.From {
+		return "(empty window)\n"
+	}
+	span := tl.To.Sub(tl.From)
+	bucket := func(t vclock.Time) int {
+		i := int(int64(t.Sub(tl.From)) * int64(tl.Width) / int64(span))
+		if i < 0 {
+			i = 0
+		}
+		if i >= tl.Width {
+			i = tl.Width - 1
+		}
+		return i
+	}
+
+	// Reconstruct per-thread state over time; paint buckets with the
+	// "most active" state seen in each (running > runnable > blocked).
+	rows := map[int32][]byte{}
+	state := map[int32]timelineState{}
+	lastAt := map[int32]vclock.Time{}
+	exec := map[int32]vclock.Duration{}
+	cpuCur := map[int64]int32{}
+
+	row := func(id int32) []byte {
+		r, ok := rows[id]
+		if !ok {
+			r = make([]byte, tl.Width)
+			for i := range r {
+				r[i] = ' '
+			}
+			rows[id] = r
+		}
+		return r
+	}
+	// paint fills [from,to) with st, without overwriting a "more active"
+	// state already drawn there.
+	paint := func(id int32, from, to vclock.Time, st timelineState) {
+		if to < tl.From || from > tl.To || st == tlAbsent {
+			return
+		}
+		if from < tl.From {
+			from = tl.From
+		}
+		if to > tl.To {
+			to = tl.To
+		}
+		r := row(id)
+		lo, hi := bucket(from), bucket(to)
+		for i := lo; i <= hi; i++ {
+			if tlChars[st] == '#' || r[i] == ' ' || r[i] == '.' && st == tlRunnable {
+				r[i] = tlChars[st]
+			}
+		}
+		if st == tlRunning {
+			exec[id] += to.Sub(from)
+		}
+	}
+	transition := func(id int32, at vclock.Time, st timelineState) {
+		if prev, ok := state[id]; ok {
+			paint(id, lastAt[id], at, prev)
+		}
+		state[id] = st
+		lastAt[id] = at
+	}
+
+	for _, ev := range tr.Events {
+		if ev.Time > tl.To {
+			break
+		}
+		switch ev.Kind {
+		case trace.KindFork:
+			transition(int32(ev.Arg), ev.Time, tlRunnable)
+		case trace.KindExit:
+			transition(ev.Thread, ev.Time, tlAbsent)
+		case trace.KindSwitch:
+			// End the previous occupant's running span via per-CPU
+			// occupancy (a yield vacates the CPU without its own switch
+			// record, so Arg alone is not reliable).
+			if prev, ok := cpuCur[ev.Aux]; ok && prev != trace.NoThread && state[prev] == tlRunning {
+				transition(prev, ev.Time, tlRunnable)
+			}
+			cpuCur[ev.Aux] = ev.Thread
+			if ev.Thread != trace.NoThread {
+				transition(ev.Thread, ev.Time, tlRunning)
+			}
+		case trace.KindBlock:
+			transition(ev.Thread, ev.Time, tlBlocked)
+		case trace.KindReady:
+			if state[ev.Thread] != tlRunning {
+				transition(ev.Thread, ev.Time, tlRunnable)
+			}
+		}
+	}
+	for id, st := range state {
+		if st != tlAbsent {
+			paint(id, lastAt[id], tl.To, st)
+		}
+	}
+
+	// Order by executed time, busiest first.
+	ids := make([]int32, 0, len(rows))
+	for id := range rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if exec[ids[i]] != exec[ids[j]] {
+			return exec[ids[i]] > exec[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if tl.MaxRows > 0 && len(ids) > tl.MaxRows {
+		ids = ids[:tl.MaxRows]
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline %s .. %s  (%s per column; '#'=running '-'=ready '.'=blocked)\n",
+		tl.From, tl.To, vclock.Duration(int64(span)/int64(tl.Width)))
+	for _, id := range ids {
+		label := tr.NameOf(id)
+		if len(label) > 24 {
+			label = label[:24]
+		}
+		fmt.Fprintf(&sb, "%-24s |%s|\n", label, rows[id])
+	}
+	return sb.String()
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTimelineRendersStates(t *testing.T) {
+	// Thread 1: runs [0,40ms), blocks [40,100ms).
+	// Thread 2: ready [0,40ms), runs [40,100ms).
+	evs := []trace.Event{
+		{Time: 0, Kind: trace.KindFork, Thread: trace.NoThread, Arg: 1, Aux: 4},
+		{Time: 0, Kind: trace.KindFork, Thread: trace.NoThread, Arg: 2, Aux: 4},
+		{Time: 0, Kind: trace.KindSwitch, Thread: 1, Arg: trace.NoThread, Aux: 0},
+		{Time: ms(40), Kind: trace.KindBlock, Thread: 1, Aux: 1},
+		{Time: ms(40), Kind: trace.KindSwitch, Thread: trace.NoThread, Arg: 1, Aux: 0},
+		{Time: ms(40), Kind: trace.KindSwitch, Thread: 2, Arg: trace.NoThread, Aux: 0},
+	}
+	tr := trace.Trace{Events: evs, Names: map[int32]string{1: "alpha", 2: "beta"}}
+	tl := Timeline{From: 0, To: ms(100), Width: 10}
+	out := tl.Render(tr)
+
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Busiest first: beta ran 60ms vs alpha's 40ms.
+	if !strings.HasPrefix(lines[1], "t2(beta)") {
+		t.Fatalf("first row should be beta:\n%s", out)
+	}
+	var alpha, beta string
+	for _, l := range lines[1:] {
+		cells := l[strings.Index(l, "|")+1 : strings.LastIndex(l, "|")]
+		if strings.HasPrefix(l, "t1(alpha)") {
+			alpha = cells
+		} else {
+			beta = cells
+		}
+	}
+	// alpha: running for the first 4 buckets, blocked after.
+	if alpha[0] != '#' || alpha[2] != '#' || alpha[6] != '.' || alpha[9] != '.' {
+		t.Errorf("alpha row = %q", alpha)
+	}
+	// beta: ready first, running after.
+	if beta[0] != '-' || beta[6] != '#' || beta[9] != '#' {
+		t.Errorf("beta row = %q", beta)
+	}
+}
+
+func TestTimelineWindowAndRows(t *testing.T) {
+	evs := []trace.Event{
+		{Time: 0, Kind: trace.KindFork, Thread: trace.NoThread, Arg: 1, Aux: 4},
+		{Time: 0, Kind: trace.KindSwitch, Thread: 1, Arg: trace.NoThread, Aux: 0},
+		{Time: ms(10), Kind: trace.KindFork, Thread: trace.NoThread, Arg: 2, Aux: 4},
+	}
+	tr := trace.Trace{Events: evs, Names: map[int32]string{}}
+	out := Timeline{From: 0, To: ms(20), Width: 4, MaxRows: 1}.Render(tr)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("MaxRows=1 should keep one row:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "t1") {
+		t.Fatalf("busiest row should be t1:\n%s", out)
+	}
+	// Degenerate window.
+	if got := (Timeline{From: ms(5), To: ms(5)}).Render(tr); got != "(empty window)\n" {
+		t.Fatalf("empty window = %q", got)
+	}
+}
+
+func TestTimelineExitClearsRow(t *testing.T) {
+	evs := []trace.Event{
+		{Time: 0, Kind: trace.KindFork, Thread: trace.NoThread, Arg: 1, Aux: 4},
+		{Time: 0, Kind: trace.KindSwitch, Thread: 1, Arg: trace.NoThread, Aux: 0},
+		{Time: ms(50), Kind: trace.KindExit, Thread: 1},
+		{Time: ms(50), Kind: trace.KindSwitch, Thread: trace.NoThread, Arg: 1, Aux: 0},
+	}
+	tr := trace.Trace{Events: evs, Names: map[int32]string{}}
+	out := Timeline{From: 0, To: ms(100), Width: 10}.Render(tr)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	cells := lines[1][strings.Index(lines[1], "|")+1 : strings.LastIndex(lines[1], "|")]
+	if cells[1] != '#' {
+		t.Errorf("should be running early: %q", cells)
+	}
+	if cells[9] != ' ' {
+		t.Errorf("should be absent after exit: %q", cells)
+	}
+}
+
+func TestRenderSVG(t *testing.T) {
+	evs := []trace.Event{
+		{Time: 0, Kind: trace.KindFork, Thread: trace.NoThread, Arg: 1, Aux: 4},
+		{Time: 0, Kind: trace.KindSwitch, Thread: 1, Arg: trace.NoThread, Aux: 0},
+		{Time: ms(40), Kind: trace.KindBlock, Thread: 1, Aux: 1},
+		{Time: ms(40), Kind: trace.KindSwitch, Thread: trace.NoThread, Arg: 1, Aux: 0},
+	}
+	tr := trace.Trace{Events: evs, Names: map[int32]string{1: "a<b>"}}
+	svg := Timeline{From: 0, To: ms(100), Width: 10}.RenderSVG(tr)
+	for _, want := range []string{"<svg", "#2563eb", "#d1d5db", "a&lt;b&gt;", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("svg missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "<b>") {
+		t.Error("unescaped markup in svg")
+	}
+	// Degenerate window.
+	if got := (Timeline{From: ms(5), To: ms(5)}).RenderSVG(tr); !strings.Contains(got, "<svg") {
+		t.Errorf("degenerate svg = %q", got)
+	}
+}

@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead ensures the binary decoder never panics on malformed input —
+// it must either return events or ErrBadTrace.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	_ = Write(&buf, sampleEvents())
+	f.Add(buf.Bytes())
+	f.Add([]byte("THTRACE1"))
+	f.Add([]byte("THTRACE1\x00\x01\x02"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = Read(bytes.NewReader(data))
+	})
+}
+
+// FuzzReadTrace covers the v2 container the same way.
+func FuzzReadTrace(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteTrace(&buf, Trace{Events: sampleEvents(), Names: map[int32]string{1: "a"}})
+	f.Add(buf.Bytes())
+	f.Add([]byte("THTRACE2\x01\x02\x01x"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadTrace(bytes.NewReader(data))
+	})
+}

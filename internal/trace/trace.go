@@ -1,0 +1,211 @@
+// Package trace defines the microsecond-resolution thread-event records
+// produced by the simulator, mirroring the instrumented PCR the paper's
+// authors built: forks, yields, scheduler switches, monitor-lock entries
+// and condition-variable waits, each stamped in virtual microseconds.
+//
+// Traces flow through the Sink interface so that experiments can choose
+// between full in-memory capture (Buffer), bounded capture (Ring), cheap
+// online aggregation (the stats package implements Sink), file encoding,
+// or any combination (Tee).
+package trace
+
+import "repro/internal/vclock"
+
+// Kind identifies the type of a thread event.
+type Kind uint8
+
+// Event kinds. The Arg/Aux fields of Event are interpreted per kind.
+const (
+	// KindFork: thread Thread forked a child; Arg = child thread ID,
+	// Aux = child priority.
+	KindFork Kind = iota
+	// KindExit: thread Thread terminated; Arg = 1 if it was detached.
+	KindExit
+	// KindJoin: thread Thread completed a JOIN on thread Arg.
+	KindJoin
+	// KindSwitch: the scheduler switched CPU Aux from thread Arg to
+	// thread Thread. Thread or Arg is NoThread when the CPU was or
+	// becomes idle.
+	KindSwitch
+	// KindMLEnter: thread Thread entered monitor Arg; Aux = 1 if the
+	// entry contended (the thread had to queue for the mutex).
+	KindMLEnter
+	// KindMLExit: thread Thread exited monitor Arg.
+	KindMLExit
+	// KindWait: thread Thread began a WAIT on condition variable Arg
+	// (monitor implicit); Aux = timeout in microseconds, or -1 for none.
+	KindWait
+	// KindWaitDone: thread Thread's WAIT on CV Arg completed;
+	// Aux = 1 if it timed out rather than being notified.
+	KindWaitDone
+	// KindNotify: thread Thread notified CV Arg; Aux = number of
+	// waiters woken (0 or 1).
+	KindNotify
+	// KindBroadcast: thread Thread broadcast CV Arg; Aux = waiters woken.
+	KindBroadcast
+	// KindYield: thread Thread yielded; Aux distinguishes the yield
+	// flavor (see YieldPlain and friends), Arg = directed-yield target
+	// or NoThread.
+	KindYield
+	// KindSetPriority: thread Thread changed priority; Arg = old,
+	// Aux = new.
+	KindSetPriority
+	// KindSleep: thread Thread began a timed sleep of Aux microseconds.
+	KindSleep
+	// KindReady: thread Thread became runnable; Arg = thread that made
+	// it runnable (NoThread for timer wakeups).
+	KindReady
+	// KindBlock: thread Thread blocked; Aux = block reason (see Block*).
+	KindBlock
+	numKinds
+)
+
+// Yield flavors carried in Event.Aux for KindYield.
+const (
+	YieldPlain      = 0 // YIELD: reschedule, caller remains eligible
+	YieldButNotToMe = 1 // cede to highest-priority ready thread other than caller
+	YieldDirected   = 2 // donate the rest of the slice to a specific thread
+)
+
+// Block reasons carried in Event.Aux for KindBlock.
+const (
+	BlockMutex = 0 // waiting for a monitor lock
+	BlockCV    = 1 // waiting on a condition variable
+	BlockJoin  = 2 // waiting in JOIN
+	BlockSleep = 3 // timed sleep
+	BlockFork  = 4 // waiting in FORK for thread resources (paper §5.4)
+)
+
+// NoThread is the Arg/Thread value meaning "no thread" (e.g. the idle side
+// of a switch).
+const NoThread = -1
+
+var kindNames = [numKinds]string{
+	"fork", "exit", "join", "switch", "ml-enter", "ml-exit",
+	"wait", "wait-done", "notify", "broadcast", "yield",
+	"set-priority", "sleep", "ready", "block",
+}
+
+// String returns a short lowercase name for k.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one timestamped thread event. Events are small value types;
+// a trace is a []Event.
+type Event struct {
+	Time   vclock.Time
+	Kind   Kind
+	Thread int32 // acting thread ID, or NoThread
+	Arg    int64 // kind-specific, see Kind docs
+	Aux    int64 // kind-specific, see Kind docs
+}
+
+// Sink receives events as the simulation produces them.
+type Sink interface {
+	Record(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Record implements Sink.
+func (f SinkFunc) Record(ev Event) { f(ev) }
+
+// Discard is a Sink that drops all events.
+var Discard Sink = SinkFunc(func(Event) {})
+
+// Buffer is a Sink that retains every event in order. The zero value is
+// ready to use.
+type Buffer struct {
+	Events []Event
+}
+
+// Record implements Sink.
+func (b *Buffer) Record(ev Event) { b.Events = append(b.Events, ev) }
+
+// Len returns the number of captured events.
+func (b *Buffer) Len() int { return len(b.Events) }
+
+// Reset discards captured events but keeps capacity.
+func (b *Buffer) Reset() { b.Events = b.Events[:0] }
+
+// Ring is a Sink that retains only the most recent Cap events — the
+// "100 millisecond event histories" style of capture the authors stared
+// at for a year.
+type Ring struct {
+	buf  []Event
+	next int
+	full bool
+}
+
+// NewRing returns a ring sink holding at most capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record implements Sink.
+func (r *Ring) Record(ev Event) {
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Snapshot returns the retained events in chronological order.
+func (r *Ring) Snapshot() []Event {
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Tee returns a Sink that forwards each event to all of sinks.
+func Tee(sinks ...Sink) Sink {
+	// Copy to guard against caller mutation of the slice.
+	s := make([]Sink, len(sinks))
+	copy(s, sinks)
+	return SinkFunc(func(ev Event) {
+		for _, sink := range s {
+			sink.Record(ev)
+		}
+	})
+}
+
+// Filter returns a Sink that forwards only events for which keep returns
+// true.
+func Filter(dst Sink, keep func(Event) bool) Sink {
+	return SinkFunc(func(ev Event) {
+		if keep(ev) {
+			dst.Record(ev)
+		}
+	})
+}
+
+// KindFilter returns a Sink forwarding only the listed kinds.
+func KindFilter(dst Sink, kinds ...Kind) Sink {
+	var mask [numKinds]bool
+	for _, k := range kinds {
+		if int(k) < len(mask) {
+			mask[k] = true
+		}
+	}
+	return SinkFunc(func(ev Event) {
+		if int(ev.Kind) < len(mask) && mask[ev.Kind] {
+			dst.Record(ev)
+		}
+	})
+}

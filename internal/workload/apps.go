@@ -1,0 +1,247 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// spawnServices adds n timeout-driven service sleepers (font caches,
+// style caches, symbol-table flushers, ...) that an application activity
+// brings to life — they are why the busy benchmarks wait on more distinct
+// CVs than the idle system (Table 3).
+func (c *Cedar) spawnServices(name string, n int, region Region, basePeriod vclock.Duration) {
+	for i := 0; i < n; i++ {
+		period := basePeriod + vclock.Duration(i)*170*vclock.Millisecond
+		paradigm.StartSleeper(c.W, c.Reg, fmt.Sprintf("%s-svc-%d", name, i), sim.PriorityLow, period, func(t *sim.Thread) {
+			c.Lib.Touch(t, region, 5)
+			t.Compute(400 * vclock.Microsecond)
+		})
+	}
+}
+
+// The four application benchmarks of §3, built on the Cedar model. Each
+// matches the forking-pattern analysis of the paper:
+//
+//   - Document formatting: a main worker forks many transients, which
+//     themselves fork one or more second-generation transients (the only
+//     benchmark with a "great number" of transients, 3.6/s).
+//   - Document previewing: moderate transient forking; transients simply
+//     run to completion. Pages flow through a pump pipeline.
+//   - Make: no worker fork — "the command-shell thread gets used as the
+//     main worker thread" — except GC/finalization transients.
+//   - Compile: few forks, compute-heavy, and a very wide set of distinct
+//     monitors entered (Table 3: 2900).
+
+// StartFormatter begins the document-formatting workload: a worker thread
+// formatting pages continuously until Stop.
+func (c *Cedar) StartFormatter() {
+	stopped := false
+	c.stops = append(c.stops, func() { stopped = true })
+	format := c.regions["format"]
+	c.spawnServices("format", 16, format, 1200*vclock.Millisecond)
+	// Formatting allocates heavily: wake the GC daemon's world more often
+	// by enqueueing finalizations.
+	// A user-initiated batch task runs at background priority (§3: "user
+	// interface activity tended to use higher priorities for its threads
+	// than did user-initiated tasks").
+	fpri := c.P.FormatterPriority
+	if fpri == 0 {
+		fpri = sim.PriorityBackground
+	}
+	worker := c.W.Spawn("formatter-worker", fpri, func(t *sim.Thread) any {
+		page := 0
+		for !stopped {
+			c.Lib.Touch(t, format, 200)
+			t.Compute(70 * vclock.Millisecond)
+			t.BlockIO(30 * vclock.Millisecond) // fonts, images, page output
+			c.pokeUI(3, 1)                     // progress display
+			if page%8 == 1 {
+				// Fork a transient that itself forks a child — the
+				// formatter's distinctive two-generation pattern.
+				paradigm.DeferTo(c.Reg, t, "format-transient", func(f *sim.Thread) {
+					c.Lib.Touch(f, format, 55)
+					f.Compute(6 * vclock.Millisecond)
+					paradigm.DeferTo(c.Reg, f, "format-transient-child", func(f2 *sim.Thread) {
+						c.Lib.Touch(f2, format, 35)
+						f2.Compute(4 * vclock.Millisecond)
+					})
+				})
+			} else if page%8 == 5 {
+				paradigm.DeferTo(c.Reg, t, "format-transient", func(f *sim.Thread) {
+					c.Lib.Touch(f, format, 55)
+					f.Compute(6 * vclock.Millisecond)
+				})
+			}
+			if page%6 == 5 {
+				c.gcWork.Add(t, func(g *sim.Thread) {
+					c.Lib.Touch(g, c.regions["core"], 10)
+					g.Compute(vclock.Millisecond)
+				})
+			}
+			page++
+		}
+		return page
+	})
+	worker.Detach()
+}
+
+// StartPreviewer begins the page-previewing workload: a reader worker
+// feeding a rasterize/paint pump pipeline; transients run to completion.
+func (c *Cedar) StartPreviewer() {
+	stopped := false
+	c.stops = append(c.stops, func() { stopped = true })
+	preview := c.regions["preview"]
+	c.spawnServices("preview", 6, preview, 1500*vclock.Millisecond)
+
+	pages := paradigm.NewBuffer(c.W, "preview-pages", 4)
+	raster := paradigm.NewBuffer(c.W, "preview-raster", 4)
+
+	// Rasterizer and painter pumps (the paper's structural pipelines).
+	c.Reg.Register(paradigm.KindGeneralPump)
+	c.W.Spawn("preview-raster", sim.PriorityNormal, func(t *sim.Thread) any {
+		for {
+			if _, ok := pages.Get(t); !ok {
+				raster.Close(t)
+				return nil
+			}
+			c.Lib.Touch(t, preview, 60)
+			t.Compute(18 * vclock.Millisecond)
+			raster.Put(t, struct{}{})
+		}
+	}).Detach()
+	c.Reg.Register(paradigm.KindGeneralPump)
+	c.W.Spawn("preview-paint", sim.PriorityNormal, func(t *sim.Thread) any {
+		for {
+			if _, ok := raster.Get(t); !ok {
+				return nil
+			}
+			c.Lib.Touch(t, preview, 45)
+			t.Compute(12 * vclock.Millisecond)
+			t.BlockIO(200 * vclock.Millisecond) // paint to the display
+			c.pokeUI(2, 1)
+		}
+	}).Detach()
+
+	worker := c.W.Spawn("preview-worker", sim.PriorityLow, func(t *sim.Thread) any {
+		page := 0
+		for !stopped {
+			c.Lib.Touch(t, preview, 80)
+			t.Compute(35 * vclock.Millisecond)
+			pages.Put(t, struct{}{})
+			if page%5 == 4 {
+				// A transient that simply runs to completion.
+				paradigm.DeferTo(c.Reg, t, "preview-transient", func(p *sim.Thread) {
+					c.Lib.Touch(p, preview, 40)
+					p.Compute(5 * vclock.Millisecond)
+				})
+			}
+			page++
+		}
+		pages.Close(t)
+		return page
+	})
+	worker.Detach()
+}
+
+// StartMake begins the make workload inside the command shell: checking
+// whether a program needs recompiling forks nothing — the shell is the
+// worker — except GC/finalization transients.
+func (c *Cedar) StartMake() {
+	stopped := false
+	c.stops = append(c.stops, func() { stopped = true })
+	mk := c.regions["make"]
+	var job func(sh *sim.Thread)
+	job = func(sh *sim.Thread) {
+		// One dependency-scan step: stat files, read headers, compare.
+		for i := 0; i < 6 && !stopped; i++ {
+			c.Lib.Touch(sh, mk, 8)
+			sh.Compute(4 * vclock.Millisecond)
+		}
+		// File-cache callbacks poke watcher threads (notified waits);
+		// they run during the scan's read I/O below, so each job costs
+		// only a couple of extra switches.
+		c.pokeUI(2, 1)
+		sh.BlockIO(9 * vclock.Millisecond)
+		if stopped {
+			return
+		}
+		// Occasionally the scan allocates enough to queue finalizers,
+		// which the GC work queue forks (the benchmark's only forks).
+		if c.W.Rand().Intn(100) == 0 {
+			c.gcWork.Add(sh, func(g *sim.Thread) {
+				paradigm.DeferTo(c.Reg, g, "finalize-transient", func(f *sim.Thread) {
+					c.Lib.Touch(f, c.regions["core"], 8)
+					f.Compute(800 * vclock.Microsecond)
+				})
+			})
+		}
+		c.shell.Enqueue(sh, 0, job) // keep the shell busy with the scan
+	}
+	c.shell.EnqueueExternal(0, job)
+}
+
+// StartCompile begins the compile workload: a compute-bound worker
+// entering a very wide set of distinct monitors, with an internal
+// parser→codegen pump pipeline (Table 3's 36 CVs) and rare forks.
+func (c *Cedar) StartCompile() {
+	stopped := false
+	c.stops = append(c.stops, func() { stopped = true })
+	comp := c.regions["compile"]
+
+	c.spawnServices("compile", 8, comp, 1400*vclock.Millisecond)
+	tokens := paradigm.NewBuffer(c.W, "compile-tokens", 8)
+	ir := paradigm.NewBuffer(c.W, "compile-ir", 8)
+	c.Reg.Register(paradigm.KindGeneralPump)
+	c.W.Spawn("compile-sem", sim.PriorityNormal, func(t *sim.Thread) any {
+		for {
+			if _, ok := tokens.Get(t); !ok {
+				ir.Close(t)
+				return nil
+			}
+			c.Lib.Touch(t, comp, 20)
+			t.Compute(16 * vclock.Millisecond)
+			ir.Put(t, struct{}{})
+		}
+	}).Detach()
+	c.Reg.Register(paradigm.KindGeneralPump)
+	c.W.Spawn("compile-gen", sim.PriorityNormal, func(t *sim.Thread) any {
+		for {
+			if _, ok := ir.Get(t); !ok {
+				return nil
+			}
+			c.Lib.Touch(t, comp, 18)
+			t.Compute(12 * vclock.Millisecond)
+		}
+	}).Detach()
+
+	// Compilation is a user-initiated background task (§3's priority
+	// observation); its pipeline stages exchange work in coarse chunks.
+	worker := c.W.Spawn("compile-worker", sim.PriorityBackground, func(t *sim.Thread) any {
+		unit := 0
+		for !stopped {
+			c.Lib.Touch(t, comp, 26)
+			t.Compute(24 * vclock.Millisecond)
+			if unit%4 == 3 {
+				t.BlockIO(24 * vclock.Millisecond) // read the next source file
+			}
+			if unit%8 == 7 {
+				tokens.Put(t, struct{}{})
+			}
+			if unit%100 == 99 {
+				c.gcWork.Add(t, func(g *sim.Thread) {
+					paradigm.DeferTo(c.Reg, g, "finalize-transient", func(f *sim.Thread) {
+						c.Lib.Touch(f, c.regions["core"], 8)
+						f.Compute(800 * vclock.Microsecond)
+					})
+				})
+			}
+			unit++
+		}
+		tokens.Close(t)
+		return unit
+	})
+	worker.Detach()
+}

@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// TestCalibrationReport prints measured vs paper values for all twelve
+// benchmarks. Run with -v to see the table; it never fails — the
+// assertions live in workload_test.go. Shorten the window with -short.
+func TestCalibrationReport(t *testing.T) {
+	rc := DefaultRunConfig()
+	if testing.Short() {
+		rc.Window = 10 * vclock.Second
+	}
+	fmt.Printf("%-22s %-6s | %7s %7s | %7s %7s | %7s %7s | %5s %5s | %7s %7s | %5s %5s | %5s %5s\n",
+		"benchmark", "sys", "forks", "paper", "switch", "paper", "waits", "paper", "%TO", "paper", "ML/s", "paper", "#CV", "paper", "#ML", "paper")
+	for _, b := range AllBenchmarks() {
+		r := Run(b, rc)
+		a := r.Analysis
+		fmt.Printf("%-22s %-6s | %7.1f %7.1f | %7.0f %7.0f | %7.0f %7.0f | %4.0f%% %4.0f%% | %7.0f %7.0f | %5d %5d | %5d %5d\n",
+			b.Name, b.System,
+			a.ForksPerSec(), b.PaperForks,
+			a.SwitchesPerSec(), b.PaperSwitches,
+			a.WaitsPerSec(), b.PaperWaits,
+			100*a.TimeoutFraction(), 100*b.PaperTimeout,
+			a.MLEntersPerSec(), b.PaperMLEnters,
+			a.DistinctCVs, b.PaperCVs,
+			a.DistinctMLs, b.PaperMLs)
+	}
+}

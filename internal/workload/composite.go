@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+)
+
+// StartEverydayWork attaches several simultaneous activities to one Cedar
+// world: typing into one window while a document formats in the
+// background and the mouse wanders — the paper's observation that the
+// benchmarks' 41-thread ceiling understates real sessions ("users employ
+// two to three times this many in everyday work").
+func (c *Cedar) StartEverydayWork() {
+	c.StartKeyboard(3.0)
+	c.StartMouse(15)
+	c.StartScrolling(0.3)
+	c.StartFormatter()
+	c.StartPreviewer()
+}
+
+// CompositeBenchmark returns the everyday-work scenario as a runnable
+// benchmark. It is not one of the paper's twelve table rows (so it is not
+// in AllBenchmarks), but it is how the authors describe the systems
+// actually being used.
+func CompositeBenchmark() Benchmark {
+	return Benchmark{
+		Name:   "Everyday work (composite)",
+		System: "Cedar",
+		Build: func(w *sim.World, reg *paradigm.Registry) {
+			p := DefaultCedarParams()
+			p.IdleForkPeriod = 4 * p.IdleForkPeriod / 2 // user busy: idle forking halves
+			c := NewCedar(w, reg, p)
+			c.StartEverydayWork()
+		},
+	}
+}

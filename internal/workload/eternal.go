@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// EternalSpec describes one eternal (never-exiting) thread: a sleeper
+// that wakes every Period, calls through Touches monitors in Region,
+// computes Work, and waits again. These are the threads behind the
+// paper's idle-system numbers: "an idle Cedar system has about 35 eternal
+// threads running in it".
+type EternalSpec struct {
+	Name    string
+	Pri     sim.Priority
+	Period  vclock.Duration
+	Touches int
+	Region  Region
+	Work    vclock.Duration
+}
+
+// SpawnEternals creates sleepers from specs and returns them.
+func SpawnEternals(w *sim.World, reg *paradigm.Registry, lib *Library, specs []EternalSpec) []*paradigm.Sleeper {
+	out := make([]*paradigm.Sleeper, 0, len(specs))
+	for _, s := range specs {
+		s := s
+		out = append(out, paradigm.StartSleeper(w, reg, s.Name, s.Pri, s.Period, func(t *sim.Thread) {
+			lib.Touch(t, s.Region, s.Touches)
+			t.Compute(s.Work)
+		}))
+	}
+	return out
+}
+
+// SpawnPokeables creates purely event-driven sleepers (no timeout): UI
+// helper threads (cursor blinker, caret, selection highlighter, …) that
+// run only when input activity pokes them. Idle, they contribute no CV
+// waits to the measurement window; under keyboard/mouse load they are the
+// "significant increases in activity by eternal threads" §3 reports.
+func SpawnPokeables(w *sim.World, reg *paradigm.Registry, lib *Library, n int, namePrefix string, pri sim.Priority, touches int, region Region, work vclock.Duration) []*paradigm.Sleeper {
+	out := make([]*paradigm.Sleeper, 0, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s-%d", namePrefix, i)
+		out = append(out, paradigm.StartSleeper(w, reg, name, pri, 0, func(t *sim.Thread) {
+			lib.Touch(t, region, touches)
+			t.Compute(work)
+		}))
+	}
+	return out
+}
+
+// SleeperGroup is a set of eternal threads all waiting on ONE shared
+// condition variable with a timeout. GVX concentrates its waits this way:
+// the paper's Table 3 shows 22 eternal GVX threads touching only ~5
+// distinct CVs, versus Cedar's one-CV-per-sleeper style.
+type SleeperGroup struct {
+	w    *sim.World
+	m    *monitor.Monitor
+	cv   *monitor.Cond
+	n    int
+	runs int
+}
+
+// SpawnSleeperGroup creates n threads sharing one CV. Each thread waits
+// with the given timeout period; on wake (timeout or poke) it calls
+// through the library and computes. period 0 makes the group purely
+// event-driven.
+func SpawnSleeperGroup(w *sim.World, reg *paradigm.Registry, lib *Library, name string, n int, pri sim.Priority, period vclock.Duration, touches int, region Region, work vclock.Duration) *SleeperGroup {
+	return SpawnSleeperGroupFunc(w, reg, name, n, pri, period, func(t *sim.Thread, i int) {
+		lib.Touch(t, region, touches)
+		t.Compute(work)
+	})
+}
+
+// SpawnSleeperGroupFunc is SpawnSleeperGroup with an arbitrary per-wake
+// body; i is the member index.
+func SpawnSleeperGroupFunc(w *sim.World, reg *paradigm.Registry, name string, n int, pri sim.Priority, period vclock.Duration, body func(t *sim.Thread, i int)) *SleeperGroup {
+	g := &SleeperGroup{w: w, n: n}
+	g.m = monitor.New(w, name+".mon")
+	g.cv = g.m.NewCondTimeout(name+".cv", period)
+	for i := 0; i < n; i++ {
+		i := i
+		reg.Register(paradigm.KindSleeper)
+		w.Spawn(fmt.Sprintf("%s-%d", name, i), pri, func(t *sim.Thread) any {
+			for {
+				g.m.Enter(t)
+				g.cv.Wait(t)
+				g.m.Exit(t)
+				body(t, i)
+				g.runs++
+			}
+		})
+	}
+	return g
+}
+
+// PokeExternal notifies one waiter of the group's shared CV from driver
+// context.
+func (g *SleeperGroup) PokeExternal() { g.cv.NotifyExternal() }
+
+// Runs returns the total activations across the group.
+func (g *SleeperGroup) Runs() int { return g.runs }
+
+// PumpChain is a producer sleeper feeding a consumer pump through a
+// bounded buffer: the producer's waits time out, the consumer's are
+// notified. Chains supply the notified fraction of an idle system's
+// waits (idle Cedar: ~18 % of waits notified).
+type PumpChain struct {
+	Producer *paradigm.Sleeper
+	Consumer *sim.Thread
+	Buffer   *paradigm.Buffer
+}
+
+// SpawnPumpChain creates one chain: every period the producer puts a
+// token; the consumer wakes (a notified CV wait), touches the library and
+// computes.
+func SpawnPumpChain(w *sim.World, reg *paradigm.Registry, lib *Library, name string, pri sim.Priority, period vclock.Duration, touches int, region Region, work vclock.Duration) *PumpChain {
+	buf := paradigm.NewBuffer(w, name+".chan", 8)
+	chain := &PumpChain{Buffer: buf}
+	chain.Producer = paradigm.StartSleeper(w, reg, name+".prod", pri, period, func(t *sim.Thread) {
+		buf.Put(t, struct{}{})
+	})
+	reg.Register(paradigm.KindGeneralPump)
+	chain.Consumer = w.Spawn(name+".cons", pri, func(t *sim.Thread) any {
+		for {
+			if _, ok := buf.Get(t); !ok {
+				return nil
+			}
+			lib.Touch(t, region, touches)
+			t.Compute(work)
+		}
+	})
+	return chain
+}

@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+func TestSpawnPokeables(t *testing.T) {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+	reg := paradigm.NewRegistry()
+	lib := NewLibrary(w, "lib", 20)
+	ps := SpawnPokeables(w, reg, lib, 3, "ui", sim.PriorityNormal, 2, Region{0, 20}, vclock.Millisecond)
+	if len(ps) != 3 {
+		t.Fatalf("pokeables = %d", len(ps))
+	}
+	w.At(vclock.Time(5*vclock.Millisecond), ps[0].PokeExternal)
+	w.At(vclock.Time(6*vclock.Millisecond), ps[1].PokeExternal)
+	w.At(vclock.Time(50*vclock.Millisecond), w.Stop)
+	w.Run(vclock.Time(vclock.Second))
+	if ps[0].Runs() != 1 || ps[1].Runs() != 1 || ps[2].Runs() != 0 {
+		t.Fatalf("runs = %d %d %d", ps[0].Runs(), ps[1].Runs(), ps[2].Runs())
+	}
+}
+
+func TestSpawnSleeperGroupTouchesLibrary(t *testing.T) {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+	reg := paradigm.NewRegistry()
+	lib := NewLibrary(w, "lib", 10)
+	g := SpawnSleeperGroup(w, reg, lib, "grp", 4, sim.PriorityNormal, 20*vclock.Millisecond, 2, Region{0, 10}, vclock.Millisecond)
+	w.At(vclock.Time(100*vclock.Millisecond), w.Stop)
+	w.Run(vclock.Time(vclock.Second))
+	if g.Runs() < 8 {
+		t.Fatalf("group runs = %d, want >= 8 (4 members x several periods)", g.Runs())
+	}
+	if reg.Count(paradigm.KindSleeper) == 0 {
+		t.Fatal("sleepers not registered")
+	}
+}
+
+func TestSpawnEternalsSpec(t *testing.T) {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+	reg := paradigm.NewRegistry()
+	lib := NewLibrary(w, "lib", 10)
+	ss := SpawnEternals(w, reg, lib, []EternalSpec{
+		{Name: "e0", Pri: sim.PriorityLow, Period: 10 * vclock.Millisecond, Touches: 1, Region: Region{0, 10}, Work: vclock.Millisecond},
+	})
+	w.At(vclock.Time(55*vclock.Millisecond), w.Stop)
+	w.Run(vclock.Time(vclock.Second))
+	if ss[0].Runs() < 4 {
+		t.Fatalf("eternal runs = %d", ss[0].Runs())
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// TestTraceInvariants runs the busiest benchmark with full tracing and
+// validates structural invariants across the ~100k-event stream:
+//
+//   - monitor enters and exits pair up: per monitor, the trace never
+//     shows two enters without an exit between them, and every exit has
+//     a matching enter by the same thread;
+//   - every WAIT has a WAIT-DONE by the same thread on the same CV
+//     (allowing waits still pending at the horizon);
+//   - switch events per CPU alternate occupants sensibly (no thread
+//     switched in twice without leaving).
+func TestTraceInvariants(t *testing.T) {
+	var buf trace.Buffer
+	w := sim.NewWorld(sim.Config{Trace: &buf, Seed: 3, SystemDaemon: true})
+	defer w.Shutdown()
+	reg := paradigm.NewRegistry()
+	b, err := FindBenchmark("Cedar", "Keyboard input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Build(w, reg)
+	w.Run(vclock.Time(10 * vclock.Second))
+
+	holder := map[int64]int32{} // monitor -> current holder
+	waiting := map[int64]int{}  // (thread<<32|cv) -> pending waits
+	cpuCur := map[int64]int32{} // cpu -> current thread
+	key := func(th int32, cv int64) int64 { return int64(th)<<32 ^ cv }
+
+	enters, exits, waits, dones := 0, 0, 0, 0
+	for _, ev := range buf.Events {
+		switch ev.Kind {
+		case trace.KindMLEnter:
+			if h, held := holder[ev.Arg]; held {
+				t.Fatalf("at %s: t%d entered m%d already held by t%d", ev.Time, ev.Thread, ev.Arg, h)
+			}
+			holder[ev.Arg] = ev.Thread
+			enters++
+		case trace.KindMLExit:
+			h, held := holder[ev.Arg]
+			if !held || h != ev.Thread {
+				t.Fatalf("at %s: t%d exited m%d it does not hold (holder=%d held=%v)", ev.Time, ev.Thread, ev.Arg, h, held)
+			}
+			delete(holder, ev.Arg)
+			exits++
+		case trace.KindWait:
+			waiting[key(ev.Thread, ev.Arg)]++
+			waits++
+		case trace.KindWaitDone:
+			k := key(ev.Thread, ev.Arg)
+			if waiting[k] <= 0 {
+				t.Fatalf("at %s: t%d wait-done on cv%d without a wait", ev.Time, ev.Thread, ev.Arg)
+			}
+			waiting[k]--
+			dones++
+		case trace.KindSwitch:
+			if ev.Thread != trace.NoThread && cpuCur[ev.Aux] == ev.Thread {
+				t.Fatalf("at %s: t%d switched in twice on cpu%d", ev.Time, ev.Thread, ev.Aux)
+			}
+			cpuCur[ev.Aux] = ev.Thread
+		}
+	}
+	if enters == 0 || waits == 0 {
+		t.Fatal("trace suspiciously quiet")
+	}
+	// Waits still pending at the horizon are fine; finished ones balance.
+	if dones > waits {
+		t.Fatalf("more wait-dones (%d) than waits (%d)", dones, waits)
+	}
+	t.Logf("validated %d events: %d/%d enters/exits, %d/%d waits/dones", len(buf.Events), enters, exits, waits, dones)
+}

@@ -1,0 +1,93 @@
+// Package workload models the two systems the paper measured — Cedar and
+// GVX — as populations of the thread paradigms the paper itself says the
+// systems are made of: eternal sleepers, pumps, serializers, a
+// high-priority Notifier, work-deferring forks, and the benchmark
+// activities of Tables 1–3 (keyboard, mouse, scrolling, document
+// formatting and previewing, make, compile).
+//
+// The models are parameterized and tuned to the paper's reported
+// operating points. The calibration targets and the knobs are honest
+// modeling choices, not measurements: what the reproduction claims is the
+// *shape* — idle vs. busy contrasts, Cedar vs. GVX contrasts, the
+// timeout-dominated wait mix, the monitor-entry scale — not the authors'
+// absolute SPARCstation numbers.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// Library models the monitored modules of a multi-million-line system:
+// a pool of monitors that threads enter briefly as they call through
+// layers of reusable packages. Table 3's "number of different MLs"
+// counts how much of this pool a benchmark visits; §3 notes monitors are
+// entered frequently "reflecting their use to protect data structures
+// (especially in reusable library packages)" with very low contention.
+type Library struct {
+	w    *sim.World
+	mons []*monitor.Monitor
+	// HoldCost is CPU charged inside each touched monitor.
+	HoldCost vclock.Duration
+}
+
+// NewLibrary creates a pool of n monitors.
+func NewLibrary(w *sim.World, name string, n int) *Library {
+	l := &Library{w: w, HoldCost: 2 * vclock.Microsecond}
+	opt := monitor.Options{DeferNotifyReschedule: true} // PCR shipped the §6.1 fix
+	for i := 0; i < n; i++ {
+		l.mons = append(l.mons, monitor.NewWithOptions(w, fmt.Sprintf("%s-%d", name, i), opt))
+	}
+	return l
+}
+
+// Size returns the number of monitors in the pool.
+func (l *Library) Size() int { return len(l.mons) }
+
+// Region identifies a half-open slice [Lo, Hi) of the library: the
+// modules a particular activity calls through.
+type Region struct{ Lo, Hi int }
+
+// Span returns the number of monitors in the region.
+func (r Region) Span() int { return r.Hi - r.Lo }
+
+// Touch enters and exits k monitors drawn uniformly from the region,
+// charging the per-hold cost inside each — one layered call chain.
+func (l *Library) Touch(t *sim.Thread, r Region, k int) {
+	if r.Lo < 0 || r.Hi > len(l.mons) || r.Lo >= r.Hi {
+		panic(fmt.Sprintf("workload: bad region [%d,%d) of %d", r.Lo, r.Hi, len(l.mons)))
+	}
+	rng := l.w.Rand()
+	for i := 0; i < k; i++ {
+		m := l.mons[r.Lo+rng.Intn(r.Span())]
+		m.Enter(t)
+		t.Compute(l.HoldCost)
+		m.Exit(t)
+	}
+}
+
+// TouchOne enters a specific monitor (by pool index), computes hold, and
+// exits — used to create deliberate contention points (GVX's window
+// monitor under scrolling, §3's 0.4 % contention).
+func (l *Library) TouchOne(t *sim.Thread, idx int, hold vclock.Duration) {
+	m := l.mons[idx]
+	m.Enter(t)
+	t.Compute(hold)
+	m.Exit(t)
+}
+
+// TouchOneIO enters a specific monitor, computes hold, performs io of
+// synchronous device I/O while still holding the monitor, and exits.
+// Lower-priority threads run during the I/O and contend on the monitor —
+// how GVX's shared window monitor shows measurable contention under
+// scrolling.
+func (l *Library) TouchOneIO(t *sim.Thread, idx int, hold, io vclock.Duration) {
+	m := l.mons[idx]
+	m.Enter(t)
+	t.Compute(hold)
+	t.BlockIO(io)
+	m.Exit(t)
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/vclock"
+)
+
+// TestEverydayWorkSoak runs the composite everyday-work scenario for two
+// virtual minutes — far past every periodic cycle in the models — and
+// checks the system stays healthy: no deadlock, thread population within
+// the paper's everyday bound (2-3x the benchmarks' 41), activity from
+// every subsystem, and timeout-dominated background behavior still
+// visible under the combined load.
+func TestEverydayWorkSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	rc := DefaultRunConfig()
+	rc.Window = 2 * vclock.Minute
+	r := Run(CompositeBenchmark(), rc)
+	a := r.Analysis
+
+	if a.MaxLive > 3*41 {
+		t.Errorf("max live threads = %d, want <= ~123 (2-3x the benchmark ceiling)", a.MaxLive)
+	}
+	if a.MaxLive < 41 {
+		t.Errorf("max live threads = %d; everyday work should exceed the single-benchmark ceiling", a.MaxLive)
+	}
+	if a.ForksPerSec() < 3 {
+		t.Errorf("forks/s = %.1f; keyboard+formatter should fork steadily", a.ForksPerSec())
+	}
+	if a.MLEntersPerSec() < 2000 {
+		t.Errorf("ML-enters/s = %.0f; combined load should be heavy", a.MLEntersPerSec())
+	}
+	if a.TimeoutFraction() < 0.2 || a.TimeoutFraction() > 0.9 {
+		t.Errorf("timeout fraction = %v; expected a mixed regime", a.TimeoutFraction())
+	}
+	// §3 invariants hold even under composite load.
+	if len(a.ForkGenerations) > 3 {
+		t.Errorf("fork generations %v exceed depth 2", a.ForkGenerations)
+	}
+	if a.MeanExitedLifetime >= vclock.Second {
+		t.Errorf("mean transient lifetime = %v, want well under 1s", a.MeanExitedLifetime)
+	}
+	// Contention stays Cedar-low even with everything running.
+	if a.ContentionFraction() > 0.01 {
+		t.Errorf("contention = %v, want < 1%%", a.ContentionFraction())
+	}
+}
+
+// TestEverydayWorkDeterministic: the composite scenario reproduces
+// exactly across runs with one seed and diverges with another.
+func TestEverydayWorkDeterministic(t *testing.T) {
+	rc := DefaultRunConfig()
+	rc.Window = 20 * vclock.Second
+	a := Run(CompositeBenchmark(), rc).Analysis
+	b := Run(CompositeBenchmark(), rc).Analysis
+	if a.MLEnters != b.MLEnters || a.Switches != b.Switches || a.Forks != b.Forks {
+		t.Fatalf("same seed diverged: %d/%d %d/%d %d/%d",
+			a.MLEnters, b.MLEnters, a.Switches, b.Switches, a.Forks, b.Forks)
+	}
+	rc.Seed = 777
+	c := Run(CompositeBenchmark(), rc).Analysis
+	if c.MLEnters == a.MLEnters && c.Switches == a.Switches {
+		t.Error("different seed produced identical counts")
+	}
+}

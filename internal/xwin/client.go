@@ -1,0 +1,270 @@
+package xwin
+
+import (
+	"repro/internal/monitor"
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// XEvent is one input event arriving from the X server.
+type XEvent struct {
+	Seq       int
+	Delivered vclock.Time
+}
+
+// Conn models the bidirectional X connection: input events pushed by the
+// server (driver context), output requests buffered by the client and
+// written by explicit or forced flushes.
+type Conn struct {
+	w      *sim.World
+	events []XEvent
+	reader *sim.Thread
+
+	// output batching accounting
+	pendingOut   int
+	flushes      int
+	flushedReqs  int
+	emptyFlushes int
+
+	// WriteCost is the syscall cost of one output flush.
+	WriteCost vclock.Duration
+	// ReadCost is the syscall cost of one (successful or timed-out) read.
+	ReadCost vclock.Duration
+}
+
+// NewConn returns a connection with default syscall costs.
+func NewConn(w *sim.World) *Conn {
+	return &Conn{
+		w:         w,
+		WriteCost: 400 * vclock.Microsecond,
+		ReadCost:  150 * vclock.Microsecond,
+	}
+}
+
+// Deliver pushes an input event from the server (driver context).
+func (c *Conn) Deliver(seq int) {
+	c.events = append(c.events, XEvent{Seq: seq, Delivered: c.w.Now()})
+	if c.reader != nil {
+		r := c.reader
+		c.reader = nil
+		c.w.WakeIfBlocked(r, nil)
+	}
+}
+
+// QueueOutput buffers n output requests for a later flush.
+func (c *Conn) QueueOutput(n int) { c.pendingOut += n }
+
+// FlushOutput writes the buffered output requests. Empty flushes still
+// pay the syscall; the Xlib model's forced flush-before-read makes many
+// of them.
+func (c *Conn) FlushOutput(t *sim.Thread) {
+	t.Compute(c.WriteCost)
+	c.flushes++
+	if c.pendingOut == 0 {
+		c.emptyFlushes++
+		return
+	}
+	c.flushedReqs += c.pendingOut
+	c.pendingOut = 0
+}
+
+// Flushes returns the number of output flush syscalls performed.
+func (c *Conn) Flushes() int { return c.flushes }
+
+// EmptyFlushes returns flushes that carried no requests.
+func (c *Conn) EmptyFlushes() int { return c.emptyFlushes }
+
+// MeanBatch returns the average requests per non-empty flush — the
+// batching throughput the forced flushes defeat.
+func (c *Conn) MeanBatch() float64 {
+	nonEmpty := c.flushes - c.emptyFlushes
+	if nonEmpty == 0 {
+		return 0
+	}
+	return float64(c.flushedReqs) / float64(nonEmpty)
+}
+
+// Read blocks until an input event arrives or timeout elapses (exact, an
+// OS-level wait). Only one thread may be in Read at a time — which is the
+// whole §5.6 problem for the Xlib model.
+func (c *Conn) Read(t *sim.Thread, timeout vclock.Duration) (XEvent, bool) {
+	t.Compute(c.ReadCost)
+	if len(c.events) == 0 {
+		if c.reader != nil {
+			panic("xwin: concurrent readers on one connection")
+		}
+		c.reader = t
+		if timeout > 0 {
+			t.BlockTimedExact(sim.BlockCV, timeout)
+		} else {
+			t.Block(sim.BlockCV)
+		}
+		if c.reader == t {
+			c.reader = nil // timed out; deregister
+		}
+	}
+	if len(c.events) == 0 {
+		return XEvent{}, false
+	}
+	ev := c.events[0]
+	c.events = c.events[1:]
+	return ev, true
+}
+
+// Client is the common interface of the two §5.6 client libraries.
+type Client interface {
+	// GetEvent returns the next input event, honoring the client's
+	// timeout; ok=false on timeout.
+	GetEvent(t *sim.Thread, timeout vclock.Duration) (XEvent, bool)
+	// QueueOutput buffers paint requests through the library.
+	QueueOutput(t *sim.Thread, n int)
+}
+
+// XlibClient is the "Xlib, modified only to make it thread-safe" model: a
+// library monitor serializes everything, any client thread performs the
+// read while holding that monitor, and — because others can neither enter
+// nor time out while it blocks — each read must use a short timeout and
+// the X-spec flush-before-read runs over and over, defeating batching.
+type XlibClient struct {
+	conn *Conn
+	m    *monitor.Monitor
+	// ReadSlice is the short read timeout that keeps the library mutex
+	// from being held indefinitely.
+	ReadSlice vclock.Duration
+
+	// MaxEnterDelay records the worst mutex-acquisition delay observed by
+	// GetEvent callers — the §5.6 priority-inversion window.
+	MaxEnterDelay vclock.Duration
+}
+
+// NewXlibClient wraps conn in the locked-library model.
+func NewXlibClient(w *sim.World, reg *paradigm.Registry, conn *Conn) *XlibClient {
+	reg.Register(paradigm.KindUnknown) // a lock, not a thread paradigm
+	return &XlibClient{
+		conn:      conn,
+		m:         monitor.New(w, "xlib"),
+		ReadSlice: 20 * vclock.Millisecond,
+	}
+}
+
+func (x *XlibClient) enter(t *sim.Thread) {
+	start := t.Now()
+	x.m.Enter(t)
+	if d := t.Now().Sub(start); d > x.MaxEnterDelay {
+		x.MaxEnterDelay = d
+	}
+}
+
+// GetEvent implements Client. Each poll flushes the output queue (the X
+// spec requires it before a read) and reads with the short timeout while
+// holding the library mutex.
+func (x *XlibClient) GetEvent(t *sim.Thread, timeout vclock.Duration) (XEvent, bool) {
+	deadline := t.Now().Add(timeout)
+	for {
+		x.enter(t)
+		// "The X specification requires that the output queue be flushed
+		// whenever a read is done on the input stream."
+		x.conn.FlushOutput(t)
+		ev, ok := x.conn.Read(t, x.ReadSlice)
+		x.m.Exit(t)
+		if ok {
+			return ev, true
+		}
+		if t.Now() >= deadline {
+			return XEvent{}, false
+		}
+	}
+}
+
+// QueueOutput implements Client (under the library mutex, like all Xlib
+// calls).
+func (x *XlibClient) QueueOutput(t *sim.Thread, n int) {
+	x.enter(t)
+	x.conn.QueueOutput(n)
+	x.m.Exit(t)
+}
+
+// XlClient is the "designed from scratch with multi-threading in mind"
+// model: a dedicated serializing reader thread owns the connection's
+// input side and blocks indefinitely; clients wait on a condition
+// variable whose timeout mechanism handles their GetEvent timeouts
+// "perfectly"; output is flushed explicitly (or by a periodic maintenance
+// thread), never forced by reads.
+type XlClient struct {
+	conn    *Conn
+	m       *monitor.Monitor
+	arrived *monitor.Cond
+	queue   []XEvent
+	reader  *sim.Thread
+	// MaxEnterDelay mirrors XlibClient's inversion measure; with the
+	// reader thread it stays tiny ("priority inversion can only occur
+	// during the short time period when a low-priority thread checks to
+	// see if there are events on the input queue").
+	MaxEnterDelay vclock.Duration
+}
+
+// NewXlClient wraps conn in the reading-thread model and forks the reader
+// (a serializer, §4.6) plus a periodic output-flushing maintenance thread
+// (a sleeper).
+func NewXlClient(w *sim.World, reg *paradigm.Registry, conn *Conn, flushEvery vclock.Duration) *XlClient {
+	x := &XlClient{conn: conn}
+	x.m = monitor.New(w, "xl")
+	x.arrived = x.m.NewCond("xl.arrived")
+
+	reg.Register(paradigm.KindSerializer)
+	x.reader = w.Spawn("xl-reader", sim.PriorityHigh, func(t *sim.Thread) any {
+		for {
+			ev, ok := conn.Read(t, 0) // block indefinitely
+			if !ok {
+				return nil
+			}
+			x.m.Enter(t)
+			x.queue = append(x.queue, ev)
+			x.arrived.Notify(t)
+			x.m.Exit(t)
+		}
+	})
+
+	// "Other mechanisms such as ... a periodic timeout by a maintenance
+	// thread ensure that output gets flushed in a timely manner."
+	paradigm.StartSleeper(w, reg, "xl-flusher", sim.PriorityNormal, flushEvery, func(t *sim.Thread) {
+		x.m.Enter(t)
+		if conn.pendingOut > 0 {
+			conn.FlushOutput(t)
+		}
+		x.m.Exit(t)
+	})
+	return x
+}
+
+func (x *XlClient) enter(t *sim.Thread) {
+	start := t.Now()
+	x.m.Enter(t)
+	if d := t.Now().Sub(start); d > x.MaxEnterDelay {
+		x.MaxEnterDelay = d
+	}
+}
+
+// GetEvent implements Client: a CV wait with the client's own timeout.
+func (x *XlClient) GetEvent(t *sim.Thread, timeout vclock.Duration) (XEvent, bool) {
+	x.enter(t)
+	defer x.m.Exit(t)
+	x.arrived.SetTimeout(timeout)
+	deadline := t.Now().Add(timeout)
+	for len(x.queue) == 0 {
+		if x.arrived.Wait(t) && t.Now() >= deadline {
+			return XEvent{}, false
+		}
+	}
+	ev := x.queue[0]
+	x.queue = x.queue[1:]
+	return ev, true
+}
+
+// QueueOutput implements Client.
+func (x *XlClient) QueueOutput(t *sim.Thread, n int) {
+	x.enter(t)
+	x.conn.QueueOutput(n)
+	x.m.Exit(t)
+}

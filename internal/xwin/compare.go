@@ -1,0 +1,107 @@
+package xwin
+
+import (
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// ClientKind selects one of the two §5.6 client-library designs.
+type ClientKind int
+
+// The two approaches the paper studied.
+const (
+	ClientXlib ClientKind = iota // thread-safe Xlib: library mutex, short-timeout reads
+	ClientXl                     // Xl: dedicated reading thread, CV timeouts
+)
+
+// String names the kind.
+func (k ClientKind) String() string {
+	if k == ClientXlib {
+		return "modified Xlib"
+	}
+	return "Xl"
+}
+
+// CompareResult summarizes one client-model run for the §5.6 table.
+type CompareResult struct {
+	Kind          ClientKind
+	EventsGot     int
+	MeanEventLat  vclock.Duration // server delivery -> GetEvent return
+	Flushes       int
+	EmptyFlushes  int
+	MeanBatch     float64         // output requests per non-empty flush
+	MaxEnterDelay vclock.Duration // worst library-mutex acquisition delay
+}
+
+// RunClientComparison drives one client model for dur of virtual time:
+// a painter queues output requests steadily, two client threads (one
+// high-, one low-priority) poll GetEvent, and the server delivers input
+// events every eventEvery.
+func RunClientComparison(kind ClientKind, eventEvery vclock.Duration, seed int64, dur vclock.Duration) CompareResult {
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	defer w.Shutdown()
+	reg := paradigm.NewRegistry()
+	conn := NewConn(w)
+
+	var client Client
+	var inversionOf func() vclock.Duration
+	switch kind {
+	case ClientXlib:
+		x := NewXlibClient(w, reg, conn)
+		client = x
+		inversionOf = func() vclock.Duration { return x.MaxEnterDelay }
+	default:
+		x := NewXlClient(w, reg, conn, 50*vclock.Millisecond)
+		client = x
+		inversionOf = func() vclock.Duration { return x.MaxEnterDelay }
+	}
+
+	// The server delivers input events periodically.
+	seq := 0
+	w.Every(eventEvery, func() {
+		conn.Deliver(seq)
+		seq++
+	})
+
+	// A painter queues output requests in a steady stream; with working
+	// batching these coalesce into few large flushes.
+	w.Spawn("painter", sim.PriorityNormal, func(t *sim.Thread) any {
+		for {
+			t.Compute(2 * vclock.Millisecond)
+			client.QueueOutput(t, 1)
+		}
+	})
+
+	// Two event consumers; the high-priority one measures how long the
+	// library can lock it out (the §5.6 inversion).
+	got := 0
+	var latSum vclock.Duration
+	consume := func(t *sim.Thread) any {
+		for {
+			ev, ok := client.GetEvent(t, 500*vclock.Millisecond)
+			if ok {
+				got++
+				latSum += t.Now().Sub(ev.Delivered)
+			}
+			t.Compute(300 * vclock.Microsecond)
+		}
+	}
+	w.Spawn("consumer-hi", sim.PriorityHigh, consume)
+	w.Spawn("consumer-lo", sim.PriorityLow, consume)
+
+	w.Run(vclock.Time(0).Add(dur))
+
+	res := CompareResult{
+		Kind:          kind,
+		EventsGot:     got,
+		Flushes:       conn.Flushes(),
+		EmptyFlushes:  conn.EmptyFlushes(),
+		MeanBatch:     conn.MeanBatch(),
+		MaxEnterDelay: inversionOf(),
+	}
+	if got > 0 {
+		res.MeanEventLat = latSum / vclock.Duration(got)
+	}
+	return res
+}

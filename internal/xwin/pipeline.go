@@ -1,0 +1,176 @@
+package xwin
+
+import (
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// Pipeline is the §5.2 user-feedback pipeline: an imaging thread produces
+// paint requests onto a queue and NOTIFYs a higher-priority buffer thread
+// (a slack process), which gathers, merges overlapping requests, and
+// sends them to the X server only occasionally.
+type Pipeline struct {
+	W      *sim.World
+	Server *Server
+	Buffer *BufferThread
+
+	produced int
+	stopped  bool
+}
+
+// PipelineConfig parameterizes the experiment.
+type PipelineConfig struct {
+	// Strategy is how the buffer thread adds slack: the broken plain
+	// YIELD, the YieldButNotToMe fix, SlackSleep (§6.3's alternative), or
+	// SlackNone (no batching at all).
+	Strategy paradigm.WaitStrategy
+	// Slack is the SlackSleep interval.
+	Slack vclock.Duration
+	// Targets is the number of distinct window regions the imaging
+	// thread paints; more targets means less mergeable overlap.
+	Targets int
+	// ProduceCost is the imaging thread's CPU per paint request.
+	ProduceCost vclock.Duration
+	// BufferPriority and ImagePriority reproduce the §5.2 inversion: the
+	// buffer thread outranks its producer.
+	BufferPriority sim.Priority
+	ImagePriority  sim.Priority
+}
+
+// DefaultPipelineConfig returns the §5.2 operating point.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		Strategy:       paradigm.SlackYieldButNotToMe,
+		Slack:          10 * vclock.Millisecond,
+		Targets:        12,
+		ProduceCost:    800 * vclock.Microsecond,
+		BufferPriority: sim.PriorityHigh,
+		ImagePriority:  sim.PriorityLow,
+	}
+}
+
+// BufferThread is the slack process: it accumulates paint requests,
+// merges overlapping ones and flushes them to the server.
+type BufferThread struct {
+	thread  *sim.Thread
+	in, out int
+}
+
+// In returns requests gathered; Out returns requests actually sent.
+func (b *BufferThread) In() int { return b.in }
+
+// Out returns the number of requests sent after merging.
+func (b *BufferThread) Out() int { return b.out }
+
+// StartPipeline builds the §5.2 pipeline on w and starts both threads.
+// The imaging thread produces until Stop (or forever).
+func StartPipeline(w *sim.World, reg *paradigm.Registry, srv *Server, cfg PipelineConfig) *Pipeline {
+	p := &Pipeline{W: w, Server: srv, Buffer: &BufferThread{}}
+	queue := paradigm.NewBuffer(w, "paint-queue", 0)
+
+	reg.Register(paradigm.KindSlackProcess)
+	p.Buffer.thread = w.Spawn("buffer-thread", cfg.BufferPriority, func(t *sim.Thread) any {
+		for {
+			first, ok := queue.Get(t)
+			if !ok {
+				return nil
+			}
+			batch := []PaintRequest{first.(PaintRequest)}
+
+			switch cfg.Strategy {
+			case paradigm.SlackYield:
+				// §5.2's bug: the scheduler chooses the (higher
+				// priority) buffer thread right back, so nothing
+				// accumulates and no merging occurs.
+				t.Yield()
+			case paradigm.SlackYieldButNotToMe:
+				// The fix: cede the processor until the end of the
+				// timeslice; the quantum clocks the batches (§6.3).
+				t.YieldButNotToMe()
+			case paradigm.SlackSleep:
+				t.Sleep(cfg.Slack)
+			}
+
+			for {
+				item, ok := queue.TryGet(t)
+				if !ok {
+					break
+				}
+				batch = append(batch, item.(PaintRequest))
+			}
+			p.Buffer.in += len(batch)
+			srv.ObserveBatch(t.Now(), batch)
+			merged := MergeRequests(batch)
+			p.Buffer.out += len(merged)
+			srv.Flush(t, merged)
+		}
+	})
+
+	reg.Register(paradigm.KindGeneralPump)
+	w.Spawn("imaging-thread", cfg.ImagePriority, func(t *sim.Thread) any {
+		for !p.stopped {
+			t.Compute(cfg.ProduceCost)
+			req := PaintRequest{
+				Target: p.produced % cfg.Targets,
+				Seq:    p.produced,
+				Born:   t.Now(),
+			}
+			p.produced++
+			queue.Put(t, req)
+		}
+		queue.Close(t)
+		return p.produced
+	}).Detach()
+
+	return p
+}
+
+// Stop halts the imaging thread at its next iteration.
+func (p *Pipeline) Stop() { p.stopped = true }
+
+// Produced returns the number of paint requests the imaging thread has
+// generated — the §5.2 figure of merit ("the image thread gets much more
+// processor resource over the same time interval").
+func (p *Pipeline) Produced() int { return p.produced }
+
+// MergeRatio returns gathered/sent (1.0 means no merging happened).
+func (p *Pipeline) MergeRatio() float64 {
+	if p.Buffer.out == 0 {
+		return 0
+	}
+	return float64(p.Buffer.in) / float64(p.Buffer.out)
+}
+
+// PipelineResult summarizes one pipeline run for the experiment tables.
+type PipelineResult struct {
+	Strategy    paradigm.WaitStrategy
+	Quantum     vclock.Duration
+	Produced    int
+	Flushes     int
+	Requests    int
+	MergeRatio  float64
+	MaxPaintGap vclock.Duration
+	MeanLatency vclock.Duration
+}
+
+// RunPipeline runs the pipeline for the given virtual duration on a fresh
+// world and returns the summary.
+func RunPipeline(cfg PipelineConfig, quantum vclock.Duration, seed int64, dur vclock.Duration) PipelineResult {
+	w := sim.NewWorld(sim.Config{Quantum: quantum, Seed: seed})
+	defer w.Shutdown()
+	reg := paradigm.NewRegistry()
+	srv := NewServer(w)
+	p := StartPipeline(w, reg, srv, cfg)
+	w.Run(vclock.Time(0).Add(dur))
+	return PipelineResult{
+		Strategy:    cfg.Strategy,
+		Quantum:     quantum,
+		Produced:    p.Produced(),
+		Flushes:     srv.Flushes(),
+		Requests:    srv.Requests(),
+		MergeRatio:  p.MergeRatio(),
+		MaxPaintGap: srv.MaxPaintGap(),
+		MeanLatency: srv.MeanLatency(),
+	}
+}

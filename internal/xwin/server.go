@@ -1,0 +1,119 @@
+// Package xwin models the X window system substrate of the paper's
+// hardest case study: the §5.2 slack process that batches paint requests
+// to the X server, whose performance turned out to be clocked by the
+// scheduling quantum (§6.3), and the two multi-threaded client libraries
+// of §5.6 (a thread-safe Xlib versus Xl's dedicated reading thread).
+//
+// The X server itself is a separate Unix process reached through a
+// socket. Sending it work steals the processor from the client world —
+// the paper's "much more work done by the X server than should be
+// necessary" — so a flush charges the flushing thread the transaction
+// overhead plus per-request processing, and the experiment's figure of
+// merit is how much CPU is left for the imaging thread.
+package xwin
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// PaintRequest is one graphics request. Requests targeting the same
+// window region (Target) supersede each other: merging keeps only the
+// latest — "replacing earlier data with later data" (§4.2).
+type PaintRequest struct {
+	Target int         // window region; requests on one target merge
+	Seq    int         // production sequence number
+	Born   vclock.Time // when the imaging thread produced it
+}
+
+// Server models the X server process on the other end of a socket.
+type Server struct {
+	w *sim.World
+
+	// FlushCost is the per-transaction overhead of waking the server
+	// process (write syscall, process switch, dispatch).
+	FlushCost vclock.Duration
+	// RequestCost is the server's processing cost per request.
+	RequestCost vclock.Duration
+
+	flushes   int
+	requests  int
+	lastPaint vclock.Time
+	maxGap    vclock.Duration // longest interval between paints (burstiness)
+	latency   vclock.Duration // summed production-to-paint latency
+	observed  int
+}
+
+// NewServer returns a server with the calibrated default costs.
+func NewServer(w *sim.World) *Server {
+	return &Server{
+		w:           w,
+		FlushCost:   1800 * vclock.Microsecond,
+		RequestCost: 300 * vclock.Microsecond,
+	}
+}
+
+// Flush sends a batch of requests. The calling thread is charged the
+// transaction overhead and the server's processing time (the server
+// process takes the processor away from the thread world).
+func (s *Server) Flush(t *sim.Thread, batch []PaintRequest) {
+	if len(batch) == 0 {
+		return
+	}
+	t.Compute(s.FlushCost + vclock.Duration(len(batch))*s.RequestCost)
+	now := s.w.Now()
+	if s.flushes > 0 {
+		if gap := now.Sub(s.lastPaint); gap > s.maxGap {
+			s.maxGap = gap
+		}
+	}
+	s.lastPaint = now
+	s.flushes++
+	s.requests += len(batch)
+}
+
+// ObserveBatch records the production-to-paint latency of every gathered
+// request — including the ones merging will drop, since the user has been
+// waiting on those paints too.
+func (s *Server) ObserveBatch(now vclock.Time, batch []PaintRequest) {
+	for _, r := range batch {
+		s.latency += now.Sub(r.Born)
+		s.observed++
+	}
+}
+
+// Flushes returns the number of transactions sent so far.
+func (s *Server) Flushes() int { return s.flushes }
+
+// Requests returns the number of requests the server has processed.
+func (s *Server) Requests() int { return s.requests }
+
+// MaxPaintGap returns the longest interval between successive paints —
+// the §6.3 burstiness measure (a 1-second quantum buffers events "for one
+// second ... and the user would observe very bursty screen painting").
+func (s *Server) MaxPaintGap() vclock.Duration { return s.maxGap }
+
+// MeanLatency returns the average production-to-paint latency.
+func (s *Server) MeanLatency() vclock.Duration {
+	if s.observed == 0 {
+		return 0
+	}
+	return s.latency / vclock.Duration(s.observed)
+}
+
+// MergeRequests reduces a batch to the newest request per target.
+func MergeRequests(batch []PaintRequest) []PaintRequest {
+	latest := make(map[int]PaintRequest, len(batch))
+	for _, r := range batch {
+		if have, ok := latest[r.Target]; !ok || r.Seq > have.Seq {
+			latest[r.Target] = r
+		}
+	}
+	out := batch[:0]
+	for _, r := range batch {
+		if latest[r.Target].Seq == r.Seq {
+			out = append(out, r)
+		}
+	}
+	return out
+}

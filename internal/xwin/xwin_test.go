@@ -1,0 +1,244 @@
+package xwin
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+func TestMergeRequests(t *testing.T) {
+	batch := []PaintRequest{
+		{Target: 1, Seq: 1}, {Target: 2, Seq: 2}, {Target: 1, Seq: 3}, {Target: 3, Seq: 4}, {Target: 2, Seq: 5},
+	}
+	got := MergeRequests(batch)
+	want := []PaintRequest{{Target: 1, Seq: 3}, {Target: 3, Seq: 4}, {Target: 2, Seq: 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merged = %v, want %v", got, want)
+	}
+	if out := MergeRequests(nil); len(out) != 0 {
+		t.Fatal("empty merge should be empty")
+	}
+}
+
+func TestServerAccounting(t *testing.T) {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+	srv := NewServer(w)
+	srv.FlushCost = vclock.Millisecond
+	srv.RequestCost = 100 * vclock.Microsecond
+	var elapsed vclock.Duration
+	w.Spawn("client", sim.PriorityNormal, func(t *sim.Thread) any {
+		start := t.Now()
+		batch := []PaintRequest{{Target: 1, Born: 0}, {Target: 2, Born: 0}}
+		srv.Flush(t, batch)
+		srv.ObserveBatch(t.Now(), batch)
+		elapsed = t.Now().Sub(start)
+		t.Compute(10 * vclock.Millisecond)
+		srv.Flush(t, []PaintRequest{{Target: 1, Born: t.Now()}})
+		srv.Flush(t, nil) // no-op
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if elapsed != vclock.Millisecond+200*vclock.Microsecond {
+		t.Errorf("flush cost = %v, want 1.2ms", elapsed)
+	}
+	if srv.Flushes() != 2 || srv.Requests() != 3 {
+		t.Errorf("flushes=%d requests=%d", srv.Flushes(), srv.Requests())
+	}
+	if srv.MaxPaintGap() < 10*vclock.Millisecond {
+		t.Errorf("max gap = %v, want >= 10ms", srv.MaxPaintGap())
+	}
+	if srv.MeanLatency() <= 0 {
+		t.Error("mean latency should be positive")
+	}
+}
+
+// TestYieldButNotToMeBeatsPlainYield is the §5.2 headline: the
+// YieldButNotToMe fix lets the buffer thread merge, cutting server
+// transactions and roughly tripling the imaging thread's throughput.
+func TestYieldButNotToMeBeatsPlainYield(t *testing.T) {
+	dur := 5 * vclock.Second
+	plain := DefaultPipelineConfig()
+	plain.Strategy = paradigm.SlackYield
+	fixed := DefaultPipelineConfig()
+	fixed.Strategy = paradigm.SlackYieldButNotToMe
+
+	p := RunPipeline(plain, 50*vclock.Millisecond, 1, dur)
+	f := RunPipeline(fixed, 50*vclock.Millisecond, 1, dur)
+
+	if p.MergeRatio > 1.2 {
+		t.Errorf("plain yield merge ratio = %.2f, want ~1 (no merging, §5.2 bug)", p.MergeRatio)
+	}
+	if f.MergeRatio < 3 {
+		t.Errorf("fixed merge ratio = %.2f, want >> 1", f.MergeRatio)
+	}
+	if f.Flushes >= p.Flushes/2 {
+		t.Errorf("fixed flushes %d should be far below plain %d", f.Flushes, p.Flushes)
+	}
+	improvement := float64(f.Produced) / float64(p.Produced)
+	if improvement < 2 || improvement > 6 {
+		t.Errorf("throughput improvement = %.2fx, want ~3x", improvement)
+	}
+}
+
+// TestQuantumClocksTheBatches is §6.3: with YieldButNotToMe the flush
+// period tracks the scheduling quantum.
+func TestQuantumClocksTheBatches(t *testing.T) {
+	dur := 5 * vclock.Second
+	cfg := DefaultPipelineConfig()
+	r20 := RunPipeline(cfg, 20*vclock.Millisecond, 1, dur)
+	r50 := RunPipeline(cfg, 50*vclock.Millisecond, 1, dur)
+	r1000 := RunPipeline(cfg, vclock.Second, 1, dur)
+
+	// Longer quantum => fewer, bigger batches and burstier painting.
+	if !(r20.Flushes > r50.Flushes && r50.Flushes > r1000.Flushes) {
+		t.Errorf("flushes should fall with quantum: 20ms=%d 50ms=%d 1s=%d", r20.Flushes, r50.Flushes, r1000.Flushes)
+	}
+	if !(r1000.MergeRatio > r50.MergeRatio && r50.MergeRatio > r20.MergeRatio) {
+		t.Errorf("merge ratio should grow with quantum: %v %v %v", r20.MergeRatio, r50.MergeRatio, r1000.MergeRatio)
+	}
+	// "If the quantum were 1 second, then X events would be buffered for
+	// one second ... very bursty screen painting."
+	if r1000.MaxPaintGap < 900*vclock.Millisecond {
+		t.Errorf("1s quantum max paint gap = %v, want ~1s bursts", r1000.MaxPaintGap)
+	}
+	if r50.MaxPaintGap > 200*vclock.Millisecond {
+		t.Errorf("50ms quantum max paint gap = %v, want well under 200ms", r50.MaxPaintGap)
+	}
+}
+
+// TestTinyQuantumDefeatsYieldButNotToMe is the other §6.3 edge: "if the
+// quantum were 1 millisecond, then the YieldButNotToMe would yield only
+// very briefly and we would be back to the start of our problems".
+func TestTinyQuantumDefeatsYieldButNotToMe(t *testing.T) {
+	dur := 5 * vclock.Second
+	cfg := DefaultPipelineConfig()
+	tiny := RunPipeline(cfg, vclock.Millisecond, 1, dur)
+	normal := RunPipeline(cfg, 50*vclock.Millisecond, 1, dur)
+	if tiny.MergeRatio > normal.MergeRatio/2 {
+		t.Errorf("1ms quantum merge ratio %.2f should collapse versus 50ms's %.2f", tiny.MergeRatio, normal.MergeRatio)
+	}
+}
+
+// TestSleepStrategyNeedsShortQuantum is §6.3's third observation: a
+// timeout-based buffer thread works if the timeout granularity (tied to
+// the quantum) is ~20ms, but with PCR's 50ms granularity the batching
+// latency hurts.
+func TestSleepStrategyNeedsShortQuantum(t *testing.T) {
+	dur := 5 * vclock.Second
+	cfg := DefaultPipelineConfig()
+	cfg.Strategy = paradigm.SlackSleep
+	cfg.Slack = 20 * vclock.Millisecond
+
+	run := func(granularity vclock.Duration) PipelineResult {
+		w := sim.NewWorld(sim.Config{TimeoutGranularity: granularity, Seed: 1})
+		defer w.Shutdown()
+		reg := paradigm.NewRegistry()
+		srv := NewServer(w)
+		p := StartPipeline(w, reg, srv, cfg)
+		w.Run(vclock.Time(0).Add(dur))
+		return PipelineResult{
+			Produced: p.Produced(), Flushes: srv.Flushes(),
+			MergeRatio: p.MergeRatio(), MeanLatency: srv.MeanLatency(),
+		}
+	}
+	fine := run(20 * vclock.Millisecond)   // a 20ms-quantum PCR
+	coarse := run(50 * vclock.Millisecond) // the real PCR
+	if fine.MergeRatio < 2 {
+		t.Errorf("20ms-granularity sleep strategy merge ratio = %.2f, want batching to work", fine.MergeRatio)
+	}
+	if coarse.MeanLatency <= fine.MeanLatency {
+		t.Errorf("50ms granularity latency %v should exceed 20ms granularity's %v", coarse.MeanLatency, fine.MeanLatency)
+	}
+}
+
+// TestXlibVsXl is §5.6: the dedicated reading thread eliminates forced
+// flushes (batching works) and shrinks the library-mutex inversion
+// window.
+func TestXlibVsXl(t *testing.T) {
+	dur := 10 * vclock.Second
+	xlib := RunClientComparison(ClientXlib, 100*vclock.Millisecond, 1, dur)
+	xl := RunClientComparison(ClientXl, 100*vclock.Millisecond, 1, dur)
+
+	if xlib.EventsGot == 0 || xl.EventsGot == 0 {
+		t.Fatalf("clients got no events: xlib=%d xl=%d", xlib.EventsGot, xl.EventsGot)
+	}
+	// Forced flush-before-read defeats batching: many more flushes, far
+	// smaller batches.
+	if xlib.Flushes < 2*xl.Flushes {
+		t.Errorf("xlib flushes %d should far exceed xl's %d", xlib.Flushes, xl.Flushes)
+	}
+	if xlib.MeanBatch > xl.MeanBatch/2 {
+		t.Errorf("xlib mean batch %.1f should be far below xl's %.1f", xlib.MeanBatch, xl.MeanBatch)
+	}
+	// The library mutex held across reads can lock a client out for up
+	// to the short read timeout; Xl's window is tiny.
+	if xlib.MaxEnterDelay < 10*vclock.Millisecond {
+		t.Errorf("xlib inversion window = %v, want tens of ms", xlib.MaxEnterDelay)
+	}
+	if xl.MaxEnterDelay > xlib.MaxEnterDelay/4 {
+		t.Errorf("xl inversion window %v should be far below xlib's %v", xl.MaxEnterDelay, xlib.MaxEnterDelay)
+	}
+	if ClientXlib.String() == ClientXl.String() {
+		t.Error("kind names should differ")
+	}
+}
+
+func TestConnReadConcurrentPanics(t *testing.T) {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+	conn := NewConn(w)
+	w.Spawn("r1", sim.PriorityNormal, func(th *sim.Thread) any {
+		conn.Read(th, 0)
+		return nil
+	})
+	r2 := w.Spawn("r2", sim.PriorityNormal, func(th *sim.Thread) any {
+		th.Compute(vclock.Millisecond)
+		conn.Read(th, 0)
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if r2.Err() == nil {
+		t.Fatal("second concurrent reader should panic")
+	}
+}
+
+func TestConnBatchingAccounting(t *testing.T) {
+	w := sim.NewWorld(sim.Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+	conn := NewConn(w)
+	w.Spawn("writer", sim.PriorityNormal, func(th *sim.Thread) any {
+		conn.QueueOutput(3)
+		conn.FlushOutput(th)
+		conn.FlushOutput(th) // empty
+		conn.QueueOutput(5)
+		conn.FlushOutput(th)
+		return nil
+	})
+	w.Run(vclock.Time(vclock.Second))
+	if conn.Flushes() != 3 || conn.EmptyFlushes() != 1 {
+		t.Fatalf("flushes=%d empty=%d", conn.Flushes(), conn.EmptyFlushes())
+	}
+	if conn.MeanBatch() != 4.0 { // (3+5)/2 non-empty flushes
+		t.Fatalf("mean batch = %v", conn.MeanBatch())
+	}
+}
+
+func TestPipelineStop(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	defer w.Shutdown()
+	reg := paradigm.NewRegistry()
+	srv := NewServer(w)
+	p := StartPipeline(w, reg, srv, DefaultPipelineConfig())
+	w.At(vclock.Time(200*vclock.Millisecond), p.Stop)
+	out := w.Run(vclock.Time(2 * vclock.Second))
+	if out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v (pipeline should drain and exit after Stop)", out)
+	}
+	if p.Produced() == 0 || srv.Flushes() == 0 {
+		t.Fatal("pipeline did nothing before Stop")
+	}
+}
