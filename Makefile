@@ -1,0 +1,25 @@
+# One-command gates for this repository. `make check` is the bar every
+# PR must clear: vet, build, and the full test suite under the race
+# detector — the race run is what proves the parallel experiment
+# harness (experiments.RunAll) shares no hidden state.
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$'

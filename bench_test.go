@@ -11,6 +11,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -317,3 +319,49 @@ func BenchmarkNotifyFixAblation(b *testing.B) {
 }
 
 func BenchmarkFigEchoLatency(b *testing.B) { benchExperiment(b, "F12") }
+
+// The parallel experiment harness: one full regeneration of all 16
+// artifacts per iteration, under increasing worker-pool sizes. The
+// parallel=1 row is the old serial harness; the speedup of the larger
+// rows is the harness's whole point (the experiments share nothing, so
+// the sweep should scale until it runs out of cores).
+func BenchmarkRunAll(b *testing.B) {
+	widths := []int{1, 2, 4}
+	if p := runtime.GOMAXPROCS(0); p > 4 {
+		widths = append(widths, p)
+	}
+	for _, par := range widths {
+		par := par
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				outs := experiments.RunAll(experiments.Config{Quick: true, Seed: 1}, par)
+				if len(outs) != 16 {
+					b.Fatalf("got %d outcomes, want 16", len(outs))
+				}
+				var events int64
+				for _, o := range outs {
+					events += o.Metrics.Events
+				}
+				if events == 0 {
+					b.Fatal("harness observed no simulator events")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunAllVerify measures the -verify mode: every experiment run
+// twice, concurrently with itself, plus the output diff.
+func BenchmarkRunAllVerify(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		outs := experiments.RunWith(experiments.Config{Quick: true, Seed: 1},
+			experiments.Options{Verify: true})
+		for _, o := range outs {
+			if o.Mismatch {
+				b.Fatalf("%s nondeterministic", o.Report.ID)
+			}
+		}
+	}
+}

@@ -4,23 +4,31 @@
 //
 // Usage:
 //
-//	threadstudy                  # run everything (T1..T4, F1..F8)
+//	threadstudy                  # run everything (T1..T4, F1..F12)
 //	threadstudy -list            # list experiment IDs
 //	threadstudy -experiment T2   # run one experiment
 //	threadstudy -quick           # ~3x shorter measurement windows
 //	threadstudy -seed 7          # change the deterministic seed
+//	threadstudy -parallel 4      # worker-pool parallelism (default GOMAXPROCS);
+//	                             # output is byte-identical to -parallel 1
+//	threadstudy -json out.json   # also write per-experiment metrics
+//	                             # (wall time, virtual time, events, events/sec)
+//	threadstudy -verify          # run each experiment twice, concurrently,
+//	                             # and fail on any output difference
 //	threadstudy -trace out.bin -benchmark "Cedar/Idle Cedar"
 //	                             # capture a benchmark's raw event trace
 //	                             # (inspect with cmd/traceview)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
-
 	"time"
 
 	"repro/internal/experiments"
@@ -32,32 +40,84 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonSummary is the machine-readable -json report: enough context to
+// reproduce the run (seed, quick, parallelism) plus one Metrics record
+// per experiment in presentation order. BENCH_*.json trajectory tracking
+// consumes these.
+type jsonSummary struct {
+	Seed        int64                 `json:"seed"`
+	Quick       bool                  `json:"quick"`
+	Parallelism int                   `json:"parallelism"`
+	GoMaxProcs  int                   `json:"gomaxprocs"`
+	Verify      bool                  `json:"verify,omitempty"`
+	TotalWall   time.Duration         `json:"total_wall_ns"`
+	Experiments []experiments.Metrics `json:"experiments"`
+}
+
+// run is main with its dependencies injected, so the CLI surface —
+// flag validation included — is testable. It returns the process exit
+// code: 0 success, 1 runtime failure, 2 usage error.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("threadstudy", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list      = flag.Bool("list", false, "list experiment IDs and exit")
-		expID     = flag.String("experiment", "", "run a single experiment by ID (default: all)")
-		quick     = flag.Bool("quick", false, "use ~3x shorter measurement windows")
-		format    = flag.String("format", "text", "output format: text or markdown")
-		verify    = flag.Bool("verify", false, "run each experiment twice and fail on nondeterminism")
-		seed      = flag.Int64("seed", 1, "deterministic seed")
-		traceOut  = flag.String("trace", "", "write a benchmark's binary event trace to this file")
-		benchName = flag.String("benchmark", "Cedar/Idle Cedar", "benchmark for -trace, as System/Name")
-		traceDur  = flag.Duration("traceduration", 5*time.Second, "virtual duration for -trace (wall-clock syntax, interpreted as virtual time)")
+		list      = fs.Bool("list", false, "list experiment IDs and exit")
+		expID     = fs.String("experiment", "", "run a single experiment by ID (default: all)")
+		quick     = fs.Bool("quick", false, "use ~3x shorter measurement windows")
+		format    = fs.String("format", "text", "output format: text or markdown")
+		verify    = fs.Bool("verify", false, "run each experiment twice concurrently and fail on nondeterminism")
+		seed      = fs.Int64("seed", 1, "deterministic seed (must be nonzero)")
+		parallel  = fs.Int("parallel", runtime.GOMAXPROCS(0), "number of experiments to run concurrently")
+		jsonOut   = fs.String("json", "", "write a machine-readable metrics summary to this file (\"-\" for stdout)")
+		traceOut  = fs.String("trace", "", "write a benchmark's binary event trace to this file")
+		benchName = fs.String("benchmark", "Cedar/Idle Cedar", "benchmark for -trace, as System/Name")
+		traceDur  = fs.Duration("traceduration", 5*time.Second, "virtual duration for -trace (wall-clock syntax, interpreted as virtual time)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(msg string) int {
+		fmt.Fprintln(stderr, "threadstudy:", msg)
+		return 2
+	}
+	switch *format {
+	case "text", "markdown":
+	default:
+		return fail(fmt.Sprintf("unknown -format %q (want text or markdown)", *format))
+	}
+	if *seed == 0 {
+		// Config.seed() would silently remap 0 to the default seed 1,
+		// which corrupts seed sweeps; reject it instead.
+		return fail("-seed 0 is not a distinct seed (it selects the default, 1); pick a nonzero seed")
+	}
+	if *parallel < 1 {
+		return fail(fmt.Sprintf("-parallel %d: need at least one worker", *parallel))
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	if *traceOut != "" {
-		if err := captureTrace(*traceOut, *benchName, *seed, vclock.Duration((*traceDur).Microseconds())); err != nil {
-			fmt.Fprintln(os.Stderr, "threadstudy:", err)
-			os.Exit(1)
+		// The flag parses wall-clock syntax but the capture runs in
+		// virtual microseconds; sub-microsecond values (e.g. 500ns)
+		// would truncate to a zero-length capture.
+		us := (*traceDur).Microseconds()
+		if us <= 0 {
+			return fail(fmt.Sprintf("-traceduration %v rounds to %dus of virtual time; need at least 1us", *traceDur, us))
 		}
-		return
+		if err := captureTrace(stdout, *traceOut, *benchName, *seed, vclock.Duration(us)); err != nil {
+			fmt.Fprintln(stderr, "threadstudy:", err)
+			return 1
+		}
+		return 0
 	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
@@ -65,39 +125,78 @@ func main() {
 	if *expID != "" {
 		e, err := experiments.ByID(*expID)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "threadstudy:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "threadstudy:", err)
+			return 1
 		}
 		todo = []experiments.Experiment{e}
 	} else {
 		todo = experiments.All()
 	}
+
 	failed := false
-	for _, e := range todo {
-		r := e.Run(cfg)
-		if *verify {
-			again := e.Run(cfg)
-			if r.String() != again.String() {
-				fmt.Fprintf(os.Stderr, "threadstudy: %s is NOT deterministic\n", e.ID)
-				failed = true
-				continue
+	start := time.Now()
+	outcomes := experiments.RunWith(cfg, experiments.Options{
+		Parallelism: *parallel,
+		Verify:      *verify,
+		Experiments: todo,
+		OnResult: func(o experiments.Outcome) {
+			if *verify {
+				if o.Mismatch {
+					fmt.Fprintf(stderr, "threadstudy: %s is NOT deterministic\n", o.Report.ID)
+					failed = true
+				} else {
+					fmt.Fprintf(stdout, "%-4s deterministic ok\n", o.Report.ID)
+				}
+				return
 			}
-			fmt.Printf("%-4s deterministic ok\n", e.ID)
-			continue
+			if *format == "markdown" {
+				fmt.Fprintln(stdout, o.Report.Markdown())
+			} else {
+				fmt.Fprintln(stdout, o.Report.String())
+			}
+		},
+	})
+	totalWall := time.Since(start)
+
+	if *jsonOut != "" {
+		sum := jsonSummary{
+			Seed:        *seed,
+			Quick:       *quick,
+			Parallelism: *parallel,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Verify:      *verify,
+			TotalWall:   totalWall,
 		}
-		if *format == "markdown" {
-			fmt.Println(r.Markdown())
-		} else {
-			fmt.Println(r.String())
+		for _, o := range outcomes {
+			sum.Experiments = append(sum.Experiments, o.Metrics)
+		}
+		if err := writeJSON(*jsonOut, stdout, sum); err != nil {
+			fmt.Fprintln(stderr, "threadstudy:", err)
+			return 1
 		}
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// writeJSON marshals sum to path, or to stdout when path is "-".
+func writeJSON(path string, stdout io.Writer, sum jsonSummary) error {
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // captureTrace runs one benchmark and writes its raw event stream.
-func captureTrace(path, benchName string, seed int64, dur vclock.Duration) error {
+func captureTrace(stdout io.Writer, path, benchName string, seed int64, dur vclock.Duration) error {
 	system, name, ok := strings.Cut(benchName, "/")
 	if !ok {
 		return fmt.Errorf("benchmark must be System/Name, e.g. %q", "Cedar/Idle Cedar")
@@ -133,6 +232,6 @@ func captureTrace(path, benchName string, seed int64, dur vclock.Duration) error
 	if err := trace.WriteTrace(f, trace.Trace{Events: buf.Events, Names: names}); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d events, %d thread names (%s of virtual time) to %s\n", buf.Len(), len(names), dur, path)
+	fmt.Fprintf(stdout, "wrote %d events, %d thread names (%s of virtual time) to %s\n", buf.Len(), len(names), dur, path)
 	return nil
 }

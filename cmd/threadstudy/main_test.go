@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -15,7 +18,7 @@ import (
 // the trace package — the threadstudy->traceview pipeline.
 func TestCaptureTraceRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "idle.bin")
-	if err := captureTrace(path, "Cedar/Idle Cedar", 1, 2*vclock.Second); err != nil {
+	if err := captureTrace(io.Discard, path, "Cedar/Idle Cedar", 1, 2*vclock.Second); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(path)
@@ -55,15 +58,119 @@ func TestCaptureTraceRoundTrip(t *testing.T) {
 
 func TestCaptureTraceErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := captureTrace(filepath.Join(dir, "x.bin"), "no-slash", 1, vclock.Second); err == nil {
+	if err := captureTrace(io.Discard, filepath.Join(dir, "x.bin"), "no-slash", 1, vclock.Second); err == nil {
 		t.Fatal("expected error for malformed benchmark name")
 	}
-	err := captureTrace(filepath.Join(dir, "x.bin"), "Cedar/Nonexistent", 1, vclock.Second)
+	err := captureTrace(io.Discard, filepath.Join(dir, "x.bin"), "Cedar/Nonexistent", 1, vclock.Second)
 	if err == nil || !strings.Contains(err.Error(), "available:") {
 		t.Fatalf("expected helpful error, got %v", err)
 	}
 	// Zero duration falls back to the default.
-	if err := captureTrace(filepath.Join(dir, "y.bin"), "GVX/Idle GVX", 1, 0); err != nil {
+	if err := captureTrace(io.Discard, filepath.Join(dir, "y.bin"), "GVX/Idle GVX", 1, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCLIValidation is the regression suite for the flag-handling fixes:
+// each formerly-silent misuse must now fail fast with a clear message.
+func TestCLIValidation(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "out.bin")
+	tests := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring of stderr
+		wantOut  string // substring of stdout
+	}{
+		{"list", []string{"-list"}, 0, "", "T1"},
+		{"list shows presentation order", []string{"-list"}, 0, "", "F12"},
+		{"unknown format rejected", []string{"-format", "yaml"}, 2, `unknown -format "yaml"`, ""},
+		{"seed zero rejected", []string{"-seed", "0"}, 2, "-seed 0 is not a distinct seed", ""},
+		{"parallel zero rejected", []string{"-parallel", "0"}, 2, "need at least one worker", ""},
+		{"parallel negative rejected", []string{"-parallel", "-3"}, 2, "need at least one worker", ""},
+		{"sub-microsecond traceduration rejected",
+			[]string{"-trace", bin, "-traceduration", "500ns"}, 2, "need at least 1us", ""},
+		{"negative traceduration rejected",
+			[]string{"-trace", bin, "-traceduration", "-1s"}, 2, "need at least 1us", ""},
+		{"unknown experiment", []string{"-experiment", "T9"}, 1, "unknown id", ""},
+		{"unknown experiment lists IDs in order", []string{"-experiment", "T9"}, 1, "T1 T2 T3 T4 F1 F2", ""},
+		{"unknown flag", []string{"-nope"}, 2, "flag provided but not defined", ""},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("exit code %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.wantErr)
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("stdout %q missing %q", stdout.String(), tc.wantOut)
+			}
+		})
+	}
+}
+
+// TestCLIParallelByteIdentical: the -parallel acceptance criterion, at
+// the CLI layer, for a pair of cheap experiments.
+func TestCLIParallelByteIdentical(t *testing.T) {
+	runOne := func(args ...string) string {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	for _, id := range []string{"F5", "F8"} {
+		serial := runOne("-experiment", id, "-quick", "-seed", "7", "-parallel", "1")
+		parallel := runOne("-experiment", id, "-quick", "-seed", "7", "-parallel", "4")
+		if serial != parallel {
+			t.Errorf("%s: -parallel 4 output differs from -parallel 1", id)
+		}
+		if !strings.Contains(serial, "== "+id+":") {
+			t.Errorf("%s: report header missing:\n%s", id, serial)
+		}
+	}
+}
+
+// TestCLIJSONSummary: -json writes a parseable summary with populated
+// per-experiment metrics.
+func TestCLIJSONSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-experiment", "F6", "-quick", "-json", path}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum jsonSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if sum.Seed != 1 || !sum.Quick || len(sum.Experiments) != 1 {
+		t.Fatalf("summary header wrong: %+v", sum)
+	}
+	m := sum.Experiments[0]
+	if m.ID != "F6" || m.WallTime <= 0 || m.VirtualTime <= 0 || m.Events <= 0 || m.EventsPerSec <= 0 {
+		t.Errorf("metrics not populated: %+v", m)
+	}
+}
+
+// TestCLIVerify: -verify runs each experiment twice concurrently and
+// reports success for the deterministic suite.
+func TestCLIVerify(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-experiment", "F9", "-quick", "-verify"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "deterministic ok") {
+		t.Errorf("missing verify confirmation: %q", stdout.String())
 	}
 }

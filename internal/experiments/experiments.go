@@ -9,9 +9,9 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vclock"
 )
@@ -20,8 +20,16 @@ import (
 type Config struct {
 	// Quick shortens measurement windows ~3x for tests and -short runs.
 	Quick bool
-	// Seed drives all randomness.
+	// Seed drives all randomness. Zero selects the default seed 1 (a
+	// deliberate remap so the zero Config is usable); callers that need
+	// to distinguish "unset" from an explicit 0 — seed-sweep scripts —
+	// must validate before building the Config, as cmd/threadstudy does.
 	Seed int64
+	// Probe, when non-nil, accumulates scheduler counters (worlds,
+	// events processed, virtual time) from every world an experiment
+	// creates. It never affects an experiment's output; the runner
+	// attaches one probe per run to compute per-experiment metrics.
+	Probe *sim.Probe
 }
 
 func (c Config) window() vclock.Duration {
@@ -112,10 +120,11 @@ func ByID(id string) (Experiment, error) {
 			return e, nil
 		}
 	}
+	// List the IDs in presentation order — sorting lexicographically
+	// would interleave them as "F1 F10 F11 F12 F2 ...".
 	var ids []string
 	for _, e := range All() {
 		ids = append(ids, e.ID)
 	}
-	sort.Strings(ids)
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, " "))
 }

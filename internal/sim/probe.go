@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/vclock"
+)
+
+// Probe accumulates scheduler-level observability counters from every
+// World configured with it (Config.Probe): how many worlds were created,
+// how many discrete events their drivers processed, and how much virtual
+// time they simulated. A single Probe may be shared by many worlds, and
+// those worlds may run on different goroutines — the experiment harness
+// attaches one Probe per experiment run and executes runs concurrently —
+// so all updates are atomic.
+//
+// A Probe never influences the simulation; attaching one cannot change
+// any experiment's output.
+type Probe struct {
+	worlds  atomic.Int64
+	events  atomic.Int64
+	virtual atomic.Int64 // microseconds of simulated time
+}
+
+// Worlds returns the number of worlds created against this probe.
+func (p *Probe) Worlds() int64 { return p.worlds.Load() }
+
+// Events returns the total number of discrete events processed by the
+// drivers of all attached worlds.
+func (p *Probe) Events() int64 { return p.events.Load() }
+
+// VirtualTime returns the total virtual time simulated across all
+// attached worlds (the sum of each world's final clock).
+func (p *Probe) VirtualTime() vclock.Duration {
+	return vclock.Duration(p.virtual.Load())
+}
+
+// observeWorld records a new world.
+func (p *Probe) observeWorld() {
+	if p == nil {
+		return
+	}
+	p.worlds.Add(1)
+}
+
+// add accumulates an events/virtual-time delta from one world.
+func (p *Probe) add(events int64, virtual vclock.Duration) {
+	if p == nil {
+		return
+	}
+	p.events.Add(events)
+	p.virtual.Add(int64(virtual))
+}

@@ -104,6 +104,13 @@ type Config struct {
 	// Trace receives every thread event. Nil means discard.
 	Trace trace.Sink
 
+	// Probe, when non-nil, accumulates coarse observability counters
+	// (worlds created, driver events processed, virtual time simulated)
+	// across every world configured with it. Unlike Trace it is safe to
+	// share between worlds running on different goroutines; the
+	// experiment harness uses one Probe per experiment run.
+	Probe *Probe
+
 	// Seed seeds the world's deterministic RNG (SystemDaemon victim
 	// choice and workload jitter).
 	Seed int64

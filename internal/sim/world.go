@@ -37,6 +37,13 @@ type World struct {
 	monitorIDs int64
 	cvIDs      int64
 
+	// eventsProcessed counts driver-loop event pops; the probe fields
+	// remember what has already been flushed to cfg.Probe so repeated
+	// Run calls account each event and clock advance exactly once.
+	eventsProcessed int64
+	probeSentEvents int64
+	probeSentClock  vclock.Time
+
 	// onIdleDeadlock, if set, is invoked (driver context) when the world
 	// detects deadlock; used by tests.
 	deadlocked []*Thread
@@ -69,6 +76,7 @@ func NewWorld(cfg Config) *World {
 	if cfg.SystemDaemon {
 		w.spawnSystemDaemon()
 	}
+	cfg.Probe.observeWorld()
 	return w
 }
 
@@ -181,6 +189,7 @@ func (w *World) newThread(name string, pri Priority, body Proc, parent *Thread) 
 // deadlocks, or until Stop is called, and reports why it returned. Run may
 // be called repeatedly with increasing horizons to continue a simulation.
 func (w *World) Run(until vclock.Time) Outcome {
+	defer w.flushProbe()
 	w.stopped = false
 	for {
 		w.settle()
@@ -205,6 +214,7 @@ func (w *World) Run(until vclock.Time) Outcome {
 		if ev.When < w.clock {
 			panic(fmt.Sprintf("sim: clock would run backwards: %v -> %v", w.clock, ev.When))
 		}
+		w.eventsProcessed++
 		w.clock = ev.When
 		if ev.Do != nil {
 			ev.Do()
@@ -215,6 +225,21 @@ func (w *World) Run(until vclock.Time) Outcome {
 // Deadlocked returns the threads that were blocked with no possible waker
 // when Run last returned OutcomeDeadlock.
 func (w *World) Deadlocked() []*Thread { return w.deadlocked }
+
+// EventsProcessed returns the number of discrete events the driver loop
+// has executed so far.
+func (w *World) EventsProcessed() int64 { return w.eventsProcessed }
+
+// flushProbe forwards the not-yet-reported event and clock deltas to the
+// configured probe (if any). Called every time Run returns.
+func (w *World) flushProbe() {
+	if w.cfg.Probe == nil {
+		return
+	}
+	w.cfg.Probe.add(w.eventsProcessed-w.probeSentEvents, w.clock.Sub(w.probeSentClock))
+	w.probeSentEvents = w.eventsProcessed
+	w.probeSentClock = w.clock
+}
 
 func (w *World) blockedThreads() []*Thread {
 	var out []*Thread

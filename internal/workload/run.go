@@ -34,6 +34,7 @@ type RunConfig struct {
 	Window vclock.Duration // measurement window length
 	Seed   int64
 	CPUs   int
+	Probe  *sim.Probe // optional observability counters (sim.Config.Probe)
 }
 
 // DefaultRunConfig measures a 30-second window after 3 seconds of warmup,
@@ -64,6 +65,7 @@ func Run(b Benchmark, rc RunConfig) *Result {
 		Trace:        col,
 		Seed:         rc.Seed,
 		CPUs:         rc.CPUs,
+		Probe:        rc.Probe,
 		SystemDaemon: true, // PCR's priority-6 proportional-share daemon
 	})
 	defer w.Shutdown()

@@ -37,9 +37,9 @@ type CompareResult struct {
 // RunClientComparison drives one client model for dur of virtual time:
 // a painter queues output requests steadily, two client threads (one
 // high-, one low-priority) poll GetEvent, and the server delivers input
-// events every eventEvery.
-func RunClientComparison(kind ClientKind, eventEvery vclock.Duration, seed int64, dur vclock.Duration) CompareResult {
-	w := sim.NewWorld(sim.Config{Seed: seed})
+// events every eventEvery. probe may be nil.
+func RunClientComparison(kind ClientKind, eventEvery vclock.Duration, seed int64, dur vclock.Duration, probe *sim.Probe) CompareResult {
+	w := sim.NewWorld(sim.Config{Seed: seed, Probe: probe})
 	defer w.Shutdown()
 	reg := paradigm.NewRegistry()
 	conn := NewConn(w)

@@ -36,6 +36,10 @@ type PipelineConfig struct {
 	// buffer thread outranks its producer.
 	BufferPriority sim.Priority
 	ImagePriority  sim.Priority
+	// Probe, when non-nil, receives the run's scheduler counters
+	// (sim.Config.Probe). Only RunPipeline consults it; StartPipeline
+	// callers configure the probe on their own world.
+	Probe *sim.Probe
 }
 
 // DefaultPipelineConfig returns the §5.2 operating point.
@@ -157,7 +161,7 @@ type PipelineResult struct {
 // RunPipeline runs the pipeline for the given virtual duration on a fresh
 // world and returns the summary.
 func RunPipeline(cfg PipelineConfig, quantum vclock.Duration, seed int64, dur vclock.Duration) PipelineResult {
-	w := sim.NewWorld(sim.Config{Quantum: quantum, Seed: seed})
+	w := sim.NewWorld(sim.Config{Quantum: quantum, Seed: seed, Probe: cfg.Probe})
 	defer w.Shutdown()
 	reg := paradigm.NewRegistry()
 	srv := NewServer(w)
