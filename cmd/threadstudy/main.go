@@ -18,6 +18,13 @@
 //	threadstudy -trace out.bin -benchmark "Cedar/Idle Cedar"
 //	                             # capture a benchmark's raw event trace
 //	                             # (inspect with cmd/traceview)
+//	threadstudy -faults plan.json -experiment R1
+//	                             # replace the R-series' built-in fault
+//	                             # plans with one loaded from JSON
+//	threadstudy -faultseed 9     # reseed the injector RNG only
+//	threadstudy -audit -auditmin 1 -experiment F8
+//	                             # print §5.3 CV audit findings after
+//	                             # each report
 package main
 
 import (
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/paradigm"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -75,6 +83,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut  = fs.String("trace", "", "write a benchmark's binary event trace to this file")
 		benchName = fs.String("benchmark", "Cedar/Idle Cedar", "benchmark for -trace, as System/Name")
 		traceDur  = fs.Duration("traceduration", 5*time.Second, "virtual duration for -trace (wall-clock syntax, interpreted as virtual time)")
+		faultsIn  = fs.String("faults", "", "JSON fault plan replacing the R-series experiments' built-in plans")
+		faultSeed = fs.Int64("faultseed", 0, "seed for the fault injector RNG (default: derived from -seed)")
+		audit     = fs.Bool("audit", false, "run the §5.3 CV auditors and print findings after each report")
+		auditMin  = fs.Int("auditmin", 10, "minimum observed waits before a CV is auditable (lower is more sensitive)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -96,6 +108,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *parallel < 1 {
 		return fail(fmt.Sprintf("-parallel %d: need at least one worker", *parallel))
+	}
+	if *auditMin < 1 {
+		return fail(fmt.Sprintf("-auditmin %d: a CV needs at least one observed wait to be auditable", *auditMin))
+	}
+	var plan *fault.Plan
+	if *faultsIn != "" {
+		p, err := fault.Load(*faultsIn)
+		if err != nil {
+			return fail(err.Error())
+		}
+		plan = &p
 	}
 
 	if *list {
@@ -120,7 +143,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Faults: plan, FaultSeed: *faultSeed}
 	var todo []experiments.Experiment
 	if *expID != "" {
 		e, err := experiments.ByID(*expID)
@@ -136,9 +159,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	failed := false
 	start := time.Now()
 	outcomes := experiments.RunWith(cfg, experiments.Options{
-		Parallelism: *parallel,
-		Verify:      *verify,
-		Experiments: todo,
+		Parallelism:   *parallel,
+		Verify:        *verify,
+		Audit:         *audit,
+		AuditMinWaits: *auditMin,
+		Experiments:   todo,
 		OnResult: func(o experiments.Outcome) {
 			if *verify {
 				if o.Mismatch {
@@ -153,6 +178,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stdout, o.Report.Markdown())
 			} else {
 				fmt.Fprintln(stdout, o.Report.String())
+			}
+			if *audit {
+				if len(o.Audit) == 0 {
+					fmt.Fprintf(stdout, "audit %s: no suspicious condition variables\n\n", o.Report.ID)
+				} else {
+					for _, f := range o.Audit {
+						fmt.Fprintf(stdout, "audit %s: %s\n", o.Report.ID, f)
+					}
+					fmt.Fprintln(stdout)
+				}
 			}
 		},
 	})

@@ -95,6 +95,9 @@ func TestCLIValidation(t *testing.T) {
 		{"unknown experiment", []string{"-experiment", "T9"}, 1, "unknown id", ""},
 		{"unknown experiment lists IDs in order", []string{"-experiment", "T9"}, 1, "T1 T2 T3 T4 F1 F2", ""},
 		{"unknown flag", []string{"-nope"}, 2, "flag provided but not defined", ""},
+		{"missing fault plan rejected",
+			[]string{"-faults", filepath.Join(t.TempDir(), "nope.json")}, 2, "no such file", ""},
+		{"auditmin zero rejected", []string{"-audit", "-auditmin", "0"}, 2, "at least one observed wait", ""},
 	}
 	for _, tc := range tests {
 		tc := tc
@@ -124,7 +127,7 @@ func TestCLIParallelByteIdentical(t *testing.T) {
 		}
 		return stdout.String()
 	}
-	for _, id := range []string{"F5", "F8"} {
+	for _, id := range []string{"F5", "F8", "R2"} {
 		serial := runOne("-experiment", id, "-quick", "-seed", "7", "-parallel", "1")
 		parallel := runOne("-experiment", id, "-quick", "-seed", "7", "-parallel", "4")
 		if serial != parallel {
@@ -133,6 +136,68 @@ func TestCLIParallelByteIdentical(t *testing.T) {
 		if !strings.Contains(serial, "== "+id+":") {
 			t.Errorf("%s: report header missing:\n%s", id, serial)
 		}
+	}
+}
+
+// TestCLIFaultPlan: a -faults plan is validated at startup and replaces
+// the R-series' built-in faults. An empty plan means R1 injects nothing,
+// so its report must show zero crashes.
+func TestCLIFaultPlan(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"crash_thread":[{"thread":"[","at":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-faults", bad, "-experiment", "R1", "-quick"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("invalid plan: exit %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "bad thread pattern") {
+		t.Errorf("stderr %q missing validation detail", stderr.String())
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-faults", empty, "-experiment", "R1", "-quick"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("empty plan: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "crashes injected") {
+		t.Fatalf("R1 report missing crash row:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "== R1:") {
+		t.Errorf("missing R1 header:\n%s", stdout.String())
+	}
+}
+
+// TestCLIAudit: -audit prints §5.3 findings after the report. F8 builds
+// timeout-masked missing-NOTIFY monitors on purpose; its buggy consumer
+// blocks only once, so the test needs -auditmin 1.
+func TestCLIAudit(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-audit", "-auditmin", "1", "-experiment", "F8", "-quick"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "== F8:") {
+		t.Fatalf("report missing:\n%s", out)
+	}
+	if !strings.Contains(out, "audit F8: ") || !strings.Contains(out, "masked-missing-NOTIFY") {
+		t.Errorf("audit findings missing:\n%s", out)
+	}
+	// At the default threshold the findings disappear but the audit
+	// trailer still reports the sweep ran.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-audit", "-experiment", "F5", "-quick"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "audit F5: no suspicious condition variables") {
+		t.Errorf("missing clean-audit trailer:\n%s", stdout.String())
 	}
 }
 

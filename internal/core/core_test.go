@@ -51,10 +51,10 @@ func TestFacadeEndToEnd(t *testing.T) {
 
 func TestExperimentsListing(t *testing.T) {
 	exps := core.Experiments()
-	if len(exps) != 16 {
-		t.Fatalf("experiments = %d, want 16", len(exps))
+	if len(exps) != 19 { // T1-T4 + F1-F12 + R1-R3
+		t.Fatalf("experiments = %d, want 19", len(exps))
 	}
-	for _, id := range []string{"T1", "T4", "F5", "F11"} {
+	for _, id := range []string{"T1", "T4", "F5", "F11", "R1", "R3"} {
 		if exps[id] == "" {
 			t.Errorf("missing experiment %s", id)
 		}

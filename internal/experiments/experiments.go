@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vclock"
@@ -30,6 +31,15 @@ type Config struct {
 	// creates. It never affects an experiment's output; the runner
 	// attaches one probe per run to compute per-experiment metrics.
 	Probe *sim.Probe
+	// Faults, when non-nil, replaces the built-in fault plan of the
+	// faulted world in each R-series resilience experiment (threadstudy
+	// -faults). The T and F experiments never consult it: their outputs
+	// are byte-identical with or without a plan.
+	Faults *fault.Plan
+	// FaultSeed seeds the fault injector's private RNG; zero derives a
+	// seed from Seed so fault randomness never aliases workload
+	// randomness.
+	FaultSeed int64
 }
 
 func (c Config) window() vclock.Duration {
@@ -44,6 +54,22 @@ func (c Config) seed() int64 {
 		return 1
 	}
 	return c.Seed
+}
+
+func (c Config) faultSeed() int64 {
+	if c.FaultSeed != 0 {
+		return c.FaultSeed
+	}
+	return c.seed() + 0x5eed
+}
+
+// faultPlan selects the plan a resilience experiment injects into its
+// faulted world: the operator's -faults plan when given, else def.
+func (c Config) faultPlan(def fault.Plan) fault.Plan {
+	if c.Faults != nil {
+		return *c.Faults
+	}
+	return def
 }
 
 // Report is one experiment's output: rendered tables plus free-form
@@ -110,6 +136,9 @@ func All() []Experiment {
 		{"F10", "Dynamically tuned timeouts (§5.5 future work)", FigAdaptive},
 		{"F11", "Multiprocessors: exploiter scaling and contention (§4.7/§5.1)", FigMultiprocessor},
 		{"F12", "Keystroke echo latency and the priority structure (§1/§3)", FigEchoLatency},
+		{"R1", "Crash-and-rejuvenate under the Cedar compile workload (§4.5/§5.5)", ResCrash},
+		{"R2", "FORK exhaustion under keystrokes: bare TryFork vs retry policy (§5.4)", ResForkExhaustion},
+		{"R3", "Induced priority inversion, watchdog detection, SystemDaemon recovery (§6.2)", ResInversion},
 	}
 }
 

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/vclock"
+)
+
+// TestR1RecoversFromCrashes asserts the R1 acceptance criteria: the
+// dispatcher restarts at least once per injected crash, and post-crash
+// throughput stays within 10% of the fault-free baseline of the same
+// seed.
+func TestR1RecoversFromCrashes(t *testing.T) {
+	cfg := Config{Quick: true}
+	span := cfg.window() / 2
+	base := r1Run(cfg, fault.Plan{}, span)
+	faulted := r1Run(cfg, r1DefaultPlan(span), span)
+
+	if len(faulted.crashes) != 2 {
+		t.Fatalf("crashes delivered = %d, want 2", len(faulted.crashes))
+	}
+	if faulted.restarts < 1 {
+		t.Fatal("dispatcher never restarted after injected crashes")
+	}
+	if base.restarts != 0 || len(base.crashes) != 0 {
+		t.Fatalf("fault-free baseline saw %d restarts, %d crashes", base.restarts, len(base.crashes))
+	}
+	last := faulted.crashes[len(faulted.crashes)-1]
+	left := vclock.Time(span).Sub(last).Seconds()
+	bRate := float64(base.dispatched-valueAt(base.samples, last)) / left
+	fRate := float64(faulted.dispatched-valueAt(faulted.samples, last)) / left
+	if bRate <= 0 {
+		t.Fatalf("degenerate baseline post-crash rate %.2f", bRate)
+	}
+	if ratio := fRate / bRate; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("post-crash throughput %.2f/s vs baseline %.2f/s (ratio %.3f), want within 10%%",
+			fRate, bRate, ratio)
+	}
+	// Every crash recovered before the window's end.
+	for i, ct := range faulted.crashes {
+		if firstAdvanceAfter(faulted.samples, ct) == vclock.Never {
+			t.Errorf("no dispatch progress after crash %d at %v", i+1, ct)
+		}
+	}
+}
+
+// TestR2RetryPolicyEliminatesLoss asserts the R2 acceptance criteria:
+// bare TryFork drops keystrokes during the clamp, the retry policy
+// drops none.
+func TestR2RetryPolicyEliminatesLoss(t *testing.T) {
+	cfg := Config{Quick: true}
+	bare := r2Run(cfg, false)
+	if bare.lost == 0 {
+		t.Fatal("bare TryFork lost no keystrokes: the clamp never bit")
+	}
+	if bare.served+bare.lost != 20 {
+		t.Fatalf("served %d + lost %d != 20 keystrokes", bare.served, bare.lost)
+	}
+	retried := r2Run(cfg, true)
+	if retried.lost != 0 {
+		t.Fatalf("retry policy lost %d keystrokes, want 0", retried.lost)
+	}
+	if retried.served != 20 {
+		t.Fatalf("retry policy served %d keystrokes, want all 20", retried.served)
+	}
+	if retried.retries == 0 {
+		t.Fatal("retry policy needed no retries: the clamp never bit")
+	}
+	// Recovery is not free: the retried keystrokes pay latency.
+	if retried.latencyMax <= bare.latencyMax {
+		t.Errorf("retry max latency %v not above bare %v", retried.latencyMax, bare.latencyMax)
+	}
+}
+
+// TestR3WatchdogDetectsAndDaemonClears asserts the R3 acceptance
+// criteria: the watchdog detects the induced inversion in both
+// variants, and only the SystemDaemon variant clears it.
+func TestR3WatchdogDetectsAndDaemonClears(t *testing.T) {
+	cfg := Config{Quick: true}
+	bare := r3Run(cfg, false)
+	if bare.detections < 1 {
+		t.Fatal("watchdog missed the inversion under strict priority")
+	}
+	if !bare.dumped {
+		t.Error("watchdog did not hand out a state dump")
+	}
+	if bare.clearedAt != vclock.Never {
+		t.Fatalf("strict-priority inversion cleared at %v: it should be stable", bare.clearedAt)
+	}
+	if bare.progress != 0 {
+		t.Fatalf("hi-waiter acquired the lock %d times under a stable inversion", bare.progress)
+	}
+	daemon := r3Run(cfg, true)
+	if daemon.detections < 1 {
+		t.Fatal("watchdog missed the inversion with the daemon enabled")
+	}
+	if daemon.clearedAt == vclock.Never {
+		t.Fatal("SystemDaemon variant never cleared the inversion")
+	}
+	if daemon.progress == 0 {
+		t.Fatal("hi-waiter made no progress even after the daemon cleared the inversion")
+	}
+	if daemon.clearedAt <= daemon.detectAt {
+		t.Fatalf("cleared at %v before detection at %v", daemon.clearedAt, daemon.detectAt)
+	}
+}
+
+// TestFaultsConfigOverridesPlan verifies the -faults path: a custom plan
+// replaces each R experiment's built-in faults.
+func TestFaultsConfigOverridesPlan(t *testing.T) {
+	empty := fault.Plan{}
+	cfg := Config{Quick: true, Faults: &empty}
+	faulted := r1Run(cfg, cfg.faultPlan(r1DefaultPlan(cfg.window()/2)), cfg.window()/2)
+	if len(faulted.crashes) != 0 {
+		t.Fatalf("empty -faults plan still delivered %d crashes", len(faulted.crashes))
+	}
+	// And the report text reflects the absence of faults.
+	rep := ResCrash(cfg).String()
+	if !strings.Contains(rep, "crashes injected") {
+		t.Fatalf("unexpected R1 report:\n%s", rep)
+	}
+}
+
+// TestAuditOptionCollectsFindings verifies the runner's audit sweep: F8
+// deliberately builds timeout-masked missing-NOTIFY monitors, so
+// auditing it must produce at least one §5.3 finding, and auditing must
+// not change the rendered report.
+func TestAuditOptionCollectsFindings(t *testing.T) {
+	e, err := ByID("F8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Quick: true}
+	plain := RunWith(cfg, Options{Parallelism: 1, Experiments: []Experiment{e}})
+	// F8's buggy consumer blocks only once before the queue fills, so the
+	// sweep needs the most sensitive threshold to flag it.
+	audited := RunWith(cfg, Options{Parallelism: 1, Experiments: []Experiment{e}, Audit: true, AuditMinWaits: 1})
+	if len(audited) != 1 || len(plain) != 1 {
+		t.Fatalf("outcomes = %d/%d, want 1/1", len(plain), len(audited))
+	}
+	if len(audited[0].Audit) == 0 {
+		t.Fatal("audit of F8 produced no findings; its masked-NOTIFY CVs should be suspicious")
+	}
+	for _, f := range audited[0].Audit {
+		if !strings.Contains(f, "masked-missing-NOTIFY") {
+			t.Errorf("finding %q missing the §5.3 signature tag", f)
+		}
+	}
+	if plain[0].Audit != nil {
+		t.Error("audit findings attached without Options.Audit")
+	}
+	if plain[0].Report.String() != audited[0].Report.String() {
+		t.Error("auditing changed the rendered report")
+	}
+}

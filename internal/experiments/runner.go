@@ -53,6 +53,11 @@ type Outcome struct {
 	// renderings differed (a determinism bug).
 	Verified bool
 	Mismatch bool
+
+	// Audit holds the §5.3 masked-missing-NOTIFY findings gathered from
+	// every monitor the run created (Options.Audit); nil when auditing
+	// was off or nothing was suspicious.
+	Audit []string
 }
 
 // Options configures RunWith.
@@ -72,6 +77,14 @@ type Options struct {
 	// of its predecessors have finished (later experiments may still be
 	// running). It is called from RunWith's goroutine.
 	OnResult func(Outcome)
+	// Audit sweeps every CV the run's monitors created for the §5.3
+	// masked-missing-NOTIFY signature after the run finishes and attaches
+	// the findings to the outcome. Purely observational: reports are
+	// byte-identical with auditing on or off.
+	Audit bool
+	// AuditMinWaits is the minimum completed-wait count before a CV is
+	// suspicious; values < 1 select 10.
+	AuditMinWaits int
 }
 
 // RunAll executes every experiment with the given parallelism and
@@ -109,7 +122,7 @@ func RunWith(cfg Config, opts Options) []Outcome {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				outcomes[i] = runOne(todo[i], cfg, opts.Verify)
+				outcomes[i] = runOne(todo[i], cfg, opts)
 				close(done[i])
 			}
 		}()
@@ -137,7 +150,8 @@ func RunWith(cfg Config, opts Options) []Outcome {
 // the experiment runs twice concurrently — deliberately racing two
 // identical copies so `go test -race` and output diffing together prove
 // the experiment shares no hidden mutable state.
-func runOne(e Experiment, cfg Config, verify bool) Outcome {
+func runOne(e Experiment, cfg Config, opts Options) Outcome {
+	verify := opts.Verify
 	probe := &sim.Probe{}
 	runCfg := cfg
 	runCfg.Probe = probe
@@ -184,6 +198,13 @@ func runOne(e Experiment, cfg Config, verify bool) Outcome {
 	if verify {
 		out.Verified = true
 		out.Mismatch = report.String() != again.String()
+	}
+	if opts.Audit {
+		min := opts.AuditMinWaits
+		if min < 1 {
+			min = 10
+		}
+		out.Audit = probe.Audit(min)
 	}
 	return out
 }

@@ -30,8 +30,8 @@ func TestByID(t *testing.T) {
 	if _, err := ByID("T9"); err == nil {
 		t.Fatal("expected error for unknown ID")
 	}
-	if len(All()) != 16 { // T1-T4 + F1-F12
-		t.Fatalf("experiment count = %d, want 16", len(All()))
+	if len(All()) != 19 { // T1-T4 + F1-F12 + R1-R3
+		t.Fatalf("experiment count = %d, want 19", len(All()))
 	}
 	seen := map[string]bool{}
 	for _, e := range All() {
@@ -55,7 +55,7 @@ func TestConfigWindows(t *testing.T) {
 // for the cheap experiments (the expensive ones are covered by the
 // workload determinism tests).
 func TestReportsDeterministic(t *testing.T) {
-	for _, id := range []string{"F5", "F6", "F8", "F9", "F10"} {
+	for _, id := range []string{"F5", "F6", "F8", "F9", "F10", "R2", "R3"} {
 		e, err := ByID(id)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,243 @@
+// Package fault is a deterministic, seeded fault-injection layer for the
+// sim thread kernel, built to provoke the failure modes §§5.3–5.5 and
+// §6.2 of "Using Threads in Interactive Systems: A Case Study" describe
+// and measure how well the paper's robustness paradigms recover:
+//
+//   - LostNotify swallows NOTIFYs on a named CV — the deleted-NOTIFY bug
+//     whose timeout-masked aftermath "works, but slowly" (§5.3);
+//   - CrashThread panics a thread by name at a virtual time — the
+//     uncaught errors that motivated task rejuvenation (§4.5, §5.5);
+//   - ForkExhaustion clamps the live-thread bound for a window — the
+//     FORK failures for which "good recovery schemes seem never to have
+//     been worked out" (§5.4);
+//   - StallThread pins a lock holder in a long Compute — the raw
+//     material of a stable priority inversion (§6.2);
+//   - ClockJitter perturbs Compute durations by a seeded ± fraction,
+//     shaking out schedules that only work at one operating point.
+//
+// A Plan is declarative and JSON-loadable (threadstudy -faults). An
+// Injector compiled from a plan hooks a single world at well-defined
+// seams (sim.Config.OnNotify/OnFork/OnCompute, sim.World.KillThread,
+// sim.World.SetMaxThreads) and is driven entirely by virtual time and
+// its own seeded RNG, so a given (plan, seed, world seed) triple always
+// injects the identical fault sequence — and a world with no plan runs
+// byte-identically to one built before this package existed.
+//
+// The recovery half of the story is Supervise (rejuvenation with capped
+// exponential backoff), StartWatchdog (a liveness sleeper that detects
+// starvation on a progress counter and dumps world state), and
+// RetryPolicy (FORK retry over TryFork).
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Dur is a vclock.Duration with friendly JSON: it unmarshals from either
+// a Go duration string ("250ms", "2s") or a raw microsecond count, and
+// marshals as microseconds.
+type Dur struct{ vclock.Duration }
+
+// D wraps a vclock.Duration for building plans in Go.
+func D(v vclock.Duration) Dur { return Dur{v} }
+
+// MarshalJSON implements json.Marshaler (microseconds).
+func (d Dur) MarshalJSON() ([]byte, error) { return json.Marshal(int64(d.Duration)) }
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Dur) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		td, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("fault: bad duration %q (want Go syntax like \"250ms\")", s)
+		}
+		d.Duration = vclock.Duration(td.Microseconds())
+		return nil
+	}
+	var us int64
+	if err := json.Unmarshal(b, &us); err != nil {
+		return fmt.Errorf("fault: bad duration %s (want microseconds or a quoted Go duration)", b)
+	}
+	d.Duration = vclock.Duration(us)
+	return nil
+}
+
+// Plan is a declarative fault schedule. All times are virtual, measured
+// from the world's start (time 0). The zero Plan injects nothing.
+type Plan struct {
+	LostNotify     []LostNotify     `json:"lost_notify,omitempty"`
+	CrashThread    []CrashThread    `json:"crash_thread,omitempty"`
+	ForkExhaustion []ForkExhaustion `json:"fork_exhaustion,omitempty"`
+	StallThread    []StallThread    `json:"stall_thread,omitempty"`
+	ClockJitter    []ClockJitter    `json:"clock_jitter,omitempty"`
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool {
+	return len(p.LostNotify) == 0 && len(p.CrashThread) == 0 &&
+		len(p.ForkExhaustion) == 0 && len(p.StallThread) == 0 && len(p.ClockJitter) == 0
+}
+
+// LostNotify swallows NOTIFYs (thread- or driver-context, not BROADCAST)
+// on matching condition variables during a window (§5.3).
+type LostNotify struct {
+	// CV is an anchored-nowhere regexp matched against CV debug names.
+	CV string `json:"cv"`
+	// From/Until bound the window; a zero Until leaves it open-ended.
+	From  Dur `json:"from,omitempty"`
+	Until Dur `json:"until,omitempty"`
+	// Count caps how many notifies this rule swallows; 0 = unlimited.
+	Count int `json:"count,omitempty"`
+}
+
+// CrashThread panics the first live thread whose name matches at virtual
+// time At, as if its own body had raised an uncaught error (§5.5).
+type CrashThread struct {
+	Thread string `json:"thread"`
+	At     Dur    `json:"at"`
+	// WhenBlocked defers the kill until the victim is blocked — a crash
+	// in its wait loop — so the error never lands while the victim holds
+	// a monitor mid-computation. If no matching thread (ever) blocks the
+	// kill is retried every millisecond and eventually abandoned.
+	WhenBlocked bool `json:"when_blocked,omitempty"`
+}
+
+// ForkExhaustion clamps the world's MaxThreads to Max during the window,
+// then restores the previous bound (§5.4).
+type ForkExhaustion struct {
+	Max   int `json:"max"`
+	From  Dur `json:"from"`
+	Until Dur `json:"until"`
+}
+
+// StallThread extends the first Compute a matching thread issues at or
+// after At by Stall — pinning, say, a lock holder in a long computation
+// to set up a stable priority inversion (§6.2).
+type StallThread struct {
+	Thread string `json:"thread"`
+	At     Dur    `json:"at"`
+	Stall  Dur    `json:"stall"`
+	// MinDemand skips computes shorter than this, so the stall lands on
+	// a real critical-section computation rather than on lock-cost or
+	// other bookkeeping charges the thread issues first.
+	MinDemand Dur `json:"min_demand,omitempty"`
+}
+
+// ClockJitter scales every Compute demand issued during the window by a
+// factor drawn uniformly from [1-Frac, 1+Frac) using the injector's own
+// seeded RNG (never the world's, so the workload's randomness is
+// untouched).
+type ClockJitter struct {
+	Frac  float64 `json:"frac"`
+	From  Dur     `json:"from,omitempty"`
+	Until Dur     `json:"until,omitempty"`
+}
+
+// Load reads and parses a JSON fault plan from path.
+func Load(path string) (Plan, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Plan{}, err
+	}
+	p, err := Parse(data)
+	if err != nil {
+		return Plan{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Parse decodes and validates a JSON fault plan. Unknown fields are
+// rejected so a typo'd injector name fails loudly instead of silently
+// injecting nothing.
+func Parse(data []byte) (Plan, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var p Plan
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("fault: bad plan: %w", err)
+	}
+	if err := p.Check(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Check validates the plan: regexps compile, windows are ordered, and
+// magnitudes are sane. New performs the same validation.
+func (p Plan) Check() error {
+	window := func(what string, from, until Dur) error {
+		if from.Duration < 0 || until.Duration < 0 {
+			return fmt.Errorf("fault: %s: negative window bound", what)
+		}
+		if until.Duration != 0 && until.Duration <= from.Duration {
+			return fmt.Errorf("fault: %s: until %s not after from %s", what, until, from)
+		}
+		return nil
+	}
+	for i, r := range p.LostNotify {
+		what := fmt.Sprintf("lost_notify[%d]", i)
+		if _, err := regexp.Compile(r.CV); err != nil {
+			return fmt.Errorf("fault: %s: bad cv pattern: %v", what, err)
+		}
+		if r.Count < 0 {
+			return fmt.Errorf("fault: %s: negative count", what)
+		}
+		if err := window(what, r.From, r.Until); err != nil {
+			return err
+		}
+	}
+	for i, r := range p.CrashThread {
+		what := fmt.Sprintf("crash_thread[%d]", i)
+		if _, err := regexp.Compile(r.Thread); err != nil {
+			return fmt.Errorf("fault: %s: bad thread pattern: %v", what, err)
+		}
+		if r.At.Duration < 0 {
+			return fmt.Errorf("fault: %s: negative at", what)
+		}
+	}
+	for i, r := range p.ForkExhaustion {
+		what := fmt.Sprintf("fork_exhaustion[%d]", i)
+		if r.Max < 1 {
+			return fmt.Errorf("fault: %s: max %d must be at least 1", what, r.Max)
+		}
+		if r.Until.Duration == 0 {
+			return fmt.Errorf("fault: %s: until is required (the clamp must end)", what)
+		}
+		if err := window(what, r.From, r.Until); err != nil {
+			return err
+		}
+	}
+	for i, r := range p.StallThread {
+		what := fmt.Sprintf("stall_thread[%d]", i)
+		if _, err := regexp.Compile(r.Thread); err != nil {
+			return fmt.Errorf("fault: %s: bad thread pattern: %v", what, err)
+		}
+		if r.At.Duration < 0 || r.Stall.Duration <= 0 {
+			return fmt.Errorf("fault: %s: need at >= 0 and stall > 0", what)
+		}
+		if r.MinDemand.Duration < 0 {
+			return fmt.Errorf("fault: %s: negative min_demand", what)
+		}
+	}
+	for i, r := range p.ClockJitter {
+		what := fmt.Sprintf("clock_jitter[%d]", i)
+		if r.Frac <= 0 || r.Frac >= 1 {
+			return fmt.Errorf("fault: %s: frac %v must be in (0, 1)", what, r.Frac)
+		}
+		if err := window(what, r.From, r.Until); err != nil {
+			return err
+		}
+	}
+	return nil
+}

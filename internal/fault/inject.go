@@ -1,0 +1,238 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// crashRetryPeriod is how often a pending CrashThread kill re-checks for
+// its victim (not yet created, or not yet blocked under WhenBlocked).
+const crashRetryPeriod = vclock.Millisecond
+
+// crashRetryLimit bounds those re-checks so an unsatisfiable rule cannot
+// keep an otherwise-finished world alive forever.
+const crashRetryLimit = 60_000 // 60 s of virtual time at 1 ms per check
+
+// Counts tallies what an Injector actually did, for recovery reports.
+type Counts struct {
+	NotifiesLost int // NOTIFYs swallowed by LostNotify rules
+	Crashes      int // threads killed by CrashThread rules
+	Stalls       int // Computes extended by StallThread rules
+	Jittered     int // Computes scaled by ClockJitter rules
+	Forks        int // thread creations observed while a clamp plan exists
+}
+
+// Injector is a Plan compiled against one world. Use it in three steps:
+//
+//	inj, err := fault.New(plan, faultSeed)
+//	inj.Configure(&cfg)          // BEFORE sim.NewWorld(cfg)
+//	w := sim.NewWorld(cfg)
+//	inj.Arm(w)                   // BEFORE w.Run
+//
+// Configure installs only the hooks the plan needs, so an empty plan
+// leaves the Config untouched. All injector state is driven from the
+// world's single-threaded driver, so no locking is needed; an Injector
+// must not be shared between worlds.
+type Injector struct {
+	w   *sim.World
+	rng *rand.Rand
+
+	lost    []*lostState
+	crashes []*crashState
+	clamps  []ForkExhaustion
+	stalls  []*stallState
+	jitters []ClockJitter
+
+	counts     Counts
+	crashTimes []vclock.Time
+}
+
+type lostState struct {
+	rule   LostNotify
+	re     *regexp.Regexp
+	budget int // remaining swallows; -1 = unlimited
+}
+
+type crashState struct {
+	rule    CrashThread
+	re      *regexp.Regexp
+	retries int
+}
+
+type stallState struct {
+	rule  StallThread
+	re    *regexp.Regexp
+	fired bool
+}
+
+// New compiles a plan. seed drives the injector's private RNG (jitter
+// draws); it is deliberately separate from the world's seed so adding a
+// fault plan never perturbs workload randomness.
+func New(p Plan, seed int64) (*Injector, error) {
+	if err := p.Check(); err != nil {
+		return nil, err
+	}
+	in := &Injector{rng: rand.New(rand.NewSource(seed))}
+	for _, r := range p.LostNotify {
+		budget := r.Count
+		if budget == 0 {
+			budget = -1
+		}
+		in.lost = append(in.lost, &lostState{rule: r, re: regexp.MustCompile(r.CV), budget: budget})
+	}
+	for _, r := range p.CrashThread {
+		in.crashes = append(in.crashes, &crashState{rule: r, re: regexp.MustCompile(r.Thread)})
+	}
+	in.clamps = append(in.clamps, p.ForkExhaustion...)
+	for _, r := range p.StallThread {
+		in.stalls = append(in.stalls, &stallState{rule: r, re: regexp.MustCompile(r.Thread)})
+	}
+	in.jitters = append(in.jitters, p.ClockJitter...)
+	return in, nil
+}
+
+// MustNew is New for plans built in Go that are known valid.
+func MustNew(p Plan, seed int64) *Injector {
+	in, err := New(p, seed)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// Configure installs the hooks the plan needs into cfg. Call before
+// sim.NewWorld; hooks fire only once Arm has attached the world.
+func (in *Injector) Configure(cfg *sim.Config) {
+	if len(in.lost) > 0 {
+		cfg.OnNotify = in.onNotify
+	}
+	if len(in.stalls) > 0 || len(in.jitters) > 0 {
+		cfg.OnCompute = in.onCompute
+	}
+	if len(in.clamps) > 0 {
+		cfg.OnFork = in.onFork
+	}
+}
+
+// Arm attaches the injector to its world and schedules the time-driven
+// injections (crashes, clamp windows). Call after NewWorld, before Run.
+func (in *Injector) Arm(w *sim.World) {
+	in.w = w
+	for _, cs := range in.crashes {
+		cs := cs
+		var attempt func()
+		attempt = func() {
+			victim := in.findVictim(cs.re)
+			ready := victim != nil && (!cs.rule.WhenBlocked || victim.State() == sim.StateBlocked)
+			if !ready {
+				if cs.retries < crashRetryLimit {
+					cs.retries++
+					w.After(crashRetryPeriod, attempt)
+				}
+				return
+			}
+			if w.KillThread(victim, fmt.Sprintf("fault: injected crash of %q", victim.Name())) {
+				in.counts.Crashes++
+				in.crashTimes = append(in.crashTimes, w.Now())
+			}
+		}
+		w.At(vclock.Time(0).Add(cs.rule.At.Duration), attempt)
+	}
+	for _, c := range in.clamps {
+		c := c
+		var prev int
+		w.At(vclock.Time(0).Add(c.From.Duration), func() {
+			prev = w.Config().MaxThreads
+			w.SetMaxThreads(c.Max)
+		})
+		w.At(vclock.Time(0).Add(c.Until.Duration), func() {
+			w.SetMaxThreads(prev)
+		})
+	}
+}
+
+// Counts returns what the injector has done so far.
+func (in *Injector) Counts() Counts { return in.counts }
+
+// CrashTimes returns the virtual times at which CrashThread kills were
+// actually delivered (after any WhenBlocked deferral).
+func (in *Injector) CrashTimes() []vclock.Time { return in.crashTimes }
+
+// findVictim returns the first live thread matching re, in creation
+// order, or nil.
+func (in *Injector) findVictim(re *regexp.Regexp) *sim.Thread {
+	for _, t := range in.w.Threads() {
+		if t.State() != sim.StateDead && re.MatchString(t.Name()) {
+			return t
+		}
+	}
+	return nil
+}
+
+func (in *Injector) inWindow(from, until Dur) bool {
+	now := in.w.Now()
+	if now < vclock.Time(0).Add(from.Duration) {
+		return false
+	}
+	return until.Duration == 0 || now < vclock.Time(0).Add(until.Duration)
+}
+
+// onNotify implements sim.Config.OnNotify: swallow a matching NOTIFY.
+func (in *Injector) onNotify(cv string) bool {
+	if in.w == nil {
+		return false
+	}
+	for _, ls := range in.lost {
+		if ls.budget == 0 || !in.inWindow(ls.rule.From, ls.rule.Until) || !ls.re.MatchString(cv) {
+			continue
+		}
+		if ls.budget > 0 {
+			ls.budget--
+		}
+		in.counts.NotifiesLost++
+		return true
+	}
+	return false
+}
+
+// onCompute implements sim.Config.OnCompute: stalls then jitter.
+func (in *Injector) onCompute(t *sim.Thread, d vclock.Duration) vclock.Duration {
+	if in.w == nil {
+		return d
+	}
+	now := in.w.Now()
+	for _, st := range in.stalls {
+		if st.fired || now < vclock.Time(0).Add(st.rule.At.Duration) ||
+			d < st.rule.MinDemand.Duration || !st.re.MatchString(t.Name()) {
+			continue
+		}
+		st.fired = true
+		in.counts.Stalls++
+		d += st.rule.Stall.Duration
+	}
+	for _, j := range in.jitters {
+		if !in.inWindow(j.From, j.Until) {
+			continue
+		}
+		// Uniform in [1-frac, 1+frac); floor at 1 µs so the hook's
+		// "non-positive skips the Compute" contract never fires here.
+		f := 1 + j.Frac*(2*in.rng.Float64()-1)
+		if nd := vclock.Duration(float64(d) * f); nd >= 1 {
+			d = nd
+		} else {
+			d = 1
+		}
+		in.counts.Jittered++
+	}
+	return d
+}
+
+// onFork implements sim.Config.OnFork: count creations so exhaustion
+// reports can relate demand to the clamp.
+func (in *Injector) onFork(parent, child *sim.Thread) {
+	in.counts.Forks++
+}

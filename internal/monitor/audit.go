@@ -1,5 +1,7 @@
 package monitor
 
+import "fmt"
+
 // CVStats are a condition variable's lifetime counters, the raw material
 // for the §5.3 audit: "there were cases where timeouts had been
 // introduced to compensate for missing NOTIFYs (bugs), instead of fixing
@@ -31,6 +33,20 @@ func (c *Cond) Suspicious(minWaits int) bool {
 func (m *Monitor) Conds() []*Cond {
 	out := make([]*Cond, len(m.conds))
 	copy(out, m.conds)
+	return out
+}
+
+// auditReport renders this monitor's suspicious CVs as human-readable
+// findings. Every monitor registers it with its world's probe
+// (sim.World.RegisterAuditor) at creation, so a harness holding the
+// probe can sweep every CV an experiment created — threadstudy's -audit
+// flag — without the experiment having to expose its monitors.
+func (m *Monitor) auditReport(minWaits int) []string {
+	var out []string
+	for _, c := range AuditCVs(minWaits, m) {
+		s := c.Stats()
+		out = append(out, fmt.Sprintf("monitor %q cv %q: %d waits, all timed out, 0 notifies (§5.3 masked-missing-NOTIFY signature)", m.name, c.name, s.Waits))
+	}
 	return out
 }
 

@@ -104,11 +104,32 @@ func (c *Cond) Wait(t *sim.Thread) (timedOut bool) {
 	m.w.Trace().Record(trace.Event{Time: m.w.Now(), Kind: trace.KindMLExit, Thread: t.ID(), Arg: m.id})
 	m.releaseLocked(t)
 
-	if c.timeout > 0 {
-		t.BlockTimed(sim.BlockCV, c.timeout)
-	} else {
-		t.Block(sim.BlockCV)
-	}
+	func() {
+		// If an injected fault (World.KillThread) unwinds the wait, the
+		// dead waiter must leave the CV queue — otherwise it would absorb
+		// a future NOTIFY — and must pass the monitor on if a Hoare
+		// signal had already handed it over. World.Shutdown's teardown
+		// unwind (t.Killed) deliberately skips the cleanup: teardown
+		// never resumes the simulation, and mutating queues under it
+		// would change what traces record.
+		defer func() {
+			if r := recover(); r != nil {
+				if !t.Killed() {
+					wtr.gone = true
+					c.compact()
+					if m.holder == t {
+						m.releaseLocked(t)
+					}
+				}
+				panic(r)
+			}
+		}()
+		if c.timeout > 0 {
+			t.BlockTimed(sim.BlockCV, c.timeout)
+		} else {
+			t.Block(sim.BlockCV)
+		}
+	}()
 
 	// A NOTIFY that raced our timeout wins: the notification did occur.
 	timedOut = !wtr.notified
@@ -143,8 +164,7 @@ func (m *Monitor) reacquire(t *sim.Thread) {
 	if m.holder != nil {
 		contended = 1
 		m.inherit(t)
-		m.queue = append(m.queue, t)
-		t.Block(sim.BlockMutex)
+		m.blockOnMutex(t)
 	} else {
 		m.acquire(t)
 	}
@@ -156,6 +176,12 @@ func (m *Monitor) reacquire(t *sim.Thread) {
 // loop code cannot distinguish). With the monitor's §6.1 option the
 // reschedule is deferred until the notifier exits the monitor.
 func (c *Cond) Notify(t *sim.Thread) {
+	if c.m.w.NotifyDropped(c.name) {
+		// Fault injection swallowed the NOTIFY (§5.3): no waiter wakes,
+		// and neither the stats nor the trace record that it was ever
+		// attempted — exactly as if the call had been deleted.
+		return
+	}
 	c.stats.Notifies++
 	woke := c.signal(t, 1)
 	c.m.w.Trace().Record(trace.Event{Time: c.m.w.Now(), Kind: trace.KindNotify, Thread: t.ID(), Arg: c.id, Aux: int64(woke)})
@@ -168,6 +194,9 @@ func (c *Cond) Notify(t *sim.Thread) {
 // for a thread-context NOTIFY. Returns the number of waiters woken (0 or
 // 1).
 func (c *Cond) NotifyExternal() int {
+	if c.m.w.NotifyDropped(c.name) {
+		return 0
+	}
 	c.stats.Notifies++
 	wtr := c.pop()
 	if wtr == nil {

@@ -136,7 +136,9 @@ func New(w *sim.World, name string) *Monitor {
 
 // NewWithOptions creates a monitor with explicit options.
 func NewWithOptions(w *sim.World, name string, opt Options) *Monitor {
-	return &Monitor{w: w, id: w.AllocMonitorID(), name: name, opt: opt.defaults()}
+	m := &Monitor{w: w, id: w.AllocMonitorID(), name: name, opt: opt.defaults()}
+	w.RegisterAuditor(m.auditReport)
+	return m
 }
 
 // ID returns the monitor's world-unique identifier, as stamped on trace
@@ -162,8 +164,7 @@ func (m *Monitor) Enter(t *sim.Thread) {
 		}
 		contended = 1
 		m.inherit(t)
-		m.queue = append(m.queue, t)
-		t.Block(sim.BlockMutex)
+		m.blockOnMutex(t)
 		if m.holder != t {
 			panic(fmt.Sprintf("monitor: %s woke from mutex queue of %q without ownership", t.Name(), m.name))
 		}
@@ -182,6 +183,34 @@ func (m *Monitor) Exit(t *sim.Thread) {
 	m.withMetalock(t, func() {})
 	m.w.Trace().Record(trace.Event{Time: m.w.Now(), Kind: trace.KindMLExit, Thread: t.ID(), Arg: m.id})
 	m.releaseLocked(t)
+}
+
+// blockOnMutex parks t on the monitor's FIFO mutex queue. If an injected
+// fault (World.KillThread) unwinds the wait, t's registration is removed
+// — or, when the mutex had already been handed to t by a release that
+// raced the kill, ownership is passed on — so the monitor cannot be left
+// held by a corpse. World.Shutdown's teardown unwind (t.Killed) skips
+// the cleanup, preserving the historical teardown semantics.
+func (m *Monitor) blockOnMutex(t *sim.Thread) {
+	m.queue = append(m.queue, t)
+	defer func() {
+		if r := recover(); r != nil {
+			if !t.Killed() {
+				if m.holder == t {
+					m.releaseLocked(t)
+				} else {
+					for i, x := range m.queue {
+						if x == t {
+							m.queue = append(m.queue[:i], m.queue[i+1:]...)
+							break
+						}
+					}
+				}
+			}
+			panic(r)
+		}
+	}()
+	t.Block(sim.BlockMutex)
 }
 
 // acquire installs t as the holder and snapshots its priority for

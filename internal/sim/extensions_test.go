@@ -215,6 +215,137 @@ func TestMPSpuriousConflictSetup(t *testing.T) {
 	}
 }
 
+// TestForkBlocksWithBlockFork pins down the §5.4 "wait in the fork
+// implementation" path: at the MaxThreads bound the forking thread is
+// parked with BlockFork (observed mid-wait), and it resumes as soon as a
+// thread exits.
+func TestForkBlocksWithBlockFork(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxThreads = 2
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+	var parent *Thread
+	var resumedAt vclock.Time
+	parent = w.Spawn("parent", PriorityNormal, func(th *Thread) any {
+		c1 := th.Fork("c1", func(c *Thread) any {
+			c.Compute(30 * vclock.Millisecond)
+			return nil
+		})
+		c1.Detach()
+		c2 := th.Fork("c2", func(c *Thread) any { return nil }) // must wait for c1
+		resumedAt = th.Now()
+		th.Join(c2)
+		return nil
+	})
+	// Mid-wait, the parent must be parked specifically on BlockFork.
+	var stateMidWait State
+	var reasonMidWait int
+	w.At(vclock.Time(10*vclock.Millisecond), func() {
+		stateMidWait = parent.State()
+		reasonMidWait = parent.BlockedOn()
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if stateMidWait != StateBlocked || reasonMidWait != BlockFork {
+		t.Fatalf("mid-wait parent state = %v blocked-on %s, want blocked on %s",
+			stateMidWait, BlockReasonName(reasonMidWait), BlockReasonName(BlockFork))
+	}
+	if resumedAt != vclock.Time(30*vclock.Millisecond) {
+		t.Fatalf("fork resumed at %v, want 30ms (c1's exit)", resumedAt)
+	}
+}
+
+// TestKillThreadDeliversPanic: the fault-injection kill primitive wakes a
+// blocked victim and unwinds it as an ordinary application panic, so
+// rejuvenation wrappers see a PanicError, not a silent disappearance.
+func TestKillThreadDeliversPanic(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	victim := w.Spawn("victim", PriorityNormal, func(th *Thread) any {
+		th.Block(BlockCV) // parked forever unless killed
+		return nil
+	})
+	w.At(vclock.Time(10*vclock.Millisecond), func() {
+		if !w.KillThread(victim, "injected boom") {
+			t.Error("KillThread refused a live blocked victim")
+		}
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	var pe *PanicError
+	if !errors.As(victim.Err(), &pe) || !strings.Contains(pe.Error(), "injected boom") {
+		t.Fatalf("victim error = %v, want PanicError carrying the injected value", victim.Err())
+	}
+	if victim.Killed() {
+		t.Fatal("injected crash must read as an application error, not a Shutdown kill")
+	}
+	if w.KillThread(victim, nil) {
+		t.Fatal("KillThread succeeded on a dead thread")
+	}
+}
+
+// TestSetMaxThreadsAdmitsWaiters: raising the bound wakes exactly the
+// FORKs the new bound allows, in FIFO order; n <= 0 removes the bound.
+func TestSetMaxThreadsAdmitsWaiters(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxThreads = 1
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+	var forked []vclock.Time
+	w.Spawn("parent", PriorityNormal, func(th *Thread) any {
+		for i := 0; i < 3; i++ {
+			c := th.Fork("c", func(c *Thread) any {
+				c.Block(BlockCV) // stays live so the bound stays saturated
+				return nil
+			})
+			c.Detach()
+			forked = append(forked, th.Now())
+		}
+		return nil
+	})
+	// parent alone saturates MaxThreads=1, so even the first FORK waits.
+	w.At(vclock.Time(20*vclock.Millisecond), func() { w.SetMaxThreads(2) })
+	w.At(vclock.Time(40*vclock.Millisecond), func() { w.SetMaxThreads(0) }) // unbounded
+	w.Run(vclock.Time(vclock.Second))
+	want := []vclock.Time{
+		vclock.Time(20 * vclock.Millisecond),
+		vclock.Time(40 * vclock.Millisecond),
+		vclock.Time(40 * vclock.Millisecond),
+	}
+	if !reflect.DeepEqual(forked, want) {
+		t.Fatalf("fork admission times = %v, want %v", forked, want)
+	}
+	if w.Config().MaxThreads != 0 {
+		t.Fatalf("MaxThreads = %d after removing the bound", w.Config().MaxThreads)
+	}
+}
+
+// TestRunResetsDeadlocked: a later Run must not report the previous
+// Run's deadlocked set (the stale-verdict bug).
+func TestRunResetsDeadlocked(t *testing.T) {
+	w := NewWorld(testConfig())
+	defer w.Shutdown()
+	stuck := w.Spawn("stuck", PriorityNormal, func(th *Thread) any {
+		th.Block(BlockMutex)
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeDeadlock {
+		t.Fatalf("first run outcome = %v, want deadlock", out)
+	}
+	if len(w.Deadlocked()) != 1 {
+		t.Fatalf("deadlocked = %v", w.Deadlocked())
+	}
+	w.WakeIfBlocked(stuck, nil)
+	if out := w.Run(vclock.Time(2 * vclock.Second)); out != OutcomeQuiescent {
+		t.Fatalf("second run outcome = %v, want quiescent", out)
+	}
+	if len(w.Deadlocked()) != 0 {
+		t.Fatalf("stale deadlocked set survived a clean Run: %v", w.Deadlocked())
+	}
+}
+
 func TestDumpState(t *testing.T) {
 	w := NewWorld(testConfig())
 	defer w.Shutdown()
@@ -234,7 +365,7 @@ func TestDumpState(t *testing.T) {
 	var sb strings.Builder
 	w.DumpState(&sb)
 	out := sb.String()
-	for _, want := range []string{"3 live thread(s)", "runner", "stuck", "blocked-on=mutex (forever)", "napping", "blocked-on=sleep (timed)", "cpu0"} {
+	for _, want := range []string{"3 live thread(s)", "runner", "stuck", "blocked-on=mutex since 0.000000s (forever)", "napping", "blocked-on=sleep since 0.000000s (timed)", "cpu0"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dump missing %q:\n%s", want, out)
 		}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/vclock"
@@ -20,6 +21,9 @@ type Probe struct {
 	worlds  atomic.Int64
 	events  atomic.Int64
 	virtual atomic.Int64 // microseconds of simulated time
+
+	mu       sync.Mutex
+	auditors []func(minWaits int) []string
 }
 
 // Worlds returns the number of worlds created against this probe.
@@ -41,6 +45,35 @@ func (p *Probe) observeWorld() {
 		return
 	}
 	p.worlds.Add(1)
+}
+
+// registerAuditor records a post-run audit closure (World.RegisterAuditor).
+func (p *Probe) registerAuditor(f func(minWaits int) []string) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.auditors = append(p.auditors, f)
+	p.mu.Unlock()
+}
+
+// Audit invokes every registered auditor in registration order and
+// concatenates their findings — for the experiment harness, the
+// suspicious all-timeout CVs of every monitor its worlds created (§5.3).
+// Call only after the attached worlds have finished running; the auditors
+// read simulation state without synchronization.
+func (p *Probe) Audit(minWaits int) []string {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	auditors := p.auditors
+	p.mu.Unlock()
+	var out []string
+	for _, f := range auditors {
+		out = append(out, f(minWaits)...)
+	}
+	return out
 }
 
 // add accumulates an events/virtual-time delta from one world.

@@ -125,6 +125,31 @@ type Config struct {
 
 	// SystemDaemonSlice is the donated timeslice. Default 5 ms.
 	SystemDaemonSlice vclock.Duration
+
+	// The On* hooks below are the fault-injection seams used by package
+	// fault. Like Probe they are observability-grade plumbing: all three
+	// default to nil, and a nil hook is never called, so a world built
+	// without them behaves byte-identically to one built before the hooks
+	// existed.
+
+	// OnNotify, when non-nil, is consulted before every NOTIFY (thread or
+	// driver context) on a condition variable; cv is the CV's debug name.
+	// Returning true swallows the notification — no waiter wakes, no
+	// stats or trace records are made — modeling the deleted-NOTIFY bugs
+	// of §5.3 that timeouts then paper over. Package monitor honors the
+	// hook; it does not apply to BROADCAST.
+	OnNotify func(cv string) (drop bool)
+
+	// OnFork, when non-nil, observes every thread creation (Spawn, FORK,
+	// TryFork) after the child exists; parent is nil for Spawn. It must
+	// not call into the world.
+	OnFork func(parent, child *Thread)
+
+	// OnCompute, when non-nil, maps every Compute demand to the duration
+	// actually charged, enabling seeded clock jitter and induced stalls
+	// (§6.2) without touching workload code. Returning d unchanged is a
+	// no-op; non-positive results skip the Compute entirely.
+	OnCompute func(t *Thread, d vclock.Duration) vclock.Duration
 }
 
 // Defaults returns cfg with unset fields replaced by the paper's PCR
@@ -165,6 +190,24 @@ const (
 	BlockSleep = trace.BlockSleep
 	BlockFork  = trace.BlockFork
 )
+
+var blockReasonNames = [...]string{
+	BlockMutex: "mutex",
+	BlockCV:    "cv",
+	BlockJoin:  "join",
+	BlockSleep: "sleep",
+	BlockFork:  "fork",
+}
+
+// BlockReasonName returns the lowercase name of a Block* reason, or
+// "unknown" for values outside the known set. DumpState and the fault
+// watchdog's state dumps use it.
+func BlockReasonName(r int) string {
+	if r >= 0 && r < len(blockReasonNames) {
+		return blockReasonNames[r]
+	}
+	return "unknown"
+}
 
 // Outcome says why Run returned.
 type Outcome int

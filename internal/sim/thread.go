@@ -64,8 +64,14 @@ type Thread struct {
 	yieldSlice  vclock.Duration // cap for DirectedYieldFor; 0 = rest of slice
 
 	blockReason int
+	blockSince  vclock.Time // when the current block began (DumpState)
 	wakeTimer   *eventq.Event
 	timedOut    bool
+
+	// Pending fault injection (World.KillThread): the thread panics with
+	// injected at its next dispatch.
+	injected    any
+	hasInjected bool
 
 	// fork/join linkage
 	detached bool
@@ -157,6 +163,10 @@ func (t *Thread) main() {
 	if t.killed {
 		panic(killSignal)
 	}
+	if t.hasInjected {
+		t.hasInjected = false
+		panic(t.injected)
+	}
 	res := t.body(t)
 	t.exit(res, nil)
 	t.w.yield <- t // final handoff; goroutine ends
@@ -197,6 +207,10 @@ func (t *Thread) park() {
 	if t.killed {
 		panic(killSignal)
 	}
+	if t.hasInjected {
+		t.hasInjected = false
+		panic(t.injected)
+	}
 }
 
 // Compute consumes d of virtual CPU time. The thread may be preempted and
@@ -205,6 +219,11 @@ func (t *Thread) park() {
 func (t *Thread) Compute(d vclock.Duration) {
 	if d <= 0 {
 		return
+	}
+	if f := t.w.cfg.OnCompute; f != nil {
+		if d = f(t, d); d <= 0 {
+			return
+		}
 	}
 	t.computeLeft += d
 	for t.computeLeft > 0 {
@@ -235,6 +254,7 @@ func (t *Thread) blockAt(reason int, deadline vclock.Time) (timedOut bool) {
 	w := t.w
 	t.checkThreadContext("Block")
 	t.blockReason = reason
+	t.blockSince = w.clock
 	t.timedOut = false
 	t.state = StateBlocked
 	w.record(trace.Event{Time: w.clock, Kind: trace.KindBlock, Thread: t.id, Aux: int64(reason)})

@@ -182,6 +182,9 @@ func (w *World) newThread(name string, pri Priority, body Proc, parent *Thread) 
 	w.threads = append(w.threads, t)
 	w.liveCount++
 	go t.main()
+	if f := w.cfg.OnFork; f != nil {
+		f(parent, t)
+	}
 	return t
 }
 
@@ -191,6 +194,10 @@ func (w *World) newThread(name string, pri Priority, body Proc, parent *Thread) 
 func (w *World) Run(until vclock.Time) Outcome {
 	defer w.flushProbe()
 	w.stopped = false
+	// A fresh Run gets a fresh verdict: without this, a run that ends
+	// OutcomeHorizon after an earlier OutcomeDeadlock would still report
+	// the stale deadlocked set from Deadlocked().
+	w.deadlocked = nil
 	for {
 		w.settle()
 		if w.stopped {
@@ -267,22 +274,18 @@ func (w *World) DumpState(out io.Writer) {
 		}
 		fmt.Fprintf(out, "  cpu%d: %s%s\n", i, cur, boost)
 	}
-	reasons := [...]string{"mutex", "cv", "join", "sleep", "fork"}
 	for _, t := range w.threads {
 		if t.state == StateDead {
 			continue
 		}
 		extra := ""
 		if t.state == StateBlocked {
-			r := "unknown"
-			if t.blockReason >= 0 && t.blockReason < len(reasons) {
-				r = reasons[t.blockReason]
-			}
 			deadline := "forever"
 			if t.wakeTimer != nil {
 				deadline = "timed"
 			}
-			extra = fmt.Sprintf(" blocked-on=%s (%s)", r, deadline)
+			extra = fmt.Sprintf(" blocked-on=%s since %s (%s)",
+				BlockReasonName(t.blockReason), t.blockSince, deadline)
 		}
 		fmt.Fprintf(out, "  %s%s\n", t, extra)
 	}
@@ -340,6 +343,74 @@ func (w *World) SetPriorityOf(t *Thread, p Priority) {
 		return
 	}
 	t.pri = p
+}
+
+// NotifyDropped consults the Config.OnNotify fault hook for a NOTIFY on
+// the named condition variable and reports whether the notification
+// should be swallowed. Package monitor calls it on every NOTIFY; with no
+// hook configured it is always false.
+func (w *World) NotifyDropped(cv string) bool {
+	return w.cfg.OnNotify != nil && w.cfg.OnNotify(cv)
+}
+
+// KillThread injects an uncaught error into t: the next time t would run
+// it panics with v instead, dying exactly as if its own body had raised v
+// (§5.5 crashes; JOIN and task rejuvenation observe a PanicError). A
+// blocked victim is woken to receive the error. Call from driver context
+// (an At callback); a nil v is replaced with a generic crash value.
+// Returns false if t is already dead. Unlike Shutdown's teardown, the
+// panic unwinds as an application error, so rejuvenation wrappers catch
+// it and monitor queues the victim was waiting on are cleaned up.
+func (w *World) KillThread(t *Thread, v any) bool {
+	if t.state == StateDead || t.finished {
+		return false
+	}
+	if v == nil {
+		v = fmt.Sprintf("thread %q killed by fault injection", t.name)
+	}
+	t.injected = v
+	t.hasInjected = true
+	if t.state == StateBlocked {
+		w.WakeIfBlocked(t, nil)
+	}
+	return true
+}
+
+// SetMaxThreads changes the world's live-thread bound at runtime — the
+// primitive under the fault layer's ForkExhaustion window (§5.4). n <= 0
+// removes the bound. Raising or removing the bound admits as many waiting
+// FORKs as the new bound allows. Call from driver context.
+func (w *World) SetMaxThreads(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n == w.cfg.MaxThreads {
+		return
+	}
+	w.cfg.MaxThreads = n
+	free := len(w.forkWaiters)
+	if n > 0 {
+		free = n - w.liveCount
+	}
+	// Each admitted waiter re-checks the bound in its FORK loop, so
+	// over-admission is safe; under-admission would strand a waiter.
+	for free > 0 && len(w.forkWaiters) > 0 {
+		t := w.forkWaiters[0]
+		w.forkWaiters = w.forkWaiters[1:]
+		w.WakeIfBlocked(t, nil)
+		free--
+	}
+}
+
+// RegisterAuditor forwards a post-run audit closure to the world's probe,
+// if any. Package monitor registers one per monitor so harnesses can
+// sweep every CV an experiment created for the §5.3 masked-missing-NOTIFY
+// signature after the run completes (Probe.Audit). With no probe
+// configured the registration is dropped.
+func (w *World) RegisterAuditor(f func(minWaits int) []string) {
+	if w.cfg.Probe != nil {
+		w.cfg.Probe.registerAuditor(f)
+	}
 }
 
 // WakeIfBlocked makes t runnable if it is currently blocked, and reports

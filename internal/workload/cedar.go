@@ -132,6 +132,10 @@ type Cedar struct {
 	// usability number.
 	EchoLatency stats.LatencyRecorder
 
+	// Dispatched counts events the dispatcher has handled — the progress
+	// counter resilience experiments watch to measure recovery.
+	Dispatched int64
+
 	scrollCount int // numbers scroll events for the fork-every-Nth pattern
 	stops       []func()
 }
@@ -312,8 +316,13 @@ func (c *Cedar) startDispatcher() {
 	}, nil)
 }
 
+// Dispatcher exposes the rejuvenating event dispatcher so resilience
+// experiments can observe its restart count.
+func (c *Cedar) Dispatcher() *paradigm.Service { return c.dispatcher }
+
 // dispatch handles one preprocessed event in the dispatcher thread.
 func (c *Cedar) dispatch(t *sim.Thread, ev inputEvent) {
+	c.Dispatched++
 	switch ev.kind {
 	case "key":
 		// Keystrokes go to the command shell, which forks an echo
