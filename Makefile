@@ -1,13 +1,22 @@
 # One-command gates for this repository. `make check` is the bar every
-# PR must clear: vet, build, and the full test suite under the race
+# PR must clear: vet, build, the full test suite under the race
 # detector — the race run is what proves the parallel experiment
-# harness (experiments.RunAll) shares no hidden state.
+# harness (experiments.RunAll) shares no hidden state — plus a short
+# fuzz pass over the plan/trace parsers and a bounded schedule-
+# exploration sweep (every healthy scenario clean, every known-bad
+# fixture caught).
 
 GO ?= go
+FUZZTIME ?= 10s
+EXPLORE_BUDGET ?= 200
 
-.PHONY: check vet build test race bench
+# Packages with a minimum-coverage bar (see `make cover`).
+COVER_PKGS = ./internal/sim ./internal/monitor ./internal/fault
+COVER_FLOOR = 75
 
-check: vet build race
+.PHONY: check vet build test race bench fuzz-short explore cover
+
+check: vet build race fuzz-short explore
 
 vet:
 	$(GO) vet ./...
@@ -23,3 +32,27 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$'
+
+# Short coverage-guided fuzzing of the attacker-facing parsers: JSON
+# fault plans and the binary trace codec (decode robustness + encode/
+# decode round trip).
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz FuzzPlanJSON -fuzztime $(FUZZTIME) ./internal/fault
+	$(GO) test -run='^$$' -fuzz FuzzRead'$$' -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run='^$$' -fuzz FuzzEncodeDecode -fuzztime $(FUZZTIME) ./internal/trace
+
+# Bounded systematic schedule exploration over all registered scenarios.
+explore:
+	$(GO) run ./cmd/schedcheck -budget $(EXPLORE_BUDGET)
+
+# Per-package coverage with a floor: the simulator kernel, the monitor
+# implementation, and the fault injector must each stay above
+# $(COVER_FLOOR)% statement coverage.
+cover:
+	@for pkg in $(COVER_PKGS); do \
+		$(GO) test -covermode=atomic -coverprofile=/tmp/cover.out $$pkg >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=/tmp/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+		echo "coverage $$pkg: $$pct% (floor $(COVER_FLOOR)%)"; \
+		awk -v p="$$pct" -v f="$(COVER_FLOOR)" \
+			'BEGIN { if (p+0 < f+0) { print "coverage below floor"; exit 1 } }' || exit 1; \
+	done

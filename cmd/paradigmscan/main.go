@@ -167,7 +167,7 @@ func scanWaits(root string, includeTests bool) ([]waitFinding, error) {
 		if !strings.HasSuffix(path, ".go") || (!includeTests && strings.HasSuffix(path, "_test.go")) {
 			return nil
 		}
-		file, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		file, perr := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution|parser.ParseComments)
 		if perr != nil {
 			return nil
 		}

@@ -175,6 +175,11 @@ func loopInsideIf(t *T) {
 		}
 	}
 }
+func deliberate(t *T) {
+	if len(queue) == 0 {
+		cv.Wait(t) // waitcheck:ignore — Hoare monitor, IF is correct here
+	}
+}
 `)
 	findings, err := scanWaits(dir, false)
 	if err != nil {

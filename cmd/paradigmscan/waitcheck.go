@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"strings"
 )
 
 // waitFinding is one suspected §5.3 IF-wait.
@@ -19,9 +20,21 @@ type waitFinding struct {
 //
 // The check is syntactic, like the authors' grep-then-read method: a call
 // to a method named Wait whose nearest enclosing control structure is an
-// *ast.IfStmt (with no intervening for-loop) is flagged.
+// *ast.IfStmt (with no intervening for-loop) is flagged. A deliberate
+// IF-wait — a Hoare-semantics monitor, or a bug fixture the explorer is
+// supposed to catch — is suppressed with a `waitcheck:ignore` comment on
+// the Wait's line (the file must be parsed with comments).
 func checkWaits(fset *token.FileSet, file *ast.File) []waitFinding {
 	var findings []waitFinding
+
+	ignored := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "waitcheck:ignore") {
+				ignored[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
 
 	// Walk with an explicit stack of enclosing statements so we know,
 	// for each Wait call, whether an if or a for is nearest.
@@ -54,6 +67,9 @@ func checkWaits(fset *token.FileSet, file *ast.File) []waitFinding {
 					continue
 				}
 				pos := fset.Position(call.Pos())
+				if ignored[pos.Line] {
+					return true
+				}
 				findings = append(findings, waitFinding{
 					pos:  pos,
 					text: fmt.Sprintf("%s: Wait guarded by IF, not re-checked in a loop (§5.3)", pos),

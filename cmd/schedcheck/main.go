@@ -1,0 +1,138 @@
+// Command schedcheck runs the CHESS-style schedule explorer
+// (internal/explore) over the registered paradigm scenarios: it sweeps
+// seeds, forces single and paired scheduler decisions, and random-walks
+// the remaining budget, checking the §5/§6 oracles after every run. A
+// failing schedule is shrunk to a minimal decision sequence and printed
+// as a replay token.
+//
+// Usage:
+//
+//	schedcheck                    # explore every scenario (fixtures must fail)
+//	schedcheck -list              # list scenarios and their oracles
+//	schedcheck -scenario ping-pong -budget 2000
+//	schedcheck -replay 'v1;broken-timeout-wait;seed=1;steps=1.1'
+//	schedcheck -shrink 'v1;broken-timeout-wait;seed=1;steps=1.1,7.2'
+//
+// Exit codes: 0 — every scenario behaved as expected (healthy ones clean,
+// known-bad fixtures failing), or a replayed/shrunk token still
+// reproduces; 1 — a healthy scenario failed, a fixture stopped failing,
+// or a replayed token no longer reproduces; 2 — usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/explore"
+	"repro/internal/paradigm"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected so the CLI surface is
+// testable. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list scenarios and exit")
+		scenario = fs.String("scenario", "", "explore a single scenario by name (default: all)")
+		budget   = fs.Int("budget", 200, "run budget per scenario")
+		seed     = fs.Int64("seed", 1, "first world seed of the sweep (must be nonzero)")
+		replay   = fs.String("replay", "", "replay one schedule token and report")
+		shrink   = fs.String("shrink", "", "replay one failing token and shrink it further")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "schedcheck: "+format+"\n", a...)
+		return 2
+	}
+	if fs.NArg() > 0 {
+		return fail("unexpected argument %q", fs.Arg(0))
+	}
+	if *replay != "" && *shrink != "" {
+		return fail("-replay and -shrink are mutually exclusive")
+	}
+	if *seed == 0 {
+		return fail("-seed must be nonzero (0 would disable the world RNG)")
+	}
+	if *budget < 1 {
+		return fail("-budget must be at least 1")
+	}
+
+	if *list {
+		for _, sc := range paradigm.Scenarios() {
+			mark := " "
+			if sc.KnownBad {
+				mark = "!"
+			}
+			fmt.Fprintf(stdout, "%s %-22s %s\n", mark, sc.Name, sc.Desc)
+		}
+		fmt.Fprintf(stdout, "\n%d scenarios ('!' = known-bad fixture, exploration must find its failure)\n", len(paradigm.Scenarios()))
+		fmt.Fprintf(stdout, "oracles: %v\n", explore.OracleNames())
+		return 0
+	}
+
+	opts := explore.Options{Budget: *budget, Seeds: []int64{*seed, *seed + 1}}
+
+	if *replay != "" || *shrink != "" {
+		tok := *replay
+		if tok == "" {
+			tok = *shrink
+		}
+		res, err := explore.Replay(tok)
+		if err != nil {
+			return fail("%v", err)
+		}
+		if res.Failure == nil {
+			fmt.Fprintf(stdout, "%s: schedule no longer fails (%d forced steps)\n", res.Scenario, len(res.Schedule.Steps))
+			return 1
+		}
+		fmt.Fprintf(stdout, "%s: reproduced %s\n", res.Scenario, res.Failure.Error())
+		if *shrink != "" {
+			sc, _ := paradigm.ScenarioByName(res.Scenario)
+			min, runs := explore.Shrink(sc, res.Failure, opts)
+			fmt.Fprintf(stdout, "shrunk %d -> %d steps in %d runs\nreplay: %s\n",
+				len(res.Failure.Schedule.Steps), len(min.Schedule.Steps), runs, explore.EncodeToken(res.Scenario, min.Schedule))
+		}
+		return 0
+	}
+
+	scenarios := paradigm.Scenarios()
+	if *scenario != "" {
+		sc, ok := paradigm.ScenarioByName(*scenario)
+		if !ok {
+			return fail("unknown scenario %q (see -list)", *scenario)
+		}
+		scenarios = []paradigm.Scenario{sc}
+	}
+
+	code := 0
+	for _, sc := range scenarios {
+		v := explore.Explore(sc, opts)
+		switch {
+		case v.Failure == nil && !sc.KnownBad:
+			fmt.Fprintf(stdout, "ok   %-22s %d runs, %d decision points\n", sc.Name, v.Runs, v.Decisions)
+		case v.Failure == nil && sc.KnownBad:
+			fmt.Fprintf(stdout, "MISS %-22s known-bad fixture survived %d runs — explorer regression?\n", sc.Name, v.Runs)
+			code = 1
+		default:
+			min, _ := explore.Shrink(sc, v.Failure, opts)
+			verdict := "FAIL"
+			if sc.KnownBad {
+				verdict = "ok! " // fixtures are supposed to fail
+			} else {
+				code = 1
+			}
+			fmt.Fprintf(stdout, "%s %-22s %s (found in %d runs, shrunk to %d steps)\n     replay: %s\n",
+				verdict, sc.Name, min.Error(), v.Runs, len(min.Schedule.Steps), explore.EncodeToken(sc.Name, min.Schedule))
+		}
+	}
+	return code
+}

@@ -109,6 +109,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *parallel < 1 {
 		return fail(fmt.Sprintf("-parallel %d: need at least one worker", *parallel))
 	}
+	if limit := runtime.NumCPU() * 4; *parallel > limit {
+		// Results are deterministic regardless, so this is a warning, not
+		// an error: the extra workers only add scheduler thrash.
+		fmt.Fprintf(stderr, "threadstudy: warning: -parallel %d exceeds %d (4x %d CPUs); extra workers add contention, not speed\n",
+			*parallel, limit, runtime.NumCPU())
+	}
 	if *auditMin < 1 {
 		return fail(fmt.Sprintf("-auditmin %d: a CV needs at least one observed wait to be auditable", *auditMin))
 	}
@@ -154,6 +160,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		todo = []experiments.Experiment{e}
 	} else {
 		todo = experiments.All()
+	}
+	if *faultSeed != 0 && plan == nil {
+		// Without -faults, only the R-series experiments (built-in plans)
+		// consult the injector seed. Flag the silently ignored knob.
+		hasR := false
+		for _, e := range todo {
+			hasR = hasR || strings.HasPrefix(e.ID, "R")
+		}
+		if !hasR {
+			fmt.Fprintf(stderr, "threadstudy: warning: -faultseed %d has no effect on %s without -faults (only R-series experiments inject faults)\n",
+				*faultSeed, *expID)
+		}
 	}
 
 	failed := false

@@ -98,6 +98,10 @@ func TestCLIValidation(t *testing.T) {
 		{"missing fault plan rejected",
 			[]string{"-faults", filepath.Join(t.TempDir(), "nope.json")}, 2, "no such file", ""},
 		{"auditmin zero rejected", []string{"-audit", "-auditmin", "0"}, 2, "at least one observed wait", ""},
+		{"faultseed without faults on T experiment warns",
+			[]string{"-experiment", "T1", "-quick", "-faultseed", "9"}, 0, "-faultseed 9 has no effect", "T1"},
+		{"huge parallel warns but still runs",
+			[]string{"-experiment", "T1", "-quick", "-parallel", "100000"}, 0, "-parallel 100000 exceeds", "T1"},
 	}
 	for _, tc := range tests {
 		tc := tc
@@ -114,6 +118,30 @@ func TestCLIValidation(t *testing.T) {
 				t.Errorf("stdout %q missing %q", stdout.String(), tc.wantOut)
 			}
 		})
+	}
+}
+
+// Warnings are stderr-only advisories: an R-series run consumes
+// -faultseed (no warning), and a warned run's stdout stays byte-identical
+// to the unwarned one.
+func TestCLIWarningsScope(t *testing.T) {
+	runOne := func(args ...string) (string, string) {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	if _, errs := runOne("-experiment", "R2", "-quick", "-faultseed", "9"); strings.Contains(errs, "has no effect") {
+		t.Errorf("R2 consumes -faultseed, must not warn: %q", errs)
+	}
+	plain, _ := runOne("-experiment", "T1", "-quick")
+	warned, errs := runOne("-experiment", "T1", "-quick", "-faultseed", "9", "-parallel", "100000")
+	if !strings.Contains(errs, "has no effect") || !strings.Contains(errs, "exceeds") {
+		t.Fatalf("expected both warnings on stderr, got: %q", errs)
+	}
+	if warned != plain {
+		t.Error("warnings leaked into stdout: output differs from unwarned run")
 	}
 }
 

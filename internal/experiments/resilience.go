@@ -65,9 +65,9 @@ type r1Result struct {
 	samples    []progressSample
 }
 
-// r1DefaultPlan crashes the dispatcher at one third and two thirds of
+// R1DefaultPlan is R1's standard fault plan: it crashes the dispatcher at one third and two thirds of
 // the window, deferred until it is blocked in its wait loop.
-func r1DefaultPlan(span vclock.Duration) fault.Plan {
+func R1DefaultPlan(span vclock.Duration) fault.Plan {
 	return fault.Plan{CrashThread: []fault.CrashThread{
 		{Thread: "^event-dispatcher$", At: fault.D(span / 3), WhenBlocked: true},
 		{Thread: "^event-dispatcher$", At: fault.D(2 * span / 3), WhenBlocked: true},
@@ -103,7 +103,7 @@ func r1Run(cfg Config, plan fault.Plan, span vclock.Duration) r1Result {
 func ResCrash(cfg Config) *Report {
 	span := cfg.window() / 2
 	base := r1Run(cfg, fault.Plan{}, span)
-	faulted := r1Run(cfg, cfg.faultPlan(r1DefaultPlan(span)), span)
+	faulted := r1Run(cfg, cfg.faultPlan(R1DefaultPlan(span)), span)
 
 	t := stats.NewTable(fmt.Sprintf("R1: dispatcher crashes under Cedar compile+keyboard (%s window)", vclock.Duration(span)),
 		"Metric", "baseline", "faulted")
@@ -151,9 +151,9 @@ type r2Result struct {
 	forks                 int
 }
 
-// r2DefaultPlan clamps the thread limit to 2 (the notifier plus one
+// R2DefaultPlan is R2's standard fault plan: it clamps the thread limit to 2 (the notifier plus one
 // transient) for a window covering several keystrokes.
-func r2DefaultPlan() fault.Plan {
+func R2DefaultPlan() fault.Plan {
 	return fault.Plan{ForkExhaustion: []fault.ForkExhaustion{{
 		Max: 2, From: fault.D(500 * vclock.Millisecond), Until: fault.D(1200 * vclock.Millisecond),
 	}}}
@@ -169,7 +169,7 @@ func r2Run(cfg Config, retry bool) r2Result {
 		firstKey      = 50 * vclock.Millisecond
 		transientLife = 180 * vclock.Millisecond
 	)
-	plan := cfg.faultPlan(r2DefaultPlan())
+	plan := cfg.faultPlan(R2DefaultPlan())
 	inj := fault.MustNew(plan, cfg.faultSeed())
 	simCfg := sim.Config{Seed: cfg.seed(), MaxThreads: 16, Probe: cfg.Probe}
 	inj.Configure(&simCfg)
@@ -269,9 +269,9 @@ type r3Result struct {
 // through its 60 ms critical section.
 const r3Horizon = 6 * vclock.Second
 
-// r3DefaultPlan pins lo-holder's critical-section compute (MinDemand
+// R3DefaultPlan is R3's standard fault plan: it pins lo-holder's critical-section compute (MinDemand
 // skips the monitor's lock-cost bookkeeping charges) for an extra 50 ms.
-func r3DefaultPlan() fault.Plan {
+func R3DefaultPlan() fault.Plan {
 	return fault.Plan{StallThread: []fault.StallThread{{
 		Thread: "^lo-holder$", At: fault.D(0), Stall: fault.D(50 * vclock.Millisecond),
 		MinDemand: fault.D(5 * vclock.Millisecond),
@@ -283,7 +283,7 @@ func r3DefaultPlan() fault.Plan {
 // acquisitions are the watched progress counter, and a fault.Watchdog
 // detecting its starvation.
 func r3Run(cfg Config, daemon bool) r3Result {
-	plan := cfg.faultPlan(r3DefaultPlan())
+	plan := cfg.faultPlan(R3DefaultPlan())
 	inj := fault.MustNew(plan, cfg.faultSeed())
 	simCfg := sim.Config{Seed: cfg.seed(), SystemDaemon: daemon, Probe: cfg.Probe}
 	inj.Configure(&simCfg)

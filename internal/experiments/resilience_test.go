@@ -16,7 +16,7 @@ func TestR1RecoversFromCrashes(t *testing.T) {
 	cfg := Config{Quick: true}
 	span := cfg.window() / 2
 	base := r1Run(cfg, fault.Plan{}, span)
-	faulted := r1Run(cfg, r1DefaultPlan(span), span)
+	faulted := r1Run(cfg, R1DefaultPlan(span), span)
 
 	if len(faulted.crashes) != 2 {
 		t.Fatalf("crashes delivered = %d, want 2", len(faulted.crashes))
@@ -112,7 +112,7 @@ func TestR3WatchdogDetectsAndDaemonClears(t *testing.T) {
 func TestFaultsConfigOverridesPlan(t *testing.T) {
 	empty := fault.Plan{}
 	cfg := Config{Quick: true, Faults: &empty}
-	faulted := r1Run(cfg, cfg.faultPlan(r1DefaultPlan(cfg.window()/2)), cfg.window()/2)
+	faulted := r1Run(cfg, cfg.faultPlan(R1DefaultPlan(cfg.window()/2)), cfg.window()/2)
 	if len(faulted.crashes) != 0 {
 		t.Fatalf("empty -faults plan still delivered %d crashes", len(faulted.crashes))
 	}

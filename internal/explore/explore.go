@@ -1,0 +1,282 @@
+// Package explore is a CHESS-style systematic schedule explorer for the
+// simulator: it runs small paradigm scenarios many times, steering the
+// scheduler's genuine freedoms — which equal-priority thread to dispatch,
+// whether a quantum rotation happens — through sim.Config.OnSchedule, and
+// checks a library of §5/§6 invariants (oracles) after every run. A
+// failing schedule is shrunk to a minimal decision sequence and printed
+// as a replay token, so "works on my interleaving" bugs like §5.3's
+// timeout-as-answer WAIT become deterministic regression tests.
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// A Step forces one scheduling decision: at decision point Seq, pick
+// candidate Choice instead of the default (index 0).
+type Step struct {
+	Seq    int64
+	Choice int
+}
+
+// A Schedule is a reproducible run: an RNG seed plus the decision points
+// that were steered away from the default. An empty Steps list is the
+// scenario's default schedule under that seed.
+type Schedule struct {
+	Seed  int64
+	Steps []Step
+}
+
+// Options bounds an exploration.
+type Options struct {
+	// Budget caps the total number of runs (default 200).
+	Budget int
+
+	// Seeds are swept first; systematic perturbation then works on
+	// Seeds[0]. Default {1, 2}.
+	Seeds []int64
+
+	// WalkProb is the per-decision perturbation probability of the
+	// random-walk phase (default 0.25).
+	WalkProb float64
+
+	// WalkSeed seeds the random-walk phase (default 1). It is independent
+	// of the world seeds: walks are replayed via their recorded Steps, so
+	// walk randomness never needs to be reproduced.
+	WalkSeed int64
+
+	// MaxDecisions caps consultations per run; past it every decision
+	// takes the default, bounding runs that a perturbation made livelock
+	// (default 4096).
+	MaxDecisions int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 200
+	}
+	if len(o.Seeds) == 0 {
+		o.Seeds = []int64{1, 2}
+	}
+	if o.WalkProb <= 0 || o.WalkProb > 1 {
+		o.WalkProb = 0.25
+	}
+	if o.WalkSeed == 0 {
+		o.WalkSeed = 1
+	}
+	if o.MaxDecisions <= 0 {
+		o.MaxDecisions = 4096
+	}
+	return o
+}
+
+// A Failure is one oracle violation together with the schedule that
+// provokes it.
+type Failure struct {
+	Oracle   string // oracle name, or "check" for the scenario's own invariant
+	Msg      string
+	Schedule Schedule
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("%s: %s", f.Oracle, f.Msg)
+}
+
+// A Verdict summarizes one scenario's exploration.
+type Verdict struct {
+	Scenario  string
+	Runs      int
+	Decisions int // decision points on the default schedule of Seeds[0]
+	Failure   *Failure
+}
+
+// A Run is one finished execution handed to oracles: the world is still
+// inspectable (not yet shut down), the trace is complete.
+type Run struct {
+	World   *sim.World
+	Hooks   *paradigm.ScenarioHooks
+	Events  []trace.Event
+	Outcome sim.Outcome
+	Quantum vclock.Duration
+}
+
+// controller is the OnSchedule hook driving one run: forced steps replay
+// a schedule, the optional RNG takes a random walk, and every non-default
+// choice actually applied is recorded so the run stays replayable.
+type controller struct {
+	forced map[int64]int
+	rng    *rand.Rand
+	prob   float64
+	cap    int64
+	counts []int
+	taken  []Step
+}
+
+func (c *controller) choose(d sim.Decision) int {
+	// Decision sequences are dense from 0, so the candidate-count record
+	// is a plain append.
+	if int64(len(c.counts)) == d.Seq {
+		c.counts = append(c.counts, len(d.Candidates))
+	}
+	if d.Seq >= c.cap {
+		return 0
+	}
+	ch, ok := c.forced[d.Seq]
+	if !ok && c.rng != nil && c.rng.Float64() < c.prob {
+		ch = c.rng.Intn(len(d.Candidates))
+	}
+	if ch >= len(d.Candidates) || ch < 0 {
+		ch = 0 // perturbed structure shifted under a stale step: fall back
+	}
+	if ch != 0 {
+		c.taken = append(c.taken, Step{Seq: d.Seq, Choice: ch})
+	}
+	return ch
+}
+
+// runSchedule executes sc once under the given schedule (plus, when rng
+// is non-nil, random perturbation) and evaluates its oracles. It returns
+// the failure (nil if the run is clean) and the candidate count at every
+// decision point reached.
+func runSchedule(sc paradigm.Scenario, sched Schedule, opts Options, rng *rand.Rand) (*Failure, []int) {
+	ctl := &controller{
+		forced: make(map[int64]int, len(sched.Steps)),
+		rng:    rng,
+		prob:   opts.WalkProb,
+		cap:    int64(opts.MaxDecisions),
+	}
+	for _, s := range sched.Steps {
+		ctl.forced[s.Seq] = s.Choice
+	}
+	var buf trace.Buffer
+	cfg := sim.Config{Seed: sched.Seed, Trace: &buf, OnSchedule: ctl.choose}
+	w, hooks := sc.Build(cfg)
+	defer w.Shutdown()
+	out := w.Run(vclock.Time(sc.Horizon))
+
+	r := &Run{World: w, Hooks: hooks, Events: buf.Events, Outcome: out, Quantum: w.Config().Quantum}
+	applied := Schedule{Seed: sched.Seed, Steps: ctl.taken}
+	names := DefaultOracles
+	if hooks != nil && hooks.Oracles != nil {
+		names = hooks.Oracles
+	}
+	for _, name := range names {
+		fn, ok := oracleTable[name]
+		if !ok {
+			return &Failure{Oracle: name, Msg: "unknown oracle (scenario misconfigured)", Schedule: applied}, ctl.counts
+		}
+		if err := fn(r); err != nil {
+			return &Failure{Oracle: name, Msg: err.Error(), Schedule: applied}, ctl.counts
+		}
+	}
+	if hooks != nil && hooks.Check != nil {
+		if err := hooks.Check(w, out); err != nil {
+			return &Failure{Oracle: "check", Msg: err.Error(), Schedule: applied}, ctl.counts
+		}
+	}
+	return nil, ctl.counts
+}
+
+// Explore searches sc's schedule space until an oracle fails or the
+// budget runs out. Phases, in order: the default schedule under every
+// seed; every single-decision perturbation of Seeds[0]'s default run
+// (preemption bound 1); every pair, ordered shallow-first (bound 2);
+// seeded random walks for whatever budget remains. The returned verdict's
+// Failure carries the exact schedule that provoked it — pass it to Shrink
+// before persisting.
+func Explore(sc paradigm.Scenario, opts Options) Verdict {
+	opts = opts.withDefaults()
+	v := Verdict{Scenario: sc.Name}
+	try := func(seed int64, steps []Step, rng *rand.Rand) []int {
+		fail, counts := runSchedule(sc, Schedule{Seed: seed, Steps: steps}, opts, rng)
+		v.Runs++
+		v.Failure = fail
+		return counts
+	}
+
+	// Phase 1: default schedule under each seed.
+	var counts []int
+	for i, seed := range opts.Seeds {
+		if v.Runs >= opts.Budget {
+			return v
+		}
+		c := try(seed, nil, nil)
+		if v.Failure != nil {
+			return v
+		}
+		if i == 0 {
+			counts = c
+			v.Decisions = len(c)
+		}
+	}
+	seed := opts.Seeds[0]
+
+	// Phase 2: one forced decision (preemption bound 1).
+	for seq := range counts {
+		for choice := 1; choice < counts[seq]; choice++ {
+			if v.Runs >= opts.Budget {
+				return v
+			}
+			if try(seed, []Step{{Seq: int64(seq), Choice: choice}}, nil); v.Failure != nil {
+				return v
+			}
+		}
+	}
+
+	// Phase 3: two forced decisions, shallow pairs first. Counts come from
+	// the default run; a first perturbation can shift later structure, in
+	// which case the stale second step falls back to the default choice.
+	for s2 := 1; s2 < len(counts); s2++ {
+		for s1 := 0; s1 < s2; s1++ {
+			for c1 := 1; c1 < counts[s1]; c1++ {
+				for c2 := 1; c2 < counts[s2]; c2++ {
+					if v.Runs >= opts.Budget {
+						return v
+					}
+					steps := []Step{{Seq: int64(s1), Choice: c1}, {Seq: int64(s2), Choice: c2}}
+					if try(seed, steps, nil); v.Failure != nil {
+						return v
+					}
+				}
+			}
+		}
+	}
+
+	// Phase 4: random walks. Each walk's perturbations are recorded as
+	// Steps, so a failing walk replays without its RNG.
+	for walk := 0; v.Runs < opts.Budget; walk++ {
+		rng := rand.New(rand.NewSource(opts.WalkSeed + int64(walk)*1777))
+		if try(opts.Seeds[walk%len(opts.Seeds)], nil, rng); v.Failure != nil {
+			return v
+		}
+	}
+	return v
+}
+
+// ReplayResult reports one replayed schedule.
+type ReplayResult struct {
+	Scenario string
+	Schedule Schedule
+	Failure  *Failure // nil: the schedule no longer fails
+}
+
+// Replay decodes a token (see EncodeToken) and reruns that exact
+// schedule once.
+func Replay(token string) (*ReplayResult, error) {
+	name, sched, err := DecodeToken(token)
+	if err != nil {
+		return nil, err
+	}
+	sc, ok := paradigm.ScenarioByName(name)
+	if !ok {
+		return nil, fmt.Errorf("explore: token names unknown scenario %q", name)
+	}
+	fail, _ := runSchedule(sc, sched, Options{}.withDefaults(), nil)
+	return &ReplayResult{Scenario: name, Schedule: sched, Failure: fail}, nil
+}

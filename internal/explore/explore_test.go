@@ -1,0 +1,336 @@
+package explore
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/paradigm"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// -explore.budget raises the per-scenario run budget beyond the default
+// 200 for deeper sweeps (e.g. go test ./internal/explore -explore.budget=2000).
+var budgetFlag = flag.Int("explore.budget", 0, "schedule-exploration run budget per scenario (0 = default 200)")
+
+func testBudget() int {
+	if *budgetFlag > 0 {
+		return *budgetFlag
+	}
+	return 200
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	cases := []struct {
+		scenario string
+		sched    Schedule
+		want     string
+	}{
+		{"ping-pong", Schedule{Seed: 1}, "v1;ping-pong;seed=1;steps=-"},
+		{"broken-timeout-wait", Schedule{Seed: 7, Steps: []Step{{3, 1}, {10, 2}}},
+			"v1;broken-timeout-wait;seed=7;steps=3.1,10.2"},
+	}
+	for _, c := range cases {
+		tok := EncodeToken(c.scenario, c.sched)
+		if tok != c.want {
+			t.Errorf("EncodeToken = %q, want %q", tok, c.want)
+		}
+		name, sched, err := DecodeToken(tok)
+		if err != nil {
+			t.Fatalf("DecodeToken(%q): %v", tok, err)
+		}
+		if name != c.scenario || sched.Seed != c.sched.Seed || !reflect.DeepEqual(sched.Steps, c.sched.Steps) {
+			t.Errorf("DecodeToken(%q) = %q %+v, want %q %+v", tok, name, sched, c.scenario, c.sched)
+		}
+	}
+}
+
+func TestTokenErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"v2;x;seed=1;steps=-",
+		"v1;;seed=1;steps=-",
+		"v1;x;seed=;steps=-",
+		"v1;x;seed=abc;steps=-",
+		"v1;x;seed=1",
+		"v1;x;seed=1;steps=3",
+		"v1;x;seed=1;steps=3.0",  // choice 0 is the default; never encoded
+		"v1;x;seed=1;steps=-1.2", // negative seq
+	} {
+		if _, _, err := DecodeToken(bad); err == nil {
+			t.Errorf("DecodeToken(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestScenarioRegistry(t *testing.T) {
+	all := paradigm.Scenarios()
+	if len(all) < 12 {
+		t.Fatalf("only %d scenarios registered, want >= 12", len(all))
+	}
+	var knownBad int
+	for _, sc := range all {
+		if sc.KnownBad {
+			knownBad++
+		}
+		got, ok := paradigm.ScenarioByName(sc.Name)
+		if !ok || got.Name != sc.Name {
+			t.Errorf("ScenarioByName(%q) lookup failed", sc.Name)
+		}
+	}
+	if knownBad != 1 {
+		t.Errorf("%d known-bad scenarios, want exactly 1 (broken-timeout-wait)", knownBad)
+	}
+	for _, name := range []string{"broken-timeout-wait", "r1-crash-rejuvenate", "r2-fork-retry", "r3-inversion-daemon"} {
+		if _, ok := paradigm.ScenarioByName(name); !ok {
+			t.Errorf("scenario %q not registered", name)
+		}
+	}
+}
+
+// TestExploreHealthy: every non-fixture scenario must survive its whole
+// exploration budget — seed sweep, single and paired forced decisions,
+// random walks — with every oracle green.
+func TestExploreHealthy(t *testing.T) {
+	for _, sc := range paradigm.Scenarios() {
+		if sc.KnownBad {
+			continue
+		}
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			v := Explore(sc, Options{Budget: testBudget()})
+			if v.Failure != nil {
+				min, _ := Shrink(sc, v.Failure, Options{})
+				t.Errorf("schedule exploration failed after %d runs: %s\n  replay: %s",
+					v.Runs, v.Failure.Error(), EncodeToken(sc.Name, min.Schedule))
+			}
+		})
+	}
+}
+
+// TestExploreFindsKnownBad: exploration must find the broken-timeout-wait
+// fixture's losing schedule, shrink it to a short decision sequence, and
+// do so deterministically — the same token on every invocation.
+func TestExploreFindsKnownBad(t *testing.T) {
+	sc, ok := paradigm.ScenarioByName("broken-timeout-wait")
+	if !ok {
+		t.Fatal("fixture scenario missing")
+	}
+	find := func() (string, int, int) {
+		v := Explore(sc, Options{Budget: testBudget()})
+		if v.Failure == nil {
+			t.Fatalf("exploration missed the seeded bug in %d runs over %d decision points", v.Runs, v.Decisions)
+		}
+		min, shrinkRuns := Shrink(sc, v.Failure, Options{})
+		if min.Oracle != v.Failure.Oracle {
+			t.Fatalf("shrink wandered from oracle %q to %q", v.Failure.Oracle, min.Oracle)
+		}
+		if len(min.Schedule.Steps) > 10 {
+			t.Errorf("shrunk schedule has %d steps, want <= 10: %+v", len(min.Schedule.Steps), min.Schedule.Steps)
+		}
+		return EncodeToken(sc.Name, min.Schedule), v.Runs, shrinkRuns
+	}
+	tok1, runs, shrinkRuns := find()
+	tok2, _, _ := find()
+	if tok1 != tok2 {
+		t.Errorf("non-deterministic shrink: %q vs %q", tok1, tok2)
+	}
+	t.Logf("found in %d runs, shrunk in %d: %s", runs, shrinkRuns, tok1)
+
+	// The found schedule replays to the same failure, and the failure
+	// really is the lost item, not an infrastructure oracle.
+	res, err := Replay(tok1)
+	if err != nil {
+		t.Fatalf("Replay(%q): %v", tok1, err)
+	}
+	if res.Failure == nil {
+		t.Fatalf("token %q no longer fails on replay", tok1)
+	}
+	if res.Failure.Oracle != "check" || !strings.Contains(res.Failure.Msg, "gave up") {
+		t.Errorf("unexpected failure %q: %s", res.Failure.Oracle, res.Failure.Msg)
+	}
+}
+
+// TestRegressionCorpus: every token persisted under testdata/regressions
+// must still reproduce its failure — these are shrunk schedules from past
+// exploration finds.
+func TestRegressionCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "regressions", "*.token"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no regression tokens found; the corpus should hold at least broken-timeout-wait")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tok := strings.TrimSpace(string(data))
+			res, err := Replay(tok)
+			if err != nil {
+				t.Fatalf("Replay(%q): %v", tok, err)
+			}
+			if res.Failure == nil {
+				t.Errorf("regression schedule %q no longer fails — if the bug was fixed on purpose, delete this file", tok)
+			}
+		})
+	}
+}
+
+// TestShrinkDropsRedundantSteps: padding a real failing schedule with
+// no-op steps must shrink back down to the minimal sequence.
+func TestShrinkDropsRedundantSteps(t *testing.T) {
+	sc, _ := paradigm.ScenarioByName("broken-timeout-wait")
+	v := Explore(sc, Options{Budget: testBudget()})
+	if v.Failure == nil {
+		t.Fatal("exploration missed the seeded bug")
+	}
+	min, _ := Shrink(sc, v.Failure, Options{})
+
+	padded := &Failure{Oracle: min.Oracle, Msg: min.Msg, Schedule: Schedule{Seed: min.Schedule.Seed}}
+	padded.Schedule.Steps = append(padded.Schedule.Steps, min.Schedule.Steps...)
+	// Redundant perturbations far past the failing prefix are harmless
+	// (clamped or never reached) and must be shrunk away.
+	padded.Schedule.Steps = append(padded.Schedule.Steps, Step{Seq: 2000, Choice: 1}, Step{Seq: 3000, Choice: 2})
+	re, _ := runSchedule(sc, padded.Schedule, Options{}.withDefaults(), nil)
+	if re == nil || re.Oracle != min.Oracle {
+		t.Fatalf("padded schedule does not fail the same way: %+v", re)
+	}
+	shrunk, _ := Shrink(sc, re, Options{})
+	if len(shrunk.Schedule.Steps) > len(min.Schedule.Steps) {
+		t.Errorf("shrink left %d steps, want <= %d: %+v", len(shrunk.Schedule.Steps), len(min.Schedule.Steps), shrunk.Schedule.Steps)
+	}
+}
+
+// Synthetic-trace oracle tests: feed hand-built event lists straight to
+// the checkers to pin their violation conditions independently of the
+// simulator.
+
+func TestOracleExclusionSynthetic(t *testing.T) {
+	ok := &Run{Events: []trace.Event{
+		{Kind: trace.KindMLEnter, Thread: 1, Arg: 7},
+		{Kind: trace.KindMLExit, Thread: 1, Arg: 7},
+		{Kind: trace.KindMLEnter, Thread: 2, Arg: 7},
+		{Kind: trace.KindExit, Thread: 2}, // kill-unwind: no MLExit
+		{Kind: trace.KindMLEnter, Thread: 3, Arg: 7},
+	}}
+	if err := checkExclusion(ok); err != nil {
+		t.Errorf("clean trace flagged: %v", err)
+	}
+	for name, evs := range map[string][]trace.Event{
+		"double enter": {
+			{Kind: trace.KindMLEnter, Thread: 1, Arg: 7},
+			{Kind: trace.KindMLEnter, Thread: 2, Arg: 7},
+		},
+		"exit without hold": {
+			{Kind: trace.KindMLExit, Thread: 1, Arg: 7},
+		},
+		"exit by non-holder": {
+			{Kind: trace.KindMLEnter, Thread: 1, Arg: 7},
+			{Kind: trace.KindMLExit, Thread: 2, Arg: 7},
+		},
+	} {
+		if err := checkExclusion(&Run{Events: evs}); err == nil {
+			t.Errorf("%s: not flagged", name)
+		}
+	}
+}
+
+func TestOracleLostWakeupSynthetic(t *testing.T) {
+	ok := &Run{Events: []trace.Event{
+		{Kind: trace.KindWait, Thread: 1, Arg: 5},
+		{Kind: trace.KindNotify, Thread: 2, Arg: 5, Aux: 1},
+		{Kind: trace.KindWaitDone, Thread: 1, Arg: 5, Aux: 0},
+		// Device-style CV: consumption without signals is not audited.
+		{Kind: trace.KindWait, Thread: 3, Arg: 9, Aux: -1},
+		{Kind: trace.KindWaitDone, Thread: 3, Arg: 9, Aux: 0},
+	}}
+	if err := checkLostWakeup(ok); err != nil {
+		t.Errorf("clean trace flagged: %v", err)
+	}
+	lost := &Run{Events: []trace.Event{
+		{Kind: trace.KindWait, Thread: 1, Arg: 5},
+		{Kind: trace.KindNotify, Thread: 2, Arg: 5, Aux: 1},
+		{Kind: trace.KindWaitDone, Thread: 1, Arg: 5, Aux: 1}, // timed out anyway: signal vanished
+	}}
+	if err := checkLostWakeup(lost); err == nil {
+		t.Error("lost wakeup not flagged")
+	}
+	phantom := &Run{Events: []trace.Event{
+		{Kind: trace.KindWait, Thread: 1, Arg: 5},
+		{Kind: trace.KindNotify, Thread: 2, Arg: 5, Aux: 0}, // woke nobody
+		{Kind: trace.KindWaitDone, Thread: 1, Arg: 5, Aux: 0},
+	}}
+	if err := checkLostWakeup(phantom); err == nil {
+		t.Error("phantom wakeup not flagged")
+	}
+}
+
+func TestOracleFIFOSynthetic(t *testing.T) {
+	blockMutex := int64(trace.BlockMutex)
+	ok := &Run{Events: []trace.Event{
+		{Kind: trace.KindMLEnter, Thread: 1, Arg: 7},
+		{Kind: trace.KindBlock, Thread: 2, Aux: blockMutex},
+		{Kind: trace.KindBlock, Thread: 3, Aux: blockMutex},
+		{Kind: trace.KindMLExit, Thread: 1, Arg: 7},
+		{Kind: trace.KindMLEnter, Thread: 2, Arg: 7, Aux: 1},
+		{Kind: trace.KindMLExit, Thread: 2, Arg: 7},
+		{Kind: trace.KindMLEnter, Thread: 3, Arg: 7, Aux: 1},
+	}}
+	if err := checkFIFO(ok); err != nil {
+		t.Errorf("FIFO handoff flagged: %v", err)
+	}
+	barged := &Run{Events: []trace.Event{
+		{Kind: trace.KindMLEnter, Thread: 1, Arg: 7},
+		{Kind: trace.KindBlock, Thread: 2, Aux: blockMutex},
+		{Kind: trace.KindBlock, Thread: 3, Aux: blockMutex},
+		{Kind: trace.KindMLExit, Thread: 1, Arg: 7},
+		{Kind: trace.KindMLEnter, Thread: 3, Arg: 7, Aux: 1}, // jumped the queue
+		{Kind: trace.KindMLExit, Thread: 3, Arg: 7},
+		{Kind: trace.KindMLEnter, Thread: 2, Arg: 7, Aux: 1},
+	}}
+	if err := checkFIFO(barged); err == nil {
+		t.Error("queue-jumping not flagged")
+	}
+	// A queued thread that dies is skipped, not a violation.
+	death := &Run{Events: []trace.Event{
+		{Kind: trace.KindMLEnter, Thread: 1, Arg: 7},
+		{Kind: trace.KindBlock, Thread: 2, Aux: blockMutex},
+		{Kind: trace.KindBlock, Thread: 3, Aux: blockMutex},
+		{Kind: trace.KindExit, Thread: 2},
+		{Kind: trace.KindMLExit, Thread: 1, Arg: 7},
+		{Kind: trace.KindMLEnter, Thread: 3, Arg: 7, Aux: 1},
+	}}
+	if err := checkFIFO(death); err != nil {
+		t.Errorf("dead queued thread flagged: %v", err)
+	}
+}
+
+func TestOracleStrictPrioritySynthetic(t *testing.T) {
+	q := 50 * vclock.Millisecond
+	mk := func(starveFor vclock.Duration) *Run {
+		return &Run{Quantum: q, Events: []trace.Event{
+			{Time: 0, Kind: trace.KindFork, Thread: trace.NoThread, Arg: 1, Aux: 3}, // low
+			{Time: 0, Kind: trace.KindFork, Thread: trace.NoThread, Arg: 2, Aux: 5}, // high
+			{Time: 0, Kind: trace.KindReady, Thread: 1},
+			{Time: 0, Kind: trace.KindSwitch, Thread: 1, Arg: int64(trace.NoThread)},
+			{Time: vclock.Time(vclock.Millisecond), Kind: trace.KindReady, Thread: 2},
+			{Time: vclock.Time(vclock.Millisecond + starveFor), Kind: trace.KindSwitch, Thread: 2, Arg: 1},
+		}}
+	}
+	if err := checkStrictPriority(mk(vclock.Microsecond)); err != nil {
+		t.Errorf("prompt preemption flagged: %v", err)
+	}
+	if err := checkStrictPriority(mk(q * 3)); err == nil {
+		t.Error("three-quantum starvation of a higher-priority thread not flagged")
+	}
+}

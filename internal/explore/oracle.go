@@ -1,0 +1,329 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Oracle names. A scenario selects oracles by listing these in
+// ScenarioHooks.Oracles; nil selects DefaultOracles.
+const (
+	// OracleExclusion replays MLEnter/MLExit pairs: at most one holder per
+	// monitor at any trace position, exits only by the holder, and (via
+	// the monitor accessors) no dead holders or unblocked queued entrants
+	// at the end. A killed thread's monitors release without MLExit events
+	// during unwind, so a holder's exit clears its holdings.
+	OracleExclusion = "exclusion"
+
+	// OracleLostWakeup audits every condition variable's final balance:
+	// completed WAITs that consumed a signal never exceed signals sent,
+	// and signals sent never exceed consumers plus still-pending waiters —
+	// the §5.3 wakeup-waiting-flag guarantee at trace level. CVs that saw
+	// no NOTIFY/BROADCAST at all (device queues wake by event, not signal)
+	// are skipped.
+	OracleLostWakeup = "lost-wakeup"
+
+	// OracleFIFO checks monitor-queue handoff order: threads that blocked
+	// on a monitor's mutex acquire it in block order. Opt-in — Hoare
+	// signalling and metalocks serve an urgent queue LIFO by design.
+	OracleFIFO = "fifo"
+
+	// OracleStrictPriority checks that no runnable thread waits longer
+	// than a quantum (plus dispatch tolerance) while a strictly
+	// lower-priority thread runs. Opt-in — boosts and the SystemDaemon
+	// donate time to low-priority threads on purpose, and the check
+	// assumes one CPU.
+	OracleStrictPriority = "strict-priority"
+
+	// OracleDeadlockSound cross-checks the outcome against the world's
+	// deadlock report: a deadlock outcome names a non-empty set of blocked
+	// threads all present in DumpState, and any other outcome reports
+	// none.
+	OracleDeadlockSound = "deadlock-sound"
+)
+
+// DefaultOracles applies to every scenario that doesn't pick its own set.
+var DefaultOracles = []string{OracleExclusion, OracleLostWakeup, OracleDeadlockSound}
+
+var oracleTable = map[string]func(*Run) error{
+	OracleExclusion:      checkExclusion,
+	OracleLostWakeup:     checkLostWakeup,
+	OracleFIFO:           checkFIFO,
+	OracleStrictPriority: checkStrictPriority,
+	OracleDeadlockSound:  checkDeadlockSound,
+}
+
+// OracleNames lists every library oracle, sorted.
+func OracleNames() []string {
+	names := make([]string, 0, len(oracleTable))
+	for n := range oracleTable {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func checkExclusion(r *Run) error {
+	holder := map[int64]int32{} // monitor ID -> holding thread
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case trace.KindMLEnter:
+			if h, held := holder[ev.Arg]; held {
+				return fmt.Errorf("t%d entered monitor %d at %v while t%d held it", ev.Thread, ev.Arg, ev.Time, h)
+			}
+			holder[ev.Arg] = ev.Thread
+		case trace.KindMLExit:
+			h, held := holder[ev.Arg]
+			if !held {
+				return fmt.Errorf("t%d exited monitor %d at %v while nobody held it", ev.Thread, ev.Arg, ev.Time)
+			}
+			if h != ev.Thread {
+				return fmt.Errorf("t%d exited monitor %d at %v held by t%d", ev.Thread, ev.Arg, ev.Time, h)
+			}
+			delete(holder, ev.Arg)
+		case trace.KindExit:
+			// Kill-unwind releases held monitors without MLExit events.
+			for id, h := range holder {
+				if h == ev.Thread {
+					delete(holder, id)
+				}
+			}
+		}
+	}
+	if r.Hooks == nil {
+		return nil
+	}
+	for _, m := range r.Hooks.Monitors {
+		if h := m.Holder(); h != nil && h.State() == sim.StateDead {
+			return fmt.Errorf("monitor %q still held by dead thread %s", m.Name(), h.Name())
+		}
+		for _, t := range m.QueuedEntrants() {
+			if t.State() != sim.StateBlocked {
+				return fmt.Errorf("thread %s queued on monitor %q but in state %v", t.Name(), m.Name(), t.State())
+			}
+		}
+	}
+	return nil
+}
+
+func checkLostWakeup(r *Run) error {
+	type tally struct {
+		waits, dones, consumed int
+		signals                int // NOTIFY/BROADCAST events
+		woken                  int64
+	}
+	cvs := map[int64]*tally{}
+	at := func(id int64) *tally {
+		t := cvs[id]
+		if t == nil {
+			t = &tally{}
+			cvs[id] = t
+		}
+		return t
+	}
+	for _, ev := range r.Events {
+		switch ev.Kind {
+		case trace.KindWait:
+			at(ev.Arg).waits++
+		case trace.KindWaitDone:
+			t := at(ev.Arg)
+			t.dones++
+			if ev.Aux == 0 { // woken by a signal, not a timeout
+				t.consumed++
+			}
+		case trace.KindNotify, trace.KindBroadcast:
+			t := at(ev.Arg)
+			t.signals++
+			t.woken += ev.Aux
+		}
+	}
+	ids := make([]int64, 0, len(cvs))
+	for id := range cvs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		t := cvs[id]
+		if t.signals == 0 {
+			continue // device-style queue: wakeups arrive as events, not signals
+		}
+		if int64(t.consumed) > t.woken {
+			return fmt.Errorf("cv %d: %d WAITs consumed a signal but only %d were woken (phantom wakeup)", id, t.consumed, t.woken)
+		}
+		pending := t.waits - t.dones // waiters still parked (or killed) at the end
+		if t.woken-int64(t.consumed) > int64(pending) {
+			return fmt.Errorf("cv %d: %d woken, %d consumed, %d still waiting — a wakeup was lost", id, t.woken, t.consumed, pending)
+		}
+	}
+	return nil
+}
+
+// checkFIFO replays monitor mutex queues. A KindBlock(BlockMutex) event
+// is bound to the blocking thread's next KindMLEnter — the monitor it was
+// queueing on — because a thread blocked on a mutex records nothing else
+// before acquiring it. Threads that die queued are dropped.
+func checkFIFO(r *Run) error {
+	// Binding pass: for each BlockMutex event index, the monitor acquired.
+	nextEnter := make(map[int]int64) // event index of the Block -> monitor ID
+	lastBlock := map[int32]int{}     // thread -> pending Block event index
+	for i, ev := range r.Events {
+		switch {
+		case ev.Kind == trace.KindBlock && ev.Aux == int64(trace.BlockMutex):
+			lastBlock[ev.Thread] = i
+		case ev.Kind == trace.KindMLEnter:
+			if bi, ok := lastBlock[ev.Thread]; ok {
+				nextEnter[bi] = ev.Arg
+				delete(lastBlock, ev.Thread)
+			}
+		case ev.Kind == trace.KindExit:
+			delete(lastBlock, ev.Thread)
+		}
+	}
+
+	queues := map[int64][]int32{} // monitor ID -> blocked threads, FIFO
+	dead := map[int32]bool{}
+	for i, ev := range r.Events {
+		switch {
+		case ev.Kind == trace.KindBlock && ev.Aux == int64(trace.BlockMutex):
+			if mon, ok := nextEnter[i]; ok {
+				queues[mon] = append(queues[mon], ev.Thread)
+			}
+			// A block that never reaches MLEnter (killed, or still queued at
+			// the horizon) is not modelled; its queue entry would only ever
+			// be skipped.
+		case ev.Kind == trace.KindExit:
+			dead[ev.Thread] = true
+		case ev.Kind == trace.KindMLEnter:
+			q := queues[ev.Arg]
+			for len(q) > 0 && dead[q[0]] {
+				q = q[1:]
+			}
+			if len(q) > 0 && q[0] == ev.Thread {
+				q = q[1:]
+			} else if contains(q, ev.Thread) {
+				return fmt.Errorf("t%d acquired monitor %d at %v ahead of t%d, breaking FIFO handoff", ev.Thread, ev.Arg, ev.Time, q[0])
+			}
+			queues[ev.Arg] = q
+		}
+	}
+	return nil
+}
+
+func contains(q []int32, id int32) bool {
+	for _, t := range q {
+		if t == id {
+			return true
+		}
+	}
+	return false
+}
+
+func checkStrictPriority(r *Run) error {
+	tol := r.Quantum + vclock.Millisecond
+	pri := map[int32]int64{}
+	readySince := map[int32]vclock.Time{}
+	blocked := map[int32]bool{}
+	dead := map[int32]bool{}
+	running := int32(trace.NoThread)
+
+	violation := func(now vclock.Time) error {
+		ids := make([]int32, 0, len(readySince))
+		for id := range readySince {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if running != trace.NoThread && pri[id] > pri[running] && now.Sub(readySince[id]) > tol {
+				return fmt.Errorf("t%d (pri %d) runnable since %v while t%d (pri %d) ran — starved %v at %v",
+					id, pri[id], readySince[id], running, pri[running], now.Sub(readySince[id]), now)
+			}
+		}
+		return nil
+	}
+
+	for _, ev := range r.Events {
+		if err := violation(ev.Time); err != nil {
+			return err
+		}
+		switch ev.Kind {
+		case trace.KindFork:
+			pri[int32(ev.Arg)] = ev.Aux
+		case trace.KindSetPriority:
+			pri[ev.Thread] = ev.Aux
+		case trace.KindReady:
+			delete(blocked, ev.Thread)
+			readySince[ev.Thread] = ev.Time
+		case trace.KindBlock:
+			blocked[ev.Thread] = true
+			delete(readySince, ev.Thread)
+		case trace.KindExit:
+			dead[ev.Thread] = true
+			delete(readySince, ev.Thread)
+			if running == ev.Thread {
+				running = trace.NoThread
+			}
+		case trace.KindSwitch:
+			from := int32(ev.Arg)
+			if ev.Thread != trace.NoThread {
+				delete(readySince, ev.Thread)
+				running = ev.Thread
+			} else {
+				running = trace.NoThread
+			}
+			// The switch-out target went back on the run queue unless its
+			// Block/Exit event (recorded before the switch) says otherwise.
+			if from != trace.NoThread && from != ev.Thread && !blocked[from] && !dead[from] {
+				readySince[from] = ev.Time
+			}
+		}
+	}
+	return nil
+}
+
+func checkDeadlockSound(r *Run) error {
+	d := r.World.Deadlocked()
+	if r.Outcome != sim.OutcomeDeadlock {
+		if len(d) != 0 {
+			return fmt.Errorf("outcome %v but Deadlocked() reports %d threads", r.Outcome, len(d))
+		}
+		return nil
+	}
+	if len(d) == 0 {
+		return fmt.Errorf("deadlock outcome but Deadlocked() is empty")
+	}
+	var dump strings.Builder
+	r.World.DumpState(&dump)
+	for _, t := range d {
+		if t.State() != sim.StateBlocked {
+			return fmt.Errorf("deadlocked thread %s is %v, not blocked", t.Name(), t.State())
+		}
+		if !strings.Contains(dump.String(), t.Name()) {
+			return fmt.Errorf("deadlocked thread %s missing from DumpState", t.Name())
+		}
+	}
+	return nil
+}
+
+// WatchdogConsistent builds a scenario Check asserting §6.2 watchdog
+// soundness: the watchdog detected starvation iff the scenario starved
+// its progress counter, and — when it both starved and was expected to
+// recover — the episode cleared before the horizon.
+func WatchdogConsistent(wd *fault.Watchdog, expectStarve, expectClear bool) func(w *sim.World, out sim.Outcome) error {
+	return func(w *sim.World, out sim.Outcome) error {
+		switch {
+		case expectStarve && wd.Detections() == 0:
+			return fmt.Errorf("progress counter starved but the watchdog never fired")
+		case !expectStarve && wd.Detections() > 0:
+			return fmt.Errorf("watchdog fired %d times with no starvation induced", wd.Detections())
+		case expectStarve && expectClear && len(wd.ClearTimes()) == 0:
+			return fmt.Errorf("starvation detected at %v but never cleared", wd.DetectTimes()[0])
+		}
+		return nil
+	}
+}

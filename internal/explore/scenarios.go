@@ -1,0 +1,221 @@
+package explore
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/monitor"
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// The R-series fault plans (internal/experiments) double as explore
+// scenarios: instead of one measured run per plan, the explorer sweeps
+// schedules and seeds under the same injected faults and asserts the
+// recovery paradigms hold everywhere. They live here rather than in
+// paradigm because they need internal/fault and internal/experiments
+// (paradigm sits below both).
+func init() {
+	ms := vclock.Millisecond
+
+	// r1-crash-rejuvenate: R1's plan — crash the event dispatcher twice,
+	// while blocked — against a §4.5 rejuvenated service. A crash landing
+	// in a CV WAIT must not lose the awaited item: the killed waiter never
+	// took it, so the restarted incarnation drains the backlog completely.
+	paradigm.RegisterScenario(paradigm.Scenario{
+		Name:    "r1-crash-rejuvenate",
+		Desc:    "dispatcher crashed twice mid-stream (R1 plan); rejuvenation loses nothing (§4.5, §5.5)",
+		Horizon: 2 * vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *paradigm.ScenarioHooks) {
+			const span = 900 * vclock.Millisecond
+			inj := fault.MustNew(experiments.R1DefaultPlan(span), cfg.Seed)
+			inj.Configure(&cfg)
+			w := sim.NewWorld(cfg)
+			inj.Arm(w)
+
+			buf := paradigm.NewBuffer(w, "events", 64)
+			const items = 30
+			w.Spawn("source", sim.PriorityNormal, func(t *sim.Thread) any {
+				for i := 0; i < items; i++ {
+					t.Compute(20 * ms)
+					buf.Put(t, i)
+				}
+				buf.Close(t)
+				return nil
+			})
+			var dispatched int
+			var wd *fault.Watchdog
+			svc := paradigm.StartService(w, nil, "event-dispatcher", sim.PriorityNormal, 5,
+				func(t *sim.Thread) {
+					for {
+						_, ok := buf.Get(t)
+						if !ok {
+							wd.Stop() // drained: the counter may legally stall now
+							return
+						}
+						t.Compute(2 * ms)
+						dispatched++
+					}
+				}, nil)
+			// Negative watchdog direction: restarts are fast and events flow
+			// every ~20 ms, so a 400 ms starvation threshold must stay silent
+			// even across the crashes.
+			wd = fault.StartWatchdog(w, nil, "dispatch-watchdog", 100*ms, 4,
+				func() int64 { return int64(dispatched) }, nil)
+			wdCheck := WatchdogConsistent(wd, false, false)
+			return w, &paradigm.ScenarioHooks{
+				Monitors: []*monitor.Monitor{buf.Monitor()},
+				Oracles:  []string{OracleExclusion, OracleLostWakeup, OracleDeadlockSound},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if err := wdCheck(w, out); err != nil {
+						return err
+					}
+					// On schedules where the dispatcher never blocks again
+					// after the stream ends, the second WhenBlocked crash
+					// stays pending in the injector and the run ends at the
+					// horizon — legal, as long as nothing deadlocked.
+					if out == sim.OutcomeDeadlock {
+						return fmt.Errorf("outcome %v", out)
+					}
+					if crashes := len(inj.CrashTimes()); svc.Restarts() != crashes {
+						return fmt.Errorf("%d crashes injected but %d restarts", crashes, svc.Restarts())
+					}
+					if svc.Restarts() == 0 {
+						return fmt.Errorf("no crash was ever injected")
+					}
+					if dispatched != items {
+						return fmt.Errorf("dispatched %d of %d events: a crash lost work", dispatched, items)
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// r2-fork-retry: R2's plan clamps the thread limit to 2 mid-stream; a
+	// notifier forking an echo transient per keystroke under
+	// fault.RetryPolicy must still lose nothing. The clamp stalls the
+	// served counter for most of the [500ms,1200ms) window (the watchdog
+	// itself holds one of the two slots), so the positive watchdog
+	// direction applies: it must detect that starvation AND see it clear
+	// once the window lifts.
+	paradigm.RegisterScenario(paradigm.Scenario{
+		Name:    "r2-fork-retry",
+		Desc:    "thread limit clamped mid-stream (R2 plan); FORK retry loses no keystrokes (§5.4)",
+		Horizon: 2 * vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *paradigm.ScenarioHooks) {
+			inj := fault.MustNew(experiments.R2DefaultPlan(), cfg.Seed)
+			cfg.MaxThreads = 16
+			inj.Configure(&cfg)
+			w := sim.NewWorld(cfg)
+			inj.Arm(w)
+
+			dev := paradigm.NewDeviceQueue(w, "keyboard")
+			const keys = 12
+			for i := 0; i < keys; i++ {
+				w.At(vclock.Time((50+100*vclock.Duration(i))*ms), func() { dev.Push(i) })
+			}
+			w.At(vclock.Time((50+100*keys)*ms), dev.CloseDevice)
+
+			var served, lost int
+			var wd *fault.Watchdog
+			policy := fault.RetryPolicy{Tries: 12, Backoff: 10 * ms, Ceiling: 100 * ms}
+			w.Spawn("notifier", sim.PriorityNormal, func(t *sim.Thread) any {
+				for {
+					_, ok := dev.Get(t)
+					if !ok {
+						// Outlive one watchdog period so its next tick can
+						// observe the post-clamp recovery before we stop it.
+						t.Sleep(250 * ms)
+						wd.Stop()
+						return nil
+					}
+					child, _, err := policy.Fork(t, "echo", func(c *sim.Thread) any {
+						c.Compute(2 * ms)
+						served++
+						c.BlockIO(180 * ms) // the transient's working life
+						return nil
+					})
+					if err != nil {
+						lost++
+						continue
+					}
+					child.Detach()
+				}
+			})
+			wd = fault.StartWatchdog(w, nil, "echo-watchdog", 100*ms, 4,
+				func() int64 { return int64(served) }, nil)
+			wdCheck := WatchdogConsistent(wd, true, true)
+			return w, &paradigm.ScenarioHooks{
+				Oracles: []string{OracleExclusion, OracleLostWakeup, OracleDeadlockSound},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if err := wdCheck(w, out); err != nil {
+						return err
+					}
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if lost != 0 || served != keys {
+						return fmt.Errorf("served %d of %d keystrokes, lost %d: retry policy failed", served, keys, lost)
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// r3-inversion-daemon: R3's plan stalls a low-priority lock holder
+	// under a middle-priority hog while a high-priority thread waits
+	// (§6.2's stable inversion). With the SystemDaemon on, the watchdog
+	// must detect the starvation AND see it clear — random donation
+	// eventually pushes the holder through its critical section.
+	paradigm.RegisterScenario(paradigm.Scenario{
+		Name:    "r3-inversion-daemon",
+		Desc:    "induced priority inversion (R3 plan); watchdog detects, SystemDaemon clears (§6.2)",
+		Horizon: 6 * vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *paradigm.ScenarioHooks) {
+			inj := fault.MustNew(experiments.R3DefaultPlan(), cfg.Seed)
+			cfg.SystemDaemon = true
+			inj.Configure(&cfg)
+			w := sim.NewWorld(cfg)
+			inj.Arm(w)
+
+			m := monitor.New(w, "resource")
+			w.Spawn("lo-holder", sim.PriorityLow, func(t *sim.Thread) any {
+				m.Enter(t)
+				t.Compute(10 * ms) // stalled to 60 ms by the plan
+				m.Exit(t)
+				return nil
+			})
+			var progress int64
+			w.At(vclock.Time(ms), func() {
+				w.Spawn("mid-hog", sim.PriorityNormal, func(t *sim.Thread) any {
+					for {
+						t.Compute(10 * ms)
+					}
+				})
+				w.Spawn("hi-waiter", sim.PriorityHigh, func(t *sim.Thread) any {
+					for {
+						m.Enter(t)
+						progress++
+						m.Exit(t)
+						t.BlockIO(10 * ms)
+					}
+				})
+			})
+			wd := fault.StartWatchdog(w, nil, "inversion-watchdog", 20*ms, 3,
+				func() int64 { return progress }, nil)
+			wdCheck := WatchdogConsistent(wd, true, true)
+			return w, &paradigm.ScenarioHooks{
+				Monitors: []*monitor.Monitor{m},
+				// The hog never exits, so the run always ends at the horizon,
+				// and the daemon's donations run low-priority threads on
+				// purpose — no quiescence check, no strict-priority oracle.
+				Oracles: []string{OracleExclusion, OracleLostWakeup, OracleDeadlockSound},
+				Check:   wdCheck,
+			}
+		},
+	})
+}

@@ -1,0 +1,69 @@
+package explore
+
+import "repro/internal/paradigm"
+
+// Shrink reduces a failure's schedule to a locally minimal decision
+// sequence using ddmin: progressively finer chunk removal, then a final
+// one-step-at-a-time pass. A candidate counts as reproducing only if the
+// SAME oracle fails — shrinking must not wander onto a different bug. It
+// returns the minimal failure (the original if nothing could be removed)
+// and the number of runs spent.
+func Shrink(sc paradigm.Scenario, f *Failure, opts Options) (*Failure, int) {
+	opts = opts.withDefaults()
+	runs := 0
+	fails := func(steps []Step) *Failure {
+		runs++
+		fail, _ := runSchedule(sc, Schedule{Seed: f.Schedule.Seed, Steps: steps}, opts, nil)
+		if fail != nil && fail.Oracle == f.Oracle {
+			return fail
+		}
+		return nil
+	}
+
+	// The scenario may fail with no forced steps at all under this seed.
+	if ff := fails(nil); ff != nil {
+		return ff, runs
+	}
+
+	best := f
+	steps := f.Schedule.Steps
+	without := func(start, end int) []Step {
+		out := make([]Step, 0, len(steps)-(end-start))
+		out = append(out, steps[:start]...)
+		return append(out, steps[end:]...)
+	}
+
+	n := 2
+	for len(steps) >= 2 {
+		chunk := (len(steps) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(steps); start += chunk {
+			end := min(start+chunk, len(steps))
+			if ff := fails(without(start, end)); ff != nil {
+				steps = ff.Schedule.Steps
+				best = ff
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(steps) {
+				break
+			}
+			n = min(2*n, len(steps))
+		}
+	}
+
+	// Final pass: drop individual surviving steps.
+	for i := 0; i < len(steps) && len(steps) > 1; {
+		if ff := fails(without(i, i+1)); ff != nil {
+			steps = ff.Schedule.Steps
+			best = ff
+			i = 0
+		} else {
+			i++
+		}
+	}
+	return best, runs
+}

@@ -1,0 +1,71 @@
+package explore
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Replay tokens serialize a scenario name plus a Schedule into one
+// copy-pasteable line:
+//
+//	v1;broken-timeout-wait;seed=1;steps=3.1,7.2
+//	v1;ping-pong;seed=2;steps=-
+//
+// "steps=-" is the default schedule. Tokens are what schedcheck prints on
+// a failure and what the regression corpus under testdata/regressions
+// stores, so the format is versioned.
+
+// EncodeToken renders a replay token.
+func EncodeToken(scenario string, s Schedule) string {
+	steps := "-"
+	if len(s.Steps) > 0 {
+		parts := make([]string, len(s.Steps))
+		for i, st := range s.Steps {
+			parts[i] = fmt.Sprintf("%d.%d", st.Seq, st.Choice)
+		}
+		steps = strings.Join(parts, ",")
+	}
+	return fmt.Sprintf("v1;%s;seed=%d;steps=%s", scenario, s.Seed, steps)
+}
+
+// DecodeToken parses a replay token.
+func DecodeToken(tok string) (scenario string, s Schedule, err error) {
+	fields := strings.Split(strings.TrimSpace(tok), ";")
+	if len(fields) != 4 || fields[0] != "v1" {
+		return "", s, fmt.Errorf("explore: malformed token %q (want v1;<scenario>;seed=<n>;steps=...)", tok)
+	}
+	scenario = fields[1]
+	if scenario == "" {
+		return "", s, fmt.Errorf("explore: token has empty scenario name")
+	}
+	seedStr, ok := strings.CutPrefix(fields[2], "seed=")
+	if !ok {
+		return "", s, fmt.Errorf("explore: token field %q, want seed=<n>", fields[2])
+	}
+	if s.Seed, err = strconv.ParseInt(seedStr, 10, 64); err != nil {
+		return "", s, fmt.Errorf("explore: bad seed in token: %v", err)
+	}
+	stepsStr, ok := strings.CutPrefix(fields[3], "steps=")
+	if !ok {
+		return "", s, fmt.Errorf("explore: token field %q, want steps=...", fields[3])
+	}
+	if stepsStr == "-" {
+		return scenario, s, nil
+	}
+	for _, part := range strings.Split(stepsStr, ",") {
+		seqStr, choiceStr, ok := strings.Cut(part, ".")
+		if !ok {
+			return "", s, fmt.Errorf("explore: bad step %q, want <seq>.<choice>", part)
+		}
+		var st Step
+		if st.Seq, err = strconv.ParseInt(seqStr, 10, 64); err != nil || st.Seq < 0 {
+			return "", s, fmt.Errorf("explore: bad step sequence number %q", seqStr)
+		}
+		if st.Choice, err = strconv.Atoi(choiceStr); err != nil || st.Choice < 1 {
+			return "", s, fmt.Errorf("explore: bad step choice %q (must be >= 1)", choiceStr)
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	return scenario, s, nil
+}

@@ -32,6 +32,7 @@ package fault
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"regexp"
@@ -165,7 +166,7 @@ func Parse(data []byte) (Plan, error) {
 	dec.DisallowUnknownFields()
 	var p Plan
 	if err := dec.Decode(&p); err != nil {
-		return Plan{}, fmt.Errorf("fault: bad plan: %w", err)
+		return Plan{}, fmt.Errorf("%w: %w", ErrInvalidPlan, err)
 	}
 	if err := p.Check(); err != nil {
 		return Plan{}, err
@@ -173,25 +174,38 @@ func Parse(data []byte) (Plan, error) {
 	return p, nil
 }
 
+// ErrInvalidPlan is wrapped by every error Parse, Load, Check, and New
+// return for a malformed or semantically invalid plan, so callers can
+// distinguish "the plan is wrong" from I/O failures with errors.Is.
+var ErrInvalidPlan = errors.New("fault: invalid plan")
+
 // Check validates the plan: regexps compile, windows are ordered, and
-// magnitudes are sane. New performs the same validation.
+// magnitudes are sane. All errors wrap ErrInvalidPlan. New performs the
+// same validation.
 func (p Plan) Check() error {
+	if err := p.check(); err != nil {
+		return fmt.Errorf("%w: %w", ErrInvalidPlan, err)
+	}
+	return nil
+}
+
+func (p Plan) check() error {
 	window := func(what string, from, until Dur) error {
 		if from.Duration < 0 || until.Duration < 0 {
-			return fmt.Errorf("fault: %s: negative window bound", what)
+			return fmt.Errorf("%s: negative window bound", what)
 		}
 		if until.Duration != 0 && until.Duration <= from.Duration {
-			return fmt.Errorf("fault: %s: until %s not after from %s", what, until, from)
+			return fmt.Errorf("%s: until %s not after from %s", what, until, from)
 		}
 		return nil
 	}
 	for i, r := range p.LostNotify {
 		what := fmt.Sprintf("lost_notify[%d]", i)
 		if _, err := regexp.Compile(r.CV); err != nil {
-			return fmt.Errorf("fault: %s: bad cv pattern: %v", what, err)
+			return fmt.Errorf("%s: bad cv pattern: %v", what, err)
 		}
 		if r.Count < 0 {
-			return fmt.Errorf("fault: %s: negative count", what)
+			return fmt.Errorf("%s: negative count", what)
 		}
 		if err := window(what, r.From, r.Until); err != nil {
 			return err
@@ -200,19 +214,19 @@ func (p Plan) Check() error {
 	for i, r := range p.CrashThread {
 		what := fmt.Sprintf("crash_thread[%d]", i)
 		if _, err := regexp.Compile(r.Thread); err != nil {
-			return fmt.Errorf("fault: %s: bad thread pattern: %v", what, err)
+			return fmt.Errorf("%s: bad thread pattern: %v", what, err)
 		}
 		if r.At.Duration < 0 {
-			return fmt.Errorf("fault: %s: negative at", what)
+			return fmt.Errorf("%s: negative at", what)
 		}
 	}
 	for i, r := range p.ForkExhaustion {
 		what := fmt.Sprintf("fork_exhaustion[%d]", i)
 		if r.Max < 1 {
-			return fmt.Errorf("fault: %s: max %d must be at least 1", what, r.Max)
+			return fmt.Errorf("%s: max %d must be at least 1", what, r.Max)
 		}
 		if r.Until.Duration == 0 {
-			return fmt.Errorf("fault: %s: until is required (the clamp must end)", what)
+			return fmt.Errorf("%s: until is required (the clamp must end)", what)
 		}
 		if err := window(what, r.From, r.Until); err != nil {
 			return err
@@ -221,19 +235,19 @@ func (p Plan) Check() error {
 	for i, r := range p.StallThread {
 		what := fmt.Sprintf("stall_thread[%d]", i)
 		if _, err := regexp.Compile(r.Thread); err != nil {
-			return fmt.Errorf("fault: %s: bad thread pattern: %v", what, err)
+			return fmt.Errorf("%s: bad thread pattern: %v", what, err)
 		}
 		if r.At.Duration < 0 || r.Stall.Duration <= 0 {
-			return fmt.Errorf("fault: %s: need at >= 0 and stall > 0", what)
+			return fmt.Errorf("%s: need at >= 0 and stall > 0", what)
 		}
 		if r.MinDemand.Duration < 0 {
-			return fmt.Errorf("fault: %s: negative min_demand", what)
+			return fmt.Errorf("%s: negative min_demand", what)
 		}
 	}
 	for i, r := range p.ClockJitter {
 		what := fmt.Sprintf("clock_jitter[%d]", i)
 		if r.Frac <= 0 || r.Frac >= 1 {
-			return fmt.Errorf("fault: %s: frac %v must be in (0, 1)", what, r.Frac)
+			return fmt.Errorf("%s: frac %v must be in (0, 1)", what, r.Frac)
 		}
 		if err := window(what, r.From, r.Until); err != nil {
 			return err

@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzPlanJSON throws arbitrary bytes at the plan parser. Invariants:
+// Parse never panics; every rejection wraps ErrInvalidPlan (callers
+// branch on it); and an accepted plan survives a marshal → parse round
+// trip, i.e. what Check admits, MarshalJSON can express.
+func FuzzPlanJSON(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil || len(seeds) == 0 {
+		f.Fatalf("seed corpus missing: %v (files %v)", err, seeds)
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"lost_notify": [{"cv": "("}]}`))
+	f.Add([]byte(`{"crash_thread": [{"thread": "x", "at": "15ms"}]}`))
+	f.Add([]byte(`{"fork_exhaustion": [{"max": 0, "until": 1}]}`))
+	f.Add([]byte(`{"clock_jitter": [{"frac": 2}]}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidPlan) {
+				t.Fatalf("rejection does not wrap ErrInvalidPlan: %v", err)
+			}
+			return
+		}
+		out, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted plan fails to marshal: %v", err)
+		}
+		if _, err := Parse(out); err != nil {
+			t.Fatalf("round-tripped plan rejected: %v\noriginal: %s\nmarshaled: %s", err, data, out)
+		}
+	})
+}
+
+// TestSeedCorpusValid pins the checked-in corpus as parseable examples —
+// they double as documentation of the plan schema.
+func TestSeedCorpusValid(t *testing.T) {
+	for _, path := range []string{"testdata/r-series.json", "testdata/lost-notify.json"} {
+		p, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+		} else if p.Empty() {
+			t.Errorf("%s: parsed empty", path)
+		}
+	}
+}
+
+func TestErrInvalidPlanSentinel(t *testing.T) {
+	if _, err := Parse([]byte(`{"bogus_field": 1}`)); !errors.Is(err, ErrInvalidPlan) {
+		t.Errorf("unknown field error = %v, want ErrInvalidPlan in chain", err)
+	}
+	if err := (Plan{ClockJitter: []ClockJitter{{Frac: 2}}}).Check(); !errors.Is(err, ErrInvalidPlan) {
+		t.Errorf("semantic error = %v, want ErrInvalidPlan in chain", err)
+	}
+	if _, err := New(Plan{LostNotify: []LostNotify{{CV: "("}}}, 1); !errors.Is(err, ErrInvalidPlan) {
+		t.Errorf("New error = %v, want ErrInvalidPlan in chain", err)
+	}
+	if _, err := Load("testdata/definitely-missing.json"); errors.Is(err, ErrInvalidPlan) {
+		t.Errorf("I/O error %v must NOT claim the plan was invalid", err)
+	}
+}

@@ -72,6 +72,48 @@ func TestAuditFlagsMaskedMissingNotify(t *testing.T) {
 	}
 }
 
+// TestAuditCVsOrdering pins the findings order harnesses rely on for
+// stable reports: monitors in argument order, and within a monitor its
+// CVs in creation order — never alphabetical or map order.
+func TestAuditCVsOrdering(t *testing.T) {
+	w := testWorld(t, cfgFast())
+	m1 := NewWithOptions(w, "m1", fastOptions())
+	m2 := NewWithOptions(w, "m2", fastOptions())
+	// Creation order deliberately disagrees with name order.
+	zeta := m1.NewCondTimeout("zeta", vclock.Millisecond)
+	alpha := m1.NewCondTimeout("alpha", vclock.Millisecond)
+	mid := m2.NewCondTimeout("mid", vclock.Millisecond)
+	for _, cv := range []*Cond{zeta, alpha, mid} {
+		m := m1
+		if cv == mid {
+			m = m2
+		}
+		w.Spawn("waiter", sim.PriorityNormal, func(th *sim.Thread) any {
+			m.Enter(th)
+			cv.Wait(th) // times out; no NOTIFY exists anywhere
+			m.Exit(th)
+			return nil
+		})
+	}
+	w.Run(vclock.Time(vclock.Second))
+
+	got := AuditCVs(1, m2, m1)
+	want := []*Cond{mid, zeta, alpha}
+	if len(got) != len(want) {
+		t.Fatalf("audit found %d CVs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d is %q, want %q (argument order then creation order)",
+				i, got[i].name, want[i].name)
+		}
+	}
+	// Swapping the argument order must swap the findings.
+	if rev := AuditCVs(1, m1, m2); rev[0] != zeta || rev[2] != mid {
+		t.Errorf("reversed arguments gave %q,%q,%q", rev[0].name, rev[1].name, rev[2].name)
+	}
+}
+
 func TestAuditMinWaitsGuard(t *testing.T) {
 	w := testWorld(t, cfgFast())
 	m := NewWithOptions(w, "mu", fastOptions())

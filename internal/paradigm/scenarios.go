@@ -1,0 +1,770 @@
+package paradigm
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// A Scenario is a small, self-contained concurrent program with an
+// invariant, built for systematic schedule exploration (package explore):
+// the explorer runs it repeatedly under perturbed scheduler decisions and
+// checks that the invariant holds on every legal interleaving, not just
+// the default one. Scenarios are deliberately tiny — a handful of
+// equal-priority threads and a few milliseconds of virtual time — so that
+// hundreds of schedules fit in a test budget.
+type Scenario struct {
+	// Name identifies the scenario in replay tokens and CLI flags.
+	Name string
+
+	// Desc is a one-line description for listings.
+	Desc string
+
+	// Horizon bounds each run's virtual time. Every scenario is sized to
+	// quiesce well before its horizon on any legal schedule, so a horizon
+	// outcome generally indicates a stuck schedule.
+	Horizon vclock.Duration
+
+	// KnownBad marks a committed bug fixture: exploration is expected to
+	// find a failing schedule (the §5.3 broken timeout-WAIT). The explore
+	// test suite asserts these fail and all others pass.
+	KnownBad bool
+
+	// Build constructs the world and its invariants. It must pass cfg
+	// through to sim.NewWorld unchanged except for scenario-specific
+	// fields (SystemDaemon, MaxThreads, fault hooks): the Seed, Trace and
+	// OnSchedule fields belong to the explorer. Implementations may first
+	// let a fault injector mutate cfg (fault.Injector.Configure).
+	Build func(cfg sim.Config) (*sim.World, *ScenarioHooks)
+}
+
+// ScenarioHooks is what a scenario exposes for invariant checking after a
+// run completes (and before the world is shut down).
+type ScenarioHooks struct {
+	// Monitors lists the monitors whose internal queues oracles may
+	// inspect (exclusion end-state, deadlock-set soundness).
+	Monitors []*monitor.Monitor
+
+	// Oracles names the library oracles (package explore) to apply; nil
+	// selects the explorer's default set. Scenarios using Hoare signalling
+	// or metalocks must omit "fifo" (urgent-queue handoff is LIFO by
+	// design), and scenarios with boosts or the SystemDaemon must omit
+	// "strict-priority" (donation runs low-priority threads on purpose).
+	Oracles []string
+
+	// Check is the scenario-specific invariant, evaluated after the run
+	// with the world still inspectable. A nil Check means the library
+	// oracles are the whole contract.
+	Check func(w *sim.World, out sim.Outcome) error
+}
+
+var (
+	scenarioList  []Scenario
+	scenarioIndex = map[string]int{}
+)
+
+// RegisterScenario adds a scenario to the global registry. Registration
+// order is preserved — listings and exploration sweeps are deterministic —
+// and duplicate names panic, since a replay token must name exactly one
+// scenario.
+func RegisterScenario(s Scenario) {
+	if s.Name == "" || s.Build == nil {
+		panic("paradigm: scenario needs a name and a Build function")
+	}
+	if _, dup := scenarioIndex[s.Name]; dup {
+		panic(fmt.Sprintf("paradigm: duplicate scenario %q", s.Name))
+	}
+	if s.Horizon <= 0 {
+		s.Horizon = 2 * vclock.Second
+	}
+	scenarioIndex[s.Name] = len(scenarioList)
+	scenarioList = append(scenarioList, s)
+}
+
+// Scenarios returns every registered scenario in registration order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, len(scenarioList))
+	copy(out, scenarioList)
+	return out
+}
+
+// ScenarioByName looks up a registered scenario.
+func ScenarioByName(name string) (Scenario, bool) {
+	i, ok := scenarioIndex[name]
+	if !ok {
+		return Scenario{}, false
+	}
+	return scenarioList[i], true
+}
+
+// The built-in scenarios cover each paradigm family the paper's systems
+// were built from, plus one committed bug fixture. Oracle name strings
+// are owned by package explore; they are spelled out here (rather than
+// imported) because explore depends on this package.
+func init() {
+	ms := vclock.Millisecond
+	us := vclock.Microsecond
+
+	// pump-chain: §4.2's pipeline backbone — producer → buffer → pump →
+	// buffer → consumer, all at one priority. Items must arrive complete
+	// and in order under every interleaving.
+	RegisterScenario(Scenario{
+		Name:    "pump-chain",
+		Desc:    "producer→pump→consumer over two bounded buffers; order preserved (§4.2)",
+		Horizon: 2 * vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			b1 := NewBuffer(w, "stage1", 2)
+			b2 := NewBuffer(w, "stage2", 2)
+			StartPump(w, nil, b1, b2, PumpConfig{Name: "pump", Work: 300 * us})
+			const n = 8
+			w.Spawn("producer", sim.PriorityNormal, func(t *sim.Thread) any {
+				for i := 0; i < n; i++ {
+					t.Compute(200 * us)
+					b1.Put(t, i)
+				}
+				b1.Close(t)
+				return nil
+			})
+			var got []int
+			w.Spawn("consumer", sim.PriorityNormal, func(t *sim.Thread) any {
+				for {
+					v, ok := b2.Get(t)
+					if !ok {
+						return nil
+					}
+					t.Compute(100 * us)
+					got = append(got, v.(int))
+				}
+			})
+			return w, &ScenarioHooks{
+				Monitors: []*monitor.Monitor{b1.Monitor(), b2.Monitor()},
+				Oracles:  []string{"exclusion", "lost-wakeup", "fifo", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if len(got) != n {
+						return fmt.Errorf("consumed %d of %d items", len(got), n)
+					}
+					for i, v := range got {
+						if v != i {
+							return fmt.Errorf("item %d arrived as %d: order broken", i, v)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// bounded-buffer: two producers and two consumers contending on a
+	// capacity-1 buffer — the densest monitor/CV traffic in the set.
+	RegisterScenario(Scenario{
+		Name:    "bounded-buffer",
+		Desc:    "2 producers + 2 consumers on a capacity-1 buffer; nothing lost or duplicated",
+		Horizon: 2 * vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			buf := NewBuffer(w, "box", 1)
+			const perProducer = 6
+			producersLeft := 2
+			for p := 0; p < 2; p++ {
+				p := p
+				w.Spawn(fmt.Sprintf("producer-%d", p), sim.PriorityNormal, func(t *sim.Thread) any {
+					for i := 0; i < perProducer; i++ {
+						t.Compute(300 * us)
+						buf.Put(t, p*perProducer+i)
+					}
+					producersLeft--
+					if producersLeft == 0 {
+						buf.Close(t)
+					}
+					return nil
+				})
+			}
+			var sum, count int
+			for c := 0; c < 2; c++ {
+				w.Spawn(fmt.Sprintf("consumer-%d", c), sim.PriorityNormal, func(t *sim.Thread) any {
+					for {
+						v, ok := buf.Get(t)
+						if !ok {
+							return nil
+						}
+						t.Compute(200 * us)
+						sum += v.(int)
+						count++
+					}
+				})
+			}
+			return w, &ScenarioHooks{
+				Monitors: []*monitor.Monitor{buf.Monitor()},
+				Oracles:  []string{"exclusion", "lost-wakeup", "fifo", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					const n = 2 * perProducer
+					if count != n || sum != n*(n-1)/2 {
+						return fmt.Errorf("consumed %d items summing %d, want %d summing %d", count, sum, n, n*(n-1)/2)
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// serializer: three clients racing actions into an MBQueue (§4.7's
+	// window-system serializer); every action runs exactly once.
+	RegisterScenario(Scenario{
+		Name:    "serializer",
+		Desc:    "3 clients × 4 actions through an MBQueue serializer; all served (§4.7)",
+		Horizon: vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			q := NewMBQueue(w, nil, "events", sim.PriorityNormal)
+			var ran int
+			clientsLeft := 3
+			for c := 0; c < 3; c++ {
+				w.Spawn(fmt.Sprintf("client-%d", c), sim.PriorityNormal, func(t *sim.Thread) any {
+					for i := 0; i < 4; i++ {
+						t.Compute(150 * us)
+						q.Enqueue(t, 200*us, func(*sim.Thread) { ran++ })
+					}
+					clientsLeft--
+					if clientsLeft == 0 {
+						q.Close()
+					}
+					return nil
+				})
+			}
+			return w, &ScenarioHooks{
+				Oracles: []string{"exclusion", "lost-wakeup", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if ran != 12 || q.Served() != 12 {
+						return fmt.Errorf("served %d actions (ran %d), want 12", q.Served(), ran)
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// work-queue: the §4.1 defer-work paradigm; two callers hand closures
+	// to a shared background worker.
+	RegisterScenario(Scenario{
+		Name:    "work-queue",
+		Desc:    "2 callers defer 5 tasks each to a work queue; all run (§4.1)",
+		Horizon: vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			q := NewWorkQueue(w, nil, "background", sim.PriorityNormal)
+			var ran int
+			left := 2
+			for c := 0; c < 2; c++ {
+				w.Spawn(fmt.Sprintf("caller-%d", c), sim.PriorityNormal, func(t *sim.Thread) any {
+					for i := 0; i < 5; i++ {
+						t.Compute(100 * us)
+						q.Add(t, func(wt *sim.Thread) {
+							wt.Compute(150 * us)
+							ran++
+						})
+					}
+					left--
+					if left == 0 {
+						q.Close(t)
+					}
+					return nil
+				})
+			}
+			return w, &ScenarioHooks{
+				Oracles: []string{"exclusion", "lost-wakeup", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if ran != 10 || q.Served() != 10 {
+						return fmt.Errorf("served %d tasks (ran %d), want 10", q.Served(), ran)
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// device-pump: a Notifier draining a device queue and forking one
+	// equal-priority transient per event (§3's keystroke echo shape).
+	RegisterScenario(Scenario{
+		Name:    "device-pump",
+		Desc:    "notifier forks a transient per device event; every event echoed (§3)",
+		Horizon: vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			dev := NewDeviceQueue(w, "keyboard")
+			const n = 10
+			for i := 0; i < n; i++ {
+				w.At(vclock.Time(vclock.Duration(i+1)*10*ms), func() { dev.Push(i) })
+			}
+			w.At(vclock.Time((n+2)*10*ms), dev.CloseDevice)
+			var echoed int
+			w.Spawn("notifier", sim.PriorityNormal, func(t *sim.Thread) any {
+				for {
+					_, ok := dev.Get(t)
+					if !ok {
+						return nil
+					}
+					child := t.Fork("echo", func(c *sim.Thread) any {
+						c.Compute(500 * us)
+						echoed++
+						return nil
+					})
+					child.Detach()
+				}
+			})
+			return w, &ScenarioHooks{
+				Oracles: []string{"exclusion", "lost-wakeup", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if echoed != n {
+						return fmt.Errorf("echoed %d of %d events", echoed, n)
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// guarded-button: §4.3's worked one-shot example under racing double
+	// clicks from two mice; exactly one action may fire.
+	RegisterScenario(Scenario{
+		Name:    "guarded-button",
+		Desc:    "two mice double-click one guarded button; the action fires exactly once (§4.3)",
+		Horizon: 4 * vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			b := NewGuardedButton(w, nil, "panic", func(*sim.Thread) {})
+			for c := 0; c < 2; c++ {
+				w.Spawn(fmt.Sprintf("mouse-%d", c), sim.PriorityNormal, func(t *sim.Thread) any {
+					b.Click(t)
+					t.Sleep(300 * ms) // past the 200 ms arm delay
+					b.Click(t)
+					return nil
+				})
+			}
+			return w, &ScenarioHooks{
+				Oracles: []string{"exclusion", "lost-wakeup", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if b.Fired() != 1 {
+						return fmt.Errorf("action fired %d times, want exactly 1", b.Fired())
+					}
+					if b.State() != ButtonGuarded {
+						return fmt.Errorf("final state %v, want guarded", b.State())
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// broadcast-barrier: N-way rendezvous; BROADCAST must release every
+	// waiter exactly once regardless of arrival order.
+	RegisterScenario(Scenario{
+		Name:    "broadcast-barrier",
+		Desc:    "4 threads rendezvous; the last one's BROADCAST releases all",
+		Horizon: vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			m := monitor.New(w, "barrier")
+			cv := m.NewCond("barrier.full")
+			const n = 4
+			arrived, released := 0, 0
+			for i := 0; i < n; i++ {
+				w.Spawn(fmt.Sprintf("party-%d", i), sim.PriorityNormal, func(t *sim.Thread) any {
+					t.Compute(vclock.Duration(100+50*i) * us)
+					m.With(t, func() {
+						arrived++
+						if arrived == n {
+							cv.Broadcast(t)
+						} else {
+							for arrived < n {
+								cv.Wait(t)
+							}
+						}
+						released++
+					})
+					return nil
+				})
+			}
+			return w, &ScenarioHooks{
+				Monitors: []*monitor.Monitor{m},
+				Oracles:  []string{"exclusion", "lost-wakeup", "fifo", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if released != n {
+						return fmt.Errorf("%d of %d parties released", released, n)
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// ping-pong: strict alternation through two CVs; the canonical
+	// WAIT-in-a-loop handoff.
+	RegisterScenario(Scenario{
+		Name:    "ping-pong",
+		Desc:    "two threads alternate turns via NOTIFY; 6 rounds each",
+		Horizon: 2 * vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			m := monitor.New(w, "turnstile")
+			cvPing := m.NewCond("turnstile.ping")
+			cvPong := m.NewCond("turnstile.pong")
+			turn := "ping"
+			rounds := 0
+			const each = 6
+			player := func(me, next string, myCV, nextCV *monitor.Cond) func(t *sim.Thread) any {
+				return func(t *sim.Thread) any {
+					for i := 0; i < each; i++ {
+						m.With(t, func() {
+							for turn != me {
+								myCV.Wait(t)
+							}
+							rounds++
+							turn = next
+							nextCV.Notify(t)
+						})
+					}
+					return nil
+				}
+			}
+			w.Spawn("ping", sim.PriorityNormal, player("ping", "pong", cvPing, cvPong))
+			w.Spawn("pong", sim.PriorityNormal, player("pong", "ping", cvPong, cvPing))
+			return w, &ScenarioHooks{
+				Monitors: []*monitor.Monitor{m},
+				Oracles:  []string{"exclusion", "lost-wakeup", "fifo", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if rounds != 2*each {
+						return fmt.Errorf("completed %d rounds, want %d", rounds, 2*each)
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// hoare-handoff: under Hoare signalling (§2) the signalled condition
+	// is guaranteed on WAIT return, so the IF-waits here — bugs under
+	// Mesa, per §5.3 — must be correct on every schedule.
+	RegisterScenario(Scenario{
+		Name:    "hoare-handoff",
+		Desc:    "single-slot handoff with IF-waits under Hoare signalling; correct by §2",
+		Horizon: vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			m := monitor.NewWithOptions(w, "slot", monitor.Options{HoareSignal: true})
+			cvFull := m.NewCond("slot.full")
+			cvEmpty := m.NewCond("slot.empty")
+			full := false
+			val := 0
+			var got []int
+			const n = 5
+			w.Spawn("producer", sim.PriorityNormal, func(t *sim.Thread) any {
+				for i := 0; i < n; i++ {
+					t.Compute(200 * us)
+					m.With(t, func() {
+						if full {
+							cvEmpty.Wait(t) // waitcheck:ignore — IF is correct under Hoare signalling (§2)
+						}
+						val, full = i, true
+						cvFull.Notify(t)
+					})
+				}
+				return nil
+			})
+			w.Spawn("consumer", sim.PriorityNormal, func(t *sim.Thread) any {
+				for i := 0; i < n; i++ {
+					m.With(t, func() {
+						if !full {
+							cvFull.Wait(t) // waitcheck:ignore — IF is correct under Hoare signalling (§2)
+						}
+						got = append(got, val)
+						full = false
+						cvEmpty.Notify(t)
+					})
+					t.Compute(150 * us)
+				}
+				return nil
+			})
+			return w, &ScenarioHooks{
+				Monitors: []*monitor.Monitor{m},
+				// No "fifo": Hoare urgent-queue handoff is LIFO by design.
+				Oracles: []string{"exclusion", "lost-wakeup", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if len(got) != n {
+						return fmt.Errorf("consumed %d of %d values", len(got), n)
+					}
+					for i, v := range got {
+						if v != i {
+							return fmt.Errorf("slot %d delivered %d: Hoare handoff broke", i, v)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// priority-ladder: threads on three levels with no locks shared across
+	// them; strict-priority dispatch must hold on every explored schedule
+	// (every OnSchedule candidate set is one priority by construction).
+	RegisterScenario(Scenario{
+		Name:    "priority-ladder",
+		Desc:    "high/normal/low compute mix; a runnable higher priority never starves",
+		Horizon: vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			w.Spawn("hi", sim.PriorityHigh, func(t *sim.Thread) any {
+				for i := 0; i < 20; i++ {
+					t.BlockIO(5 * ms)
+					t.Compute(1 * ms)
+				}
+				return nil
+			})
+			for i := 0; i < 2; i++ {
+				w.Spawn(fmt.Sprintf("mid-%d", i), sim.PriorityNormal, func(t *sim.Thread) any {
+					for j := 0; j < 30; j++ {
+						t.Compute(3 * ms)
+					}
+					return nil
+				})
+			}
+			var lowDone bool
+			w.Spawn("low", sim.PriorityLow, func(t *sim.Thread) any {
+				for j := 0; j < 20; j++ {
+					t.Compute(2 * ms)
+				}
+				lowDone = true
+				return nil
+			})
+			return w, &ScenarioHooks{
+				Oracles: []string{"exclusion", "strict-priority", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if !lowDone {
+						return fmt.Errorf("low-priority thread never finished")
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// lock-ladder: two threads taking two monitors through a LockSet's
+	// ordering discipline (§4.6); deadlock must be impossible.
+	RegisterScenario(Scenario{
+		Name:    "lock-ladder",
+		Desc:    "2 threads × 2 monitors under LockSet ordering; no schedule deadlocks (§4.6)",
+		Horizon: vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			ma := monitor.New(w, "outer")
+			mb := monitor.New(w, "inner")
+			ls := NewLockSet(ma, mb)
+			var crossings int
+			for i := 0; i < 2; i++ {
+				w.Spawn(fmt.Sprintf("climber-%d", i), sim.PriorityNormal, func(t *sim.Thread) any {
+					for j := 0; j < 3; j++ {
+						ls.Acquire(t, ma)
+						ls.Acquire(t, mb)
+						t.Compute(300 * us)
+						crossings++
+						ls.Release(t, mb)
+						ls.Release(t, ma)
+					}
+					return nil
+				})
+			}
+			return w, &ScenarioHooks{
+				Monitors: []*monitor.Monitor{ma, mb},
+				Oracles:  []string{"exclusion", "fifo", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if crossings != 6 {
+						return fmt.Errorf("%d lock crossings, want 6", crossings)
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// fork-burst: §4.9 concurrency exploitation — fork four equal-priority
+	// workers and join them all; no result may be lost.
+	RegisterScenario(Scenario{
+		Name:    "fork-burst",
+		Desc:    "parent forks 4 workers and joins all; every result arrives (§4.9)",
+		Horizon: vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			const n = 4
+			results := make([]int, n)
+			var forkErr error
+			w.Spawn("parent", sim.PriorityNormal, func(t *sim.Thread) any {
+				forkErr = ParallelDo(nil, t, "worker", n, func(wt *sim.Thread, i int) {
+					wt.Compute(vclock.Duration(200+100*i) * us)
+					results[i] = i + 1
+				})
+				return nil
+			})
+			return w, &ScenarioHooks{
+				Oracles: []string{"exclusion", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if forkErr != nil {
+						return fmt.Errorf("ParallelDo: %v", forkErr)
+					}
+					for i, v := range results {
+						if v != i+1 {
+							return fmt.Errorf("worker %d result %d lost", i, v)
+						}
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// timeout-rescue: the CORRECT §5.3 pattern — a timed WAIT inside a
+	// WHILE loop. Timeouts may fire on adversarial schedules, but the loop
+	// re-checks the condition, so the item is always consumed. This is the
+	// healthy twin of the broken-timeout-wait fixture below.
+	RegisterScenario(Scenario{
+		Name:    "timeout-rescue",
+		Desc:    "timed WAIT in a WHILE loop survives any schedule (§5.3, done right)",
+		Horizon: 2 * vclock.Second,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			m := monitor.New(w, "mailbox")
+			cv := m.NewCondTimeout("mailbox.ready", 50*ms)
+			ready, consumed := false, false
+			w.Spawn("consumer", sim.PriorityNormal, func(t *sim.Thread) any {
+				m.With(t, func() {
+					for !ready {
+						cv.Wait(t) // timeout → loop re-checks: always safe
+					}
+					consumed = true
+				})
+				return nil
+			})
+			w.Spawn("producer", sim.PriorityNormal, func(t *sim.Thread) any {
+				t.Compute(60 * ms)
+				m.With(t, func() {
+					ready = true
+					cv.Notify(t)
+				})
+				return nil
+			})
+			w.Spawn("decoy", sim.PriorityNormal, func(t *sim.Thread) any {
+				t.Compute(60 * ms)
+				return nil
+			})
+			return w, &ScenarioHooks{
+				Monitors: []*monitor.Monitor{m},
+				Oracles:  []string{"exclusion", "lost-wakeup", "fifo", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if !consumed {
+						return fmt.Errorf("item produced but never consumed")
+					}
+					return nil
+				},
+			}
+		},
+	})
+
+	// broken-timeout-wait: the committed §5.3 bug fixture. The consumer
+	// uses IF instead of WHILE and trusts its timeout as "no data coming" —
+	// exactly the deleted-NOTIFY/timeout-mistake family the paper's
+	// maintainers kept finding. On the default schedule the NOTIFY lands
+	// inside the 100 ms window (or rescues a racing timeout) and the run
+	// passes; exploration must find the schedule where the consumer burns
+	// its timeout while producer and decoy hold the CPU, gives up, and the
+	// produced item is lost forever.
+	RegisterScenario(Scenario{
+		Name:     "broken-timeout-wait",
+		Desc:     "IF-wait trusts its timeout (§5.3 bug); exploration must find the losing schedule",
+		Horizon:  2 * vclock.Second,
+		KnownBad: true,
+		Build: func(cfg sim.Config) (*sim.World, *ScenarioHooks) {
+			w := sim.NewWorld(cfg)
+			m := monitor.New(w, "mailbox")
+			cv := m.NewCondTimeout("mailbox.ready", 100*ms)
+			ready, consumed, gaveUp := false, false, false
+			w.Spawn("consumer", sim.PriorityNormal, func(t *sim.Thread) any {
+				m.With(t, func() {
+					if !ready {
+						cv.Wait(t) // waitcheck:ignore — BUG on purpose: IF, not WHILE, timeout trusted; the explorer must catch it
+					}
+					if ready {
+						consumed = true
+					} else {
+						gaveUp = true // "the timeout fired, so no data is coming"
+					}
+				})
+				return nil
+			})
+			w.Spawn("producer", sim.PriorityNormal, func(t *sim.Thread) any {
+				t.Compute(60 * ms)
+				m.With(t, func() {
+					ready = true
+					cv.Notify(t)
+				})
+				return nil
+			})
+			w.Spawn("decoy", sim.PriorityNormal, func(t *sim.Thread) any {
+				t.Compute(60 * ms)
+				return nil
+			})
+			return w, &ScenarioHooks{
+				Monitors: []*monitor.Monitor{m},
+				Oracles:  []string{"exclusion", "lost-wakeup", "fifo", "deadlock-sound"},
+				Check: func(w *sim.World, out sim.Outcome) error {
+					if out != sim.OutcomeQuiescent {
+						return fmt.Errorf("outcome %v, want quiescent", out)
+					}
+					if !consumed {
+						return fmt.Errorf("produced item lost: consumer gave up on its timeout (gaveUp=%v)", gaveUp)
+					}
+					return nil
+				},
+			}
+		},
+	})
+}

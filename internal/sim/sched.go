@@ -59,6 +59,14 @@ func (w *World) adjust(c *cpu) bool {
 // target while a boost is in force, otherwise the current thread unless a
 // strictly higher-priority thread is runnable (PCR preempts only for
 // higher priority between quantum expiries).
+//
+// When the dispatch is about to install a different thread and several
+// threads of the winning priority are queued, the choice among them is a
+// genuine scheduling freedom — FIFO order is PCR's policy, not a
+// correctness requirement — so an OnSchedule hook is consulted exactly
+// once per such switch. The consultation never fires on the settle loop's
+// post-switch re-evaluation (the installed thread is then c.current and no
+// switch is pending), keeping decision sequences dense and replayable.
 func (w *World) pickFor(c *cpu) *Thread {
 	if c.boost != nil {
 		b := c.boost
@@ -73,13 +81,43 @@ func (w *World) pickFor(c *cpu) *Thread {
 	}
 	top := w.topRunnable()
 	cur := c.current
-	if cur != nil {
-		if top != nil && top.pri > cur.pri {
-			return top
-		}
+	if cur != nil && (top == nil || top.pri <= cur.pri) {
 		return cur
 	}
+	if top == nil {
+		return nil
+	}
+	// A switch to top is imminent (top sits on the run queue, cur does
+	// not, so they differ). Offer the whole winning-priority queue.
+	if w.cfg.OnSchedule != nil {
+		if q := w.runq[top.pri]; len(q) > 1 {
+			return w.consultSchedule(c, w.scheduleCands(q, nil))
+		}
+	}
 	return top
+}
+
+// scheduleCands assembles an OnSchedule candidate list from a run-queue
+// slice plus an optional extra entry, reusing the world's scratch slice.
+func (w *World) scheduleCands(q []*Thread, extra *Thread) []*Thread {
+	cands := append(w.schedCands[:0], q...)
+	if extra != nil {
+		cands = append(cands, extra)
+	}
+	w.schedCands = cands
+	return cands
+}
+
+// consultSchedule offers one decision point to the OnSchedule hook.
+// cands[0] is the default pick; out-of-range answers select it.
+func (w *World) consultSchedule(c *cpu, cands []*Thread) *Thread {
+	d := Decision{Seq: w.schedSeq, CPU: c.index, Candidates: cands}
+	w.schedSeq++
+	i := w.cfg.OnSchedule(d)
+	if i < 0 || i >= len(cands) {
+		i = 0
+	}
+	return cands[i]
 }
 
 // topRunnable returns the head of the highest non-empty priority queue.
@@ -156,6 +194,13 @@ func (w *World) unscheduleCompute(t *Thread) {
 // quantumExpire implements end-of-timeslice: any boost ends, and the CPU
 // round-robins to another thread of equal or higher priority if one is
 // ready; otherwise the current thread continues with a fresh quantum.
+//
+// Rotation is the second OnSchedule decision point: when the incoming
+// priority equals the expiring thread's, both "rotate to any queued peer"
+// and "let the current thread keep the CPU" are legal PCR schedules, so
+// the hook may choose among the queue plus the current thread (appended
+// last; picking it skips the switch). A strictly higher-priority top
+// offers only that queue — continuing would violate strict priority.
 func (w *World) quantumExpire(c *cpu) {
 	c.quantumEv = nil
 	c.boost = nil
@@ -165,8 +210,21 @@ func (w *World) quantumExpire(c *cpu) {
 	}
 	top := w.topRunnable()
 	if top != nil && top.pri >= t.pri {
-		w.switchTo(c, top)
-		return
+		pick := top
+		if w.cfg.OnSchedule != nil {
+			var keep *Thread
+			if t.pri == top.pri {
+				keep = t
+			}
+			if cands := w.scheduleCands(w.runq[top.pri], keep); len(cands) > 1 {
+				pick = w.consultSchedule(c, cands)
+			}
+		}
+		if pick != t {
+			w.switchTo(c, pick)
+			return
+		}
+		// The hook elected to continue the current thread.
 	}
 	c.quantumEnd = w.clock.Add(w.cfg.Quantum)
 	cc := c

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// runOrderWorld spawns n equal-priority workers that each append their
+// name to order as they run, under the given hook, and returns the order.
+func runOrderWorld(t *testing.T, hook func(Decision) int, names ...string) ([]string, *World) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.OnSchedule = hook
+	w := NewWorld(cfg)
+	t.Cleanup(w.Shutdown)
+	var order []string
+	for _, name := range names {
+		name := name
+		w.Spawn(name, PriorityNormal, func(th *Thread) any {
+			order = append(order, name)
+			th.Compute(vclock.Millisecond)
+			return nil
+		})
+	}
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeQuiescent {
+		t.Fatalf("outcome = %v, want quiescent", out)
+	}
+	return order, w
+}
+
+// TestOnScheduleNil: without a hook no decision points are counted, and a
+// hook that always answers 0 (the default pick) leaves the trace
+// byte-identical to the nil-hook run — the seam must be invisible unless
+// exercised.
+func TestOnScheduleNil(t *testing.T) {
+	capture := func(hook func(Decision) int) ([]trace.Event, int64) {
+		var buf trace.Buffer
+		cfg := testConfig()
+		cfg.Trace = &buf
+		cfg.OnSchedule = hook
+		w := NewWorld(cfg)
+		defer w.Shutdown()
+		for _, name := range []string{"a", "b", "c"} {
+			w.Spawn(name, PriorityNormal, func(th *Thread) any {
+				for i := 0; i < 3; i++ {
+					th.Compute(60 * vclock.Millisecond) // crosses quantum expiries
+					th.Yield()
+				}
+				return nil
+			})
+		}
+		w.Run(vclock.Time(vclock.Second))
+		return buf.Events, w.ScheduleDecisions()
+	}
+
+	evNil, seqNil := capture(nil)
+	if seqNil != 0 {
+		t.Fatalf("nil hook counted %d decisions, want 0", seqNil)
+	}
+	evDefault, seqDefault := capture(func(Decision) int { return 0 })
+	if seqDefault == 0 {
+		t.Fatalf("default hook saw no decision points; scenario too small")
+	}
+	if !reflect.DeepEqual(evNil, evDefault) {
+		t.Errorf("always-default hook changed the trace (%d vs %d events)", len(evDefault), len(evNil))
+	}
+}
+
+// TestOnScheduleFlipsDispatch: at the first decision point two
+// equal-priority threads are both ready; answering 1 runs the
+// second-spawned thread first, inverting FIFO order.
+func TestOnScheduleFlipsDispatch(t *testing.T) {
+	def, _ := runOrderWorld(t, nil, "first", "second")
+	if !reflect.DeepEqual(def, []string{"first", "second"}) {
+		t.Fatalf("default order = %v", def)
+	}
+	flipped, w := runOrderWorld(t, func(d Decision) int {
+		if d.Seq == 0 {
+			if len(d.Candidates) != 2 {
+				t.Errorf("candidates = %d, want 2", len(d.Candidates))
+			}
+			for _, c := range d.Candidates {
+				if c.Priority() != PriorityNormal {
+					t.Errorf("candidate %s has priority %d", c.Name(), c.Priority())
+				}
+			}
+			return 1
+		}
+		return 0
+	}, "first", "second")
+	if !reflect.DeepEqual(flipped, []string{"second", "first"}) {
+		t.Errorf("flipped order = %v, want [second first]", flipped)
+	}
+	if w.ScheduleDecisions() == 0 {
+		t.Errorf("no decision points recorded")
+	}
+}
+
+// TestOnScheduleOutOfRange: answers outside [0, len) select the default.
+func TestOnScheduleOutOfRange(t *testing.T) {
+	for _, bad := range []int{-1, 99} {
+		order, _ := runOrderWorld(t, func(Decision) int { return bad }, "first", "second")
+		if !reflect.DeepEqual(order, []string{"first", "second"}) {
+			t.Errorf("answer %d: order = %v, want default FIFO", bad, order)
+		}
+	}
+}
+
+// TestOnScheduleRotationKeep: at quantum expiry with an equal-priority
+// peer queued, the candidate list ends with the current thread; choosing
+// it suppresses the rotation, so the incumbent finishes before the peer
+// ever runs.
+func TestOnScheduleRotationKeep(t *testing.T) {
+	run := func(hook func(Decision) int) []string {
+		cfg := testConfig()
+		cfg.OnSchedule = hook
+		w := NewWorld(cfg)
+		defer w.Shutdown()
+		var done []string
+		for _, name := range []string{"incumbent", "peer"} {
+			name := name
+			w.Spawn(name, PriorityNormal, func(th *Thread) any {
+				th.Compute(120 * vclock.Millisecond) // > 2 quanta
+				done = append(done, name)
+				return nil
+			})
+		}
+		if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeQuiescent {
+			t.Fatalf("outcome = %v", out)
+		}
+		return done
+	}
+
+	// Default: round-robin interleaves, so the peer's remaining compute
+	// delays the incumbent past the peer's own finish... both rotate, and
+	// FIFO spawn order decides who completes first.
+	def := run(nil)
+	if !reflect.DeepEqual(def, []string{"incumbent", "peer"}) {
+		t.Fatalf("default completion order = %v", def)
+	}
+
+	var sawKeep bool
+	keep := run(func(d Decision) int {
+		// Dispatch decisions offer only queued threads; rotation decisions
+		// additionally offer the running incumbent as the last candidate.
+		last := d.Candidates[len(d.Candidates)-1]
+		if last.State() == StateRunning {
+			sawKeep = true
+			return len(d.Candidates) - 1
+		}
+		return 0
+	})
+	if !sawKeep {
+		t.Fatalf("no rotation decision offered the running thread")
+	}
+	if !reflect.DeepEqual(keep, []string{"incumbent", "peer"}) {
+		t.Errorf("keep-running order = %v, want incumbent first", keep)
+	}
+}
+
+// TestOnScheduleRotationPicksTail: a rotation answer may select a
+// non-head queue member, skipping over the FIFO-next thread.
+func TestOnScheduleRotationPicksTail(t *testing.T) {
+	order, _ := runOrderWorld(t, func(d Decision) int {
+		if d.Seq == 0 && len(d.Candidates) == 3 {
+			return 2
+		}
+		return 0
+	}, "a", "b", "c")
+	if !reflect.DeepEqual(order, []string{"c", "a", "b"}) {
+		t.Errorf("order = %v, want [c a b]", order)
+	}
+}
+
+// TestOnScheduleStrictPriority: candidates never span priorities, so no
+// hook answer can run a lower-priority thread while a higher one waits.
+func TestOnScheduleStrictPriority(t *testing.T) {
+	cfg := testConfig()
+	var order []string
+	cfg.OnSchedule = func(d Decision) int {
+		pri := d.Candidates[0].Priority()
+		for _, c := range d.Candidates {
+			if c.Priority() != pri {
+				t.Errorf("mixed-priority candidate list: %v vs %v", c.Priority(), pri)
+			}
+		}
+		return len(d.Candidates) - 1 // adversarial: always last
+	}
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+	spawn := func(name string, pri Priority) {
+		w.Spawn(name, pri, func(th *Thread) any {
+			order = append(order, name)
+			th.Compute(vclock.Millisecond)
+			return nil
+		})
+	}
+	spawn("low1", PriorityLow)
+	spawn("low2", PriorityLow)
+	spawn("high1", PriorityHigh)
+	spawn("high2", PriorityHigh)
+	if out := w.Run(vclock.Time(vclock.Second)); out != OutcomeQuiescent {
+		t.Fatalf("outcome = %v", out)
+	}
+	if len(order) != 4 || order[0][:4] != "high" || order[1][:4] != "high" {
+		t.Errorf("order = %v, want both high-priority threads first", order)
+	}
+}
+
+// TestOnScheduleSeqDense: sequence numbers are consecutive from zero —
+// the property replay tokens depend on.
+func TestOnScheduleSeqDense(t *testing.T) {
+	var want int64
+	hook := func(d Decision) int {
+		if d.Seq != want {
+			t.Errorf("decision seq = %d, want %d", d.Seq, want)
+		}
+		want++
+		if len(d.Candidates) < 2 {
+			t.Errorf("decision with %d candidate(s) offered", len(d.Candidates))
+		}
+		return int(d.Seq) % len(d.Candidates)
+	}
+	_, w := runOrderWorld(t, hook, "a", "b", "c", "d")
+	if w.ScheduleDecisions() != want {
+		t.Errorf("ScheduleDecisions = %d, hook saw %d", w.ScheduleDecisions(), want)
+	}
+	if want == 0 {
+		t.Errorf("scenario produced no decision points")
+	}
+}

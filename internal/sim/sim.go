@@ -150,6 +150,37 @@ type Config struct {
 	// (§6.2) without touching workload code. Returning d unchanged is a
 	// no-op; non-positive results skip the Compute entirely.
 	OnCompute func(t *Thread, d vclock.Duration) vclock.Duration
+
+	// OnSchedule, when non-nil, is consulted at every scheduling decision
+	// point where more than one dispatch choice is legal: installing a
+	// thread on a CPU when several threads of the winning priority are
+	// ready, and end-of-quantum round-robin rotation. The hook returns an
+	// index into Decision.Candidates; 0 (or any out-of-range value)
+	// selects Candidates[0], the schedule the simulator would have chosen
+	// on its own. Because every candidate has the same priority as the
+	// default pick, any schedule the hook produces is one legal PCR
+	// execution — strict-priority dispatch is preserved by construction.
+	// Package explore drives this seam to enumerate interleavings; a nil
+	// hook leaves the scheduler byte-identical to one built before the
+	// seam existed.
+	OnSchedule func(d Decision) int
+}
+
+// Decision is one scheduling decision point offered to Config.OnSchedule.
+// Seq numbers decision points 0,1,2,... in the order the driver reaches
+// them; for a fixed world configuration and hook behavior the sequence is
+// fully deterministic, which is what makes a recorded decision trace
+// replayable.
+type Decision struct {
+	// Seq is the world-wide decision-point sequence number.
+	Seq int64
+	// CPU is the index of the CPU being dispatched.
+	CPU int
+	// Candidates are the legal picks, all of equal priority;
+	// Candidates[0] is the default (the choice an unhooked scheduler
+	// makes). The slice is reused between calls — hooks must not retain
+	// it.
+	Candidates []*Thread
 }
 
 // Defaults returns cfg with unset fields replaced by the paper's PCR

@@ -47,6 +47,11 @@ type World struct {
 	// onIdleDeadlock, if set, is invoked (driver context) when the world
 	// detects deadlock; used by tests.
 	deadlocked []*Thread
+
+	// schedSeq numbers OnSchedule decision points; schedCands is the
+	// candidate scratch slice reused across consultations.
+	schedSeq   int64
+	schedCands []*Thread
 }
 
 type cpu struct {
@@ -236,6 +241,12 @@ func (w *World) Deadlocked() []*Thread { return w.deadlocked }
 // EventsProcessed returns the number of discrete events the driver loop
 // has executed so far.
 func (w *World) EventsProcessed() int64 { return w.eventsProcessed }
+
+// ScheduleDecisions returns how many decision points have been offered to
+// Config.OnSchedule so far. It is always zero without a hook: decision
+// points exist only where a hook could have changed the schedule, so the
+// count doubles as the length of a replayable decision trace.
+func (w *World) ScheduleDecisions() int64 { return w.schedSeq }
 
 // flushProbe forwards the not-yet-reported event and clock deltas to the
 // configured probe (if any). Called every time Run returns.

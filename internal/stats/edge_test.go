@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// Edge-case table for the latency quantiles: empty series, a single
+// sample, and hostile p values (NaN would otherwise become a huge
+// negative index via int conversion).
+func TestLatencyRecorderEdges(t *testing.T) {
+	ms := vclock.Millisecond
+	one := &LatencyRecorder{}
+	one.Add(7 * ms)
+	three := &LatencyRecorder{}
+	for _, d := range []vclock.Duration{30 * ms, 10 * ms, 20 * ms} {
+		three.Add(d)
+	}
+	cases := []struct {
+		name string
+		r    *LatencyRecorder
+		p    float64
+		want vclock.Duration
+	}{
+		{"empty p50", &LatencyRecorder{}, 0.5, 0},
+		{"empty max", &LatencyRecorder{}, 1, 0},
+		{"empty NaN", &LatencyRecorder{}, math.NaN(), 0},
+		{"single p0", one, 0, 7 * ms},
+		{"single p50", one, 0.5, 7 * ms},
+		{"single p100", one, 1, 7 * ms},
+		{"single NaN clamps low", one, math.NaN(), 7 * ms},
+		{"three NaN clamps low", three, math.NaN(), 10 * ms},
+		{"negative p clamps low", three, -4.5, 10 * ms},
+		{"huge p clamps high", three, 17, 30 * ms},
+		{"+Inf clamps high", three, math.Inf(1), 30 * ms},
+		{"-Inf clamps low", three, math.Inf(-1), 10 * ms},
+		{"median sorts", three, 0.5, 20 * ms},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.r.Percentile(tc.p); got != tc.want {
+				t.Errorf("Percentile(%v) = %s, want %s", tc.p, got, tc.want)
+			}
+		})
+	}
+	if got := (&LatencyRecorder{}).Mean(); got != 0 {
+		t.Errorf("empty Mean = %s", got)
+	}
+	if got := (&LatencyRecorder{}).String(); got != "n=0" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := one.Mean(); got != 7*ms {
+		t.Errorf("single Mean = %s", got)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	ms := vclock.Millisecond
+	t.Run("empty", func(t *testing.T) {
+		h := NewIntervalHistogram()
+		if h.Count() != 0 || h.Total() != 0 {
+			t.Errorf("empty: count=%d total=%s", h.Count(), h.Total())
+		}
+		if got := h.PeakBucket(); got != -1 {
+			t.Errorf("empty PeakBucket = %d, want -1", got)
+		}
+		if got := h.FractionCount(0, vclock.Second); got != 0 {
+			t.Errorf("empty FractionCount = %v (division by zero count?)", got)
+		}
+		if got := h.FractionTotal(0, vclock.Second); got != 0 {
+			t.Errorf("empty FractionTotal = %v", got)
+		}
+	})
+	t.Run("single sample", func(t *testing.T) {
+		h := NewIntervalHistogram()
+		h.Add(3 * ms)
+		if h.Count() != 1 || h.Total() != 3*ms {
+			t.Errorf("count=%d total=%s", h.Count(), h.Total())
+		}
+		if got := h.FractionCount(0, vclock.Second); got != 1 {
+			t.Errorf("FractionCount = %v, want 1", got)
+		}
+		peak := h.PeakBucket()
+		lo, hi, unbounded := h.BucketRange(peak)
+		if unbounded || lo > 3*ms || hi <= 3*ms {
+			t.Errorf("peak bucket [%s,%s) unbounded=%v does not contain the sample", lo, hi, unbounded)
+		}
+	})
+	t.Run("negative duration clamps to first bucket", func(t *testing.T) {
+		h := NewIntervalHistogram()
+		h.Add(-5 * ms)
+		if h.Count() != 1 {
+			t.Fatalf("count = %d", h.Count())
+		}
+		if h.PeakBucket() != 0 {
+			t.Errorf("negative sample landed in bucket %d, want 0", h.PeakBucket())
+		}
+	})
+}
+
+// An inverted or empty window must yield the degenerate SVG, and a valid
+// window over an empty trace must not divide by zero or emit NaN
+// coordinates.
+func TestRenderSVGEdges(t *testing.T) {
+	ms := vclock.Millisecond
+	empty := trace.Trace{}
+	if got := (Timeline{From: vclock.Time(5 * ms), To: vclock.Time(5 * ms)}).RenderSVG(empty); !strings.HasPrefix(got, "<svg") || strings.Contains(got, "rect") {
+		t.Errorf("zero-width window: %q", got)
+	}
+	if got := (Timeline{From: vclock.Time(9 * ms), To: vclock.Time(2 * ms)}).RenderSVG(empty); strings.Contains(got, "NaN") {
+		t.Errorf("inverted window emitted NaN: %q", got)
+	}
+	got := (Timeline{From: 0, To: vclock.Time(10 * ms)}).RenderSVG(empty)
+	if strings.Contains(got, "NaN") || strings.Contains(got, "Inf") {
+		t.Errorf("empty trace emitted non-finite coordinates: %q", got)
+	}
+	if !strings.Contains(got, "<svg") || !strings.Contains(got, "</svg>") {
+		t.Errorf("not a complete SVG document: %q", got)
+	}
+}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/vclock"
@@ -42,7 +43,8 @@ func (r *LatencyRecorder) Max() vclock.Duration {
 }
 
 // Percentile returns the p-quantile (0 <= p <= 1) by nearest-rank, or 0
-// if empty.
+// if empty. Out-of-range and NaN p clamp to the nearest valid quantile —
+// int(NaN * n) is a huge negative index, not a graceful zero.
 func (r *LatencyRecorder) Percentile(p float64) vclock.Duration {
 	if len(r.samples) == 0 {
 		return 0
@@ -51,7 +53,7 @@ func (r *LatencyRecorder) Percentile(p float64) vclock.Duration {
 		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
 		r.sorted = true
 	}
-	if p < 0 {
+	if p < 0 || math.IsNaN(p) {
 		p = 0
 	}
 	if p > 1 {
