@@ -30,8 +30,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmarks plus the fixed-seed accounting sweep: every experiment runs
+# quick with the per-thread profiler attached, and the combined metrics +
+# scheduler-accounting summary lands in BENCH_PR4.json. The sweep fails
+# if any run's accounting residue is nonzero, so `make bench` also
+# certifies the exactness invariant on the full experiment population.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$'
+	$(GO) run ./cmd/threadstudy -bench BENCH_PR4.json
 
 # Short coverage-guided fuzzing of the attacker-facing parsers: JSON
 # fault plans and the binary trace codec (decode robustness + encode/

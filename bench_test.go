@@ -320,8 +320,8 @@ func BenchmarkNotifyFixAblation(b *testing.B) {
 
 func BenchmarkFigEchoLatency(b *testing.B) { benchExperiment(b, "F12") }
 
-// The parallel experiment harness: one full regeneration of all 16
-// artifacts per iteration, under increasing worker-pool sizes. The
+// The parallel experiment harness: one full regeneration of every
+// registered artifact per iteration, under increasing worker-pool sizes. The
 // parallel=1 row is the old serial harness; the speedup of the larger
 // rows is the harness's whole point (the experiments share nothing, so
 // the sweep should scale until it runs out of cores).
@@ -336,8 +336,8 @@ func BenchmarkRunAll(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				outs := experiments.RunAll(experiments.Config{Quick: true, Seed: 1}, par)
-				if len(outs) != 16 {
-					b.Fatalf("got %d outcomes, want 16", len(outs))
+				if want := len(experiments.All()); len(outs) != want {
+					b.Fatalf("got %d outcomes, want %d", len(outs), want)
 				}
 				var events int64
 				for _, o := range outs {

@@ -18,6 +18,18 @@
 //	threadstudy -trace out.bin -benchmark "Cedar/Idle Cedar"
 //	                             # capture a benchmark's raw event trace
 //	                             # (inspect with cmd/traceview)
+//	threadstudy -profile         # per-thread scheduler accounting, monitor
+//	                             # contention, CV waits and §6.2 inversion
+//	                             # episodes for the -benchmark world
+//	threadstudy -chrometrace out.json
+//	                             # export the profiled run as Chrome
+//	                             # trace-event JSON (load in Perfetto)
+//	threadstudy -profilejson out.json
+//	                             # machine-readable accounting summary
+//	threadstudy -bench BENCH.json
+//	                             # fixed-seed quick sweep of every
+//	                             # experiment with profiling; write the
+//	                             # combined metrics+accounting JSON
 //	threadstudy -faults plan.json -experiment R1
 //	                             # replace the R-series' built-in fault
 //	                             # plans with one loaded from JSON
@@ -41,6 +53,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/paradigm"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vclock"
@@ -87,6 +100,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		faultSeed = fs.Int64("faultseed", 0, "seed for the fault injector RNG (default: derived from -seed)")
 		audit     = fs.Bool("audit", false, "run the §5.3 CV auditors and print findings after each report")
 		auditMin  = fs.Int("auditmin", 10, "minimum observed waits before a CV is auditable (lower is more sensitive)")
+		profFlag  = fs.Bool("profile", false, "print per-thread scheduler accounting for the -benchmark world")
+		chromeOut = fs.String("chrometrace", "", "write the profiled -benchmark run as Chrome trace-event JSON to this file")
+		profJSON  = fs.String("profilejson", "", "write the profiled run's accounting summary as JSON (\"-\" for stdout)")
+		benchOut  = fs.String("bench", "", "run the fixed-seed quick sweep with profiling and write combined JSON to this file (\"-\" for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -134,7 +151,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	if *traceOut != "" {
+	if *traceOut != "" || *profFlag || *chromeOut != "" || *profJSON != "" {
 		// The flag parses wall-clock syntax but the capture runs in
 		// virtual microseconds; sub-microsecond values (e.g. 500ns)
 		// would truncate to a zero-length capture.
@@ -142,7 +159,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if us <= 0 {
 			return fail(fmt.Sprintf("-traceduration %v rounds to %dus of virtual time; need at least 1us", *traceDur, us))
 		}
-		if err := captureTrace(stdout, *traceOut, *benchName, *seed, vclock.Duration(us)); err != nil {
+		if *traceOut != "" {
+			if err := captureTrace(stdout, *traceOut, *benchName, *seed, vclock.Duration(us)); err != nil {
+				fmt.Fprintln(stderr, "threadstudy:", err)
+				return 1
+			}
+			return 0
+		}
+		err := profileBenchmark(stdout, profileOpts{
+			bench:    *benchName,
+			seed:     *seed,
+			dur:      vclock.Duration(us),
+			markdown: *format == "markdown",
+			print:    *profFlag,
+			chrome:   *chromeOut,
+			jsonPath: *profJSON,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "threadstudy:", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *benchOut != "" {
+		if err := runBench(stdout, *benchOut, *parallel); err != nil {
 			fmt.Fprintln(stderr, "threadstudy:", err)
 			return 1
 		}
@@ -248,11 +289,11 @@ func writeJSON(path string, stdout io.Writer, sum jsonSummary) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// captureTrace runs one benchmark and writes its raw event stream.
-func captureTrace(stdout io.Writer, path, benchName string, seed int64, dur vclock.Duration) error {
+// findBench resolves a System/Name benchmark flag value.
+func findBench(benchName string) (workload.Benchmark, error) {
 	system, name, ok := strings.Cut(benchName, "/")
 	if !ok {
-		return fmt.Errorf("benchmark must be System/Name, e.g. %q", "Cedar/Idle Cedar")
+		return workload.Benchmark{}, fmt.Errorf("benchmark must be System/Name, e.g. %q", "Cedar/Idle Cedar")
 	}
 	b, err := workload.FindBenchmark(system, name)
 	if err != nil {
@@ -261,7 +302,16 @@ func captureTrace(stdout io.Writer, path, benchName string, seed int64, dur vclo
 			names = append(names, bb.System+"/"+bb.Name)
 		}
 		sort.Strings(names)
-		return fmt.Errorf("%v; available: %s", err, strings.Join(names, ", "))
+		return workload.Benchmark{}, fmt.Errorf("%v; available: %s", err, strings.Join(names, ", "))
+	}
+	return b, nil
+}
+
+// captureTrace runs one benchmark and writes its raw event stream.
+func captureTrace(stdout io.Writer, path, benchName string, seed int64, dur vclock.Duration) error {
+	b, err := findBench(benchName)
+	if err != nil {
+		return err
 	}
 	if dur <= 0 {
 		dur = 5 * vclock.Second
@@ -286,5 +336,162 @@ func captureTrace(stdout io.Writer, path, benchName string, seed int64, dur vclo
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %d events, %d thread names (%s of virtual time) to %s\n", buf.Len(), len(names), dur, path)
+	return nil
+}
+
+// profileOpts parameterizes one profiled benchmark run.
+type profileOpts struct {
+	bench    string
+	seed     int64
+	dur      vclock.Duration
+	markdown bool
+	print    bool   // print the accounting report
+	chrome   string // Chrome trace-event JSON output path, "" to skip
+	jsonPath string // accounting-summary JSON path, "" to skip, "-" for stdout
+}
+
+// profileBenchmark runs one benchmark with an attached profiler and
+// renders the per-thread scheduler accounting in the requested forms.
+func profileBenchmark(stdout io.Writer, o profileOpts) error {
+	b, err := findBench(o.bench)
+	if err != nil {
+		return err
+	}
+	set := profile.NewSet()
+	set.KeepSpans = o.chrome != ""
+	w := sim.NewWorld(sim.Config{
+		Seed:         o.seed,
+		SystemDaemon: true,
+		Hooks:        sim.Hooks{OnWorld: set.Attach},
+	})
+	defer w.Shutdown()
+	reg := paradigm.NewRegistry()
+	b.Build(w, reg)
+	w.Run(vclock.Time(0).Add(o.dur))
+
+	prof := set.Finish()[0]
+	if o.print {
+		rep := profile.NewReport(prof)
+		if o.markdown {
+			fmt.Fprintln(stdout, rep.Markdown())
+		} else {
+			fmt.Fprintln(stdout, rep.String())
+		}
+	}
+	if o.chrome != "" {
+		f, err := os.Create(o.chrome)
+		if err != nil {
+			return err
+		}
+		werr := profile.WriteChromeTrace(f, prof)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(stdout, "wrote Chrome trace (%d spans, %s of virtual time) to %s\n",
+			len(prof.Spans), o.dur, o.chrome)
+	}
+	if o.jsonPath != "" {
+		data, err := json.MarshalIndent(profile.Summarize(prof), "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if o.jsonPath == "-" {
+			_, err = stdout.Write(data)
+			return err
+		}
+		if err := os.WriteFile(o.jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote accounting summary to %s\n", o.jsonPath)
+	}
+	return nil
+}
+
+// benchExperiment is one sweep entry of the -bench summary: the run's
+// metrics plus its aggregated scheduler accounting.
+type benchExperiment struct {
+	experiments.Metrics
+	Profile *profile.Summary `json:"profile,omitempty"`
+}
+
+// benchSummary is the -bench output (BENCH_PR4.json): a fixed-seed quick
+// sweep of every experiment with profiling on, plus the accounting
+// summary of the default benchmark world. Wall-clock fields vary between
+// machines; every virtual-time field is deterministic.
+type benchSummary struct {
+	Seed        int64             `json:"seed"`
+	Quick       bool              `json:"quick"`
+	Parallelism int               `json:"parallelism"`
+	GoMaxProcs  int               `json:"gomaxprocs"`
+	TotalWall   time.Duration     `json:"total_wall_ns"`
+	Experiments []benchExperiment `json:"experiments"`
+	Benchmark   struct {
+		Name    string          `json:"name"`
+		Profile profile.Summary `json:"profile"`
+	} `json:"benchmark"`
+}
+
+// runBench executes the benchmark sweep and writes the combined JSON.
+// A nonzero accounting residue anywhere fails the run: the exactness
+// invariant is part of what the bench artifact certifies.
+func runBench(stdout io.Writer, path string, parallel int) error {
+	cfg := experiments.Config{Quick: true, Seed: 1}
+	start := time.Now()
+	outcomes := experiments.RunWith(cfg, experiments.Options{
+		Parallelism: parallel,
+		Profile:     true,
+	})
+	sum := benchSummary{
+		Seed:        1,
+		Quick:       true,
+		Parallelism: parallel,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		TotalWall:   time.Since(start),
+	}
+	for _, o := range outcomes {
+		sum.Experiments = append(sum.Experiments, benchExperiment{Metrics: o.Metrics, Profile: o.Profile})
+		if o.Profile != nil && o.Profile.Residue != 0 {
+			return fmt.Errorf("%s: accounting residue %dus (want 0)", o.Metrics.ID, int64(o.Profile.Residue))
+		}
+	}
+
+	b, err := findBench("Cedar/Idle Cedar")
+	if err != nil {
+		return err
+	}
+	set := profile.NewSet()
+	w := sim.NewWorld(sim.Config{
+		Seed:         1,
+		SystemDaemon: true,
+		Hooks:        sim.Hooks{OnWorld: set.Attach},
+	})
+	defer w.Shutdown()
+	reg := paradigm.NewRegistry()
+	b.Build(w, reg)
+	w.Run(vclock.Time(0).Add(5 * vclock.Second))
+	sum.Benchmark.Name = "Cedar/Idle Cedar"
+	sum.Benchmark.Profile = set.Summary()
+	if r := sum.Benchmark.Profile.Residue; r != 0 {
+		return fmt.Errorf("benchmark profile: accounting residue %dus (want 0)", int64(r))
+	}
+
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote bench summary (%d experiments) to %s\n", len(sum.Experiments), path)
 	return nil
 }

@@ -9,6 +9,8 @@
 //	traceview idle.bin                       # summary
 //	traceview -dump idle.bin                 # full text dump
 //	traceview -dump -from 1s -to 1.1s idle.bin
+//	traceview -profile idle.bin              # per-thread scheduler accounting
+//	traceview -chrometrace out.json idle.bin # Chrome trace-event JSON (Perfetto)
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vclock"
@@ -31,13 +34,17 @@ func main() {
 		rows     = flag.Int("rows", 20, "timeline rows (busiest threads first)")
 		from     = flag.Duration("from", 0, "window start (virtual)")
 		to       = flag.Duration("to", 0, "window end (virtual; 0 = end of trace)")
+		prof     = flag.Bool("profile", false, "print per-thread scheduler accounting for the whole trace")
+		chrome   = flag.String("chrometrace", "", "write the whole trace as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceview [-dump|-timeline] [-from d] [-to d] trace.bin")
+		fmt.Fprintln(os.Stderr, "usage: traceview [-dump|-timeline|-profile] [-chrometrace f] [-from d] [-to d] trace.bin")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), mode{dump: *dump, timeline: *timeline, svg: *svg, width: *width, rows: *rows}, *from, *to); err != nil {
+	m := mode{dump: *dump, timeline: *timeline, svg: *svg, width: *width, rows: *rows,
+		profile: *prof, chrome: *chrome}
+	if err := run(flag.Arg(0), m, *from, *to); err != nil {
 		fmt.Fprintln(os.Stderr, "traceview:", err)
 		os.Exit(1)
 	}
@@ -48,6 +55,8 @@ type mode struct {
 	dump, timeline bool
 	svg            string
 	width, rows    int
+	profile        bool
+	chrome         string
 }
 
 func run(path string, m mode, from, to time.Duration) error {
@@ -67,6 +76,9 @@ func run(path string, m mode, from, to time.Duration) error {
 		hi = vclock.Time(to.Microseconds())
 	}
 
+	if m.profile || m.chrome != "" {
+		return profileTrace(tr, m)
+	}
 	if m.timeline || m.svg != "" {
 		end := hi
 		if end == vclock.Never {
@@ -119,6 +131,49 @@ func run(path string, m mode, from, to time.Duration) error {
 	fmt.Println("\nbusiest threads (virtual CPU):")
 	for _, id := range a.BusiestThreads(10) {
 		fmt.Printf("  %-28s %s\n", tr.NameOf(id), a.ExecByThread[id])
+	}
+	return nil
+}
+
+// profileTrace replays the whole trace through the accounting profiler.
+// The CPU count is inferred from the switch records, so CPUs that never
+// dispatched a thread contribute no idle time here (the live profiler in
+// cmd/threadstudy knows the real count and is exact).
+func profileTrace(tr trace.Trace, m mode) error {
+	events := tr.Events
+	cpus := 1
+	for _, ev := range events {
+		if ev.Kind == trace.KindSwitch && int(ev.Aux)+1 > cpus {
+			cpus = int(ev.Aux) + 1
+		}
+	}
+	p := profile.New(cpus)
+	p.KeepSpans = m.chrome != ""
+	var end vclock.Time
+	for _, ev := range events {
+		p.Record(ev)
+		end = ev.Time
+	}
+	prof := p.Finish(end)
+	prof.ApplyNames(tr.Names)
+
+	if m.chrome != "" {
+		f, err := os.Create(m.chrome)
+		if err != nil {
+			return err
+		}
+		werr := profile.WriteChromeTrace(f, prof)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Printf("wrote %s (%d spans)\n", m.chrome, len(prof.Spans))
+	}
+	if m.profile {
+		fmt.Print(profile.NewReport(prof).String())
 	}
 	return nil
 }

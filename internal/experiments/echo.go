@@ -18,7 +18,7 @@ import (
 // the shipped priority structure and under a flattened one.
 func FigEchoLatency(cfg Config) *Report {
 	run := func(load, flat bool, quantum vclock.Duration) *stats.LatencyRecorder {
-		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: true, Quantum: quantum, Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: true, Quantum: quantum, Hooks: cfg.Hooks})
 		defer w.Shutdown()
 		reg := paradigm.NewRegistry()
 		p := workload.DefaultCedarParams()

@@ -26,11 +26,12 @@ type Config struct {
 	// to distinguish "unset" from an explicit 0 — seed-sweep scripts —
 	// must validate before building the Config, as cmd/threadstudy does.
 	Seed int64
-	// Probe, when non-nil, accumulates scheduler counters (worlds,
-	// events processed, virtual time) from every world an experiment
-	// creates. It never affects an experiment's output; the runner
-	// attaches one probe per run to compute per-experiment metrics.
-	Probe *sim.Probe
+	// Hooks carries the observability seams (sim.Config.Hooks) into
+	// every world an experiment creates — directly or through the
+	// workload and xwin helpers. The observe-only hooks never affect an
+	// experiment's output; the runner attaches one probe (and, when
+	// profiling, one profiler set) per run via this field.
+	Hooks sim.Hooks
 	// Faults, when non-nil, replaces the built-in fault plan of the
 	// faulted world in each R-series resilience experiment (threadstudy
 	// -faults). The T and F experiments never consult it: their outputs

@@ -23,7 +23,7 @@ func FigExecIntervals(cfg Config) *Report {
 	rc := workload.DefaultRunConfig()
 	rc.Window = cfg.window()
 	rc.Seed = cfg.seed()
-	rc.Probe = cfg.Probe
+	rc.Hooks = cfg.Hooks
 
 	t := stats.NewTable("Execution intervals (between thread switches)",
 		"Benchmark", "%intervals 0-5ms", "(paper)", "%exec time ~quantum", "(paper)", "peak")
@@ -75,7 +75,7 @@ func FigPriorities(cfg Config) *Report {
 	rc := workload.DefaultRunConfig()
 	rc.Window = cfg.window()
 	rc.Seed = cfg.seed()
-	rc.Probe = cfg.Probe
+	rc.Hooks = cfg.Hooks
 	cedarB, _ := workload.FindBenchmark("Cedar", "Keyboard input")
 	gvxB, _ := workload.FindBenchmark("GVX", "Keyboard input")
 	cedar := workload.Run(cedarB, rc).Analysis
@@ -114,7 +114,7 @@ func FigSlack(cfg Config) *Report {
 	for _, s := range []paradigm.WaitStrategy{paradigm.SlackNone, paradigm.SlackYield, paradigm.SlackYieldButNotToMe, paradigm.SlackSleep} {
 		pc := xwin.DefaultPipelineConfig()
 		pc.Strategy = s
-		pc.Probe = cfg.Probe
+		pc.Hooks = cfg.Hooks
 		r := xwin.RunPipeline(pc, ms(50), cfg.seed(), dur)
 		results[s] = r
 		secs := dur.Seconds()
@@ -141,7 +141,7 @@ func FigQuantum(cfg Config) *Report {
 		"Quantum", "flushes/sec", "merge ratio", "max paint gap", "mean latency")
 	for _, q := range []vclock.Duration{ms(1), ms(20), ms(50), ms(1000)} {
 		pc := xwin.DefaultPipelineConfig()
-		pc.Probe = cfg.Probe
+		pc.Hooks = cfg.Hooks
 		r := xwin.RunPipeline(pc, q, cfg.seed(), dur)
 		t.AddRowf("%s", q.String(),
 			"%.1f", float64(r.Flushes)/dur.Seconds(),
@@ -155,7 +155,7 @@ func FigQuantum(cfg Config) *Report {
 	t2 := stats.NewTable("Sleep-strategy buffer thread vs timeout granularity (20ms slack requested)",
 		"Granularity", "flushes/sec", "merge ratio", "mean latency")
 	for _, g := range []vclock.Duration{ms(20), ms(50)} {
-		w := sim.NewWorld(sim.Config{TimeoutGranularity: g, Seed: cfg.seed(), Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{TimeoutGranularity: g, Seed: cfg.seed(), Hooks: cfg.Hooks})
 		reg := paradigm.NewRegistry()
 		srv := xwin.NewServer(w)
 		pc := xwin.DefaultPipelineConfig()
@@ -186,7 +186,7 @@ func FigSpurious(cfg Config) *Report {
 	const rounds = 300
 	run := func(deferFix bool) (contended int, switches int) {
 		var buf trace.Buffer
-		w := sim.NewWorld(sim.Config{Trace: &buf, Seed: cfg.seed(), Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{Trace: &buf, Seed: cfg.seed(), Hooks: cfg.Hooks})
 		defer w.Shutdown()
 		opt := monitor.Options{DeferNotifyReschedule: deferFix}
 		m := monitor.NewWithOptions(w, "mu", opt)
@@ -246,7 +246,7 @@ func FigSpurious(cfg Config) *Report {
 // donation).
 func FigInversion(cfg Config) *Report {
 	inversion := func(daemon bool) vclock.Duration {
-		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: daemon, Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: daemon, Hooks: cfg.Hooks})
 		defer w.Shutdown()
 		m := monitor.New(w, "resource")
 		var acquired vclock.Time
@@ -278,7 +278,7 @@ func FigInversion(cfg Config) *Report {
 	}
 
 	metalock := func(donation bool) vclock.Duration {
-		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Hooks: cfg.Hooks})
 		defer w.Shutdown()
 		opt := monitor.Options{MetalockHold: 200 * vclock.Microsecond, MetalockDonation: donation}
 		m := monitor.NewWithOptions(w, "mu", opt)
@@ -330,7 +330,7 @@ func FigXlib(cfg Config) *Report {
 	t := stats.NewTable("Multi-threaded X client libraries (events every 100ms, steady paint output)",
 		"Library", "events", "mean event latency", "flushes/sec", "empty flushes", "reqs/flush", "worst mutex delay")
 	for _, k := range []xwin.ClientKind{xwin.ClientXlib, xwin.ClientXl} {
-		r := xwin.RunClientComparison(k, ms(100), cfg.seed(), dur, cfg.Probe)
+		r := xwin.RunClientComparison(k, ms(100), cfg.seed(), dur, cfg.Hooks)
 		t.AddRowf("%s", r.Kind.String(),
 			"%d", r.EventsGot,
 			"%s", r.MeanEventLat.String(),
@@ -359,7 +359,7 @@ func FigMistakes(cfg Config) *Report {
 	// picks up the second (late) item; the IF waiter finds the queue
 	// empty — the crash the paper kept finding.
 	waitStyle := func(useWhile, hoare bool, seed int64) (ok bool) {
-		w := sim.NewWorld(sim.Config{Seed: seed, Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{Seed: seed, Hooks: cfg.Hooks})
 		defer w.Shutdown()
 		m := monitor.NewWithOptions(w, "queue", monitor.Options{HoareSignal: hoare})
 		nonEmpty := m.NewCond("non-empty")
@@ -432,7 +432,7 @@ func FigMistakes(cfg Config) *Report {
 	// (b) A missing NOTIFY masked by a CV timeout: the consumer still
 	// drains the queue, one 50 ms timeout at a time.
 	missingNotify := func(notify bool) vclock.Duration {
-		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Hooks: cfg.Hooks})
 		defer w.Shutdown()
 		m := monitor.New(w, "queue")
 		cv := m.NewCondTimeout("non-empty", 50*vclock.Millisecond)

@@ -27,7 +27,7 @@ func FigInheritance(cfg Config) *Report {
 		hogWork vclock.Duration // how much the mid-priority hog got done meanwhile
 	}
 	run := func(daemon, inheritance bool) outcome {
-		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: daemon, Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: daemon, Hooks: cfg.Hooks})
 		defer w.Shutdown()
 		m := monitor.NewWithOptions(w, "resource", monitor.Options{PriorityInheritance: inheritance})
 		var acquired vclock.Time
@@ -90,7 +90,7 @@ func FigInheritance(cfg Config) *Report {
 func FigAdaptive(cfg Config) *Report {
 	const requests = 60
 	run := func(adaptive bool, serverDelay vclock.Duration) (spurious int, mean vclock.Duration) {
-		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), TimeoutGranularity: vclock.Millisecond, Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), TimeoutGranularity: vclock.Millisecond, Hooks: cfg.Hooks})
 		defer w.Shutdown()
 		m := monitor.New(w, "rpc")
 		reqCV := m.NewCond("request")

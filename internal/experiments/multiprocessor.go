@@ -27,7 +27,7 @@ func FigMultiprocessor(cfg Config) *Report {
 		"CPUs", "wall time", "speedup")
 	var base vclock.Duration
 	for _, cpus := range []int{1, 2, 4} {
-		w := sim.NewWorld(sim.Config{CPUs: cpus, Seed: cfg.seed(), Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{CPUs: cpus, Seed: cfg.seed(), Hooks: cfg.Hooks})
 		reg := paradigm.NewRegistry()
 		var elapsed vclock.Duration
 		w.Spawn("exploiter", sim.PriorityNormal, func(t *sim.Thread) any {
@@ -52,7 +52,7 @@ func FigMultiprocessor(cfg Config) *Report {
 	rc := workload.DefaultRunConfig()
 	rc.Window = cfg.window()
 	rc.Seed = cfg.seed()
-	rc.Probe = cfg.Probe
+	rc.Hooks = cfg.Hooks
 	b, _ := workload.FindBenchmark("Cedar", "Keyboard input")
 	for _, cpus := range []int{1, 2} {
 		rc.CPUs = cpus

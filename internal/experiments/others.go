@@ -81,7 +81,7 @@ func buildGateway(w *sim.World, reg *paradigm.Registry) {
 // censuses.
 func otherSystemsTable(cfg Config) *stats.Table {
 	census := func(build func(*sim.World, *paradigm.Registry)) *paradigm.Registry {
-		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Hooks: cfg.Hooks})
 		defer w.Shutdown()
 		reg := paradigm.NewRegistry()
 		build(w, reg)

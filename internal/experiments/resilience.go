@@ -78,7 +78,7 @@ func R1DefaultPlan(span vclock.Duration) fault.Plan {
 // sampling the dispatcher's progress counter every 5 ms.
 func r1Run(cfg Config, plan fault.Plan, span vclock.Duration) r1Result {
 	inj := fault.MustNew(plan, cfg.faultSeed())
-	simCfg := sim.Config{Seed: cfg.seed(), SystemDaemon: true, Probe: cfg.Probe}
+	simCfg := sim.Config{Seed: cfg.seed(), SystemDaemon: true, Hooks: cfg.Hooks}
 	inj.Configure(&simCfg)
 	w := sim.NewWorld(simCfg)
 	defer w.Shutdown()
@@ -171,7 +171,7 @@ func r2Run(cfg Config, retry bool) r2Result {
 	)
 	plan := cfg.faultPlan(R2DefaultPlan())
 	inj := fault.MustNew(plan, cfg.faultSeed())
-	simCfg := sim.Config{Seed: cfg.seed(), MaxThreads: 16, Probe: cfg.Probe}
+	simCfg := sim.Config{Seed: cfg.seed(), MaxThreads: 16, Hooks: cfg.Hooks}
 	inj.Configure(&simCfg)
 	w := sim.NewWorld(simCfg)
 	defer w.Shutdown()
@@ -285,7 +285,7 @@ func R3DefaultPlan() fault.Plan {
 func r3Run(cfg Config, daemon bool) r3Result {
 	plan := cfg.faultPlan(R3DefaultPlan())
 	inj := fault.MustNew(plan, cfg.faultSeed())
-	simCfg := sim.Config{Seed: cfg.seed(), SystemDaemon: daemon, Probe: cfg.Probe}
+	simCfg := sim.Config{Seed: cfg.seed(), SystemDaemon: daemon, Hooks: cfg.Hooks}
 	inj.Configure(&simCfg)
 	w := sim.NewWorld(simCfg)
 	defer w.Shutdown()

@@ -5,7 +5,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
@@ -58,6 +60,13 @@ type Outcome struct {
 	// every monitor the run created (Options.Audit); nil when auditing
 	// was off or nothing was suspicious.
 	Audit []string
+
+	// Profile aggregates per-thread scheduler accounting over every
+	// world the run created (Options.Profile); nil when profiling was
+	// off. Purely observational: reports are byte-identical with
+	// profiling on or off, and the profile itself is deterministic
+	// across Parallelism settings.
+	Profile *profile.Summary
 }
 
 // Options configures RunWith.
@@ -85,6 +94,10 @@ type Options struct {
 	// AuditMinWaits is the minimum completed-wait count before a CV is
 	// suspicious; values < 1 select 10.
 	AuditMinWaits int
+	// Profile attaches a profiler to every world of each run (via
+	// sim.Hooks.OnWorld) and stores the aggregated accounting summary
+	// in the outcome.
+	Profile bool
 }
 
 // RunAll executes every experiment with the given parallelism and
@@ -154,7 +167,22 @@ func runOne(e Experiment, cfg Config, opts Options) Outcome {
 	verify := opts.Verify
 	probe := &sim.Probe{}
 	runCfg := cfg
-	runCfg.Probe = probe
+	runCfg.Hooks.Probe = probe
+
+	var set *profile.Set
+	if opts.Profile {
+		set = profile.NewSet()
+		prev := runCfg.Hooks.OnWorld
+		runCfg.Hooks.OnWorld = func(w *sim.World) trace.Sink {
+			s := set.Attach(w)
+			if prev != nil {
+				if extra := prev(w); extra != nil {
+					return trace.Tee(s, extra)
+				}
+			}
+			return s
+		}
+	}
 
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
@@ -163,7 +191,7 @@ func runOne(e Experiment, cfg Config, opts Options) Outcome {
 	var report, again *Report
 	if verify {
 		verifyCfg := cfg
-		verifyCfg.Probe = nil // keep the primary run's counters exact
+		verifyCfg.Hooks.Probe = nil // keep the primary run's counters exact
 		var vg sync.WaitGroup
 		vg.Add(1)
 		go func() {
@@ -195,6 +223,10 @@ func runOne(e Experiment, cfg Config, opts Options) Outcome {
 		m.VirtualPerWall = m.VirtualTime.Seconds() / secs
 	}
 	out := Outcome{Report: report, Metrics: m}
+	if set != nil {
+		sum := set.Summary()
+		out.Profile = &sum
+	}
 	if verify {
 		out.Verified = true
 		out.Mismatch = report.String() != again.String()

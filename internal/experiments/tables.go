@@ -15,7 +15,7 @@ func runAll(cfg Config) []*workload.Result {
 	rc := workload.DefaultRunConfig()
 	rc.Window = cfg.window()
 	rc.Seed = cfg.seed()
-	rc.Probe = cfg.Probe
+	rc.Hooks = cfg.Hooks
 	var out []*workload.Result
 	for _, b := range workload.AllBenchmarks() {
 		out = append(out, workload.Run(b, rc))
@@ -105,7 +105,7 @@ var paperTable4 = map[paradigm.Kind][2]int{
 // the authors' grep-the-sources method to any Go tree.
 func Table4(cfg Config) *Report {
 	census := func(system string) *paradigm.Registry {
-		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: true, Probe: cfg.Probe})
+		w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: true, Hooks: cfg.Hooks})
 		defer w.Shutdown()
 		reg := paradigm.NewRegistry()
 		if system == "Cedar" {

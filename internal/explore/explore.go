@@ -155,7 +155,7 @@ func runSchedule(sc paradigm.Scenario, sched Schedule, opts Options, rng *rand.R
 		ctl.forced[s.Seq] = s.Choice
 	}
 	var buf trace.Buffer
-	cfg := sim.Config{Seed: sched.Seed, Trace: &buf, OnSchedule: ctl.choose}
+	cfg := sim.Config{Seed: sched.Seed, Trace: &buf, Hooks: sim.Hooks{OnSchedule: ctl.choose}}
 	w, hooks := sc.Build(cfg)
 	defer w.Shutdown()
 	out := w.Run(vclock.Time(sc.Horizon))

@@ -136,7 +136,7 @@ func TestLostNotifySwallowsAndTimeoutMasks(t *testing.T) {
 func TestLostNotifyFeedsAudit(t *testing.T) {
 	cfg := testConfig()
 	probe := &sim.Probe{}
-	cfg.Probe = probe
+	cfg.Hooks.Probe = probe
 	inj := MustNew(Plan{LostNotify: []LostNotify{{CV: "work"}}}, 1)
 	inj.Configure(&cfg)
 	w := sim.NewWorld(cfg)

@@ -108,13 +108,13 @@ func MustNew(p Plan, seed int64) *Injector {
 // sim.NewWorld; hooks fire only once Arm has attached the world.
 func (in *Injector) Configure(cfg *sim.Config) {
 	if len(in.lost) > 0 {
-		cfg.OnNotify = in.onNotify
+		cfg.Hooks.OnNotify = in.onNotify
 	}
 	if len(in.stalls) > 0 || len(in.jitters) > 0 {
-		cfg.OnCompute = in.onCompute
+		cfg.Hooks.OnCompute = in.onCompute
 	}
 	if len(in.clamps) > 0 {
-		cfg.OnFork = in.onFork
+		cfg.Hooks.OnFork = in.onFork
 	}
 }
 

@@ -1,0 +1,727 @@
+// Package profile computes per-thread scheduler accounting from the
+// simulator's event stream: the state timeline of every thread (running,
+// ready, blocked on a monitor mutex, waiting on a CV, sleeping), per-CPU
+// idle time, per-monitor contention profiles, CV-wait distributions and
+// §6.2 priority-inversion episodes — the accounting evidence behind the
+// paper's Tables 1–3 and its priority-inversion analysis.
+//
+// The Profiler is an online trace.Sink: attach it to a world (directly,
+// or to every world of an experiment run via Set and sim.Hooks.OnWorld)
+// and it aggregates as events are recorded, so arbitrarily long virtual
+// windows stay memory-flat unless span retention (KeepSpans, needed for
+// Chrome-trace export) is requested.
+//
+// All accounting is in virtual time and is exact: for every finished
+// profile, the running time summed over threads plus the idle time
+// summed over CPUs equals CPUs × (End − Start) with zero residue, and
+// each thread's state durations sum to its lifetime. Because the input
+// is the deterministic virtual-time event stream, profiles are
+// byte-identical across -parallel settings.
+package profile
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// State is a thread scheduler state as accounted by the profiler. It is
+// finer-grained than sim.State: blocked states are split by reason, the
+// split the paper's per-thread accounting needs.
+type State int
+
+// Profiler thread states.
+const (
+	// StateNew: forked but not yet on the ready queue. The simulator
+	// makes new threads runnable in the same instant, so this state
+	// accumulates no time; it exists to anchor the timeline.
+	StateNew State = iota
+	// StateReady: on the ready queue, waiting for a CPU.
+	StateReady
+	// StateRunning: installed on a CPU.
+	StateRunning
+	// StateMutex: blocked entering a monitor (queue wait).
+	StateMutex
+	// StateCV: blocked in WAIT on a condition variable.
+	StateCV
+	// StateJoin: blocked in JOIN.
+	StateJoin
+	// StateSleep: timed sleep or simulated synchronous I/O.
+	StateSleep
+	// StateForkWait: blocked in FORK waiting for thread resources (§5.4).
+	StateForkWait
+	// StateDead: exited.
+	StateDead
+	numStates
+)
+
+var stateNames = [numStates]string{
+	"new", "ready", "running", "mutex", "cv-wait", "join", "sleep", "fork-wait", "dead",
+}
+
+// String returns the lowercase name of s.
+func (s State) String() string {
+	if s >= 0 && int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "invalid"
+}
+
+// blockState maps a trace Block* reason to the profiler state.
+func blockState(reason int64) State {
+	switch reason {
+	case trace.BlockMutex:
+		return StateMutex
+	case trace.BlockCV:
+		return StateCV
+	case trace.BlockJoin:
+		return StateJoin
+	case trace.BlockSleep:
+		return StateSleep
+	case trace.BlockFork:
+		return StateForkWait
+	}
+	return StateSleep
+}
+
+// Span is one contiguous interval a thread spent in one state. Spans are
+// retained only when KeepSpans is set; Chrome-trace export needs them.
+type Span struct {
+	Thread int32
+	State  State
+	CPU    int // CPU index for running spans, -1 otherwise
+	From   vclock.Time
+	To     vclock.Time
+}
+
+// ThreadProfile is one thread's accounted timeline.
+type ThreadProfile struct {
+	ID       int32
+	Name     string // filled by ApplyNames; may be empty
+	Priority int    // priority at the end of the window
+	Born     vclock.Time
+	Died     vclock.Time // End for threads still alive at Finish
+	Alive    bool        // still live at Finish
+
+	// Durations holds the total time spent in each State. The StateDead
+	// entry accumulates time between exit and the end of the window and
+	// is excluded from Lifetime.
+	Durations [numStates]vclock.Duration
+
+	// Switches counts dispatches onto a CPU; Yields counts YIELD-family
+	// calls; Preemptions counts involuntary ready-queue re-entries.
+	Switches    int64
+	Yields      int64
+	Preemptions int64
+
+	// InvertedReady is the portion of ready time during which this
+	// thread sat runnable while every CPU ran only strictly
+	// lower-priority threads — the §6.2 priority-inversion condition.
+	InvertedReady vclock.Duration
+}
+
+// Running returns the thread's total CPU time.
+func (t *ThreadProfile) Running() vclock.Duration { return t.Durations[StateRunning] }
+
+// Ready returns the total time spent runnable but not running.
+func (t *ThreadProfile) Ready() vclock.Duration { return t.Durations[StateReady] }
+
+// Blocked returns the total blocked time across every block reason,
+// CV waits included.
+func (t *ThreadProfile) Blocked() vclock.Duration {
+	return t.Durations[StateMutex] + t.Durations[StateCV] + t.Durations[StateJoin] +
+		t.Durations[StateSleep] + t.Durations[StateForkWait]
+}
+
+// Lifetime returns Died − Born: the window during which the thread
+// existed. The per-thread invariant is that the non-dead state durations
+// sum exactly to Lifetime.
+func (t *ThreadProfile) Lifetime() vclock.Duration { return t.Died.Sub(t.Born) }
+
+// Label renders "t<id>" or "t<id> <name>" for reports.
+func (t *ThreadProfile) Label() string {
+	if t.Name == "" {
+		return "t" + itoa32(t.ID)
+	}
+	return "t" + itoa32(t.ID) + " " + t.Name
+}
+
+// MonitorProfile is one monitor lock's contention profile (Table 3's
+// population, §6.1's conflict analysis).
+type MonitorProfile struct {
+	ID        int64
+	Enters    int64 // completed ML-Enter operations
+	Contended int64 // entries that had to queue for the mutex
+
+	// Hold is the distribution of Enter→Exit hold intervals; QueueWait
+	// the distribution of Block→Enter mutex queue waits.
+	Hold      *stats.Histogram
+	QueueWait *stats.Histogram
+
+	MaxHold      vclock.Duration
+	MaxQueueWait vclock.Duration
+}
+
+// CVProfile is one condition variable's wait profile (Table 2's WAIT
+// rates, §5.3's timeout analysis).
+type CVProfile struct {
+	ID       int64
+	Waits    int64 // completed WAITs (KindWaitDone observed)
+	Timeouts int64 // completed WAITs that timed out
+	Signals  int64 // NOTIFY + BROADCAST operations
+	Woken    int64 // waiters those signals woke
+
+	// Wait is the distribution of WAIT-begin → WAIT-done intervals as
+	// the waiter experiences them (monitor reacquisition excluded; the
+	// trace stamps WaitDone before the reacquire).
+	Wait    *stats.Histogram
+	MaxWait vclock.Duration
+}
+
+// InversionProfile aggregates §6.2 priority-inversion episodes: maximal
+// intervals during which at least one thread sat ready while every CPU
+// ran strictly lower-priority work.
+type InversionProfile struct {
+	Episodes int64
+	Total    vclock.Duration
+	Longest  vclock.Duration
+	// Durations is the episode-length distribution.
+	Durations *stats.Histogram
+}
+
+// Profile is a finished accounting result. Build one by feeding a
+// Profiler and calling Finish.
+type Profile struct {
+	CPUs  int
+	Start vclock.Time
+	End   vclock.Time
+
+	Threads []*ThreadProfile // creation order
+	Names   map[int32]string // thread ID -> debug name (ApplyNames)
+
+	CPUIdle     []vclock.Duration // per-CPU idle time
+	CPUSwitches []int64           // per-CPU switch-in count
+
+	Monitors []*MonitorProfile // ascending monitor ID
+	CVs      []*CVProfile      // ascending CV ID
+
+	Inversion InversionProfile
+
+	// Spans is the full state timeline in chronological order, retained
+	// only when the Profiler had KeepSpans set.
+	Spans []Span
+}
+
+// Window returns the profiled virtual window End − Start.
+func (p *Profile) Window() vclock.Duration { return p.End.Sub(p.Start) }
+
+// TotalRunning sums CPU time over all threads.
+func (p *Profile) TotalRunning() vclock.Duration {
+	var d vclock.Duration
+	for _, t := range p.Threads {
+		d += t.Running()
+	}
+	return d
+}
+
+// TotalIdle sums idle time over all CPUs.
+func (p *Profile) TotalIdle() vclock.Duration {
+	var d vclock.Duration
+	for _, c := range p.CPUIdle {
+		d += c
+	}
+	return d
+}
+
+// Residue returns CPUs × Window − (total running + total idle). A
+// correct profile of a complete trace has residue exactly zero; the
+// accounting tests assert it.
+func (p *Profile) Residue() vclock.Duration {
+	return vclock.Duration(int64(p.CPUs))*p.Window() - p.TotalRunning() - p.TotalIdle()
+}
+
+// ApplyNames attaches debug names (e.g. from a v2 trace's name table or
+// World.Threads) to the profile's threads for rendering.
+func (p *Profile) ApplyNames(names map[int32]string) {
+	if len(names) == 0 {
+		return
+	}
+	p.Names = names
+	for _, t := range p.Threads {
+		if n, ok := names[t.ID]; ok {
+			t.Name = n
+		}
+	}
+}
+
+// newLatencyHistogram buckets lock holds, queue waits and CV waits:
+// fine sub-millisecond buckets up to the 50 ms quantum/timeout scale,
+// then coarse buckets to a second.
+func newLatencyHistogram() *stats.Histogram {
+	return stats.NewHistogram(
+		100*vclock.Microsecond,
+		vclock.Millisecond,
+		5*vclock.Millisecond,
+		10*vclock.Millisecond,
+		50*vclock.Millisecond,
+		100*vclock.Millisecond,
+		500*vclock.Millisecond,
+		vclock.Second,
+	)
+}
+
+// threadRec is a ThreadProfile plus the profiler's live state-machine
+// fields.
+type threadRec struct {
+	ThreadProfile
+	state  State
+	since  vclock.Time
+	runCPU int // CPU while running (span attribution)
+}
+
+type cpuRec struct {
+	occupant  int32 // thread ID or trace.NoThread
+	idleSince vclock.Time
+	idle      vclock.Duration
+	switches  int64
+}
+
+type holdRec struct {
+	thread int32
+	since  vclock.Time
+}
+
+type waitRec struct {
+	cv    int64
+	since vclock.Time
+}
+
+// Profiler is the online accounting sink. Create with New, attach as a
+// trace sink, then call Finish once the run is over.
+//
+// A Profiler is not safe for concurrent use; like any trace sink it
+// belongs to exactly one world.
+type Profiler struct {
+	// KeepSpans retains the full state timeline for Chrome-trace export.
+	// Set it before the first event; memory grows with trace length.
+	KeepSpans bool
+
+	cpus    int
+	now     vclock.Time
+	start   vclock.Time
+	threads map[int32]*threadRec
+	order   []int32
+	cpu     []cpuRec
+
+	monitors map[int64]*MonitorProfile
+	monOrder []int64
+	cvs      map[int64]*CVProfile
+	cvOrder  []int64
+
+	holders    map[int64]holdRec
+	queueSince map[int32]vclock.Time
+	waitStart  map[int32]waitRec
+
+	invOpen  bool
+	invSince vclock.Time
+	inv      InversionProfile
+
+	spans    []Span
+	finished bool
+	result   *Profile
+}
+
+// New creates a profiler for a world with the given CPU count. The
+// profiled window starts at the virtual epoch (time 0), where every
+// simulated world starts. CPUs that appear in switch events beyond the
+// declared count are added on the fly, so a conservative count (e.g. 1
+// when replaying a trace of unknown origin) underestimates only the
+// idle time of CPUs that never dispatched at all.
+func New(cpus int) *Profiler {
+	if cpus < 1 {
+		cpus = 1
+	}
+	p := &Profiler{
+		cpus:       cpus,
+		threads:    make(map[int32]*threadRec),
+		cpu:        make([]cpuRec, cpus),
+		monitors:   make(map[int64]*MonitorProfile),
+		cvs:        make(map[int64]*CVProfile),
+		holders:    make(map[int64]holdRec),
+		queueSince: make(map[int32]vclock.Time),
+		waitStart:  make(map[int32]waitRec),
+	}
+	for i := range p.cpu {
+		p.cpu[i].occupant = trace.NoThread
+	}
+	p.inv.Durations = stats.NewHistogram(
+		vclock.Millisecond,
+		5*vclock.Millisecond,
+		10*vclock.Millisecond,
+		50*vclock.Millisecond,
+		100*vclock.Millisecond,
+		500*vclock.Millisecond,
+		vclock.Second,
+	)
+	return p
+}
+
+// Flush implements trace.Sink; the profiler aggregates in memory.
+func (p *Profiler) Flush() error { return nil }
+
+// Record implements trace.Sink.
+func (p *Profiler) Record(ev trace.Event) {
+	if p.finished {
+		return
+	}
+	if ev.Time > p.now {
+		p.advance(ev.Time)
+	}
+	switch ev.Kind {
+	case trace.KindFork:
+		child := p.thread(int32(ev.Arg), ev.Time)
+		child.Priority = int(ev.Aux)
+
+	case trace.KindReady:
+		r := p.thread(ev.Thread, ev.Time)
+		if r.state == StateRunning && int64(ev.Thread) != ev.Arg {
+			// Re-queued by a preemptor (a yield re-queue carries the
+			// thread's own ID in Arg).
+			r.Preemptions++
+		}
+		p.setState(r, ev.Time, StateReady)
+
+	case trace.KindBlock:
+		r := p.thread(ev.Thread, ev.Time)
+		s := blockState(ev.Aux)
+		if s == StateMutex {
+			p.queueSince[ev.Thread] = ev.Time
+		}
+		p.setState(r, ev.Time, s)
+
+	case trace.KindSwitch:
+		p.onSwitch(ev)
+
+	case trace.KindExit:
+		r := p.thread(ev.Thread, ev.Time)
+		// Kill-unwind releases held monitors without MLExit records
+		// (cf. the explore exclusion oracle); close those holds here.
+		for id, h := range p.holders {
+			if h.thread == ev.Thread {
+				m := p.monitor(id)
+				d := ev.Time.Sub(h.since)
+				m.Hold.Add(d)
+				if d > m.MaxHold {
+					m.MaxHold = d
+				}
+				delete(p.holders, id)
+			}
+		}
+		delete(p.queueSince, ev.Thread)
+		delete(p.waitStart, ev.Thread)
+		p.setState(r, ev.Time, StateDead)
+		r.Died = ev.Time
+
+	case trace.KindSetPriority:
+		p.thread(ev.Thread, ev.Time).Priority = int(ev.Aux)
+
+	case trace.KindYield:
+		p.thread(ev.Thread, ev.Time).Yields++
+
+	case trace.KindMLEnter:
+		m := p.monitor(ev.Arg)
+		m.Enters++
+		if ev.Aux == 1 {
+			m.Contended++
+		}
+		if qs, ok := p.queueSince[ev.Thread]; ok {
+			d := ev.Time.Sub(qs)
+			m.QueueWait.Add(d)
+			if d > m.MaxQueueWait {
+				m.MaxQueueWait = d
+			}
+			delete(p.queueSince, ev.Thread)
+		}
+		p.holders[ev.Arg] = holdRec{thread: ev.Thread, since: ev.Time}
+
+	case trace.KindMLExit:
+		if h, ok := p.holders[ev.Arg]; ok && h.thread == ev.Thread {
+			m := p.monitor(ev.Arg)
+			d := ev.Time.Sub(h.since)
+			m.Hold.Add(d)
+			if d > m.MaxHold {
+				m.MaxHold = d
+			}
+			delete(p.holders, ev.Arg)
+		}
+
+	case trace.KindWait:
+		p.cv(ev.Arg) // register in first-use order even if the wait never completes
+		p.waitStart[ev.Thread] = waitRec{cv: ev.Arg, since: ev.Time}
+
+	case trace.KindWaitDone:
+		cv := p.cv(ev.Arg)
+		cv.Waits++
+		if ev.Aux == 1 {
+			cv.Timeouts++
+		}
+		if ws, ok := p.waitStart[ev.Thread]; ok && ws.cv == ev.Arg {
+			d := ev.Time.Sub(ws.since)
+			cv.Wait.Add(d)
+			if d > cv.MaxWait {
+				cv.MaxWait = d
+			}
+			delete(p.waitStart, ev.Thread)
+		}
+
+	case trace.KindNotify, trace.KindBroadcast:
+		cv := p.cv(ev.Arg)
+		cv.Signals++
+		cv.Woken += ev.Aux
+	}
+}
+
+// onSwitch applies a CPU dispatch record, using per-CPU occupancy (not
+// the record's Arg) to close the outgoing interval: a yield vacates the
+// CPU without a switch record of its own, so Arg alone is not reliable.
+func (p *Profiler) onSwitch(ev trace.Event) {
+	idx := int(ev.Aux)
+	if idx < 0 {
+		return
+	}
+	for idx >= len(p.cpu) {
+		p.cpu = append(p.cpu, cpuRec{occupant: trace.NoThread, idleSince: p.start})
+		p.cpus++
+	}
+	c := &p.cpu[idx]
+	if c.occupant != trace.NoThread {
+		if r := p.threads[c.occupant]; r != nil && r.state == StateRunning {
+			// No explicit ready/block/exit record preceded this switch
+			// (traces predating explicit re-queue events): infer the
+			// ready-queue re-entry.
+			p.setState(r, ev.Time, StateReady)
+		}
+	} else {
+		c.idle += ev.Time.Sub(c.idleSince)
+	}
+	c.occupant = ev.Thread
+	if ev.Thread == trace.NoThread {
+		c.idleSince = ev.Time
+		return
+	}
+	c.switches++
+	r := p.thread(ev.Thread, ev.Time)
+	r.runCPU = idx
+	r.Switches++
+	p.setState(r, ev.Time, StateRunning)
+}
+
+// advance charges the interval (p.now, t) — during which the settled
+// state cannot change — with priority-inversion accounting, then moves
+// the profiler clock.
+func (p *Profiler) advance(t vclock.Time) {
+	dt := t.Sub(p.now)
+	inverted := false
+	if minPri, busy := p.minRunningPriority(); busy {
+		for _, id := range p.order {
+			r := p.threads[id]
+			if r.state == StateReady && r.Priority > minPri {
+				r.InvertedReady += dt
+				inverted = true
+			}
+		}
+	}
+	if inverted && !p.invOpen {
+		p.invOpen = true
+		p.invSince = p.now
+	} else if !inverted && p.invOpen {
+		p.closeEpisode(p.now)
+	}
+	p.now = t
+}
+
+// minRunningPriority returns the lowest priority currently running and
+// whether every CPU is busy. With an idle CPU no ready thread is being
+// denied a processor, so no inversion can be in progress.
+func (p *Profiler) minRunningPriority() (int, bool) {
+	min := int(^uint(0) >> 1)
+	for i := range p.cpu {
+		occ := p.cpu[i].occupant
+		if occ == trace.NoThread {
+			return 0, false
+		}
+		if r := p.threads[occ]; r != nil && r.Priority < min {
+			min = r.Priority
+		}
+	}
+	return min, len(p.cpu) > 0
+}
+
+func (p *Profiler) closeEpisode(end vclock.Time) {
+	d := end.Sub(p.invSince)
+	p.invOpen = false
+	if d <= 0 {
+		return
+	}
+	p.inv.Episodes++
+	p.inv.Total += d
+	if d > p.inv.Longest {
+		p.inv.Longest = d
+	}
+	p.inv.Durations.Add(d)
+}
+
+// setState closes the thread's current state interval and opens a new
+// one at t.
+func (p *Profiler) setState(r *threadRec, t vclock.Time, s State) {
+	if r.state == s {
+		return
+	}
+	d := t.Sub(r.since)
+	r.Durations[r.state] += d
+	if p.KeepSpans && d > 0 && r.state != StateDead {
+		cpu := -1
+		if r.state == StateRunning {
+			cpu = r.runCPU
+		}
+		p.spans = append(p.spans, Span{Thread: r.ID, State: r.state, CPU: cpu, From: r.since, To: t})
+	}
+	r.state = s
+	r.since = t
+}
+
+func (p *Profiler) thread(id int32, t vclock.Time) *threadRec {
+	if id == trace.NoThread {
+		id = -1
+	}
+	if r, ok := p.threads[id]; ok {
+		return r
+	}
+	r := &threadRec{state: StateNew, since: t, runCPU: -1}
+	r.ID = id
+	r.Born = t
+	p.threads[id] = r
+	p.order = append(p.order, id)
+	return r
+}
+
+func (p *Profiler) monitor(id int64) *MonitorProfile {
+	if m, ok := p.monitors[id]; ok {
+		return m
+	}
+	m := &MonitorProfile{ID: id, Hold: newLatencyHistogram(), QueueWait: newLatencyHistogram()}
+	p.monitors[id] = m
+	p.monOrder = append(p.monOrder, id)
+	return m
+}
+
+func (p *Profiler) cv(id int64) *CVProfile {
+	if c, ok := p.cvs[id]; ok {
+		return c
+	}
+	c := &CVProfile{ID: id, Wait: newLatencyHistogram()}
+	p.cvs[id] = c
+	p.cvOrder = append(p.cvOrder, id)
+	return c
+}
+
+// Finish closes every open interval at end and returns the completed
+// profile. Calling Finish again returns the same profile; events
+// recorded after Finish are ignored.
+func (p *Profiler) Finish(end vclock.Time) *Profile {
+	if p.finished {
+		return p.result
+	}
+	if end < p.now {
+		end = p.now
+	}
+	p.advance(end)
+	if p.invOpen {
+		p.closeEpisode(end)
+	}
+	prof := &Profile{
+		CPUs:      p.cpus,
+		Start:     p.start,
+		End:       end,
+		Inversion: p.inv,
+	}
+	for _, id := range p.order {
+		r := p.threads[id]
+		// Close the final interval without a state change.
+		d := end.Sub(r.since)
+		r.Durations[r.state] += d
+		if p.KeepSpans && d > 0 && r.state != StateDead {
+			cpu := -1
+			if r.state == StateRunning {
+				cpu = r.runCPU
+			}
+			p.spans = append(p.spans, Span{Thread: r.ID, State: r.state, CPU: cpu, From: r.since, To: end})
+		}
+		r.since = end
+		if r.state != StateDead {
+			r.Died = end
+			r.Alive = true
+		}
+		prof.Threads = append(prof.Threads, &r.ThreadProfile)
+	}
+	for i := range p.cpu {
+		c := &p.cpu[i]
+		if c.occupant == trace.NoThread {
+			c.idle += end.Sub(c.idleSince)
+			c.idleSince = end
+		}
+		prof.CPUIdle = append(prof.CPUIdle, c.idle)
+		prof.CPUSwitches = append(prof.CPUSwitches, c.switches)
+	}
+	for _, id := range p.monOrder {
+		prof.Monitors = append(prof.Monitors, p.monitors[id])
+	}
+	for _, id := range p.cvOrder {
+		prof.CVs = append(prof.CVs, p.cvs[id])
+	}
+	sortMonitors(prof.Monitors)
+	sortCVs(prof.CVs)
+	prof.Spans = p.spans
+	p.finished = true
+	p.result = prof
+	return prof
+}
+
+// sortMonitors orders by ascending ID (allocation order).
+func sortMonitors(ms []*MonitorProfile) {
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && ms[j-1].ID > ms[j].ID; j-- {
+			ms[j-1], ms[j] = ms[j], ms[j-1]
+		}
+	}
+}
+
+func sortCVs(cs []*CVProfile) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j-1].ID > cs[j].ID; j-- {
+			cs[j-1], cs[j] = cs[j], cs[j-1]
+		}
+	}
+}
+
+func itoa32(v int32) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

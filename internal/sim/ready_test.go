@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// TestReadyEventOnPreemption pins the explicit ready-queue re-entry
+// record: when a waking high-priority thread preempts a runner, the
+// runner's KindReady carries the preemptor in Arg.
+func TestReadyEventOnPreemption(t *testing.T) {
+	var buf trace.Buffer
+	cfg := testConfig()
+	cfg.Trace = &buf
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+
+	low := w.Spawn("low", PriorityNormal, func(t *Thread) any {
+		t.Compute(10 * vclock.Millisecond)
+		return nil
+	})
+	hi := w.Spawn("hi", PriorityHigh, func(t *Thread) any {
+		t.Sleep(2 * vclock.Millisecond)
+		t.Compute(vclock.Millisecond)
+		return nil
+	})
+	w.Run(vclock.Time(0).Add(20 * vclock.Millisecond))
+
+	found := false
+	for _, ev := range buf.Events {
+		if ev.Kind == trace.KindReady && ev.Thread == low.ID() && ev.Arg == int64(hi.ID()) {
+			found = true
+			if want := vclock.Time(0).Add(2 * vclock.Millisecond); ev.Time != want {
+				t.Errorf("preemption ready at %v, want %v", ev.Time, want)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no KindReady{Thread: low, Arg: hi} preemption record in trace")
+	}
+}
+
+// TestReadyEventOnYield pins the yield re-queue record: a thread that
+// YIELDs back into the ready queue records KindReady with itself in Arg.
+func TestReadyEventOnYield(t *testing.T) {
+	var buf trace.Buffer
+	cfg := testConfig()
+	cfg.Trace = &buf
+	w := NewWorld(cfg)
+	defer w.Shutdown()
+
+	a := w.Spawn("a", PriorityNormal, func(t *Thread) any {
+		t.Compute(vclock.Millisecond)
+		t.Yield()
+		t.Compute(vclock.Millisecond)
+		return nil
+	})
+	w.Spawn("b", PriorityNormal, func(t *Thread) any {
+		t.Compute(3 * vclock.Millisecond)
+		return nil
+	})
+	w.Run(vclock.Time(0).Add(20 * vclock.Millisecond))
+
+	found := false
+	for _, ev := range buf.Events {
+		if ev.Kind == trace.KindReady && ev.Thread == a.ID() && ev.Arg == int64(a.ID()) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no KindReady{Thread: a, Arg: a} yield re-queue record in trace")
+	}
+}

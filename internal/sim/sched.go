@@ -89,7 +89,7 @@ func (w *World) pickFor(c *cpu) *Thread {
 	}
 	// A switch to top is imminent (top sits on the run queue, cur does
 	// not, so they differ). Offer the whole winning-priority queue.
-	if w.cfg.OnSchedule != nil {
+	if w.cfg.Hooks.OnSchedule != nil {
 		if q := w.runq[top.pri]; len(q) > 1 {
 			return w.consultSchedule(c, w.scheduleCands(q, nil))
 		}
@@ -113,7 +113,7 @@ func (w *World) scheduleCands(q []*Thread, extra *Thread) []*Thread {
 func (w *World) consultSchedule(c *cpu, cands []*Thread) *Thread {
 	d := Decision{Seq: w.schedSeq, CPU: c.index, Candidates: cands}
 	w.schedSeq++
-	i := w.cfg.OnSchedule(d)
+	i := w.cfg.Hooks.OnSchedule(d)
 	if i < 0 || i >= len(cands) {
 		i = 0
 	}
@@ -146,6 +146,14 @@ func (w *World) switchTo(c *cpu, to *Thread) {
 		from.state = StateRunnable
 		from.cpu = -1
 		w.runq[from.pri] = append(w.runq[from.pri], from)
+		// A preempted thread re-enters the ready queue; record the
+		// transition explicitly (Arg = the preemptor) so per-thread state
+		// accounting never has to infer it from the switch record alone.
+		toID := int64(trace.NoThread)
+		if to != nil {
+			toID = int64(to.id)
+		}
+		w.record(trace.Event{Time: w.clock, Kind: trace.KindReady, Thread: from.id, Arg: toID})
 	}
 	c.current = to
 	if to == nil {
@@ -211,7 +219,7 @@ func (w *World) quantumExpire(c *cpu) {
 	top := w.topRunnable()
 	if top != nil && top.pri >= t.pri {
 		pick := top
-		if w.cfg.OnSchedule != nil {
+		if w.cfg.Hooks.OnSchedule != nil {
 			var keep *Thread
 			if t.pri == top.pri {
 				keep = t
@@ -311,6 +319,11 @@ func (w *World) afterPark(t *Thread) {
 		t.cpu = -1
 		c.current = nil
 		w.runq[t.pri] = append(w.runq[t.pri], t)
+		// A yield vacates the CPU without a switch record of its own;
+		// record the ready-queue re-entry (Arg = the thread itself) so
+		// state accounting sees the running→ready edge at the yield
+		// instant rather than at the successor's switch-in.
+		w.record(trace.Event{Time: w.clock, Kind: trace.KindReady, Thread: t.id, Arg: int64(t.id)})
 
 	case req == yieldPoll:
 		// Scheduler poll (Fork, SetPriority): adjust() decides.

@@ -13,7 +13,7 @@ import (
 func runOrderWorld(t *testing.T, hook func(Decision) int, names ...string) ([]string, *World) {
 	t.Helper()
 	cfg := testConfig()
-	cfg.OnSchedule = hook
+	cfg.Hooks.OnSchedule = hook
 	w := NewWorld(cfg)
 	t.Cleanup(w.Shutdown)
 	var order []string
@@ -40,7 +40,7 @@ func TestOnScheduleNil(t *testing.T) {
 		var buf trace.Buffer
 		cfg := testConfig()
 		cfg.Trace = &buf
-		cfg.OnSchedule = hook
+		cfg.Hooks.OnSchedule = hook
 		w := NewWorld(cfg)
 		defer w.Shutdown()
 		for _, name := range []string{"a", "b", "c"} {
@@ -116,7 +116,7 @@ func TestOnScheduleOutOfRange(t *testing.T) {
 func TestOnScheduleRotationKeep(t *testing.T) {
 	run := func(hook func(Decision) int) []string {
 		cfg := testConfig()
-		cfg.OnSchedule = hook
+		cfg.Hooks.OnSchedule = hook
 		w := NewWorld(cfg)
 		defer w.Shutdown()
 		var done []string
@@ -180,7 +180,7 @@ func TestOnScheduleRotationPicksTail(t *testing.T) {
 func TestOnScheduleStrictPriority(t *testing.T) {
 	cfg := testConfig()
 	var order []string
-	cfg.OnSchedule = func(d Decision) int {
+	cfg.Hooks.OnSchedule = func(d Decision) int {
 		pri := d.Candidates[0].Priority()
 		for _, c := range d.Candidates {
 			if c.Priority() != pri {

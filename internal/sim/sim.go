@@ -104,12 +104,10 @@ type Config struct {
 	// Trace receives every thread event. Nil means discard.
 	Trace trace.Sink
 
-	// Probe, when non-nil, accumulates coarse observability counters
-	// (worlds created, driver events processed, virtual time simulated)
-	// across every world configured with it. Unlike Trace it is safe to
-	// share between worlds running on different goroutines; the
-	// experiment harness uses one Probe per experiment run.
-	Probe *Probe
+	// Hooks bundles the world's observe-and-fault seams: the Probe
+	// counters plus every On* callback. The zero value (all nil) is the
+	// default and leaves the world byte-identical to an unhooked one.
+	Hooks Hooks
 
 	// Seed seeds the world's deterministic RNG (SystemDaemon victim
 	// choice and workload jitter).
@@ -125,30 +123,64 @@ type Config struct {
 
 	// SystemDaemonSlice is the donated timeslice. Default 5 ms.
 	SystemDaemonSlice vclock.Duration
+}
 
-	// The On* hooks below are the fault-injection seams used by package
-	// fault. Like Probe they are observability-grade plumbing: all three
-	// default to nil, and a nil hook is never called, so a world built
-	// without them behaves byte-identically to one built before the hooks
-	// existed.
+// Hooks is Config's observability-and-fault surface, one nested struct
+// instead of loose Config fields so callers can pass a whole seam set
+// (probe + fault hooks + schedule hook + sink attachment) through
+// intermediate layers in a single value.
+//
+// The hooks divide into two semantic classes:
+//
+//   - Observe-only hooks — Probe, OnFork, OnWorld — must never change
+//     the simulation: a world runs byte-identically with or without
+//     them, which is what lets the experiment harness attach per-run
+//     metrics and profiles without invalidating golden outputs.
+//
+//   - Fault/steer hooks — OnNotify, OnCompute, OnSchedule — are allowed
+//     to change what the simulation does, but only within the model's
+//     legal envelope (drop a NOTIFY, stretch a Compute, pick another
+//     equal-priority thread). They are how packages fault and explore
+//     perturb a run on purpose.
+//
+// Every field defaults to nil and a nil hook is never called, so the
+// zero Hooks is byte-identical to a world built before the seams
+// existed.
+type Hooks struct {
+	// Probe, when non-nil, accumulates coarse observability counters
+	// (worlds created, driver events processed, virtual time simulated)
+	// across every world configured with it. Unlike Config.Trace it is
+	// safe to share between worlds running on different goroutines; the
+	// experiment harness uses one Probe per experiment run. Observe-only.
+	Probe *Probe
+
+	// OnWorld, when non-nil, is consulted once per world at the end of
+	// NewWorld, before any thread — the SystemDaemon included — exists.
+	// A non-nil returned sink is attached alongside Config.Trace (via
+	// trace.Tee) for the world's whole lifetime, which is how the
+	// experiment harness hangs a per-world profiler on every world a run
+	// creates, wherever in the stack it is built. Observe-only: the
+	// returned sink sees every event but must not call into the world
+	// while recording.
+	OnWorld func(w *World) trace.Sink
 
 	// OnNotify, when non-nil, is consulted before every NOTIFY (thread or
 	// driver context) on a condition variable; cv is the CV's debug name.
 	// Returning true swallows the notification — no waiter wakes, no
 	// stats or trace records are made — modeling the deleted-NOTIFY bugs
 	// of §5.3 that timeouts then paper over. Package monitor honors the
-	// hook; it does not apply to BROADCAST.
+	// hook; it does not apply to BROADCAST. Fault hook.
 	OnNotify func(cv string) (drop bool)
 
 	// OnFork, when non-nil, observes every thread creation (Spawn, FORK,
 	// TryFork) after the child exists; parent is nil for Spawn. It must
-	// not call into the world.
+	// not call into the world. Observe-only.
 	OnFork func(parent, child *Thread)
 
 	// OnCompute, when non-nil, maps every Compute demand to the duration
 	// actually charged, enabling seeded clock jitter and induced stalls
 	// (§6.2) without touching workload code. Returning d unchanged is a
-	// no-op; non-positive results skip the Compute entirely.
+	// no-op; non-positive results skip the Compute entirely. Fault hook.
 	OnCompute func(t *Thread, d vclock.Duration) vclock.Duration
 
 	// OnSchedule, when non-nil, is consulted at every scheduling decision
@@ -162,7 +194,7 @@ type Config struct {
 	// execution — strict-priority dispatch is preserved by construction.
 	// Package explore drives this seam to enumerate interleavings; a nil
 	// hook leaves the scheduler byte-identical to one built before the
-	// seam existed.
+	// seam existed. Steering hook.
 	OnSchedule func(d Decision) int
 }
 

@@ -220,7 +220,7 @@ func (t *Thread) Compute(d vclock.Duration) {
 	if d <= 0 {
 		return
 	}
-	if f := t.w.cfg.OnCompute; f != nil {
+	if f := t.w.cfg.Hooks.OnCompute; f != nil {
 		if d = f(t, d); d <= 0 {
 			return
 		}

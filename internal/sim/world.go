@@ -78,10 +78,17 @@ func NewWorld(cfg Config) *World {
 	for i := 0; i < cfg.CPUs; i++ {
 		w.cpus = append(w.cpus, &cpu{index: i})
 	}
+	// Attach any per-world observer sink before the first thread (the
+	// SystemDaemon included) exists, so it sees the complete event stream.
+	if f := cfg.Hooks.OnWorld; f != nil {
+		if s := f(w); s != nil {
+			w.sink = trace.Tee(w.sink, s)
+		}
+	}
 	if cfg.SystemDaemon {
 		w.spawnSystemDaemon()
 	}
-	cfg.Probe.observeWorld()
+	cfg.Hooks.Probe.observeWorld()
 	return w
 }
 
@@ -187,7 +194,7 @@ func (w *World) newThread(name string, pri Priority, body Proc, parent *Thread) 
 	w.threads = append(w.threads, t)
 	w.liveCount++
 	go t.main()
-	if f := w.cfg.OnFork; f != nil {
+	if f := w.cfg.Hooks.OnFork; f != nil {
 		f(parent, t)
 	}
 	return t
@@ -251,10 +258,10 @@ func (w *World) ScheduleDecisions() int64 { return w.schedSeq }
 // flushProbe forwards the not-yet-reported event and clock deltas to the
 // configured probe (if any). Called every time Run returns.
 func (w *World) flushProbe() {
-	if w.cfg.Probe == nil {
+	if w.cfg.Hooks.Probe == nil {
 		return
 	}
-	w.cfg.Probe.add(w.eventsProcessed-w.probeSentEvents, w.clock.Sub(w.probeSentClock))
+	w.cfg.Hooks.Probe.add(w.eventsProcessed-w.probeSentEvents, w.clock.Sub(w.probeSentClock))
 	w.probeSentEvents = w.eventsProcessed
 	w.probeSentClock = w.clock
 }
@@ -356,12 +363,12 @@ func (w *World) SetPriorityOf(t *Thread, p Priority) {
 	t.pri = p
 }
 
-// NotifyDropped consults the Config.OnNotify fault hook for a NOTIFY on
+// NotifyDropped consults the Hooks.OnNotify fault hook for a NOTIFY on
 // the named condition variable and reports whether the notification
 // should be swallowed. Package monitor calls it on every NOTIFY; with no
 // hook configured it is always false.
 func (w *World) NotifyDropped(cv string) bool {
-	return w.cfg.OnNotify != nil && w.cfg.OnNotify(cv)
+	return w.cfg.Hooks.OnNotify != nil && w.cfg.Hooks.OnNotify(cv)
 }
 
 // KillThread injects an uncaught error into t: the next time t would run
@@ -419,8 +426,8 @@ func (w *World) SetMaxThreads(n int) {
 // signature after the run completes (Probe.Audit). With no probe
 // configured the registration is dropped.
 func (w *World) RegisterAuditor(f func(minWaits int) []string) {
-	if w.cfg.Probe != nil {
-		w.cfg.Probe.registerAuditor(f)
+	if w.cfg.Hooks.Probe != nil {
+		w.cfg.Hooks.Probe.registerAuditor(f)
 	}
 }
 

@@ -81,6 +81,10 @@ func (c *Collector) closeInterval(o *occupancy, now vclock.Time) {
 	o.since = now
 }
 
+// Flush implements trace.Sink; the collector aggregates in memory, so
+// there is nothing to push.
+func (c *Collector) Flush() error { return nil }
+
 // Record implements trace.Sink.
 func (c *Collector) Record(ev trace.Event) {
 	if c.finished {

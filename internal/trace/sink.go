@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+
+	"repro/internal/vclock"
+)
+
+// Encoder is a Sink that streams events to an io.Writer in the binary
+// trace format (the same format Write produces and Read decodes),
+// without retaining them. Attach it as a world's Trace to capture
+// arbitrarily long runs with flat memory.
+//
+// Record has no error channel, so write failures are sticky: the first
+// error — short writes included — is remembered, later events are
+// dropped, and Flush reports it. Always check Flush before trusting the
+// output file.
+type Encoder struct {
+	bw   *bufio.Writer
+	prev vclock.Time
+	err  error
+}
+
+// NewEncoder returns an Encoder streaming to w. The format header is
+// written immediately.
+func NewEncoder(w io.Writer) *Encoder {
+	e := &Encoder{bw: bufio.NewWriter(&shortWriteWriter{w: w})}
+	_, e.err = e.bw.Write(magic)
+	return e
+}
+
+// Record implements Sink, appending one delta-encoded event record.
+func (e *Encoder) Record(ev Event) {
+	if e.err != nil {
+		return
+	}
+	var buf [5 * binary.MaxVarintLen64]byte
+	n := 0
+	n += binary.PutUvarint(buf[n:], uint64(ev.Time-e.prev))
+	e.prev = ev.Time
+	n += binary.PutUvarint(buf[n:], uint64(ev.Kind))
+	n += binary.PutVarint(buf[n:], int64(ev.Thread))
+	n += binary.PutVarint(buf[n:], ev.Arg)
+	n += binary.PutVarint(buf[n:], ev.Aux)
+	_, e.err = e.bw.Write(buf[:n])
+}
+
+// Flush implements Sink: buffered records are pushed to the underlying
+// writer and the first write error encountered so far is returned.
+func (e *Encoder) Flush() error {
+	if e.err != nil {
+		return e.err
+	}
+	e.err = e.bw.Flush()
+	return e.err
+}
+
+// shortWriteWriter turns a destination that accepts fewer bytes than
+// offered without reporting an error into an explicit io.ErrShortWrite,
+// so a silently-truncating writer cannot corrupt a trace file
+// undetected.
+type shortWriteWriter struct {
+	w io.Writer
+}
+
+func (s *shortWriteWriter) Write(p []byte) (int, error) {
+	n, err := s.w.Write(p)
+	if n < len(p) && err == nil {
+		err = io.ErrShortWrite
+	}
+	return n, err
+}

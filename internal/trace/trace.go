@@ -9,7 +9,11 @@
 // or any combination (Tee).
 package trace
 
-import "repro/internal/vclock"
+import (
+	"errors"
+
+	"repro/internal/vclock"
+)
 
 // Kind identifies the type of a thread event.
 type Kind uint8
@@ -52,8 +56,9 @@ const (
 	KindSetPriority
 	// KindSleep: thread Thread began a timed sleep of Aux microseconds.
 	KindSleep
-	// KindReady: thread Thread became runnable; Arg = thread that made
-	// it runnable (NoThread for timer wakeups).
+	// KindReady: thread Thread entered the ready queue; Arg = thread
+	// responsible (NoThread for timer wakeups, the preemptor for a
+	// preemption re-queue, the thread itself for a yield re-queue).
 	KindReady
 	// KindBlock: thread Thread blocked; Aux = block reason (see Block*).
 	KindBlock
@@ -105,15 +110,28 @@ type Event struct {
 }
 
 // Sink receives events as the simulation produces them.
+//
+// Flush pushes any buffered state to the sink's final destination and
+// reports the first error that has prevented events from reaching it.
+// Purely in-memory sinks (Buffer, Ring, the stats collectors) have
+// nothing to push and always return nil; file-encoding sinks (Encoder)
+// surface write errors — short writes included — here rather than
+// silently dropping events, because Record has no error channel of its
+// own. Flush must be safe to call more than once.
 type Sink interface {
 	Record(Event)
+	Flush() error
 }
 
-// SinkFunc adapts a function to the Sink interface.
+// SinkFunc adapts a function to the Sink interface. The adapted sink
+// buffers nothing, so Flush always succeeds.
 type SinkFunc func(Event)
 
 // Record implements Sink.
 func (f SinkFunc) Record(ev Event) { f(ev) }
+
+// Flush implements Sink; it is a no-op.
+func (f SinkFunc) Flush() error { return nil }
 
 // Discard is a Sink that drops all events.
 var Discard Sink = SinkFunc(func(Event) {})
@@ -126,6 +144,10 @@ type Buffer struct {
 
 // Record implements Sink.
 func (b *Buffer) Record(ev Event) { b.Events = append(b.Events, ev) }
+
+// Flush implements Sink; the buffer holds events in memory, so there is
+// nothing to push.
+func (b *Buffer) Flush() error { return nil }
 
 // Len returns the number of captured events.
 func (b *Buffer) Len() int { return len(b.Events) }
@@ -160,6 +182,9 @@ func (r *Ring) Record(ev Event) {
 	}
 }
 
+// Flush implements Sink; it is a no-op.
+func (r *Ring) Flush() error { return nil }
+
 // Snapshot returns the retained events in chronological order.
 func (r *Ring) Snapshot() []Event {
 	if !r.full {
@@ -173,29 +198,60 @@ func (r *Ring) Snapshot() []Event {
 	return out
 }
 
-// Tee returns a Sink that forwards each event to all of sinks.
+// Tee returns a Sink that forwards each event to all of sinks. Its
+// Flush flushes every branch and aggregates the errors (errors.Join),
+// so one failing file sink cannot mask another.
 func Tee(sinks ...Sink) Sink {
 	// Copy to guard against caller mutation of the slice.
-	s := make([]Sink, len(sinks))
+	s := make(teeSink, len(sinks))
 	copy(s, sinks)
-	return SinkFunc(func(ev Event) {
-		for _, sink := range s {
-			sink.Record(ev)
+	return s
+}
+
+type teeSink []Sink
+
+// Record implements Sink.
+func (t teeSink) Record(ev Event) {
+	for _, sink := range t {
+		sink.Record(ev)
+	}
+}
+
+// Flush implements Sink: every branch is flushed even when an earlier
+// one fails, and all failures are reported.
+func (t teeSink) Flush() error {
+	var errs []error
+	for _, sink := range t {
+		if err := sink.Flush(); err != nil {
+			errs = append(errs, err)
 		}
-	})
+	}
+	return errors.Join(errs...)
 }
 
 // Filter returns a Sink that forwards only events for which keep returns
-// true.
+// true. Flush delegates to dst.
 func Filter(dst Sink, keep func(Event) bool) Sink {
-	return SinkFunc(func(ev Event) {
-		if keep(ev) {
-			dst.Record(ev)
-		}
-	})
+	return filterSink{dst: dst, keep: keep}
 }
 
-// KindFilter returns a Sink forwarding only the listed kinds.
+type filterSink struct {
+	dst  Sink
+	keep func(Event) bool
+}
+
+// Record implements Sink.
+func (f filterSink) Record(ev Event) {
+	if f.keep(ev) {
+		f.dst.Record(ev)
+	}
+}
+
+// Flush implements Sink by flushing the destination.
+func (f filterSink) Flush() error { return f.dst.Flush() }
+
+// KindFilter returns a Sink forwarding only the listed kinds. Flush
+// delegates to dst.
 func KindFilter(dst Sink, kinds ...Kind) Sink {
 	var mask [numKinds]bool
 	for _, k := range kinds {
@@ -203,9 +259,7 @@ func KindFilter(dst Sink, kinds ...Kind) Sink {
 			mask[k] = true
 		}
 	}
-	return SinkFunc(func(ev Event) {
-		if int(ev.Kind) < len(mask) && mask[ev.Kind] {
-			dst.Record(ev)
-		}
+	return Filter(dst, func(ev Event) bool {
+		return int(ev.Kind) < len(mask) && mask[ev.Kind]
 	})
 }

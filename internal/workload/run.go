@@ -34,7 +34,7 @@ type RunConfig struct {
 	Window vclock.Duration // measurement window length
 	Seed   int64
 	CPUs   int
-	Probe  *sim.Probe // optional observability counters (sim.Config.Probe)
+	Hooks  sim.Hooks // observability seams passed through to sim.Config
 }
 
 // DefaultRunConfig measures a 30-second window after 3 seconds of warmup,
@@ -65,7 +65,7 @@ func Run(b Benchmark, rc RunConfig) *Result {
 		Trace:        col,
 		Seed:         rc.Seed,
 		CPUs:         rc.CPUs,
-		Probe:        rc.Probe,
+		Hooks:        rc.Hooks,
 		SystemDaemon: true, // PCR's priority-6 proportional-share daemon
 	})
 	defer w.Shutdown()

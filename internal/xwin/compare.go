@@ -37,9 +37,10 @@ type CompareResult struct {
 // RunClientComparison drives one client model for dur of virtual time:
 // a painter queues output requests steadily, two client threads (one
 // high-, one low-priority) poll GetEvent, and the server delivers input
-// events every eventEvery. probe may be nil.
-func RunClientComparison(kind ClientKind, eventEvery vclock.Duration, seed int64, dur vclock.Duration, probe *sim.Probe) CompareResult {
-	w := sim.NewWorld(sim.Config{Seed: seed, Probe: probe})
+// events every eventEvery. hooks carries the caller's observability
+// seams; the zero value is fine.
+func RunClientComparison(kind ClientKind, eventEvery vclock.Duration, seed int64, dur vclock.Duration, hooks sim.Hooks) CompareResult {
+	w := sim.NewWorld(sim.Config{Seed: seed, Hooks: hooks})
 	defer w.Shutdown()
 	reg := paradigm.NewRegistry()
 	conn := NewConn(w)

@@ -36,10 +36,10 @@ type PipelineConfig struct {
 	// buffer thread outranks its producer.
 	BufferPriority sim.Priority
 	ImagePriority  sim.Priority
-	// Probe, when non-nil, receives the run's scheduler counters
-	// (sim.Config.Probe). Only RunPipeline consults it; StartPipeline
-	// callers configure the probe on their own world.
-	Probe *sim.Probe
+	// Hooks carries the observability seams (sim.Config.Hooks) into the
+	// world RunPipeline builds. Only RunPipeline consults it;
+	// StartPipeline callers configure hooks on their own world.
+	Hooks sim.Hooks
 }
 
 // DefaultPipelineConfig returns the §5.2 operating point.
@@ -161,7 +161,7 @@ type PipelineResult struct {
 // RunPipeline runs the pipeline for the given virtual duration on a fresh
 // world and returns the summary.
 func RunPipeline(cfg PipelineConfig, quantum vclock.Duration, seed int64, dur vclock.Duration) PipelineResult {
-	w := sim.NewWorld(sim.Config{Quantum: quantum, Seed: seed, Probe: cfg.Probe})
+	w := sim.NewWorld(sim.Config{Quantum: quantum, Seed: seed, Hooks: cfg.Hooks})
 	defer w.Shutdown()
 	reg := paradigm.NewRegistry()
 	srv := NewServer(w)

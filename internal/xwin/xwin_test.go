@@ -160,8 +160,8 @@ func TestSleepStrategyNeedsShortQuantum(t *testing.T) {
 // window.
 func TestXlibVsXl(t *testing.T) {
 	dur := 10 * vclock.Second
-	xlib := RunClientComparison(ClientXlib, 100*vclock.Millisecond, 1, dur, nil)
-	xl := RunClientComparison(ClientXl, 100*vclock.Millisecond, 1, dur, nil)
+	xlib := RunClientComparison(ClientXlib, 100*vclock.Millisecond, 1, dur, sim.Hooks{})
+	xl := RunClientComparison(ClientXl, 100*vclock.Millisecond, 1, dur, sim.Hooks{})
 
 	if xlib.EventsGot == 0 || xl.EventsGot == 0 {
 		t.Fatalf("clients got no events: xlib=%d xl=%d", xlib.EventsGot, xl.EventsGot)
