@@ -30,14 +30,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Benchmarks plus the fixed-seed accounting sweep: every experiment runs
-# quick with the per-thread profiler attached, and the combined metrics +
-# scheduler-accounting summary lands in BENCH_PR4.json. The sweep fails
+# Benchmarks plus the fixed-seed accounting sweep: every experiment —
+# the T/F/R artifact set and the W-series load workloads — runs quick
+# with the per-thread profiler attached, and the combined metrics +
+# scheduler-accounting summary lands in BENCH_PR5.json. The sweep fails
 # if any run's accounting residue is nonzero, so `make bench` also
 # certifies the exactness invariant on the full experiment population.
+# The hot-path allocs/op pin runs first: the event loop, ready queues and
+# discard-sink tracing must stay allocation-free in steady state.
 bench:
+	$(GO) test -run TestHotPathAllocs ./internal/sim
 	$(GO) test -bench=. -benchmem -run='^$$'
-	$(GO) run ./cmd/threadstudy -bench BENCH_PR4.json
+	$(GO) run ./cmd/threadstudy -bench BENCH_PR5.json
 
 # Short coverage-guided fuzzing of the attacker-facing parsers: JSON
 # fault plans and the binary trace codec (decode robustness + encode/

@@ -12,17 +12,18 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
+	"repro/internal/cliflag"
 	"repro/internal/paradigm"
 	"repro/internal/stats"
 )
@@ -59,28 +60,38 @@ var callKinds = map[string][]paradigm.Kind{
 }
 
 func main() {
-	includeTests := flag.Bool("tests", false, "include _test.go files")
-	waitcheck := flag.Bool("waitcheck", false, "also flag §5.3 IF-guarded Wait calls")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected so the CLI surface is
+// testable. It returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := cliflag.New("paradigmscan", stderr)
+	includeTests := fs.Bool("tests", false, "include _test.go files")
+	waitcheck := fs.Bool("waitcheck", false, "also flag §5.3 IF-guarded Wait calls")
+	if err := fs.Parse(args); err != nil {
+		return cliflag.ExitUsage
+	}
+	if err := fs.MaxArgs(1); err != nil {
+		return fs.Fail(err)
+	}
 	root := "."
-	if flag.NArg() > 0 {
-		root = flag.Arg(0)
+	if fs.NArg() > 0 {
+		root = fs.Arg(0)
 	}
 	counts, files, sites, err := scan(root, *includeTests)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "paradigmscan:", err)
-		os.Exit(1)
+		return fs.Error(err)
 	}
 	if *waitcheck {
 		findings, err := scanWaits(root, *includeTests)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "paradigmscan:", err)
-			os.Exit(1)
+			return fs.Error(err)
 		}
 		for _, f := range findings {
-			fmt.Println(f.text)
+			fmt.Fprintln(stdout, f.text)
 		}
-		fmt.Printf("%d IF-guarded Wait call(s) found\n\n", len(findings))
+		fmt.Fprintf(stdout, "%d IF-guarded Wait call(s) found\n\n", len(findings))
 	}
 
 	t := stats.NewTable(
@@ -98,7 +109,8 @@ func main() {
 		t.AddRowf("%s", k.String(), "%d", counts[k], "%.0f%%", pct)
 	}
 	t.AddRowf("%s", "TOTAL", "%d", total, "%s", "100%")
-	fmt.Println(t.String())
+	fmt.Fprintln(stdout, t.String())
+	return cliflag.ExitOK
 }
 
 // scan walks root, parsing .go files and counting paradigm call sites.

@@ -208,3 +208,40 @@ func TestWaitCheckCleanOnOwnCode(t *testing.T) {
 		}
 	}
 }
+
+// TestCLI exercises the cliflag-based flag surface end to end.
+func TestCLI(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `package a
+func f() { paradigm.DeferTo(reg, t, "x", body) }
+`)
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantOut  string // substring of stdout
+		wantErr  string // substring of stderr
+	}{
+		{"census", []string{dir}, 0, "Static paradigm census", ""},
+		{"waitcheck", []string{"-waitcheck", dir}, 0, "IF-guarded Wait call(s) found", ""},
+		{"extra operand", []string{dir, "extra"}, 2, "", `unexpected argument "extra"`},
+		{"unknown flag", []string{"-bogus"}, 2, "", "flag provided but not defined"},
+		{"missing dir", []string{filepath.Join(dir, "nope")}, 1, "", "paradigmscan: "},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("run(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+		})
+	}
+}

@@ -20,11 +20,11 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 
+	"repro/internal/cliflag"
 	"repro/internal/explore"
 	"repro/internal/paradigm"
 )
@@ -36,8 +36,7 @@ func main() {
 // run is main with its dependencies injected so the CLI surface is
 // testable. It returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("schedcheck", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cliflag.New("schedcheck", stderr)
 	var (
 		list     = fs.Bool("list", false, "list scenarios and exit")
 		scenario = fs.String("scenario", "", "explore a single scenario by name (default: all)")
@@ -47,23 +46,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shrink   = fs.String("shrink", "", "replay one failing token and shrink it further")
 	)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cliflag.ExitUsage
 	}
-	fail := func(format string, a ...any) int {
-		fmt.Fprintf(stderr, "schedcheck: "+format+"\n", a...)
-		return 2
+	if err := fs.NoArgs(); err != nil {
+		return fs.Fail(err)
 	}
-	if fs.NArg() > 0 {
-		return fail("unexpected argument %q", fs.Arg(0))
+	if err := cliflag.Exclusive("replay", *replay != "", "shrink", *shrink != ""); err != nil {
+		return fs.Fail(err)
 	}
-	if *replay != "" && *shrink != "" {
-		return fail("-replay and -shrink are mutually exclusive")
+	if err := cliflag.CheckSeed(*seed, "must be nonzero (0 would disable the world RNG)"); err != nil {
+		return fs.Fail(err)
 	}
-	if *seed == 0 {
-		return fail("-seed must be nonzero (0 would disable the world RNG)")
-	}
-	if *budget < 1 {
-		return fail("-budget must be at least 1")
+	if err := cliflag.AtLeast("budget", *budget, 1); err != nil {
+		return fs.Fail(err)
 	}
 
 	if *list {
@@ -88,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		res, err := explore.Replay(tok)
 		if err != nil {
-			return fail("%v", err)
+			return fs.Fail(err)
 		}
 		if res.Failure == nil {
 			fmt.Fprintf(stdout, "%s: schedule no longer fails (%d forced steps)\n", res.Scenario, len(res.Schedule.Steps))
@@ -108,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *scenario != "" {
 		sc, ok := paradigm.ScenarioByName(*scenario)
 		if !ok {
-			return fail("unknown scenario %q (see -list)", *scenario)
+			return fs.Failf("unknown scenario %q (see -list)", *scenario)
 		}
 		scenarios = []paradigm.Scenario{sc}
 	}

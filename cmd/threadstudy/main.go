@@ -37,11 +37,16 @@
 //	threadstudy -audit -auditmin 1 -experiment F8
 //	                             # print §5.3 CV audit findings after
 //	                             # each report
+//	threadstudy -wseries         # run the W-series open-loop load
+//	                             # workloads (W1..W3) instead of the
+//	                             # default T/F/R set
+//	threadstudy -experiment W1 -json -
+//	                             # one load workload, with throughput and
+//	                             # latency percentiles in the summary
 package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -50,6 +55,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliflag"
 	"repro/internal/experiments"
 	"repro/internal/fault"
 	"repro/internal/paradigm"
@@ -64,11 +70,18 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// outputSchema versions every machine-readable output this command
+// writes (-json, -profilejson, -bench). Downstream tooling checks it
+// before parsing; the schedcheck replay-token prefix "v1" is the same
+// version 1. The schemas are documented in EXPERIMENTS.md.
+const outputSchema = 1
+
 // jsonSummary is the machine-readable -json report: enough context to
 // reproduce the run (seed, quick, parallelism) plus one Metrics record
 // per experiment in presentation order. BENCH_*.json trajectory tracking
 // consumes these.
 type jsonSummary struct {
+	Schema      int                   `json:"schema"`
 	Seed        int64                 `json:"seed"`
 	Quick       bool                  `json:"quick"`
 	Parallelism int                   `json:"parallelism"`
@@ -82,11 +95,11 @@ type jsonSummary struct {
 // flag validation included — is testable. It returns the process exit
 // code: 0 success, 1 runtime failure, 2 usage error.
 func run(args []string, stdout, stderr io.Writer) int {
-	fs := flag.NewFlagSet("threadstudy", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cliflag.New("threadstudy", stderr)
 	var (
 		list      = fs.Bool("list", false, "list experiment IDs and exit")
 		expID     = fs.String("experiment", "", "run a single experiment by ID (default: all)")
+		wseries   = fs.Bool("wseries", false, "run the W-series open-loop load workloads (W1..W3) instead of the default set")
 		quick     = fs.Bool("quick", false, "use ~3x shorter measurement windows")
 		format    = fs.String("format", "text", "output format: text or markdown")
 		verify    = fs.Bool("verify", false, "run each experiment twice concurrently and fail on nondeterminism")
@@ -106,100 +119,100 @@ func run(args []string, stdout, stderr io.Writer) int {
 		benchOut  = fs.String("bench", "", "run the fixed-seed quick sweep with profiling and write combined JSON to this file (\"-\" for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cliflag.ExitUsage
 	}
 
-	fail := func(msg string) int {
-		fmt.Fprintln(stderr, "threadstudy:", msg)
-		return 2
+	if err := fs.NoArgs(); err != nil {
+		return fs.Fail(err)
 	}
-	switch *format {
-	case "text", "markdown":
-	default:
-		return fail(fmt.Sprintf("unknown -format %q (want text or markdown)", *format))
+	if err := cliflag.OneOf("format", *format, "text", "markdown"); err != nil {
+		return fs.Fail(err)
 	}
-	if *seed == 0 {
-		// Config.seed() would silently remap 0 to the default seed 1,
-		// which corrupts seed sweeps; reject it instead.
-		return fail("-seed 0 is not a distinct seed (it selects the default, 1); pick a nonzero seed")
+	// Config.seed() would silently remap 0 to the default seed 1, which
+	// corrupts seed sweeps; reject it instead.
+	if err := cliflag.CheckSeed(*seed, "0 is not a distinct seed (it selects the default, 1); pick a nonzero seed"); err != nil {
+		return fs.Fail(err)
 	}
-	if *parallel < 1 {
-		return fail(fmt.Sprintf("-parallel %d: need at least one worker", *parallel))
+	if err := cliflag.MinInt("parallel", *parallel, 1, "need at least one worker"); err != nil {
+		return fs.Fail(err)
 	}
 	if limit := runtime.NumCPU() * 4; *parallel > limit {
 		// Results are deterministic regardless, so this is a warning, not
 		// an error: the extra workers only add scheduler thrash.
-		fmt.Fprintf(stderr, "threadstudy: warning: -parallel %d exceeds %d (4x %d CPUs); extra workers add contention, not speed\n",
+		fs.Warnf("-parallel %d exceeds %d (4x %d CPUs); extra workers add contention, not speed",
 			*parallel, limit, runtime.NumCPU())
 	}
-	if *auditMin < 1 {
-		return fail(fmt.Sprintf("-auditmin %d: a CV needs at least one observed wait to be auditable", *auditMin))
+	if err := cliflag.MinInt("auditmin", *auditMin, 1, "a CV needs at least one observed wait to be auditable"); err != nil {
+		return fs.Fail(err)
+	}
+	if err := cliflag.Exclusive("experiment", *expID != "", "wseries", *wseries); err != nil {
+		return fs.Fail(err)
 	}
 	var plan *fault.Plan
 	if *faultsIn != "" {
 		p, err := fault.Load(*faultsIn)
 		if err != nil {
-			return fail(err.Error())
+			return fs.Fail(err)
 		}
 		plan = &p
 	}
 
 	if *list {
-		for _, e := range experiments.All() {
+		set := experiments.All()
+		if *wseries {
+			set = experiments.WSeries()
+		}
+		for _, e := range set {
 			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
 		}
 		return 0
 	}
 
 	if *traceOut != "" || *profFlag || *chromeOut != "" || *profJSON != "" {
-		// The flag parses wall-clock syntax but the capture runs in
-		// virtual microseconds; sub-microsecond values (e.g. 500ns)
-		// would truncate to a zero-length capture.
-		us := (*traceDur).Microseconds()
-		if us <= 0 {
-			return fail(fmt.Sprintf("-traceduration %v rounds to %dus of virtual time; need at least 1us", *traceDur, us))
+		dur, err := cliflag.VirtualDuration("traceduration", *traceDur)
+		if err != nil {
+			return fs.Fail(err)
 		}
 		if *traceOut != "" {
-			if err := captureTrace(stdout, *traceOut, *benchName, *seed, vclock.Duration(us)); err != nil {
-				fmt.Fprintln(stderr, "threadstudy:", err)
-				return 1
+			if err := captureTrace(stdout, *traceOut, *benchName, *seed, dur); err != nil {
+				return fs.Error(err)
 			}
-			return 0
+			return cliflag.ExitOK
 		}
-		err := profileBenchmark(stdout, profileOpts{
+		err = profileBenchmark(stdout, profileOpts{
 			bench:    *benchName,
 			seed:     *seed,
-			dur:      vclock.Duration(us),
+			dur:      dur,
 			markdown: *format == "markdown",
 			print:    *profFlag,
 			chrome:   *chromeOut,
 			jsonPath: *profJSON,
 		})
 		if err != nil {
-			fmt.Fprintln(stderr, "threadstudy:", err)
-			return 1
+			return fs.Error(err)
 		}
-		return 0
+		return cliflag.ExitOK
 	}
 
 	if *benchOut != "" {
 		if err := runBench(stdout, *benchOut, *parallel); err != nil {
-			fmt.Fprintln(stderr, "threadstudy:", err)
-			return 1
+			return fs.Error(err)
 		}
-		return 0
+		return cliflag.ExitOK
 	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Faults: plan, FaultSeed: *faultSeed}
 	var todo []experiments.Experiment
-	if *expID != "" {
+	switch {
+	case *expID != "":
 		e, err := experiments.ByID(*expID)
 		if err != nil {
-			fmt.Fprintln(stderr, "threadstudy:", err)
-			return 1
+			return fs.Error(err)
 		}
 		todo = []experiments.Experiment{e}
-	} else {
+	case *wseries:
+		todo = experiments.WSeries()
+	default:
 		todo = experiments.All()
 	}
 	if *faultSeed != 0 && plan == nil {
@@ -210,8 +223,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			hasR = hasR || strings.HasPrefix(e.ID, "R")
 		}
 		if !hasR {
-			fmt.Fprintf(stderr, "threadstudy: warning: -faultseed %d has no effect on %s without -faults (only R-series experiments inject faults)\n",
-				*faultSeed, *expID)
+			target := *expID
+			if target == "" {
+				target = "the W series"
+			}
+			fs.Warnf("-faultseed %d has no effect on %s without -faults (only R-series experiments inject faults)",
+				*faultSeed, target)
 		}
 	}
 
@@ -254,6 +271,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *jsonOut != "" {
 		sum := jsonSummary{
+			Schema:      outputSchema,
 			Seed:        *seed,
 			Quick:       *quick,
 			Parallelism: *parallel,
@@ -265,14 +283,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			sum.Experiments = append(sum.Experiments, o.Metrics)
 		}
 		if err := writeJSON(*jsonOut, stdout, sum); err != nil {
-			fmt.Fprintln(stderr, "threadstudy:", err)
-			return 1
+			return fs.Error(err)
 		}
 	}
 	if failed {
-		return 1
+		return cliflag.ExitFailure
 	}
-	return 0
+	return cliflag.ExitOK
 }
 
 // writeJSON marshals sum to path, or to stdout when path is "-".
@@ -395,7 +412,11 @@ func profileBenchmark(stdout io.Writer, o profileOpts) error {
 			len(prof.Spans), o.dur, o.chrome)
 	}
 	if o.jsonPath != "" {
-		data, err := json.MarshalIndent(profile.Summarize(prof), "", "  ")
+		sum := struct {
+			Schema int `json:"schema"`
+			profile.Summary
+		}{outputSchema, profile.Summarize(prof)}
+		data, err := json.MarshalIndent(sum, "", "  ")
 		if err != nil {
 			return err
 		}
@@ -419,11 +440,13 @@ type benchExperiment struct {
 	Profile *profile.Summary `json:"profile,omitempty"`
 }
 
-// benchSummary is the -bench output (BENCH_PR4.json): a fixed-seed quick
-// sweep of every experiment with profiling on, plus the accounting
-// summary of the default benchmark world. Wall-clock fields vary between
-// machines; every virtual-time field is deterministic.
+// benchSummary is the -bench output (BENCH_PR5.json): a fixed-seed quick
+// sweep of every experiment — the T/F/R set plus the W-series load
+// workloads — with profiling on, plus the accounting summary of the
+// default benchmark world. Wall-clock fields vary between machines;
+// every virtual-time field is deterministic.
 type benchSummary struct {
+	Schema      int               `json:"schema"`
 	Seed        int64             `json:"seed"`
 	Quick       bool              `json:"quick"`
 	Parallelism int               `json:"parallelism"`
@@ -445,8 +468,13 @@ func runBench(stdout io.Writer, path string, parallel int) error {
 	outcomes := experiments.RunWith(cfg, experiments.Options{
 		Parallelism: parallel,
 		Profile:     true,
+		// The sweep covers the full population: the T/F/R artifact set
+		// plus the W-series load workloads, so the bench artifact tracks
+		// both report fidelity and server-scale throughput.
+		Experiments: append(experiments.All(), experiments.WSeries()...),
 	})
 	sum := benchSummary{
+		Schema:      outputSchema,
 		Seed:        1,
 		Quick:       true,
 		Parallelism: parallel,

@@ -267,3 +267,87 @@ func TestCLIVerify(t *testing.T) {
 		t.Errorf("missing verify confirmation: %q", stdout.String())
 	}
 }
+
+// TestCLIWSeries: the load workloads are an explicit opt-in. They never
+// appear in the default list (the golden stdout pins that), -wseries
+// selects them, and their latency percentiles flow into the -json
+// summary.
+func TestCLIWSeries(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	if strings.Contains(stdout.String(), "W1") {
+		t.Fatalf("W series leaked into the default -list:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-list", "-wseries"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list -wseries exit %d", code)
+	}
+	for _, id := range []string{"W1", "W2", "W3"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list -wseries missing %s:\n%s", id, stdout.String())
+		}
+	}
+	if strings.Contains(stdout.String(), "T1") {
+		t.Errorf("-list -wseries should list only the W series:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-experiment", "T1", "-wseries"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-experiment+-wseries exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "mutually exclusive") {
+		t.Errorf("stderr %q", stderr.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "w1.json")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-experiment", "W1", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("W1 run exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "== W1:") {
+		t.Fatalf("W1 report missing:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum jsonSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if sum.Schema != 1 {
+		t.Errorf("schema = %d, want 1", sum.Schema)
+	}
+	if len(sum.Experiments) != 1 {
+		t.Fatalf("experiments = %d", len(sum.Experiments))
+	}
+	load := sum.Experiments[0].Load
+	if load == nil || load.Completed == 0 || load.P99US < load.P50US {
+		t.Fatalf("load summary missing from -json: %+v", load)
+	}
+}
+
+// TestCLISchemaFields: every machine-readable output carries the
+// top-level schema version.
+func TestCLISchemaFields(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-profilejson", "-", "-traceduration", "100ms"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("profilejson exit %d, stderr: %s", code, stderr.String())
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, stdout.String())
+	}
+	if v, ok := doc["schema"].(float64); !ok || v != 1 {
+		t.Errorf("-profilejson schema = %v, want 1", doc["schema"])
+	}
+	if _, ok := doc["threads"]; !ok {
+		t.Errorf("-profilejson missing accounting payload:\n%s", stdout.String())
+	}
+}

@@ -14,40 +14,58 @@
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"repro/internal/cliflag"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
+const usageLine = "usage: traceview [-dump|-timeline|-profile] [-chrometrace f] [-from d] [-to d] trace.bin"
+
 func main() {
+	os.Exit(cli(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// cli is main with its dependencies injected, so the flag surface is
+// testable. It returns the process exit code.
+func cli(args []string, stdout, stderr io.Writer) int {
+	fs := cliflag.New("traceview", stderr)
 	var (
-		dump     = flag.Bool("dump", false, "dump events as text instead of summarizing")
-		timeline = flag.Bool("timeline", false, "render an ASCII thread timeline of the window")
-		svg      = flag.String("svg", "", "write an SVG thread timeline of the window to this file")
-		width    = flag.Int("width", 100, "timeline width in columns")
-		rows     = flag.Int("rows", 20, "timeline rows (busiest threads first)")
-		from     = flag.Duration("from", 0, "window start (virtual)")
-		to       = flag.Duration("to", 0, "window end (virtual; 0 = end of trace)")
-		prof     = flag.Bool("profile", false, "print per-thread scheduler accounting for the whole trace")
-		chrome   = flag.String("chrometrace", "", "write the whole trace as Chrome trace-event JSON to this file")
+		dump     = fs.Bool("dump", false, "dump events as text instead of summarizing")
+		timeline = fs.Bool("timeline", false, "render an ASCII thread timeline of the window")
+		svg      = fs.String("svg", "", "write an SVG thread timeline of the window to this file")
+		width    = fs.Int("width", 100, "timeline width in columns")
+		rows     = fs.Int("rows", 20, "timeline rows (busiest threads first)")
+		from     = fs.Duration("from", 0, "window start (virtual)")
+		to       = fs.Duration("to", 0, "window end (virtual; 0 = end of trace)")
+		prof     = fs.Bool("profile", false, "print per-thread scheduler accounting for the whole trace")
+		chrome   = fs.String("chrometrace", "", "write the whole trace as Chrome trace-event JSON to this file")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceview [-dump|-timeline|-profile] [-chrometrace f] [-from d] [-to d] trace.bin")
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return cliflag.ExitUsage
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, usageLine)
+		return cliflag.ExitUsage
+	}
+	if err := cliflag.MinInt("width", *width, 8, "the timeline needs at least 8 columns"); err != nil {
+		return fs.Fail(err)
+	}
+	if err := cliflag.MinInt("rows", *rows, 1, "the timeline needs at least one row"); err != nil {
+		return fs.Fail(err)
 	}
 	m := mode{dump: *dump, timeline: *timeline, svg: *svg, width: *width, rows: *rows,
-		profile: *prof, chrome: *chrome}
-	if err := run(flag.Arg(0), m, *from, *to); err != nil {
-		fmt.Fprintln(os.Stderr, "traceview:", err)
-		os.Exit(1)
+		profile: *prof, chrome: *chrome, stdout: stdout}
+	if err := run(fs.Arg(0), m, *from, *to); err != nil {
+		return fs.Error(err)
 	}
+	return cliflag.ExitOK
 }
 
 // mode selects the output form.
@@ -57,9 +75,18 @@ type mode struct {
 	width, rows    int
 	profile        bool
 	chrome         string
+	stdout         io.Writer // defaults to os.Stdout when nil
+}
+
+func (m mode) out() io.Writer {
+	if m.stdout != nil {
+		return m.stdout
+	}
+	return os.Stdout
 }
 
 func run(path string, m mode, from, to time.Duration) error {
+	stdout := m.out()
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -92,10 +119,10 @@ func run(path string, m mode, from, to time.Duration) error {
 			if err := os.WriteFile(m.svg, []byte(tl.RenderSVG(tr)), 0o644); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", m.svg)
+			fmt.Fprintf(stdout, "wrote %s\n", m.svg)
 		}
 		if m.timeline {
-			fmt.Print(tl.Render(tr))
+			fmt.Fprint(stdout, tl.Render(tr))
 		}
 		return nil
 	}
@@ -106,7 +133,7 @@ func run(path string, m mode, from, to time.Duration) error {
 				window = append(window, ev)
 			}
 		}
-		return trace.WriteTextNamed(os.Stdout, trace.Trace{Events: window, Names: tr.Names})
+		return trace.WriteTextNamed(stdout, trace.Trace{Events: window, Names: tr.Names})
 	}
 
 	a := stats.Analyze(events, lo, hi)
@@ -121,16 +148,16 @@ func run(path string, m mode, from, to time.Duration) error {
 	t.AddRowf("%s", "distinct CVs", "%d", a.DistinctCVs)
 	t.AddRowf("%s", "distinct MLs", "%d", a.DistinctMLs)
 	t.AddRowf("%s", "max live threads", "%d", a.MaxLive)
-	fmt.Println(t.String())
-	fmt.Println("execution intervals:")
-	fmt.Println(a.Intervals.String())
-	fmt.Println("CPU time by priority:")
+	fmt.Fprintln(stdout, t.String())
+	fmt.Fprintln(stdout, "execution intervals:")
+	fmt.Fprintln(stdout, a.Intervals.String())
+	fmt.Fprintln(stdout, "CPU time by priority:")
 	for p := 1; p <= 7; p++ {
-		fmt.Printf("  pri %d: %5.1f%%\n", p, 100*a.CPUShareOfPriority(p))
+		fmt.Fprintf(stdout, "  pri %d: %5.1f%%\n", p, 100*a.CPUShareOfPriority(p))
 	}
-	fmt.Println("\nbusiest threads (virtual CPU):")
+	fmt.Fprintln(stdout, "\nbusiest threads (virtual CPU):")
 	for _, id := range a.BusiestThreads(10) {
-		fmt.Printf("  %-28s %s\n", tr.NameOf(id), a.ExecByThread[id])
+		fmt.Fprintf(stdout, "  %-28s %s\n", tr.NameOf(id), a.ExecByThread[id])
 	}
 	return nil
 }
@@ -140,6 +167,7 @@ func run(path string, m mode, from, to time.Duration) error {
 // dispatched a thread contribute no idle time here (the live profiler in
 // cmd/threadstudy knows the real count and is exact).
 func profileTrace(tr trace.Trace, m mode) error {
+	stdout := m.out()
 	events := tr.Events
 	cpus := 1
 	for _, ev := range events {
@@ -170,10 +198,10 @@ func profileTrace(tr trace.Trace, m mode) error {
 		if cerr != nil {
 			return cerr
 		}
-		fmt.Printf("wrote %s (%d spans)\n", m.chrome, len(prof.Spans))
+		fmt.Fprintf(stdout, "wrote %s (%d spans)\n", m.chrome, len(prof.Spans))
 	}
 	if m.profile {
-		fmt.Print(profile.NewReport(prof).String())
+		fmt.Fprint(stdout, profile.NewReport(prof).String())
 	}
 	return nil
 }

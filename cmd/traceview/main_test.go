@@ -68,3 +68,40 @@ func TestRunErrors(t *testing.T) {
 		t.Fatal("expected error for garbage trace")
 	}
 }
+
+// TestCLI exercises the cliflag-based flag surface end to end.
+func TestCLI(t *testing.T) {
+	path := writeTrace(t)
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantOut  string // substring of stdout
+		wantErr  string // substring of stderr
+	}{
+		{"summary", []string{path}, 0, "thread switches/sec", ""},
+		{"dump", []string{"-dump", path}, 0, "", ""},
+		{"missing operand", []string{}, 2, "", "usage: traceview"},
+		{"extra operand", []string{path, "extra"}, 2, "", "usage: traceview"},
+		{"unknown flag", []string{"-bogus", path}, 2, "", "flag provided but not defined"},
+		{"narrow timeline rejected", []string{"-timeline", "-width", "4", path}, 2, "", "-width 4: the timeline needs at least 8 columns"},
+		{"zero rows rejected", []string{"-timeline", "-rows", "0", path}, 2, "", "-rows 0: the timeline needs at least one row"},
+		{"missing file", []string{"nope.bin"}, 1, "", "traceview: "},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := cli(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("cli(%v) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, stdout.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, stderr.String())
+			}
+		})
+	}
+}

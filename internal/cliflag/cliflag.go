@@ -1,0 +1,161 @@
+// Package cliflag is the shared command-line surface of this
+// repository's binaries (cmd/threadstudy, cmd/traceview, cmd/schedcheck,
+// cmd/paradigmscan). Each command used to hand-roll the same plumbing —
+// a ContinueOnError flag set pointed at stderr, "<cmd>: <message>"
+// diagnostics, exit-code conventions, and ad-hoc flag validation — with
+// small divergences. This package is the single copy.
+//
+// Conventions every command shares:
+//
+//   - exit codes: 0 success, 1 runtime failure, 2 usage error
+//   - usage errors and runtime failures print one "<cmd>: <message>"
+//     line to stderr
+//   - advisories print "<cmd>: warning: <message>" to stderr and never
+//     change stdout (warned runs stay byte-identical to unwarned ones)
+//   - seed, minimum-value, enumeration, duration and positional-argument
+//     validation use the helpers below, so the message shapes match
+//     across commands
+package cliflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// The process exit codes every command in this repository uses.
+const (
+	ExitOK      = 0 // success
+	ExitFailure = 1 // runtime failure (the work itself went wrong)
+	ExitUsage   = 2 // usage error (bad flags or arguments)
+)
+
+// Set is a flag.FlagSet wired to the repository's CLI conventions: it
+// parses with ContinueOnError, prints to the command's stderr, and
+// carries the diagnostic helpers.
+type Set struct {
+	*flag.FlagSet
+	stderr io.Writer
+}
+
+// New returns a Set for the named command writing diagnostics to stderr.
+func New(name string, stderr io.Writer) *Set {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return &Set{FlagSet: fs, stderr: stderr}
+}
+
+// Failf reports a usage error as "<cmd>: <message>" and returns
+// ExitUsage, so callers can write `return fs.Failf(...)`.
+func (s *Set) Failf(format string, a ...any) int {
+	fmt.Fprintf(s.stderr, "%s: %s\n", s.Name(), fmt.Sprintf(format, a...))
+	return ExitUsage
+}
+
+// Fail reports err as a usage error and returns ExitUsage.
+func (s *Set) Fail(err error) int {
+	return s.Failf("%v", err)
+}
+
+// Error reports err as a runtime failure ("<cmd>: <err>") and returns
+// ExitFailure.
+func (s *Set) Error(err error) int {
+	fmt.Fprintf(s.stderr, "%s: %v\n", s.Name(), err)
+	return ExitFailure
+}
+
+// Warnf prints a "<cmd>: warning: <message>" advisory to stderr.
+// Warnings never affect stdout or the exit code.
+func (s *Set) Warnf(format string, a ...any) {
+	fmt.Fprintf(s.stderr, "%s: warning: %s\n", s.Name(), fmt.Sprintf(format, a...))
+}
+
+// NoArgs rejects any positional argument.
+func (s *Set) NoArgs() error {
+	return s.MaxArgs(0)
+}
+
+// MaxArgs rejects positional arguments beyond the first n.
+func (s *Set) MaxArgs(n int) error {
+	if s.NArg() > n {
+		return fmt.Errorf("unexpected argument %q", s.Arg(n))
+	}
+	return nil
+}
+
+// CheckSeed rejects the zero seed, which every command treats as a
+// usage error (zero either aliases the default seed or disables the
+// world RNG). why completes the message after "-seed " in the command's
+// own terms.
+func CheckSeed(seed int64, why string) error {
+	if seed != 0 {
+		return nil
+	}
+	return fmt.Errorf("-seed %s", why)
+}
+
+// MinInt enforces a floor on an integer knob, echoing the rejected
+// value: "-<name> <v>: <why>".
+func MinInt(name string, v, min int, why string) error {
+	if v >= min {
+		return nil
+	}
+	return fmt.Errorf("-%s %d: %s", name, v, why)
+}
+
+// AtLeast is MinInt with the terse canonical message
+// "-<name> must be at least <min>".
+func AtLeast(name string, v, min int) error {
+	if v >= min {
+		return nil
+	}
+	return fmt.Errorf("-%s must be at least %d", name, min)
+}
+
+// OneOf validates an enumerated string flag:
+// `unknown -<name> "<v>" (want a or b)`.
+func OneOf(name, v string, allowed ...string) error {
+	for _, a := range allowed {
+		if v == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown -%s %q (want %s)", name, v, orList(allowed))
+}
+
+// Exclusive rejects two flags being set together:
+// "-<a> and -<b> are mutually exclusive".
+func Exclusive(a string, aSet bool, b string, bSet bool) error {
+	if aSet && bSet {
+		return fmt.Errorf("-%s and -%s are mutually exclusive", a, b)
+	}
+	return nil
+}
+
+// VirtualDuration converts a wall-clock flag value into virtual
+// microseconds. Flags parse wall-clock syntax ("1.5s", "500ns") but the
+// simulator runs in virtual microseconds, so sub-microsecond values
+// would silently truncate to a zero-length run; they are rejected
+// instead.
+func VirtualDuration(name string, d time.Duration) (vclock.Duration, error) {
+	us := d.Microseconds()
+	if us <= 0 {
+		return 0, fmt.Errorf("-%s %v rounds to %dus of virtual time; need at least 1us", name, d, us)
+	}
+	return vclock.Duration(us), nil
+}
+
+// orList renders an enumeration as prose: "a", "a or b", "a, b or c".
+func orList(items []string) string {
+	switch len(items) {
+	case 0:
+		return ""
+	case 1:
+		return items[0]
+	}
+	return strings.Join(items[:len(items)-1], ", ") + " or " + items[len(items)-1]
+}

@@ -1,0 +1,121 @@
+package cliflag
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSetDiagnostics(t *testing.T) {
+	var stderr strings.Builder
+	s := New("toolx", &stderr)
+	if code := s.Failf("bad %s", "flag"); code != ExitUsage {
+		t.Fatalf("Failf returned %d, want %d", code, ExitUsage)
+	}
+	if got := stderr.String(); got != "toolx: bad flag\n" {
+		t.Fatalf("Failf wrote %q", got)
+	}
+	stderr.Reset()
+	s.Warnf("knob %d ignored", 7)
+	if got := stderr.String(); got != "toolx: warning: knob 7 ignored\n" {
+		t.Fatalf("Warnf wrote %q", got)
+	}
+	stderr.Reset()
+	if code := s.Error(errFor("boom")); code != ExitFailure {
+		t.Fatalf("Error returned %d, want %d", code, ExitFailure)
+	}
+	if got := stderr.String(); got != "toolx: boom\n" {
+		t.Fatalf("Error wrote %q", got)
+	}
+}
+
+func errFor(msg string) error { return &strErr{msg} }
+
+type strErr struct{ s string }
+
+func (e *strErr) Error() string { return e.s }
+
+func TestParseConventions(t *testing.T) {
+	var stderr strings.Builder
+	s := New("toolx", &stderr)
+	n := s.Int("n", 1, "a knob")
+	if err := s.Parse([]string{"-n", "3", "extra", "more"}); err != nil {
+		t.Fatal(err)
+	}
+	if *n != 3 {
+		t.Fatalf("n = %d", *n)
+	}
+	if err := s.MaxArgs(1); err == nil || !strings.Contains(err.Error(), `unexpected argument "more"`) {
+		t.Fatalf("MaxArgs(1) = %v", err)
+	}
+	if err := s.NoArgs(); err == nil || !strings.Contains(err.Error(), `unexpected argument "extra"`) {
+		t.Fatalf("NoArgs = %v", err)
+	}
+	// Unknown flags surface through Parse with the stdlib's message on
+	// the command's stderr.
+	s2 := New("toolx", &stderr)
+	stderr.Reset()
+	if err := s2.Parse([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(stderr.String(), "flag provided but not defined") {
+		t.Fatalf("stderr %q", stderr.String())
+	}
+}
+
+func TestValidators(t *testing.T) {
+	if err := CheckSeed(5, "must be nonzero"); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckSeed(0, "must be nonzero (0 would disable the world RNG)"); err == nil ||
+		err.Error() != "-seed must be nonzero (0 would disable the world RNG)" {
+		t.Fatalf("CheckSeed: %v", err)
+	}
+
+	if err := MinInt("parallel", 4, 1, "need at least one worker"); err != nil {
+		t.Fatal(err)
+	}
+	if err := MinInt("parallel", 0, 1, "need at least one worker"); err == nil ||
+		err.Error() != "-parallel 0: need at least one worker" {
+		t.Fatalf("MinInt: %v", err)
+	}
+
+	if err := AtLeast("budget", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := AtLeast("budget", 0, 1); err == nil || err.Error() != "-budget must be at least 1" {
+		t.Fatalf("AtLeast: %v", err)
+	}
+
+	if err := OneOf("format", "text", "text", "markdown"); err != nil {
+		t.Fatal(err)
+	}
+	if err := OneOf("format", "yaml", "text", "markdown"); err == nil ||
+		err.Error() != `unknown -format "yaml" (want text or markdown)` {
+		t.Fatalf("OneOf: %v", err)
+	}
+	if err := OneOf("x", "d", "a", "b", "c"); err == nil ||
+		!strings.Contains(err.Error(), "want a, b or c") {
+		t.Fatalf("OneOf three: %v", err)
+	}
+
+	if err := Exclusive("replay", false, "shrink", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := Exclusive("replay", true, "shrink", true); err == nil ||
+		err.Error() != "-replay and -shrink are mutually exclusive" {
+		t.Fatalf("Exclusive: %v", err)
+	}
+
+	if d, err := VirtualDuration("traceduration", 1500*time.Microsecond); err != nil || d != 1500 {
+		t.Fatalf("VirtualDuration = %v, %v", d, err)
+	}
+	if _, err := VirtualDuration("traceduration", 500*time.Nanosecond); err == nil ||
+		err.Error() != "-traceduration 500ns rounds to 0us of virtual time; need at least 1us" {
+		t.Fatalf("VirtualDuration sub-us: %v", err)
+	}
+	if _, err := VirtualDuration("traceduration", -time.Second); err == nil ||
+		!strings.Contains(err.Error(), "need at least 1us") {
+		t.Fatalf("VirtualDuration negative: %v", err)
+	}
+}

@@ -2,135 +2,182 @@
 // queue at the heart of the discrete-event thread simulator. Events with
 // equal timestamps are delivered in insertion order (FIFO), which keeps
 // simulations reproducible run to run.
+//
+// The queue is an indexed binary min-heap over pooled event structs: a
+// canceled or delivered event is unlinked from the heap immediately and
+// recycled for the next Schedule, so a steady-state simulation — millions
+// of timer, quantum and compute-completion events — allocates nothing in
+// the scheduling hot path. Callers hold generation-checked Handles rather
+// than raw pointers, which makes a stale Cancel (after the event fired or
+// its struct was recycled) a safe no-op instead of a use-after-free.
 package eventq
 
 import (
-	"container/heap"
-
 	"repro/internal/vclock"
 )
 
-// Event is a scheduled occurrence. The simulator stores arbitrary payloads
-// via the Do callback; cancellation is supported so that, e.g., a quantum
-// expiry can be revoked when its thread blocks early.
-type Event struct {
-	When vclock.Time
-	Do   func()
-
-	seq      uint64
-	index    int // heap index, -1 when not queued
-	canceled bool
+// event is one scheduled occurrence. Event structs are owned and recycled
+// by their Queue; callers refer to them through Handles.
+type event struct {
+	when vclock.Time
+	do   func()
+	seq  uint64 // insertion order, the FIFO tie-break at equal timestamps
+	idx  int32  // heap index, -1 when not queued
+	gen  uint32 // bumped on every recycle; Handles must match to act
 }
 
-// Canceled reports whether Cancel was called on e.
-func (e *Event) Canceled() bool { return e.canceled }
+// Handle identifies one scheduled event. The zero Handle is invalid (and
+// safe to Cancel). A Handle outlives its event harmlessly: once the event
+// fires or is canceled, the struct is recycled under a new generation and
+// the stale Handle no longer matches.
+type Handle struct {
+	e   *event
+	gen uint32
+}
+
+// Valid reports whether h still names a queued event.
+func (h Handle) Valid() bool {
+	return h.e != nil && h.e.gen == h.gen && h.e.idx >= 0
+}
 
 // Queue is a priority queue of events ordered by (When, insertion order).
 // The zero value is an empty queue ready to use.
 type Queue struct {
-	h   eventHeap
-	seq uint64
+	h    []*event
+	free []*event // recycled event structs (event pooling)
+	seq  uint64
 }
 
-// Len returns the number of live (non-canceled) events in the queue.
-// Canceled events still physically queued are not counted.
-func (q *Queue) Len() int {
-	n := 0
-	for _, e := range q.h {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Len returns the number of queued events.
+func (q *Queue) Len() int { return len(q.h) }
 
-// Empty reports whether no live events remain.
-func (q *Queue) Empty() bool {
-	for _, e := range q.h {
-		if !e.canceled {
-			return false
-		}
-	}
-	return true
-}
+// Empty reports whether no events remain.
+func (q *Queue) Empty() bool { return len(q.h) == 0 }
 
 // Schedule enqueues fn to run at t and returns a handle that can cancel it.
-func (q *Queue) Schedule(t vclock.Time, fn func()) *Event {
-	e := &Event{When: t, Do: fn, seq: q.seq, index: -1}
+func (q *Queue) Schedule(t vclock.Time, fn func()) Handle {
+	var e *event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	e.when, e.do, e.seq = t, fn, q.seq
 	q.seq++
-	heap.Push(&q.h, e)
-	return e
+	e.idx = int32(len(q.h))
+	q.h = append(q.h, e)
+	q.up(int(e.idx))
+	return Handle{e: e, gen: e.gen}
 }
 
-// Cancel marks e as canceled. A canceled event is skipped by Pop. Cancel
-// on an already-popped or already-canceled event is a no-op.
-func (q *Queue) Cancel(e *Event) {
-	if e == nil || e.canceled {
+// Cancel removes the event named by h from the queue. Cancel on the zero
+// Handle, an already-fired event, or an already-canceled event is a no-op.
+func (q *Queue) Cancel(h Handle) {
+	if !h.Valid() {
 		return
 	}
-	e.canceled = true
-	if e.index >= 0 {
-		heap.Remove(&q.h, e.index)
-		e.index = -1
-	}
+	q.remove(int(h.e.idx))
+	q.recycle(h.e)
 }
 
-// NextTime returns the timestamp of the earliest live event, or
-// vclock.Never if the queue is empty.
+// NextTime returns the timestamp of the earliest event, or vclock.Never
+// if the queue is empty.
 func (q *Queue) NextTime() vclock.Time {
-	q.skipCanceled()
 	if len(q.h) == 0 {
 		return vclock.Never
 	}
-	return q.h[0].When
+	return q.h[0].when
 }
 
-// Pop removes and returns the earliest live event, or nil if none remain.
-func (q *Queue) Pop() *Event {
-	q.skipCanceled()
+// PopDo removes the earliest event and returns its callback and
+// timestamp. The event struct is recycled before the callback runs, so
+// the callback itself may Schedule without growing the pool. ok is false
+// when the queue is empty.
+func (q *Queue) PopDo() (do func(), when vclock.Time, ok bool) {
 	if len(q.h) == 0 {
-		return nil
+		return nil, 0, false
 	}
-	e := heap.Pop(&q.h).(*Event)
-	e.index = -1
-	return e
+	e := q.h[0]
+	do, when = e.do, e.when
+	q.remove(0)
+	q.recycle(e)
+	return do, when, true
 }
 
-func (q *Queue) skipCanceled() {
-	for len(q.h) > 0 && q.h[0].canceled {
-		e := heap.Pop(&q.h).(*Event)
-		e.index = -1
+// recycle invalidates every outstanding Handle to e and returns the
+// struct to the pool.
+func (q *Queue) recycle(e *event) {
+	e.gen++
+	e.do = nil
+	e.idx = -1
+	q.free = append(q.free, e)
+}
+
+// remove unlinks the event at heap index i.
+func (q *Queue) remove(i int) {
+	n := len(q.h) - 1
+	last := q.h[n]
+	q.h[n] = nil
+	q.h = q.h[:n]
+	if i == n {
+		return
+	}
+	q.h[i] = last
+	last.idx = int32(i)
+	if !q.up(i) {
+		q.down(i)
 	}
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].When != h[j].When {
-		return h[i].When < h[j].When
+// less orders events by (when, seq): earliest first, FIFO at ties.
+func (q *Queue) less(i, j int) bool {
+	a, b := q.h[i], q.h[j]
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// up sifts the event at index i toward the root; it reports whether the
+// event moved.
+func (q *Queue) up(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
 }
 
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+// down sifts the event at index i toward the leaves.
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && q.less(r, l) {
+			min = r
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.swap(i, min)
+		i = min
+	}
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+func (q *Queue) swap(i, j int) {
+	q.h[i], q.h[j] = q.h[j], q.h[i]
+	q.h[i].idx = int32(i)
+	q.h[j].idx = int32(j)
 }

@@ -9,19 +9,29 @@ import (
 	"repro/internal/vclock"
 )
 
+// drain pops every event, returning the timestamps in pop order and
+// running the callbacks.
+func drain(q *Queue) []vclock.Time {
+	var out []vclock.Time
+	for {
+		do, when, ok := q.PopDo()
+		if !ok {
+			return out
+		}
+		out = append(out, when)
+		if do != nil {
+			do()
+		}
+	}
+}
+
 func TestPopOrder(t *testing.T) {
 	var q Queue
 	var got []int
 	q.Schedule(30, func() { got = append(got, 3) })
 	q.Schedule(10, func() { got = append(got, 1) })
 	q.Schedule(20, func() { got = append(got, 2) })
-	for {
-		e := q.Pop()
-		if e == nil {
-			break
-		}
-		e.Do()
-	}
+	drain(&q)
 	want := []int{1, 2, 3}
 	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
 		t.Fatalf("pop order = %v, want %v", got, want)
@@ -35,9 +45,7 @@ func TestFIFOTieBreak(t *testing.T) {
 		i := i
 		q.Schedule(100, func() { got = append(got, i) })
 	}
-	for e := q.Pop(); e != nil; e = q.Pop() {
-		e.Do()
-	}
+	drain(&q)
 	for i, v := range got {
 		if v != i {
 			t.Fatalf("equal-timestamp events delivered out of insertion order: %v", got)
@@ -51,24 +59,48 @@ func TestCancel(t *testing.T) {
 	e := q.Schedule(10, func() { ran = true })
 	q.Schedule(20, func() {})
 	q.Cancel(e)
-	if !e.Canceled() {
-		t.Fatal("event not marked canceled")
+	if e.Valid() {
+		t.Fatal("canceled handle still valid")
 	}
 	if q.NextTime() != 20 {
 		t.Fatalf("NextTime = %v, want 20", q.NextTime())
 	}
-	if got := q.Pop(); got == nil || got.When != 20 {
-		t.Fatalf("Pop returned %+v, want event at 20", got)
+	if _, when, ok := q.PopDo(); !ok || when != 20 {
+		t.Fatalf("PopDo returned when=%v ok=%v, want event at 20", when, ok)
 	}
-	if q.Pop() != nil {
+	if _, _, ok := q.PopDo(); ok {
 		t.Fatal("expected empty queue")
 	}
 	if ran {
 		t.Fatal("canceled event ran")
 	}
-	// Double cancel and cancel-after-pop must not panic.
+	// Double cancel and the zero Handle must not panic.
 	q.Cancel(e)
-	q.Cancel(nil)
+	q.Cancel(Handle{})
+}
+
+// A Handle kept across the event's delivery and the struct's recycling
+// must go stale rather than cancel the recycled event.
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	var q Queue
+	h := q.Schedule(10, nil)
+	if _, _, ok := q.PopDo(); !ok {
+		t.Fatal("pop failed")
+	}
+	if h.Valid() {
+		t.Fatal("handle to popped event still valid")
+	}
+	// The pool reuses the struct for the next Schedule; the stale handle
+	// must not be able to cancel it.
+	h2 := q.Schedule(20, nil)
+	q.Cancel(h)
+	if !h2.Valid() {
+		t.Fatal("stale Cancel revoked a recycled event")
+	}
+	q.Cancel(h2)
+	if h2.Valid() {
+		t.Fatal("fresh Cancel had no effect")
+	}
 }
 
 func TestNextTimeEmpty(t *testing.T) {
@@ -100,27 +132,20 @@ func TestPopSortedProperty(t *testing.T) {
 	f := func(times []int16, seed int64) bool {
 		var q Queue
 		rng := rand.New(rand.NewSource(seed))
-		var handles []*Event
+		delivered := 0
+		var handles []Handle
 		for _, ti := range times {
-			handles = append(handles, q.Schedule(vclock.Time(int64(ti)+1<<15), nil))
+			handles = append(handles, q.Schedule(vclock.Time(int64(ti)+1<<15), func() { delivered++ }))
 		}
-		canceled := map[*Event]bool{}
+		canceled := 0
 		for _, h := range handles {
 			if rng.Intn(4) == 0 {
 				q.Cancel(h)
-				canceled[h] = true
+				canceled++
 			}
 		}
-		var popped []vclock.Time
-		seen := map[*Event]bool{}
-		for e := q.Pop(); e != nil; e = q.Pop() {
-			if canceled[e] || seen[e] {
-				return false
-			}
-			seen[e] = true
-			popped = append(popped, e.When)
-		}
-		if len(popped) != len(times)-len(canceled) {
+		popped := drain(&q)
+		if len(popped) != len(times)-canceled || delivered != len(popped) {
 			return false
 		}
 		return sort.SliceIsSorted(popped, func(i, j int) bool { return popped[i] < popped[j] })
@@ -134,15 +159,57 @@ func TestInterleavedScheduleAndPop(t *testing.T) {
 	var q Queue
 	q.Schedule(10, nil)
 	q.Schedule(5, nil)
-	if e := q.Pop(); e.When != 5 {
-		t.Fatalf("first pop at %v, want 5", e.When)
+	if _, when, _ := q.PopDo(); when != 5 {
+		t.Fatalf("first pop at %v, want 5", when)
 	}
 	// Schedule earlier than an already queued event.
 	q.Schedule(7, nil)
-	if e := q.Pop(); e.When != 7 {
-		t.Fatalf("second pop at %v, want 7", e.When)
+	if _, when, _ := q.PopDo(); when != 7 {
+		t.Fatalf("second pop at %v, want 7", when)
 	}
-	if e := q.Pop(); e.When != 10 {
-		t.Fatalf("third pop at %v, want 10", e.When)
+	if _, when, _ := q.PopDo(); when != 10 {
+		t.Fatalf("third pop at %v, want 10", when)
+	}
+}
+
+// The pool must keep steady-state scheduling allocation-free: after a
+// warm-up, a schedule/pop cycle reuses recycled event structs.
+func TestPoolingAllocFree(t *testing.T) {
+	var q Queue
+	fn := func() {}
+	for i := 0; i < 64; i++ { // warm the pool and the heap slice
+		q.Schedule(vclock.Time(i), fn)
+	}
+	drain(&q)
+	now := vclock.Time(1000)
+	allocs := testing.AllocsPerRun(1000, func() {
+		h := q.Schedule(now, fn)
+		_ = h
+		q.PopDo()
+		now++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/pop allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Cancel from the middle of the heap must preserve ordering of the rest.
+func TestCancelMiddle(t *testing.T) {
+	var q Queue
+	var hs []Handle
+	for _, when := range []vclock.Time{50, 10, 40, 20, 30, 60, 15} {
+		hs = append(hs, q.Schedule(when, nil))
+	}
+	q.Cancel(hs[2]) // 40
+	q.Cancel(hs[3]) // 20
+	got := drain(&q)
+	want := []vclock.Time{10, 15, 30, 50, 60}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
 	}
 }

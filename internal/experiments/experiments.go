@@ -81,6 +81,11 @@ type Report struct {
 
 	Tables []*stats.Table
 	Notes  []string
+
+	// Load carries a W-series run's machine-readable throughput and
+	// latency summary; nil for the T/F/R series. The runner copies it
+	// into the run's Metrics so -json and -bench output include it.
+	Load *LoadSummary
 }
 
 // String renders the report as plain text.
@@ -143,9 +148,11 @@ func All() []Experiment {
 	}
 }
 
-// ByID returns the experiment with the given ID (case-insensitive).
+// ByID returns the experiment with the given ID (case-insensitive),
+// searching the default set and the W series.
 func ByID(id string) (Experiment, error) {
-	for _, e := range All() {
+	all := append(All(), WSeries()...)
+	for _, e := range all {
 		if strings.EqualFold(e.ID, id) {
 			return e, nil
 		}
@@ -153,7 +160,7 @@ func ByID(id string) (Experiment, error) {
 	// List the IDs in presentation order — sorting lexicographically
 	// would interleave them as "F1 F10 F11 F12 F2 ...".
 	var ids []string
-	for _, e := range All() {
+	for _, e := range all {
 		ids = append(ids, e.ID)
 	}
 	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, " "))

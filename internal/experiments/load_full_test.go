@@ -1,0 +1,34 @@
+//go:build !race
+
+package experiments
+
+import "testing"
+
+// The full-scale W1 acceptance point: one hundred thousand requests
+// through ten thousand live threads, deterministically. Excluded under
+// the race detector, whose channel instrumentation makes the 10k-thread
+// population an order of magnitude slower; the quick-scale tests cover
+// the same code paths under -race.
+func TestW1FullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale W1 population skipped in -short")
+	}
+	a := LoadEcho(Config{})
+	l := a.Load
+	if l.Threads < 10_000 {
+		t.Fatalf("threads = %d, want >= 10000", l.Threads)
+	}
+	if l.Completed < 100_000 || l.Completed != l.Offered {
+		t.Fatalf("offered=%d completed=%d, want >= 100k fully served", l.Offered, l.Completed)
+	}
+	if l.P50US <= 0 || l.MaxUS < l.P99US {
+		t.Fatalf("bad percentiles: %+v", l)
+	}
+	b := LoadEcho(Config{})
+	if a.String() != b.String() {
+		t.Fatalf("full-scale W1 is nondeterministic:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if *a.Load != *b.Load {
+		t.Fatalf("load summaries diverged: %+v vs %+v", a.Load, b.Load)
+	}
+}

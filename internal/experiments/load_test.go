@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWSeriesRegistered(t *testing.T) {
+	ws := WSeries()
+	if len(ws) != 3 {
+		t.Fatalf("WSeries has %d entries, want 3", len(ws))
+	}
+	// The W series is reachable by ID but stays out of the default set,
+	// so the default stdout (and its goldens) never see it.
+	for _, e := range ws {
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Fatalf("ByID(%q) = %v, %v", e.ID, got.ID, err)
+		}
+		for _, d := range All() {
+			if d.ID == e.ID {
+				t.Fatalf("%s leaked into the default experiment list", e.ID)
+			}
+		}
+	}
+	if _, err := ByID("W9"); err == nil || !strings.Contains(err.Error(), "W1") {
+		t.Fatalf("ByID(W9) error should list W-series IDs, got %v", err)
+	}
+}
+
+func TestWSeriesQuick(t *testing.T) {
+	for _, e := range WSeries() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := e.Run(Config{Quick: true})
+			if rep.ID != e.ID {
+				t.Fatalf("report ID %q, want %q", rep.ID, e.ID)
+			}
+			l := rep.Load
+			if l == nil {
+				t.Fatal("W-series report without a Load summary")
+			}
+			if l.Completed != l.Offered || l.Completed == 0 {
+				t.Fatalf("offered=%d completed=%d, want all served", l.Offered, l.Completed)
+			}
+			if l.P50US <= 0 || l.P95US < l.P50US || l.P99US < l.P95US || l.MaxUS < l.P99US {
+				t.Fatalf("percentiles not monotone: %+v", l)
+			}
+			if l.ThroughputPerSec <= 0 || l.Threads <= 0 {
+				t.Fatalf("degenerate load summary: %+v", l)
+			}
+		})
+	}
+}
+
+func TestWSeriesMetricsCarryLoad(t *testing.T) {
+	outs := RunWith(Config{Quick: true}, Options{Parallelism: 2, Experiments: WSeries()[:1]})
+	if len(outs) != 1 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	m := outs[0].Metrics
+	if m.Load == nil || m.Load.Completed == 0 {
+		t.Fatalf("runner dropped the load summary: %+v", m.Load)
+	}
+	if m.Events == 0 || m.Worlds != 1 {
+		t.Fatalf("probe counters missing: events=%d worlds=%d", m.Events, m.Worlds)
+	}
+}
+
+func TestWSeriesQuickDeterministic(t *testing.T) {
+	for _, e := range WSeries() {
+		a := e.Run(Config{Quick: true, Seed: 3}).String()
+		b := e.Run(Config{Quick: true, Seed: 3}).String()
+		if a != b {
+			t.Fatalf("%s: same seed diverged:\n%s\n---\n%s", e.ID, a, b)
+		}
+	}
+}

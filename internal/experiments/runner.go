@@ -42,6 +42,10 @@ type Metrics struct {
 	// them as approximate there.
 	AllocBytes   uint64 `json:"alloc_bytes"`
 	AllocObjects uint64 `json:"alloc_objects"`
+
+	// Load is the W-series throughput/latency summary; omitted for the
+	// T/F/R series.
+	Load *LoadSummary `json:"load,omitempty"`
 }
 
 // Outcome couples an experiment's report with its run metrics and, in
@@ -222,6 +226,7 @@ func runOne(e Experiment, cfg Config, opts Options) Outcome {
 		m.EventsPerSec = float64(m.Events) / secs
 		m.VirtualPerWall = m.VirtualTime.Seconds() / secs
 	}
+	m.Load = report.Load
 	out := Outcome{Report: report, Metrics: m}
 	if set != nil {
 		sum := set.Summary()

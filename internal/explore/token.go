@@ -16,6 +16,15 @@ import (
 // a failure and what the regression corpus under testdata/regressions
 // stores, so the format is versioned.
 
+// TokenSchema is the replay-token format version. The "v1" prefix on
+// every token is this number, and it is the same schema version 1 that
+// the repository's JSON outputs carry as a top-level "schema" field
+// (see the machine-readable output section of EXPERIMENTS.md).
+const TokenSchema = 1
+
+// tokenPrefix is the rendered version field, "v1".
+var tokenPrefix = fmt.Sprintf("v%d", TokenSchema)
+
 // EncodeToken renders a replay token.
 func EncodeToken(scenario string, s Schedule) string {
 	steps := "-"
@@ -26,13 +35,13 @@ func EncodeToken(scenario string, s Schedule) string {
 		}
 		steps = strings.Join(parts, ",")
 	}
-	return fmt.Sprintf("v1;%s;seed=%d;steps=%s", scenario, s.Seed, steps)
+	return fmt.Sprintf("%s;%s;seed=%d;steps=%s", tokenPrefix, scenario, s.Seed, steps)
 }
 
 // DecodeToken parses a replay token.
 func DecodeToken(tok string) (scenario string, s Schedule, err error) {
 	fields := strings.Split(strings.TrimSpace(tok), ";")
-	if len(fields) != 4 || fields[0] != "v1" {
+	if len(fields) != 4 || fields[0] != tokenPrefix {
 		return "", s, fmt.Errorf("explore: malformed token %q (want v1;<scenario>;seed=<n>;steps=...)", tok)
 	}
 	scenario = fields[1]

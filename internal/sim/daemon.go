@@ -28,11 +28,12 @@ func (w *World) randomRunnable() *Thread {
 	}
 	k := w.rng.Intn(n)
 	for p := PriorityMin; p <= PriorityInterrupt; p++ {
-		q := w.runq[p]
-		if k < len(q) {
-			return q[k]
+		for t := w.readyHead[p]; t != nil; t = t.qnext {
+			if k == 0 {
+				return t
+			}
+			k--
 		}
-		k -= len(q)
 	}
 	return nil
 }

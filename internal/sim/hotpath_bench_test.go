@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// The hot-path allocation suite. The PR-5 overhaul made the event loop,
+// the ready queues and the discard-sink tracing path allocation-free in
+// steady state; these benchmarks report allocs/op so a regression is
+// visible in `make bench` output, and TestHotPathAllocs pins the
+// steady-state counts to zero so a regression fails the suite outright.
+
+// BenchmarkEventLoop measures one pooled timer event: schedule into the
+// indexed heap, pop, recycle the event struct.
+func BenchmarkEventLoop(b *testing.B) {
+	w := NewWorld(Config{TimeoutGranularity: 1})
+	defer w.Shutdown()
+	n := b.N
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < n {
+			w.After(vclock.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	w.After(vclock.Microsecond, tick)
+	w.Run(vclock.Never - 1)
+	if fired != n {
+		b.Fatalf("fired %d of %d", fired, n)
+	}
+}
+
+// BenchmarkReadyQueueOps measures the intrusive ready-queue primitives:
+// 64 threads across all seven priorities pushed, then drained in
+// priority order through the occupancy bitmap.
+func BenchmarkReadyQueueOps(b *testing.B) {
+	w := NewWorld(Config{})
+	defer w.Shutdown()
+	body := func(t *Thread) any { return nil }
+	ths := make([]*Thread, 64)
+	for i := range ths {
+		ths[i] = w.newThread(fmt.Sprintf("t%d", i), Priority(1+i%int(NumPriorities)), body, nil)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range ths {
+			w.pushReady(t)
+		}
+		for w.readyMask != 0 {
+			w.removeReady(w.topRunnable())
+		}
+	}
+}
+
+// BenchmarkDiscardTrace measures the tracing fast path when the sink is
+// trace.Discard: one predicate load, no event copy.
+func BenchmarkDiscardTrace(b *testing.B) {
+	w := NewWorld(Config{})
+	defer w.Shutdown()
+	ev := trace.Event{Time: 1, Kind: trace.KindYield, Thread: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.record(ev)
+	}
+}
+
+// BenchmarkComputeFastPath measures the inline clock advance: a lone
+// running thread consuming CPU demand with no competitor and no
+// intervening event skips the park/heap round trip entirely.
+func BenchmarkComputeFastPath(b *testing.B) {
+	w := NewWorld(Config{SwitchCost: -1, TimeoutGranularity: 1})
+	defer w.Shutdown()
+	stop := false
+	w.Spawn("worker", PriorityNormal, func(t *Thread) any {
+		for !stop {
+			t.Compute(vclock.Microsecond)
+		}
+		return nil
+	})
+	horizon := vclock.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		horizon = horizon.Add(vclock.Microsecond)
+		w.Run(horizon)
+	}
+	b.StopTimer()
+	stop = true
+}
+
+// TestHotPathAllocs pins the steady-state allocation counts of the three
+// hot paths to exactly zero. `make bench` runs this test alongside the
+// benchmarks, so an allocation slipping back into the hot path fails CI
+// rather than silently eroding the throughput win.
+func TestHotPathAllocs(t *testing.T) {
+	// Event loop: batches of pooled timer events through the indexed heap.
+	w := NewWorld(Config{TimeoutGranularity: 1})
+	defer w.Shutdown()
+	const batch = 100
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired%batch != 0 {
+			w.After(vclock.Microsecond, tick)
+		}
+	}
+	horizon := vclock.Time(0)
+	runBatch := func() {
+		w.After(vclock.Microsecond, tick)
+		horizon = horizon.Add(2 * batch * vclock.Microsecond)
+		w.Run(horizon)
+	}
+	runBatch() // warm the event pool
+	if got := testing.AllocsPerRun(10, runBatch); got > 0 {
+		t.Errorf("event loop: %.1f allocs per %d events, want 0", got, batch)
+	}
+
+	// Ready-queue ops: intrusive splice in, bitmap-guided drain.
+	body := func(th *Thread) any { return nil }
+	ths := make([]*Thread, 64)
+	for i := range ths {
+		ths[i] = w.newThread(fmt.Sprintf("rq%d", i), Priority(1+i%int(NumPriorities)), body, nil)
+	}
+	pushDrain := func() {
+		for _, th := range ths {
+			w.pushReady(th)
+		}
+		for w.readyMask != 0 {
+			w.removeReady(w.topRunnable())
+		}
+	}
+	if got := testing.AllocsPerRun(10, pushDrain); got > 0 {
+		t.Errorf("ready queue: %.1f allocs per push+drain of %d threads, want 0", got, len(ths))
+	}
+
+	// Discard-sink tracing: record must be a guarded no-op.
+	ev := trace.Event{Time: 1, Kind: trace.KindYield, Thread: 1}
+	if got := testing.AllocsPerRun(100, func() { w.record(ev) }); got > 0 {
+		t.Errorf("discard tracing: %.1f allocs per record, want 0", got)
+	}
+}

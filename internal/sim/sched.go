@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/eventq"
 	"repro/internal/trace"
 )
 
@@ -23,7 +24,7 @@ func (w *World) settle() {
 		pumped := false
 		for _, c := range w.cpus {
 			t := c.current
-			if t != nil && t.state == StateRunning && t.computeLeft == 0 && t.completion == nil {
+			if t != nil && t.state == StateRunning && t.computeLeft == 0 && !t.completion.Valid() {
 				w.pump(t)
 				pumped = true
 				break // re-evaluate dispatch after each pump
@@ -44,13 +45,9 @@ func (w *World) adjust(c *cpu) bool {
 		return true
 	}
 	t := c.current
-	if t != nil && t.computeLeft > 0 && t.completion == nil {
+	if t != nil && t.computeLeft > 0 && !t.completion.Valid() {
 		t.grantStart = w.clock
-		tt := t
-		t.completion = w.evq.Schedule(w.clock.Add(t.computeLeft), func() {
-			tt.completion = nil
-			tt.computeLeft = 0
-		})
+		t.completion = w.evq.Schedule(w.clock.Add(t.computeLeft), t.completionFn)
 	}
 	return false
 }
@@ -89,18 +86,20 @@ func (w *World) pickFor(c *cpu) *Thread {
 	}
 	// A switch to top is imminent (top sits on the run queue, cur does
 	// not, so they differ). Offer the whole winning-priority queue.
-	if w.cfg.Hooks.OnSchedule != nil {
-		if q := w.runq[top.pri]; len(q) > 1 {
-			return w.consultSchedule(c, w.scheduleCands(q, nil))
-		}
+	if w.cfg.Hooks.OnSchedule != nil && top.qnext != nil {
+		return w.consultSchedule(c, w.scheduleCands(top, nil))
 	}
 	return top
 }
 
-// scheduleCands assembles an OnSchedule candidate list from a run-queue
-// slice plus an optional extra entry, reusing the world's scratch slice.
-func (w *World) scheduleCands(q []*Thread, extra *Thread) []*Thread {
-	cands := append(w.schedCands[:0], q...)
+// scheduleCands assembles an OnSchedule candidate list by walking a ready
+// FIFO from head, plus an optional extra entry, reusing the world's
+// scratch slice.
+func (w *World) scheduleCands(head *Thread, extra *Thread) []*Thread {
+	cands := w.schedCands[:0]
+	for t := head; t != nil; t = t.qnext {
+		cands = append(cands, t)
+	}
 	if extra != nil {
 		cands = append(cands, extra)
 	}
@@ -120,16 +119,6 @@ func (w *World) consultSchedule(c *cpu, cands []*Thread) *Thread {
 	return cands[i]
 }
 
-// topRunnable returns the head of the highest non-empty priority queue.
-func (w *World) topRunnable() *Thread {
-	for p := PriorityInterrupt; p >= PriorityMin; p-- {
-		if q := w.runq[p]; len(q) > 0 {
-			return q[0]
-		}
-	}
-	return nil
-}
-
 // switchTo installs `to` (possibly nil, meaning idle) on c, preempting
 // any current thread back to the tail of its run queue. It charges the
 // context-switch cost to the incoming thread and emits the switch trace
@@ -145,7 +134,7 @@ func (w *World) switchTo(c *cpu, to *Thread) {
 		w.unscheduleCompute(from)
 		from.state = StateRunnable
 		from.cpu = -1
-		w.runq[from.pri] = append(w.runq[from.pri], from)
+		w.pushReady(from)
 		// A preempted thread re-enters the ready queue; record the
 		// transition explicitly (Arg = the preemptor) so per-thread state
 		// accounting never has to infer it from the switch record alone.
@@ -157,26 +146,25 @@ func (w *World) switchTo(c *cpu, to *Thread) {
 	}
 	c.current = to
 	if to == nil {
-		if c.quantumEv != nil {
+		if c.quantumEv.Valid() {
 			w.evq.Cancel(c.quantumEv)
-			c.quantumEv = nil
+			c.quantumEv = eventq.Handle{}
 		}
 		w.record(trace.Event{Time: w.clock, Kind: trace.KindSwitch, Thread: trace.NoThread, Arg: fromID, Aux: int64(c.index)})
 		return
 	}
-	w.removeFromRunq(to)
+	w.removeReady(to)
 	to.state = StateRunning
 	to.cpu = c.index
 	// A boost continues the current timeslice ("the end of a timeslice
 	// ends the effect of a YieldButNotToMe", §6.3); a normal dispatch
 	// starts a fresh quantum.
-	if !(c.boost == to && c.quantumEv != nil) {
-		if c.quantumEv != nil {
+	if !(c.boost == to && c.quantumEv.Valid()) {
+		if c.quantumEv.Valid() {
 			w.evq.Cancel(c.quantumEv)
 		}
 		c.quantumEnd = w.clock.Add(w.cfg.Quantum)
-		cc := c
-		c.quantumEv = w.evq.Schedule(c.quantumEnd, func() { w.quantumExpire(cc) })
+		c.quantumEv = w.evq.Schedule(c.quantumEnd, c.quantumFn)
 	}
 	if w.cfg.SwitchCost > 0 {
 		to.computeLeft += w.cfg.SwitchCost
@@ -187,11 +175,11 @@ func (w *World) switchTo(c *cpu, to *Thread) {
 // unscheduleCompute cancels t's pending completion event and banks the
 // virtual CPU it has consumed so far.
 func (w *World) unscheduleCompute(t *Thread) {
-	if t.completion == nil {
+	if !t.completion.Valid() {
 		return
 	}
 	w.evq.Cancel(t.completion)
-	t.completion = nil
+	t.completion = eventq.Handle{}
 	consumed := w.clock.Sub(t.grantStart)
 	t.computeLeft -= consumed
 	if t.computeLeft < 0 {
@@ -210,7 +198,7 @@ func (w *World) unscheduleCompute(t *Thread) {
 // last; picking it skips the switch). A strictly higher-priority top
 // offers only that queue — continuing would violate strict priority.
 func (w *World) quantumExpire(c *cpu) {
-	c.quantumEv = nil
+	c.quantumEv = eventq.Handle{}
 	c.boost = nil
 	t := c.current
 	if t == nil {
@@ -224,7 +212,7 @@ func (w *World) quantumExpire(c *cpu) {
 			if t.pri == top.pri {
 				keep = t
 			}
-			if cands := w.scheduleCands(w.runq[top.pri], keep); len(cands) > 1 {
+			if cands := w.scheduleCands(w.readyHead[top.pri], keep); len(cands) > 1 {
 				pick = w.consultSchedule(c, cands)
 			}
 		}
@@ -235,8 +223,7 @@ func (w *World) quantumExpire(c *cpu) {
 		// The hook elected to continue the current thread.
 	}
 	c.quantumEnd = w.clock.Add(w.cfg.Quantum)
-	cc := c
-	c.quantumEv = w.evq.Schedule(c.quantumEnd, func() { w.quantumExpire(cc) })
+	c.quantumEv = w.evq.Schedule(c.quantumEnd, c.quantumFn)
 }
 
 // pump resumes t's goroutine, waits for it to park again, and applies the
@@ -269,9 +256,9 @@ func (w *World) afterPark(t *Thread) {
 		if c != nil && c.current == t {
 			c.current = nil
 			t.cpu = -1
-			if c.quantumEv != nil {
+			if c.quantumEv.Valid() {
 				w.evq.Cancel(c.quantumEv)
-				c.quantumEv = nil
+				c.quantumEv = eventq.Handle{}
 			}
 			// Mark the CPU idle so interval accounting sees the end of
 			// this thread's execution interval; a successor dispatched
@@ -318,7 +305,7 @@ func (w *World) afterPark(t *Thread) {
 		t.state = StateRunnable
 		t.cpu = -1
 		c.current = nil
-		w.runq[t.pri] = append(w.runq[t.pri], t)
+		w.pushReady(t)
 		// A yield vacates the CPU without a switch record of its own;
 		// record the ready-queue re-entry (Arg = the thread itself) so
 		// state accounting sees the running→ready edge at the yield

@@ -49,6 +49,9 @@ const (
 
 func (p Priority) valid() bool { return p >= PriorityMin && p <= PriorityInterrupt }
 
+// Valid reports whether p is one of the seven PCR priorities.
+func (p Priority) Valid() bool { return p.valid() }
+
 // State is a thread's lifecycle state.
 type State int
 

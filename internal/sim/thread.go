@@ -52,11 +52,18 @@ type Thread struct {
 
 	cpu int // index of the CPU running this thread, or -1
 
+	// Intrusive ready-queue linkage: threads are spliced directly into
+	// their priority's FIFO (World.readyHead/readyTail), so enqueue and
+	// dequeue are pointer writes with no per-operation allocation.
+	qnext, qprev *Thread
+
 	// Virtual CPU demand. When positive, a completion event is scheduled
-	// while the thread occupies a CPU.
-	computeLeft vclock.Duration
-	grantStart  vclock.Time
-	completion  *eventq.Event
+	// while the thread occupies a CPU. completionFn is the pre-bound
+	// completion callback, allocated once at thread creation.
+	computeLeft  vclock.Duration
+	grantStart   vclock.Time
+	completion   eventq.Handle
+	completionFn func()
 
 	// Pending reschedule request, consumed by the driver at park.
 	yieldReq    yieldKind
@@ -65,7 +72,8 @@ type Thread struct {
 
 	blockReason int
 	blockSince  vclock.Time // when the current block began (DumpState)
-	wakeTimer   *eventq.Event
+	wakeTimer   eventq.Handle
+	wakeFn      func() // pre-bound timeout callback, allocated once
 	timedOut    bool
 
 	// Pending fault injection (World.KillThread): the thread panics with
@@ -225,6 +233,25 @@ func (t *Thread) Compute(d vclock.Duration) {
 			return
 		}
 	}
+	w := t.w
+	// Fast path: a running thread with no runnable competitor and no
+	// intervening event can consume its demand by advancing the clock in
+	// place, skipping two goroutine handoffs and a heap round-trip. This
+	// is legal exactly when nothing could observe the difference: no
+	// thread is ready (readyMask == 0 — an idle peer CPU stays idle), no
+	// event fires at or before the completion instant (strict >, so
+	// same-timestamp FIFO order survives; the quantum-expiry and any
+	// other-CPU completion events are in the queue and so bound `end`),
+	// the current Run's horizon is not crossed, and no Stop is pending.
+	// The bumped eventsProcessed stands in for the completion event the
+	// slow path would have popped, keeping event counts byte-identical.
+	if t.computeLeft == 0 && t.state == StateRunning && w.readyMask == 0 && !w.stopped {
+		if end := w.clock.Add(d); end <= w.horizon && w.evq.NextTime() > end {
+			w.eventsProcessed++
+			w.clock = end
+			return
+		}
+	}
 	t.computeLeft += d
 	for t.computeLeft > 0 {
 		t.park()
@@ -259,12 +286,7 @@ func (t *Thread) blockAt(reason int, deadline vclock.Time) (timedOut bool) {
 	t.state = StateBlocked
 	w.record(trace.Event{Time: w.clock, Kind: trace.KindBlock, Thread: t.id, Aux: int64(reason)})
 	if deadline != vclock.Never {
-		tt := t
-		t.wakeTimer = w.evq.Schedule(deadline, func() {
-			tt.wakeTimer = nil
-			tt.timedOut = true
-			w.makeRunnable(tt, nil)
-		})
+		t.wakeTimer = w.evq.Schedule(deadline, t.wakeFn)
 	}
 	t.park()
 	return t.timedOut

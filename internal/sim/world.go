@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/eventq"
@@ -17,14 +18,26 @@ import (
 // A World is not safe for concurrent use; the simulation itself supplies
 // all the concurrency semantics.
 type World struct {
-	cfg   Config
-	clock vclock.Time
-	evq   eventq.Queue
-	sink  trace.Sink
-	rng   *rand.Rand
+	cfg     Config
+	clock   vclock.Time
+	horizon vclock.Time // current Run's `until`; bounds the compute fast path
+	evq     eventq.Queue
+	sink    trace.Sink
+	traceOn bool // false when sink is trace.Discard: record() short-circuits
+	rng     *rand.Rand
 
 	cpus []*cpu
-	runq [NumPriorities + 1][]*Thread // index by priority; FIFO per level
+
+	// The ready threads form one intrusive doubly-linked FIFO per priority
+	// (Thread.qnext/qprev), with readyMask holding a set bit for every
+	// non-empty level so pick-next is a single bits.Len32 rather than a
+	// scan, and enqueue/dequeue are pointer splices rather than slice
+	// surgery. readyCount caches the total population for DumpState and
+	// the SystemDaemon's uniform victim choice.
+	readyHead [NumPriorities + 1]*Thread
+	readyTail [NumPriorities + 1]*Thread
+	readyMask uint32
+	readyCount int
 
 	threads     []*Thread // every thread ever created (for Shutdown)
 	liveCount   int
@@ -58,8 +71,9 @@ type cpu struct {
 	index   int
 	current *Thread
 
-	quantumEv  *eventq.Event
+	quantumEv  eventq.Handle
 	quantumEnd vclock.Time
+	quantumFn  func() // pre-bound quantumExpire closure, allocated once
 
 	boost    *Thread // dispatch override from YieldButNotToMe / directed yield
 	boostEnd vclock.Time
@@ -76,7 +90,9 @@ func NewWorld(cfg Config) *World {
 		yield: make(chan *Thread),
 	}
 	for i := 0; i < cfg.CPUs; i++ {
-		w.cpus = append(w.cpus, &cpu{index: i})
+		c := &cpu{index: i}
+		c.quantumFn = func() { w.quantumExpire(c) }
+		w.cpus = append(w.cpus, c)
 	}
 	// Attach any per-world observer sink before the first thread (the
 	// SystemDaemon included) exists, so it sees the complete event stream.
@@ -85,6 +101,11 @@ func NewWorld(cfg Config) *World {
 			w.sink = trace.Tee(w.sink, s)
 		}
 	}
+	// Tracing fast path: when the effective sink is the Discard singleton
+	// no one can observe the stream, so record() skips building events
+	// altogether. Discard's dynamic type is a comparable struct, which
+	// makes this test safe against arbitrary sink implementations.
+	w.traceOn = w.sink != trace.Discard
 	if cfg.SystemDaemon {
 		w.spawnSystemDaemon()
 	}
@@ -109,8 +130,25 @@ func (w *World) Trace() trace.Sink { return w.sink }
 // not yet exited.
 func (w *World) LiveThreads() int { return w.liveCount }
 
-// Threads returns all threads ever created, in creation order.
-func (w *World) Threads() []*Thread { return w.threads }
+// Threads returns a copy of the world's thread table — every thread ever
+// created, in creation order. Callers may keep or reorder the returned
+// slice freely; use EachThread to iterate without allocating.
+func (w *World) Threads() []*Thread {
+	out := make([]*Thread, len(w.threads))
+	copy(out, w.threads)
+	return out
+}
+
+// EachThread calls f for every thread ever created, in creation order,
+// stopping early if f returns false. It is the allocation-free companion
+// to Threads for hot callers (fault injection, per-run accounting).
+func (w *World) EachThread(f func(*Thread) bool) {
+	for _, t := range w.threads {
+		if !f(t) {
+			return
+		}
+	}
+}
 
 // AllocMonitorID and AllocCVID hand out world-unique identifiers so the
 // monitor package can stamp trace events; Table 3 of the paper counts the
@@ -120,7 +158,12 @@ func (w *World) AllocMonitorID() int64 { w.monitorIDs++; return w.monitorIDs }
 // AllocCVID allocates a world-unique condition-variable identifier.
 func (w *World) AllocCVID() int64 { w.cvIDs++; return w.cvIDs }
 
-func (w *World) record(ev trace.Event) { w.sink.Record(ev) }
+func (w *World) record(ev trace.Event) {
+	if !w.traceOn {
+		return
+	}
+	w.sink.Record(ev)
+}
 
 // At schedules fn to run in driver context at time t (or now, if t is in
 // the past). Driver-context callbacks may Spawn threads and schedule more
@@ -188,6 +231,18 @@ func (w *World) newThread(name string, pri Priority, body Proc, parent *Thread) 
 		body:   body,
 		resume: make(chan struct{}),
 	}
+	// The wake-timeout and compute-completion callbacks close over the
+	// thread once at creation; re-creating them per Block/Compute would
+	// put a closure allocation on the hottest path in the simulator.
+	t.wakeFn = func() {
+		t.wakeTimer = eventq.Handle{}
+		t.timedOut = true
+		w.makeRunnable(t, nil)
+	}
+	t.completionFn = func() {
+		t.completion = eventq.Handle{}
+		t.computeLeft = 0
+	}
 	if parent != nil {
 		t.gen = parent.gen + 1
 	}
@@ -206,6 +261,7 @@ func (w *World) newThread(name string, pri Priority, body Proc, parent *Thread) 
 func (w *World) Run(until vclock.Time) Outcome {
 	defer w.flushProbe()
 	w.stopped = false
+	w.horizon = until
 	// A fresh Run gets a fresh verdict: without this, a run that ends
 	// OutcomeHorizon after an earlier OutcomeDeadlock would still report
 	// the stale deadlocked set from Deadlocked().
@@ -229,21 +285,29 @@ func (w *World) Run(until vclock.Time) Outcome {
 			w.clock = until
 			return OutcomeHorizon
 		}
-		ev := w.evq.Pop()
-		if ev.When < w.clock {
-			panic(fmt.Sprintf("sim: clock would run backwards: %v -> %v", w.clock, ev.When))
+		do, when, _ := w.evq.PopDo()
+		if when < w.clock {
+			panic(fmt.Sprintf("sim: clock would run backwards: %v -> %v", w.clock, when))
 		}
 		w.eventsProcessed++
-		w.clock = ev.When
-		if ev.Do != nil {
-			ev.Do()
+		w.clock = when
+		if do != nil {
+			do()
 		}
 	}
 }
 
 // Deadlocked returns the threads that were blocked with no possible waker
-// when Run last returned OutcomeDeadlock.
-func (w *World) Deadlocked() []*Thread { return w.deadlocked }
+// when Run last returned OutcomeDeadlock, or nil. The returned slice is
+// the caller's to keep.
+func (w *World) Deadlocked() []*Thread {
+	if len(w.deadlocked) == 0 {
+		return nil
+	}
+	out := make([]*Thread, len(w.deadlocked))
+	copy(out, w.deadlocked)
+	return out
+}
 
 // EventsProcessed returns the number of discrete events the driver loop
 // has executed so far.
@@ -299,7 +363,7 @@ func (w *World) DumpState(out io.Writer) {
 		extra := ""
 		if t.state == StateBlocked {
 			deadline := "forever"
-			if t.wakeTimer != nil {
+			if t.wakeTimer.Valid() {
 				deadline = "timed"
 			}
 			extra = fmt.Sprintf(" blocked-on=%s since %s (%s)",
@@ -331,7 +395,7 @@ func (w *World) makeRunnable(t *Thread, by *Thread) {
 		panic(fmt.Sprintf("sim: makeRunnable on %v thread %s", t.state, t.name))
 	}
 	t.state = StateRunnable
-	w.runq[t.pri] = append(w.runq[t.pri], t)
+	w.pushReady(t)
 	byID := int64(trace.NoThread)
 	if by != nil {
 		byID = int64(by.id)
@@ -355,9 +419,9 @@ func (w *World) SetPriorityOf(t *Thread, p Priority) {
 	}
 	w.record(trace.Event{Time: w.clock, Kind: trace.KindSetPriority, Thread: t.id, Arg: int64(t.pri), Aux: int64(p)})
 	if t.state == StateRunnable {
-		w.removeFromRunq(t)
+		w.removeReady(t)
 		t.pri = p
-		w.runq[p] = append(w.runq[p], t)
+		w.pushReady(t)
 		return
 	}
 	t.pri = p
@@ -439,32 +503,62 @@ func (w *World) WakeIfBlocked(t *Thread, by *Thread) bool {
 	if t.state != StateBlocked {
 		return false
 	}
-	if t.wakeTimer != nil {
+	if t.wakeTimer.Valid() {
 		w.evq.Cancel(t.wakeTimer)
-		t.wakeTimer = nil
+		t.wakeTimer = eventq.Handle{}
 	}
 	w.makeRunnable(t, by)
 	return true
 }
 
 // runnableCount returns the number of threads in the run queue.
-func (w *World) runnableCount() int {
-	n := 0
-	for p := PriorityMin; p <= PriorityInterrupt; p++ {
-		n += len(w.runq[p])
+func (w *World) runnableCount() int { return w.readyCount }
+
+// pushReady appends t to the tail of its priority's ready FIFO and marks
+// the level occupied.
+func (w *World) pushReady(t *Thread) {
+	p := t.pri
+	t.qnext = nil
+	t.qprev = w.readyTail[p]
+	if w.readyTail[p] != nil {
+		w.readyTail[p].qnext = t
+	} else {
+		w.readyHead[p] = t
+		w.readyMask |= 1 << uint(p)
 	}
-	return n
+	w.readyTail[p] = t
+	w.readyCount++
 }
 
-// removeFromRunq removes t from its priority's queue. It panics if t is
+// removeReady unlinks t from its priority's ready FIFO. It panics if t is
 // not queued, which would indicate state corruption.
-func (w *World) removeFromRunq(t *Thread) {
-	q := w.runq[t.pri]
-	for i, x := range q {
-		if x == t {
-			w.runq[t.pri] = append(q[:i], q[i+1:]...)
-			return
-		}
+func (w *World) removeReady(t *Thread) {
+	p := t.pri
+	if t.qprev == nil && w.readyHead[p] != t {
+		panic(fmt.Sprintf("sim: thread %s not on run queue", t.name))
 	}
-	panic(fmt.Sprintf("sim: thread %s not on run queue", t.name))
+	if t.qprev != nil {
+		t.qprev.qnext = t.qnext
+	} else {
+		w.readyHead[p] = t.qnext
+	}
+	if t.qnext != nil {
+		t.qnext.qprev = t.qprev
+	} else {
+		w.readyTail[p] = t.qprev
+	}
+	t.qnext, t.qprev = nil, nil
+	if w.readyHead[p] == nil {
+		w.readyMask &^= 1 << uint(p)
+	}
+	w.readyCount--
+}
+
+// topRunnable returns the head of the highest non-empty priority queue in
+// O(1) via the occupancy bitmap.
+func (w *World) topRunnable() *Thread {
+	if w.readyMask == 0 {
+		return nil
+	}
+	return w.readyHead[bits.Len32(w.readyMask)-1]
 }

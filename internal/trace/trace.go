@@ -133,8 +133,19 @@ func (f SinkFunc) Record(ev Event) { f(ev) }
 // Flush implements Sink; it is a no-op.
 func (f SinkFunc) Flush() error { return nil }
 
-// Discard is a Sink that drops all events.
-var Discard Sink = SinkFunc(func(Event) {})
+// Discard is a Sink that drops all events. Its dynamic type is a
+// comparable struct (not a SinkFunc), so holders of a Sink may test
+// `sink == Discard` to skip event construction entirely — the simulator's
+// allocation-free tracing fast path depends on this.
+var Discard Sink = discardSink{}
+
+type discardSink struct{}
+
+// Record implements Sink; it drops the event.
+func (discardSink) Record(Event) {}
+
+// Flush implements Sink; it is a no-op.
+func (discardSink) Flush() error { return nil }
 
 // Buffer is a Sink that retains every event in order. The zero value is
 // ready to use.

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// runEcho drives one quick-scale W1 world to quiescence.
+func runEcho(t *testing.T, seed int64) *LoadStats {
+	t.Helper()
+	w := sim.NewWorld(sim.Config{Seed: seed})
+	defer w.Shutdown()
+	p := EchoParams{Sessions: 200, Requests: 2000, Rate: 4000, Service: 5 * vclock.Microsecond}
+	e := StartEcho(w, p)
+	if got := w.Run(vclock.Time(0).Add(10 * vclock.Second)); got != sim.OutcomeQuiescent {
+		t.Fatalf("echo run ended %v, want quiescent", got)
+	}
+	return e.Finish()
+}
+
+func TestEchoServesOfferedLoad(t *testing.T) {
+	s := runEcho(t, 1)
+	if s.Offered != 2000 || s.Completed != 2000 {
+		t.Fatalf("offered=%d completed=%d, want 2000/2000", s.Offered, s.Completed)
+	}
+	if s.Threads != 200 {
+		t.Fatalf("threads = %d, want 200", s.Threads)
+	}
+	if s.Latency.Count() != 2000 {
+		t.Fatalf("latency samples = %d, want 2000", s.Latency.Count())
+	}
+	// Every latency includes at least the service time.
+	if min := s.Latency.Percentile(0); min < 5*vclock.Microsecond {
+		t.Fatalf("min latency %v < service time", min)
+	}
+	if s.Window <= 0 || s.Throughput() <= 0 {
+		t.Fatalf("window=%v throughput=%v", s.Window, s.Throughput())
+	}
+}
+
+func TestEchoDeterministic(t *testing.T) {
+	a, b := runEcho(t, 7), runEcho(t, 7)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n%s\n%s", a, b)
+	}
+	c := runEcho(t, 8)
+	if a.String() == c.String() {
+		t.Fatalf("different seeds produced identical stats: %s", a)
+	}
+}
+
+func TestPipelineServesOfferedLoad(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	defer w.Shutdown()
+	p := PipelineParams{Pipelines: 8, Stages: 4, Buffer: 4, Requests: 1000, Rate: 1000, StageCost: 10 * vclock.Microsecond}
+	pl := StartPipeline(w, p)
+	if got := w.Run(vclock.Time(0).Add(20 * vclock.Second)); got != sim.OutcomeQuiescent {
+		t.Fatalf("pipeline run ended %v, want quiescent (shutdown must ripple down the stages)", got)
+	}
+	s := pl.Finish()
+	if s.Completed != 1000 {
+		t.Fatalf("completed = %d, want 1000", s.Completed)
+	}
+	if s.Threads != 8*4 {
+		t.Fatalf("threads = %d, want 32", s.Threads)
+	}
+	// Four stages of compute bound the minimum end-to-end latency.
+	if min := s.Latency.Percentile(0); min < 4*p.StageCost {
+		t.Fatalf("min latency %v < 4 stage costs", min)
+	}
+}
+
+func TestMixedKeepsInteractiveFast(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1, SystemDaemon: true})
+	defer w.Shutdown()
+	p := MixedParams{
+		Interactive: 32, Batch: 8, Requests: 1500, Rate: 1500,
+		Service: 50 * vclock.Microsecond, BatchChunk: 200 * vclock.Microsecond,
+		Horizon: 5 * vclock.Second,
+	}
+	m := StartMixed(w, p)
+	w.Run(vclock.Time(0).Add(p.Horizon))
+	s := m.Finish()
+	if s.Completed != 1500 {
+		t.Fatalf("interactive completed = %d, want 1500 (batch pool must not starve PriorityHigh)", s.Completed)
+	}
+	if m.BatchChunks == 0 {
+		t.Fatal("batch pool made no progress")
+	}
+	// Strict priority: interactive p95 stays within a few batch chunks
+	// even though the batch pool would soak every cycle.
+	if p95 := s.Latency.Percentile(0.95); p95 > 5*vclock.Millisecond {
+		t.Fatalf("interactive p95 = %v under batch load", p95)
+	}
+}
+
+func TestEchoParamValidation(t *testing.T) {
+	w := sim.NewWorld(sim.Config{Seed: 1})
+	defer w.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StartEcho accepted zero sessions")
+		}
+	}()
+	StartEcho(w, EchoParams{Sessions: 0, Requests: 1, Rate: 1})
+}
