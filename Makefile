@@ -11,7 +11,7 @@ FUZZTIME ?= 10s
 EXPLORE_BUDGET ?= 200
 
 # Packages with a minimum-coverage bar (see `make cover`).
-COVER_PKGS = ./internal/sim ./internal/monitor ./internal/fault
+COVER_PKGS = ./internal/sim ./internal/monitor ./internal/fault ./internal/cluster
 COVER_FLOOR = 75
 
 .PHONY: check vet build test race bench fuzz-short explore cover
@@ -31,17 +31,18 @@ race:
 	$(GO) test -race ./...
 
 # Benchmarks plus the fixed-seed accounting sweep: every experiment —
-# the T/F/R artifact set and the W-series load workloads — runs quick
-# with the per-thread profiler attached, and the combined metrics +
-# scheduler-accounting summary lands in BENCH_PR5.json. The sweep fails
-# if any run's accounting residue is nonzero, so `make bench` also
-# certifies the exactness invariant on the full experiment population.
-# The hot-path allocs/op pin runs first: the event loop, ready queues and
-# discard-sink tracing must stay allocation-free in steady state.
+# the T/F/R artifact set, the W-series load workloads, and the C-series
+# cluster fleets — runs quick with the per-thread profiler attached, and
+# the combined metrics + scheduler-accounting summary lands in
+# BENCH_PR6.json. The sweep fails if any run's accounting residue is
+# nonzero, so `make bench` also certifies the exactness invariant on the
+# full experiment population. The hot-path allocs/op pin runs first: the
+# event loop, ready queues and discard-sink tracing must stay
+# allocation-free in steady state.
 bench:
 	$(GO) test -run TestHotPathAllocs ./internal/sim
 	$(GO) test -bench=. -benchmem -run='^$$'
-	$(GO) run ./cmd/threadstudy -bench BENCH_PR5.json
+	$(GO) run ./cmd/threadstudy -bench BENCH_PR6.json
 
 # Short coverage-guided fuzzing of the attacker-facing parsers: JSON
 # fault plans and the binary trace codec (decode robustness + encode/

@@ -25,6 +25,7 @@ var goldenCases = []struct {
 	{file: "quick-markdown.txt", args: []string{"-quick", "-format", "markdown"}},
 	{file: "t1-markdown.txt", args: []string{"-experiment", "T1", "-format", "markdown"}},
 	{file: "profile.txt", args: []string{"-profile", "-traceduration", "2s"}},
+	{file: "cseries-quick.txt", args: []string{"-cseries", "-quick"}},
 	{file: "default.txt", args: nil, slow: true},
 }
 

@@ -7,6 +7,9 @@
 //	threadstudy                  # run everything (T1..T4, F1..F12)
 //	threadstudy -list            # list experiment IDs
 //	threadstudy -experiment T2   # run one experiment
+//	threadstudy -experiment T2,W1,C1
+//	                             # run several, in the order given
+//	                             # (duplicated IDs are a usage error)
 //	threadstudy -quick           # ~3x shorter measurement windows
 //	threadstudy -seed 7          # change the deterministic seed
 //	threadstudy -parallel 4      # worker-pool parallelism (default GOMAXPROCS);
@@ -40,9 +43,15 @@
 //	threadstudy -wseries         # run the W-series open-loop load
 //	                             # workloads (W1..W3) instead of the
 //	                             # default T/F/R set
+//	threadstudy -cseries         # run the C-series cluster fleets
+//	                             # (C1..C3): N worlds on a shared clock
+//	                             # behind routing and admission control
 //	threadstudy -experiment W1 -json -
 //	                             # one load workload, with throughput and
 //	                             # latency percentiles in the summary
+//	threadstudy -experiment C2 -json -
+//	                             # one fleet sweep, with per-instance and
+//	                             # aggregate SLO records in the summary
 package main
 
 import (
@@ -98,8 +107,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := cliflag.New("threadstudy", stderr)
 	var (
 		list      = fs.Bool("list", false, "list experiment IDs and exit")
-		expID     = fs.String("experiment", "", "run a single experiment by ID (default: all)")
+		expID     = fs.String("experiment", "", "run selected experiments by ID, comma-separated (default: all)")
 		wseries   = fs.Bool("wseries", false, "run the W-series open-loop load workloads (W1..W3) instead of the default set")
+		cseries   = fs.Bool("cseries", false, "run the C-series cluster fleet experiments (C1..C3) instead of the default set")
 		quick     = fs.Bool("quick", false, "use ~3x shorter measurement windows")
 		format    = fs.String("format", "text", "output format: text or markdown")
 		verify    = fs.Bool("verify", false, "run each experiment twice concurrently and fail on nondeterminism")
@@ -148,6 +158,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := cliflag.Exclusive("experiment", *expID != "", "wseries", *wseries); err != nil {
 		return fs.Fail(err)
 	}
+	if err := cliflag.Exclusive("experiment", *expID != "", "cseries", *cseries); err != nil {
+		return fs.Fail(err)
+	}
+	if err := cliflag.Exclusive("wseries", *wseries, "cseries", *cseries); err != nil {
+		return fs.Fail(err)
+	}
+	// -experiment takes a comma-separated ID list; a duplicated ID would
+	// silently run (and print) an experiment twice, so it is a usage
+	// error, not a request.
+	expIDs := cliflag.List(*expID)
+	if err := cliflag.NoDuplicates("experiment", expIDs); err != nil {
+		return fs.Fail(err)
+	}
 	var plan *fault.Plan
 	if *faultsIn != "" {
 		p, err := fault.Load(*faultsIn)
@@ -161,6 +184,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		set := experiments.All()
 		if *wseries {
 			set = experiments.WSeries()
+		}
+		if *cseries {
+			set = experiments.CSeries()
 		}
 		for _, e := range set {
 			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
@@ -204,14 +230,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Faults: plan, FaultSeed: *faultSeed}
 	var todo []experiments.Experiment
 	switch {
-	case *expID != "":
-		e, err := experiments.ByID(*expID)
-		if err != nil {
-			return fs.Error(err)
+	case len(expIDs) > 0:
+		for _, id := range expIDs {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				return fs.Error(err)
+			}
+			todo = append(todo, e)
 		}
-		todo = []experiments.Experiment{e}
 	case *wseries:
 		todo = experiments.WSeries()
+	case *cseries:
+		todo = experiments.CSeries()
 	default:
 		todo = experiments.All()
 	}
@@ -224,7 +254,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if !hasR {
 			target := *expID
-			if target == "" {
+			switch {
+			case target != "":
+			case *cseries:
+				target = "the C series"
+			default:
 				target = "the W series"
 			}
 			fs.Warnf("-faultseed %d has no effect on %s without -faults (only R-series experiments inject faults)",
@@ -440,11 +474,12 @@ type benchExperiment struct {
 	Profile *profile.Summary `json:"profile,omitempty"`
 }
 
-// benchSummary is the -bench output (BENCH_PR5.json): a fixed-seed quick
+// benchSummary is the -bench output (BENCH_PR6.json): a fixed-seed quick
 // sweep of every experiment — the T/F/R set plus the W-series load
-// workloads — with profiling on, plus the accounting summary of the
-// default benchmark world. Wall-clock fields vary between machines;
-// every virtual-time field is deterministic.
+// workloads and the C-series cluster fleets — with profiling on, plus
+// the accounting summary of the default benchmark world. Wall-clock
+// fields vary between machines; every virtual-time field is
+// deterministic.
 type benchSummary struct {
 	Schema      int               `json:"schema"`
 	Seed        int64             `json:"seed"`
@@ -468,10 +503,11 @@ func runBench(stdout io.Writer, path string, parallel int) error {
 	outcomes := experiments.RunWith(cfg, experiments.Options{
 		Parallelism: parallel,
 		Profile:     true,
-		// The sweep covers the full population: the T/F/R artifact set
-		// plus the W-series load workloads, so the bench artifact tracks
-		// both report fidelity and server-scale throughput.
-		Experiments: append(experiments.All(), experiments.WSeries()...),
+		// The sweep covers the full population: the T/F/R artifact set,
+		// the W-series load workloads, and the C-series cluster fleets,
+		// so the bench artifact tracks report fidelity, server-scale
+		// throughput, and fleet-scale SLOs together.
+		Experiments: append(append(experiments.All(), experiments.WSeries()...), experiments.CSeries()...),
 	})
 	sum := benchSummary{
 		Schema:      outputSchema,

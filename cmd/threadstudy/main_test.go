@@ -94,6 +94,16 @@ func TestCLIValidation(t *testing.T) {
 			[]string{"-trace", bin, "-traceduration", "-1s"}, 2, "need at least 1us", ""},
 		{"unknown experiment", []string{"-experiment", "T9"}, 1, "unknown id", ""},
 		{"unknown experiment lists IDs in order", []string{"-experiment", "T9"}, 1, "T1 T2 T3 T4 F1 F2", ""},
+		{"duplicated experiment rejected", []string{"-experiment", "W1,W1"}, 2, `duplicate value "W1"`, ""},
+		{"case-insensitive duplicate rejected", []string{"-experiment", "T1,t1"}, 2, `duplicate value "t1"`, ""},
+		{"duplicate among valid IDs rejected", []string{"-experiment", "T1,T2,T1"}, 2, `duplicate value "T1"`, ""},
+		{"experiment list runs in given order",
+			[]string{"-experiment", "F5,T1", "-quick"}, 0, "", "== F5:"},
+		{"unknown ID in list rejected", []string{"-experiment", "T1,T9"}, 1, "unknown id", ""},
+		{"experiment and cseries exclusive",
+			[]string{"-experiment", "C1", "-cseries"}, 2, "mutually exclusive", ""},
+		{"wseries and cseries exclusive",
+			[]string{"-wseries", "-cseries"}, 2, "-wseries and -cseries are mutually exclusive", ""},
 		{"unknown flag", []string{"-nope"}, 2, "flag provided but not defined", ""},
 		{"missing fault plan rejected",
 			[]string{"-faults", filepath.Join(t.TempDir(), "nope.json")}, 2, "no such file", ""},
@@ -329,6 +339,77 @@ func TestCLIWSeries(t *testing.T) {
 	load := sum.Experiments[0].Load
 	if load == nil || load.Completed == 0 || load.P99US < load.P50US {
 		t.Fatalf("load summary missing from -json: %+v", load)
+	}
+}
+
+// TestCLICSeries: the cluster fleet experiments are opt-in like the W
+// series — absent from the default list, selected by -cseries, and
+// their per-instance and aggregate SLO records flow into -json under
+// the same schema.
+func TestCLICSeries(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	if strings.Contains(stdout.String(), "C1") {
+		t.Fatalf("C series leaked into the default -list:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-list", "-cseries"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list -cseries exit %d", code)
+	}
+	for _, id := range []string{"C1", "C2", "C3"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list -cseries missing %s:\n%s", id, stdout.String())
+		}
+	}
+	if strings.Contains(stdout.String(), "T1") || strings.Contains(stdout.String(), "W1") {
+		t.Errorf("-list -cseries should list only the C series:\n%s", stdout.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "c1.json")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-experiment", "C1", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("C1 run exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "== C1:") {
+		t.Fatalf("C1 report missing:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum jsonSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if sum.Schema != 1 || len(sum.Experiments) != 1 {
+		t.Fatalf("summary header wrong: %+v", sum)
+	}
+	cl := sum.Experiments[0].Cluster
+	if len(cl) < 3 {
+		t.Fatalf("cluster records missing from -json: %+v", sum.Experiments[0])
+	}
+	for _, s := range cl {
+		if s.Completed == 0 || len(s.PerInstance) != s.Instances {
+			t.Fatalf("degenerate cluster record: %+v", s)
+		}
+	}
+}
+
+// TestCLIExperimentListOrder: a comma-separated -experiment list runs in
+// the order given, mixing series freely.
+func TestCLIExperimentListOrder(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-experiment", "F5, T1", "-quick"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	f5, t1 := strings.Index(out, "== F5:"), strings.Index(out, "== T1:")
+	if f5 < 0 || t1 < 0 || f5 > t1 {
+		t.Fatalf("expected F5 before T1 (F5 at %d, T1 at %d):\n%s", f5, t1, out)
 	}
 }
 

@@ -149,6 +149,36 @@ func VirtualDuration(name string, d time.Duration) (vclock.Duration, error) {
 	return vclock.Duration(us), nil
 }
 
+// List splits a comma-separated flag value into its items, trimming
+// whitespace and dropping empties, so "-experiment T1, T2," and
+// "-experiment T1,T2" parse identically.
+func List(v string) []string {
+	var items []string
+	for _, item := range strings.Split(v, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			items = append(items, item)
+		}
+	}
+	return items
+}
+
+// NoDuplicates rejects a repeated item in a list flag, case-insensitively
+// (IDs compare case-insensitively everywhere else in these commands):
+// `-<name>: duplicate value "<item>"`. A duplicated ID is always operator
+// error — the command would silently run the experiment twice and emit
+// its report twice.
+func NoDuplicates(name string, items []string) error {
+	seen := make(map[string]bool, len(items))
+	for _, item := range items {
+		k := strings.ToLower(item)
+		if seen[k] {
+			return fmt.Errorf("-%s: duplicate value %q", name, item)
+		}
+		seen[k] = true
+	}
+	return nil
+}
+
 // orList renders an enumeration as prose: "a", "a or b", "a, b or c".
 func orList(items []string) string {
 	switch len(items) {

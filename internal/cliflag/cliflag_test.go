@@ -119,3 +119,45 @@ func TestValidators(t *testing.T) {
 		t.Fatalf("VirtualDuration negative: %v", err)
 	}
 }
+
+func TestList(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"T1", []string{"T1"}},
+		{"T1,T2", []string{"T1", "T2"}},
+		{" T1 , T2 ,", []string{"T1", "T2"}},
+		{",,", nil},
+	}
+	for _, tc := range cases {
+		got := List(tc.in)
+		if len(got) != len(tc.want) {
+			t.Fatalf("List(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("List(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+}
+
+func TestNoDuplicates(t *testing.T) {
+	if err := NoDuplicates("experiment", []string{"T1", "T2", "W1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := NoDuplicates("experiment", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := NoDuplicates("experiment", []string{"W1", "W1"}); err == nil ||
+		err.Error() != `-experiment: duplicate value "W1"` {
+		t.Fatalf("NoDuplicates: %v", err)
+	}
+	// IDs compare case-insensitively, so w1 duplicates W1.
+	if err := NoDuplicates("experiment", []string{"W1", "w1"}); err == nil ||
+		err.Error() != `-experiment: duplicate value "w1"` {
+		t.Fatalf("NoDuplicates case-insensitive: %v", err)
+	}
+}

@@ -1,0 +1,424 @@
+// Package cluster advances a fleet of independently-seeded sim.Worlds
+// under one shared virtual clock, with pluggable request routing and
+// admission control in front and cross-instance SLO aggregation behind.
+//
+// The paper studies one workstation's thread population; the ROADMAP
+// north star is a production-scale service, and this package is the
+// step between them: each instance is a full single-machine simulation
+// (a W1 echo server, or a Cedar/GVX desktop with routed sessions on
+// top), and the cluster is the part of the system the paper never had —
+// the load balancer and the admission valve.
+//
+// Determinism is the design constraint everything else bends around.
+// The fleet's arrival process, user identities, service demands,
+// admission decisions, and routing choices are all drawn on the
+// cluster's own derived streams and pure state, never from any world's
+// live RNG; instances interact with the driver only at advance
+// barriers; and aggregation folds per-instance recorders in instance-ID
+// order. The result: the same Spec produces byte-identical summaries
+// whether instances advance serially or on GOMAXPROCS shards.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// Spec is one cluster run's complete configuration. The zero value is
+// not runnable; fill at least Instances, Sessions, Requests and Rate.
+type Spec struct {
+	// Preset names the per-instance world recipe (workload.Presets):
+	// "w1-echo", "cedar", or "gvx". Empty selects w1-echo.
+	Preset string
+	// Instances is the fleet size.
+	Instances int
+	// Sessions is the session-thread pool size per instance.
+	Sessions int
+	// Router selects the routing policy: "rr", "least-loaded",
+	// "affinity". Empty selects rr.
+	Router string
+	// Admission selects the admission policy: "always", "token-bucket".
+	// Empty selects always.
+	Admission string
+	// Seed seeds the cluster's arrival/identity/demand streams and,
+	// offset per instance, each world.
+	Seed int64
+	// Requests is the total offered load (pre-admission).
+	Requests int64
+	// Rate is the aggregate Poisson arrival rate, requests per virtual
+	// second across the whole fleet.
+	Rate float64
+	// Service is the base CPU demand per request. Zero selects 5us.
+	Service vclock.Duration
+	// Users is the distinct user population driving affinity routing
+	// and hot-user skew. Zero selects Sessions.
+	Users int
+	// HotUsers and HotFraction impose skew: HotFraction of arrivals
+	// come from the first HotUsers users. Zero HotUsers disables skew.
+	HotUsers    int
+	HotFraction float64
+	// HeavyFraction and HeavyFactor impose a heavy service tail:
+	// HeavyFraction of admitted requests cost Service*HeavyFactor.
+	HeavyFraction float64
+	HeavyFactor   int
+	// TokenRate and TokenBurst parameterize token-bucket admission
+	// (tokens per virtual second, bucket capacity).
+	TokenRate  float64
+	TokenBurst float64
+	// Start delays the first arrival so freshly spawned populations can
+	// park; zero selects a bound derived from the population size.
+	Start vclock.Duration
+	// Drain is how long past the last arrival the fleet runs to let
+	// queues empty. Zero selects 60 virtual seconds.
+	Drain vclock.Duration
+	// Shards is the advance parallelism: worlds are dealt round-robin
+	// onto this many goroutines at each barrier. Zero or one advances
+	// serially. Output is byte-identical at any shard count.
+	Shards int
+	// Hooks carries observability seams (probe, profiler attachment)
+	// into every instance world. Observe-only hooks never change the
+	// summary; sim.Probe and profile.Set are safe under sharded advance.
+	Hooks sim.Hooks
+}
+
+// withDefaults returns the spec with zero knobs resolved.
+func (s Spec) withDefaults() Spec {
+	if s.Preset == "" {
+		s.Preset = "w1-echo"
+	}
+	if s.Router == "" {
+		s.Router = RouteRoundRobin
+	}
+	if s.Admission == "" {
+		s.Admission = AdmitAlways
+	}
+	if s.Service <= 0 {
+		s.Service = 5 * vclock.Microsecond
+	}
+	if s.Users <= 0 {
+		s.Users = s.Sessions
+	}
+	if s.HeavyFactor < 1 {
+		s.HeavyFactor = 1
+	}
+	if s.Drain <= 0 {
+		s.Drain = 60 * vclock.Second
+	}
+	if s.Shards < 1 {
+		s.Shards = 1
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.Instances < 1 {
+		return fmt.Errorf("cluster: Instances must be >= 1 (got %d)", s.Instances)
+	}
+	if s.Sessions < 1 {
+		return fmt.Errorf("cluster: Sessions must be >= 1 (got %d)", s.Sessions)
+	}
+	if s.Requests < 1 {
+		return fmt.Errorf("cluster: Requests must be >= 1 (got %d)", s.Requests)
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("cluster: Rate must be > 0 (got %v)", s.Rate)
+	}
+	if s.HotUsers < 0 || s.HotUsers >= s.Users && s.HotUsers > 0 {
+		return fmt.Errorf("cluster: HotUsers must be in [0, Users) (got %d of %d)", s.HotUsers, s.Users)
+	}
+	if s.HotFraction < 0 || s.HotFraction > 1 {
+		return fmt.Errorf("cluster: HotFraction must be in [0,1] (got %v)", s.HotFraction)
+	}
+	if s.HeavyFraction < 0 || s.HeavyFraction > 1 {
+		return fmt.Errorf("cluster: HeavyFraction must be in [0,1] (got %v)", s.HeavyFraction)
+	}
+	return nil
+}
+
+// instance is one fleet member: a world, its routed-request server, and
+// the routing ledger.
+type instance struct {
+	id     int
+	w      *sim.World
+	srv    *workload.Server
+	routed int64
+}
+
+// Cluster is a built fleet, ready to Run once.
+type Cluster struct {
+	spec   Spec
+	preset workload.Preset
+	insts  []*instance
+	route  router
+	admit  admitter
+	ran    bool
+}
+
+// New builds the fleet: N worlds seeded Seed+f(id), each populated with
+// the preset's background activity plus a session pool drawing names
+// from one shared table (static state is per-fleet, not per-world).
+func New(spec Spec) (*Cluster, error) {
+	spec = spec.withDefaults()
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	preset, err := workload.FindPreset(spec.Preset)
+	if err != nil {
+		return nil, err
+	}
+	route, err := newRouter(spec.Router, spec.Instances)
+	if err != nil {
+		return nil, err
+	}
+	admit, err := newAdmitter(spec.Admission, spec.TokenRate, spec.TokenBurst)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{spec: spec, preset: preset, route: route, admit: admit}
+	names := workload.NewNameTable("echo", spec.Sessions)
+	for i := 0; i < spec.Instances; i++ {
+		w := sim.NewWorld(sim.Config{
+			Seed:         spec.Seed + int64(i+1)*1_000_003,
+			SystemDaemon: true,
+			Hooks:        spec.Hooks,
+		})
+		if preset.Background != nil {
+			preset.Background(w)
+		}
+		srv := workload.StartServer(w, names, spec.Sessions, sim.PriorityNormal)
+		c.insts = append(c.insts, &instance{id: i, w: w, srv: srv})
+	}
+	return c, nil
+}
+
+// Shutdown tears down every instance world. Safe to call more than once.
+func (c *Cluster) Shutdown() {
+	for _, in := range c.insts {
+		in.w.Shutdown()
+	}
+}
+
+// expGap draws one exponential inter-arrival gap (mean 1/rate virtual
+// seconds) quantized to the microsecond clock with a 1us floor, so the
+// fleet arrival clock is strictly increasing.
+func expGap(rng *rand.Rand, rate float64) vclock.Duration {
+	d := vclock.Duration(rng.ExpFloat64() / rate * 1e6)
+	if d < vclock.Microsecond {
+		d = vclock.Microsecond
+	}
+	return d
+}
+
+// drawUser picks the arriving user, honoring the hot-user skew.
+func (c *Cluster) drawUser(rng *rand.Rand) int {
+	s := c.spec
+	if s.HotUsers > 0 && rng.Float64() < s.HotFraction {
+		return rng.Intn(s.HotUsers)
+	}
+	if s.HotUsers > 0 {
+		return s.HotUsers + rng.Intn(s.Users-s.HotUsers)
+	}
+	return rng.Intn(s.Users)
+}
+
+// drawService picks the request's CPU demand, honoring the heavy tail.
+func (c *Cluster) drawService(rng *rand.Rand) vclock.Duration {
+	s := c.spec
+	if s.HeavyFraction > 0 && rng.Float64() < s.HeavyFraction {
+		return s.Service * vclock.Duration(s.HeavyFactor)
+	}
+	return s.Service
+}
+
+// advanceAll runs every instance world to t, dealing them round-robin
+// across the spec's advance shards. Instances are mutually independent
+// between barriers — no shared mutable state, each world advanced by
+// exactly one goroutine — so the shard count changes wall-clock time
+// only, never simulated state.
+func (c *Cluster) advanceAll(t vclock.Time) {
+	shards := c.spec.Shards
+	if shards > len(c.insts) {
+		shards = len(c.insts)
+	}
+	if shards <= 1 {
+		for _, in := range c.insts {
+			in.w.Run(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < len(c.insts); i += shards {
+				c.insts[i].w.Run(t)
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// Run drives the fleet through its offered load and returns the
+// aggregated summary. It may be called once per Cluster.
+//
+// Per arrival the order of operations is fixed: clock gap, admission
+// decision, user draw, service draw, route. Rejected requests consume
+// no user or service draws, so the admitted subsequence's identities
+// and demands do not depend on the admission policy. Load-aware routing
+// pays a barrier per arrival (every world advanced to the arrival
+// instant before the load snapshot); blind routing queues injections
+// and lets worlds catch up in bulk at the end — same simulated outcome
+// per world, radically different driver cost.
+func (c *Cluster) Run() (*Summary, error) {
+	if c.ran {
+		return nil, fmt.Errorf("cluster: Run called twice")
+	}
+	c.ran = true
+	s := c.spec
+	rng := rand.New(rand.NewSource(s.Seed))
+	start := s.Start
+	if start <= 0 {
+		perPark := c.insts[0].w.Config().SwitchCost + 10*vclock.Microsecond
+		start = vclock.Duration(s.Sessions)*perPark + 200*vclock.Millisecond
+	}
+	needLoads := c.route.NeedsLoads()
+	loads := make([]int, len(c.insts))
+	var offered, admitted, rejected int64
+	t := vclock.Time(0).Add(start)
+	for k := int64(0); k < s.Requests; k++ {
+		t = t.Add(expGap(rng, s.Rate))
+		offered++
+		if !c.admit.Admit(t) {
+			rejected++
+			continue
+		}
+		user := c.drawUser(rng)
+		service := c.drawService(rng)
+		var snapshot []int
+		if needLoads {
+			c.advanceAll(t)
+			for i, in := range c.insts {
+				loads[i] = in.srv.Pending()
+			}
+			snapshot = loads
+		}
+		in := c.insts[c.route.Route(user, snapshot)]
+		in.routed++
+		admitted++
+		srv, sess := in.srv, user%s.Sessions
+		in.w.At(t, func() { srv.Inject(sess, service) })
+	}
+	// Flush every queued injection, close the pools strictly after the
+	// last arrival, and drain.
+	c.advanceAll(t)
+	closeAt := t.Add(vclock.Microsecond)
+	for _, in := range c.insts {
+		srv := in.srv
+		in.w.At(closeAt, srv.Close)
+	}
+	c.advanceAll(closeAt.Add(s.Drain))
+	return c.summarize(offered, admitted, rejected), nil
+}
+
+// InstanceSummary is one fleet member's slice of the aggregate. All
+// durations are integer virtual microseconds, so the JSON encoding is
+// exact and platform-independent.
+type InstanceSummary struct {
+	ID         int     `json:"id"`
+	Routed     int64   `json:"routed"`
+	Completed  int64   `json:"completed"`
+	Throughput float64 `json:"throughput_rps"`
+	P50Us      int64   `json:"p50_us"`
+	P95Us      int64   `json:"p95_us"`
+	P99Us      int64   `json:"p99_us"`
+	MaxUs      int64   `json:"max_us"`
+}
+
+// Summary is one cluster run's result. Aggregate percentiles are exact
+// nearest-rank over the union of every instance's samples (not an
+// average of per-instance percentiles), via stats.LatencyRecorder.Merge.
+// The advance shard count is deliberately absent: it must not — and
+// therefore cannot — appear in the output.
+type Summary struct {
+	Preset      string            `json:"preset"`
+	Instances   int               `json:"instances"`
+	Sessions    int               `json:"sessions_per_instance"`
+	Router      string            `json:"router"`
+	Admission   string            `json:"admission"`
+	Seed        int64             `json:"seed"`
+	Offered     int64             `json:"offered"`
+	Admitted    int64             `json:"admitted"`
+	Rejected    int64             `json:"rejected"`
+	Completed   int64             `json:"completed"`
+	WindowUs    int64             `json:"window_us"`
+	Throughput  float64           `json:"throughput_rps"`
+	P50Us       int64             `json:"p50_us"`
+	P95Us       int64             `json:"p95_us"`
+	P99Us       int64             `json:"p99_us"`
+	MaxUs       int64             `json:"max_us"`
+	PerInstance []InstanceSummary `json:"per_instance"`
+}
+
+func (c *Cluster) summarize(offered, admitted, rejected int64) *Summary {
+	s := &Summary{
+		Preset:    c.spec.Preset,
+		Instances: c.spec.Instances,
+		Sessions:  c.spec.Sessions,
+		Router:    c.spec.Router,
+		Admission: c.spec.Admission,
+		Seed:      c.spec.Seed,
+		Offered:   offered,
+		Admitted:  admitted,
+		Rejected:  rejected,
+	}
+	agg := &stats.LatencyRecorder{}
+	first, last := vclock.Never, vclock.Time(0)
+	for _, in := range c.insts { // instance-ID order: aggregation is reproducible
+		ls := in.srv.Finish()
+		s.Completed += ls.Completed
+		agg.Merge(&ls.Latency)
+		if ls.Offered > 0 && in.srv.First().Before(first) {
+			first = in.srv.First()
+		}
+		if in.srv.LastDone().After(last) {
+			last = in.srv.LastDone()
+		}
+		s.PerInstance = append(s.PerInstance, InstanceSummary{
+			ID:         in.id,
+			Routed:     in.routed,
+			Completed:  ls.Completed,
+			Throughput: ls.Throughput(),
+			P50Us:      ls.Latency.Percentile(0.50).Micros(),
+			P95Us:      ls.Latency.Percentile(0.95).Micros(),
+			P99Us:      ls.Latency.Percentile(0.99).Micros(),
+			MaxUs:      ls.Latency.Max().Micros(),
+		})
+	}
+	if s.Completed > 0 && last.After(first) {
+		window := last.Sub(first)
+		s.WindowUs = window.Micros()
+		s.Throughput = float64(s.Completed) / window.Seconds()
+	}
+	s.P50Us = agg.Percentile(0.50).Micros()
+	s.P95Us = agg.Percentile(0.95).Micros()
+	s.P99Us = agg.Percentile(0.99).Micros()
+	s.MaxUs = agg.Max().Micros()
+	return s
+}
+
+// Run builds a fleet from spec, runs it, and tears it down.
+func Run(spec Spec) (*Summary, error) {
+	c, err := New(spec)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Shutdown()
+	return c.Run()
+}

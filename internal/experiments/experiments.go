@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -86,6 +87,11 @@ type Report struct {
 	// latency summary; nil for the T/F/R series. The runner copies it
 	// into the run's Metrics so -json and -bench output include it.
 	Load *LoadSummary
+
+	// Cluster carries a C-series run's fleet summaries, one per sweep
+	// point in presentation order; nil for every other series. Like
+	// Load, the runner copies it into the run's Metrics.
+	Cluster []*cluster.Summary
 }
 
 // String renders the report as plain text.
@@ -149,9 +155,9 @@ func All() []Experiment {
 }
 
 // ByID returns the experiment with the given ID (case-insensitive),
-// searching the default set and the W series.
+// searching the default set and the W and C series.
 func ByID(id string) (Experiment, error) {
-	all := append(All(), WSeries()...)
+	all := append(append(All(), WSeries()...), CSeries()...)
 	for _, e := range all {
 		if strings.EqualFold(e.ID, id) {
 			return e, nil

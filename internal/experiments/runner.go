@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -46,6 +47,10 @@ type Metrics struct {
 	// Load is the W-series throughput/latency summary; omitted for the
 	// T/F/R series.
 	Load *LoadSummary `json:"load,omitempty"`
+
+	// Cluster is the C-series fleet summary list (one entry per sweep
+	// point, presentation order); omitted for every other series.
+	Cluster []*cluster.Summary `json:"cluster,omitempty"`
 }
 
 // Outcome couples an experiment's report with its run metrics and, in
@@ -227,6 +232,7 @@ func runOne(e Experiment, cfg Config, opts Options) Outcome {
 		m.VirtualPerWall = m.VirtualTime.Seconds() / secs
 	}
 	m.Load = report.Load
+	m.Cluster = report.Cluster
 	out := Outcome{Report: report, Metrics: m}
 	if set != nil {
 		sum := set.Summary()

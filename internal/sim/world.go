@@ -44,6 +44,15 @@ type World struct {
 	nextID      int32
 	forkWaiters []*Thread
 
+	// threadArena is the tail of the current allocation chunk: Thread
+	// structs are carved from doubling slabs instead of being allocated
+	// one heap object at a time, which is what keeps worlds with
+	// 10k-session populations — and fleets of such worlds — cheap to
+	// instantiate in bulk. Slots are never recycled; dead threads keep
+	// their struct, exactly as before.
+	threadArena []Thread
+	arenaNext   int
+
 	yield   chan *Thread // a thread hands control back to the driver
 	stopped bool
 
@@ -119,8 +128,41 @@ func (w *World) Now() vclock.Time { return w.clock }
 // Config returns the world's effective (defaulted) configuration.
 func (w *World) Config() Config { return w.cfg }
 
-// Rand returns the world's deterministic random source.
+// Rand returns the world's deterministic random source. It is live
+// state: every draw advances the stream that the world's own machinery
+// (the SystemDaemon's victim choice, the in-world workload models)
+// consumes, so two callers sharing it perturb each other. Code outside
+// the world — a cluster's router, a test harness, an open-loop load
+// generator — must use DeriveRand instead, so sibling instances in a
+// multi-world run stay bitwise independent.
 func (w *World) Rand() *rand.Rand { return w.rng }
+
+// DeriveRand returns a new deterministic random stream derived from the
+// world's seed and name. Unlike Rand, the returned stream is private to
+// the caller: drawing from it never perturbs the world's own stream or
+// any stream derived under a different name, and the world never draws
+// from it. The same (seed, name) pair always yields the same stream, so
+// derived streams are as reproducible as the world itself. Each call
+// returns a fresh generator positioned at the stream's start.
+func (w *World) DeriveRand(name string) *rand.Rand {
+	// FNV-1a over the name, mixed with the seed through splitmix64's
+	// finalizer: cheap, portable integer arithmetic with no platform-
+	// dependent behavior, so derived streams are stable everywhere.
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	z := h + uint64(w.cfg.Seed)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
 
 // Trace returns the world's trace sink, letting higher layers (monitors,
 // workloads) emit their own events into the same stream.
@@ -221,7 +263,8 @@ func (w *World) newThread(name string, pri Priority, body Proc, parent *Thread) 
 		panic("sim: nil thread body")
 	}
 	w.nextID++
-	t := &Thread{
+	t := w.allocThread()
+	*t = Thread{
 		w:      w,
 		id:     w.nextID,
 		name:   name,
@@ -252,6 +295,34 @@ func (w *World) newThread(name string, pri Priority, body Proc, parent *Thread) 
 	if f := w.cfg.Hooks.OnFork; f != nil {
 		f(parent, t)
 	}
+	return t
+}
+
+// Thread-arena chunk bounds: the first slab is small so toy worlds stay
+// lean, then slabs double so a 10k-thread world needs ~11 allocations
+// for its Thread structs instead of 10k.
+const (
+	threadArenaMin = 8
+	threadArenaMax = 4096
+)
+
+// allocThread carves the next Thread slot out of the arena, growing it
+// with a doubled slab when the current one is exhausted. Pointers into
+// earlier slabs stay valid forever: slabs are never moved or reused.
+func (w *World) allocThread() *Thread {
+	if w.arenaNext == len(w.threadArena) {
+		n := len(w.threadArena) * 2
+		if n < threadArenaMin {
+			n = threadArenaMin
+		}
+		if n > threadArenaMax {
+			n = threadArenaMax
+		}
+		w.threadArena = make([]Thread, n)
+		w.arenaNext = 0
+	}
+	t := &w.threadArena[w.arenaNext]
+	w.arenaNext++
 	return t
 }
 

@@ -58,6 +58,78 @@ func TestLatencyRecorderEdges(t *testing.T) {
 	}
 }
 
+// Merge must preserve exact nearest-rank percentiles: a recorder built
+// by merging per-instance recorders answers every quantile identically
+// to one fed the union of samples directly.
+func TestLatencyRecorderMerge(t *testing.T) {
+	us := vclock.Microsecond
+	fill := func(ds ...vclock.Duration) *LatencyRecorder {
+		r := &LatencyRecorder{}
+		for _, d := range ds {
+			r.Add(d)
+		}
+		return r
+	}
+	cases := []struct {
+		name string
+		a, b []vclock.Duration
+	}{
+		{"empty+empty", nil, nil},
+		{"empty+nonempty", nil, []vclock.Duration{5 * us, 1 * us, 9 * us}},
+		{"nonempty+empty", []vclock.Duration{4 * us, 2 * us}, nil},
+		{"interleaved duplicates",
+			[]vclock.Duration{1 * us, 3 * us, 3 * us, 7 * us},
+			[]vclock.Duration{3 * us, 1 * us, 7 * us, 3 * us, 2 * us}},
+		{"disjoint ranges", []vclock.Duration{100 * us, 200 * us}, []vclock.Duration{1 * us, 2 * us, 3 * us}},
+	}
+	quantiles := []float64{0, 0.25, 0.5, 0.95, 0.99, 1}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			merged := fill(tc.a...)
+			other := fill(tc.b...)
+			// Sort other first so Merge sees a sorted donor — the merged
+			// recorder must re-sort rather than trust donor order.
+			other.Percentile(0.5)
+			merged.Merge(other)
+			direct := fill(append(append([]vclock.Duration{}, tc.a...), tc.b...)...)
+			if merged.Count() != direct.Count() {
+				t.Fatalf("merged count = %d, want %d", merged.Count(), direct.Count())
+			}
+			if merged.Mean() != direct.Mean() {
+				t.Errorf("merged mean = %s, want %s", merged.Mean(), direct.Mean())
+			}
+			for _, p := range quantiles {
+				if got, want := merged.Percentile(p), direct.Percentile(p); got != want {
+					t.Errorf("merged p%v = %s, direct = %s", p, got, want)
+				}
+			}
+			// The donor is untouched.
+			if want := fill(tc.b...); other.Count() != want.Count() || other.Percentile(0.5) != want.Percentile(0.5) {
+				t.Errorf("Merge mutated its argument: %s vs %s", other, want)
+			}
+		})
+	}
+
+	// Order independence: merging A into B equals merging B into A.
+	ab := fill(9*us, 1*us)
+	ab.Merge(fill(5*us, 5*us, 2*us))
+	ba := fill(5*us, 5*us, 2*us)
+	ba.Merge(fill(9*us, 1*us))
+	for _, p := range quantiles {
+		if ab.Percentile(p) != ba.Percentile(p) {
+			t.Errorf("merge order changed p%v: %s vs %s", p, ab.Percentile(p), ba.Percentile(p))
+		}
+	}
+
+	// Self-merge and nil-merge are no-ops.
+	self := fill(3*us, 1*us)
+	self.Merge(self)
+	self.Merge(nil)
+	if self.Count() != 2 || self.Mean() != 2*us {
+		t.Errorf("self/nil merge changed the recorder: %s", self)
+	}
+}
+
 func TestHistogramEdges(t *testing.T) {
 	ms := vclock.Millisecond
 	t.Run("empty", func(t *testing.T) {

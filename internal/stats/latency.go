@@ -29,6 +29,22 @@ func (r *LatencyRecorder) Add(d vclock.Duration) {
 // Count returns the number of samples.
 func (r *LatencyRecorder) Count() int { return len(r.samples) }
 
+// Merge folds every sample of o into r, so cross-instance percentiles
+// (a cluster's aggregate p99) are computed by exact nearest-rank over
+// the union of the samples — no histogram approximation, no loss at the
+// tail. o is left unchanged and may be merged into several recorders;
+// merging a recorder into itself or merging nil is a no-op. The result
+// is order-independent: merging instance recorders in any order yields
+// identical percentiles, because Percentile sorts the union.
+func (r *LatencyRecorder) Merge(o *LatencyRecorder) {
+	if o == nil || r == o || len(o.samples) == 0 {
+		return
+	}
+	r.samples = append(r.samples, o.samples...)
+	r.sum += o.sum
+	r.sorted = false
+}
+
 // Mean returns the average sample, or 0 if empty.
 func (r *LatencyRecorder) Mean() vclock.Duration {
 	if len(r.samples) == 0 {

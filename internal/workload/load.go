@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/monitor"
 	"repro/internal/sim"
@@ -58,11 +59,15 @@ func (s *LoadStats) String() string {
 }
 
 // expDelay draws one exponential inter-arrival gap (mean 1/rate seconds)
-// from the world's deterministic RNG, quantized to the simulator's
+// from the generator's derived stream, quantized to the simulator's
 // microsecond clock with a 1us floor so same-instant arrival storms can't
-// form by rounding.
-func expDelay(w *sim.World, rate float64) vclock.Duration {
-	d := vclock.Duration(w.Rand().ExpFloat64() / rate * 1e6)
+// form by rounding. The stream comes from World.DeriveRand, not
+// World.Rand: an open-loop generator is outside code driving the world,
+// and drawing from the live world stream would entangle the arrival
+// process with the SystemDaemon's victim choices — and, in a fleet, one
+// instance's arrivals with its siblings'.
+func expDelay(rng *rand.Rand, rate float64) vclock.Duration {
+	d := vclock.Duration(rng.ExpFloat64() / rate * 1e6)
 	if d < vclock.Microsecond {
 		d = vclock.Microsecond
 	}
@@ -116,6 +121,7 @@ type echoSession struct {
 type EchoServer struct {
 	w        *sim.World
 	p        EchoParams
+	rng      *rand.Rand
 	Stats    LoadStats
 	sessions []*echoSession
 	injected int64
@@ -137,7 +143,7 @@ func StartEcho(w *sim.World, p EchoParams) *EchoServer {
 	if !p.Priority.Valid() {
 		p.Priority = sim.PriorityNormal
 	}
-	e := &EchoServer{w: w, p: p}
+	e := &EchoServer{w: w, p: p, rng: w.DeriveRand("workload.echo")}
 	e.Stats.Threads = p.Sessions
 	for i := 0; i < p.Sessions; i++ {
 		s := &echoSession{}
@@ -160,7 +166,7 @@ func (e *EchoServer) arrive() {
 	if e.injected >= e.p.Requests {
 		return
 	}
-	s := e.sessions[e.w.Rand().Intn(len(e.sessions))]
+	s := e.sessions[e.rng.Intn(len(e.sessions))]
 	now := e.w.Now()
 	if e.Stats.Offered == 0 {
 		e.firstAt = now
@@ -170,7 +176,7 @@ func (e *EchoServer) arrive() {
 	e.injected++
 	e.w.WakeIfBlocked(s.th, nil)
 	if e.injected < e.p.Requests {
-		e.w.After(expDelay(e.w, e.p.Rate), e.arrive)
+		e.w.After(expDelay(e.rng, e.p.Rate), e.arrive)
 	} else {
 		e.close()
 	}
@@ -303,6 +309,7 @@ func (b *loadBuffer) close(t *sim.Thread) {
 type Pipeline struct {
 	w        *sim.World
 	p        PipelineParams
+	rng      *rand.Rand
 	Stats    LoadStats
 	inboxes  []*pipeInbox
 	injected int64
@@ -340,7 +347,7 @@ func StartPipeline(w *sim.World, p PipelineParams) *Pipeline {
 	if p.StageCost <= 0 {
 		p.StageCost = 10 * vclock.Microsecond
 	}
-	pl := &Pipeline{w: w, p: p}
+	pl := &Pipeline{w: w, p: p, rng: w.DeriveRand("workload.pipeline")}
 	pl.Stats.Threads = p.Pipelines * p.Stages
 	for i := 0; i < p.Pipelines; i++ {
 		bufs := make([]*loadBuffer, p.Stages-1)
@@ -368,7 +375,7 @@ func (pl *Pipeline) arrive() {
 	if pl.injected >= pl.p.Requests {
 		return
 	}
-	in := pl.inboxes[pl.w.Rand().Intn(len(pl.inboxes))]
+	in := pl.inboxes[pl.rng.Intn(len(pl.inboxes))]
 	now := pl.w.Now()
 	if pl.Stats.Offered == 0 {
 		pl.firstAt = now
@@ -378,7 +385,7 @@ func (pl *Pipeline) arrive() {
 	pl.injected++
 	pl.w.WakeIfBlocked(in.th, nil)
 	if pl.injected < pl.p.Requests {
-		pl.w.After(expDelay(pl.w, pl.p.Rate), pl.arrive)
+		pl.w.After(expDelay(pl.rng, pl.p.Rate), pl.arrive)
 	} else {
 		pl.closed = true
 		for _, in := range pl.inboxes {

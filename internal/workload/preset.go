@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/paradigm"
+	"repro/internal/sim"
+)
+
+// A Preset is a reusable recipe for one fleet instance's world: what
+// background population (if any) runs alongside the routed-request
+// session pool. Presets let the cluster layer instantiate "a W1 echo
+// world", "a Cedar workstation", or "a GVX workstation" by name without
+// importing the model constructors, and they are deliberately cheap —
+// the expensive static state (the session NameTable) is built once per
+// fleet and shared.
+//
+//	w1-echo — a bare session pool, the W1 server with its arrival
+//	          process lifted out into the cluster.
+//	cedar   — Idle Cedar's full desktop population (§3's model) running
+//	          under the routed sessions, so fleet requests compete with
+//	          1993-era background activity.
+//	gvx     — Idle GVX's leaner population, same idea.
+type Preset struct {
+	// Name identifies the preset in specs and CLI flags.
+	Name string
+	// Background populates paper-era background activity before the
+	// session pool spawns; nil means none. Each instance gets a private
+	// paradigm.Registry — the cluster aggregates latencies, not paradigm
+	// census tables.
+	Background func(w *sim.World)
+}
+
+// Presets returns the fleet world presets in presentation order.
+func Presets() []Preset {
+	return []Preset{
+		{Name: "w1-echo"},
+		{Name: "cedar", Background: benchmarkBackground("Cedar", "Idle Cedar")},
+		{Name: "gvx", Background: benchmarkBackground("GVX", "Idle GVX")},
+	}
+}
+
+// PresetNames returns the valid preset names, for flag validation.
+func PresetNames() []string {
+	ps := Presets()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// FindPreset returns the preset with the given name.
+func FindPreset(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("workload: no preset %q (have %v)", name, PresetNames())
+}
+
+// benchmarkBackground adapts a Tables 1–3 benchmark Build into a preset
+// background, with a registry the caller never sees.
+func benchmarkBackground(system, name string) func(w *sim.World) {
+	return func(w *sim.World) {
+		b, err := FindBenchmark(system, name)
+		if err != nil {
+			panic(err)
+		}
+		b.Build(w, paradigm.NewRegistry())
+	}
+}

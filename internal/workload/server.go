@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// This file holds the externally-driven request server the cluster layer
+// routes into. W1's EchoServer owns its whole arrival process — it draws
+// inter-arrival gaps and picks sessions itself, which is the right shape
+// for a single-world experiment but the wrong one for a fleet: there the
+// arrival process, the routing decision, and the admission decision all
+// live *outside* any one world, in the cluster. Server is the passive
+// half of that split: a session-thread pool that serves whatever requests
+// an outside driver injects, each with an explicit service demand.
+
+// NameTable interns per-session thread names so a fleet of N instances
+// shares one table of S strings instead of allocating N×S copies —
+// session i is "echo-i" in every instance, and the table is immutable
+// after construction, so concurrent instance builds may share it freely.
+type NameTable struct {
+	names []string
+}
+
+// NewNameTable builds the table for n sessions named prefix-0..prefix-n-1.
+func NewNameTable(prefix string, n int) *NameTable {
+	t := &NameTable{names: make([]string, n)}
+	for i := range t.names {
+		t.names[i] = fmt.Sprintf("%s-%d", prefix, i)
+	}
+	return t
+}
+
+// Name returns the interned name of session i.
+func (t *NameTable) Name(i int) string { return t.names[i] }
+
+// Len returns the number of interned names.
+func (t *NameTable) Len() int { return len(t.names) }
+
+// srvReq is one injected request: when it arrived at the instance and
+// how much CPU it demands. The demand travels with the request (rather
+// than being a server constant) so the driver can impose heavy-tailed
+// service distributions without the server knowing.
+type srvReq struct {
+	born    vclock.Time
+	service vclock.Duration
+}
+
+// srvSession is one session thread plus its driver-owned request queue,
+// the same interrupt-handler-posts-to-server-thread shape as W1.
+type srvSession struct {
+	th   *sim.Thread
+	q    []srvReq
+	head int
+}
+
+// Server is an externally-driven session pool. All methods must be
+// called from driver context (between Run steps, or inside World.At /
+// World.After callbacks) — never from another goroutine.
+type Server struct {
+	w        *sim.World
+	Stats    LoadStats
+	sessions []*srvSession
+	pending  int
+	closed   bool
+	firstAt  vclock.Time
+	lastDone vclock.Time
+}
+
+// StartServer spawns sessions session threads at prio, naming them from
+// names (which must hold at least sessions entries). The pool serves
+// injected requests until Close.
+func StartServer(w *sim.World, names *NameTable, sessions int, prio sim.Priority) *Server {
+	if sessions < 1 || names.Len() < sessions {
+		panic(fmt.Sprintf("workload: bad Server population %d (names %d)", sessions, names.Len()))
+	}
+	if !prio.Valid() {
+		prio = sim.PriorityNormal
+	}
+	s := &Server{w: w}
+	s.Stats.Threads = sessions
+	for i := 0; i < sessions; i++ {
+		sess := &srvSession{}
+		sess.th = w.Spawn(names.Name(i), prio, s.sessionBody(sess))
+		s.sessions = append(s.sessions, sess)
+	}
+	return s
+}
+
+// Sessions returns the pool size.
+func (s *Server) Sessions() int { return len(s.sessions) }
+
+// Pending returns the number of injected-but-not-completed requests —
+// the instantaneous queue depth a least-loaded router compares.
+func (s *Server) Pending() int { return s.pending }
+
+// Inject posts one request to session i, stamped with the world's
+// current time. The driver is responsible for session choice (that is
+// the routing policy) and for the service demand (that is the workload
+// model).
+func (s *Server) Inject(i int, service vclock.Duration) {
+	if s.closed {
+		panic("workload: Inject after Close")
+	}
+	now := s.w.Now()
+	if s.Stats.Offered == 0 {
+		s.firstAt = now
+	}
+	sess := s.sessions[i%len(s.sessions)]
+	sess.q = append(sess.q, srvReq{born: now, service: service})
+	s.Stats.Offered++
+	s.pending++
+	s.w.WakeIfBlocked(sess.th, nil)
+}
+
+// Close marks the offered load complete and wakes every idle session so
+// the pool can drain and exit, letting the world quiesce.
+func (s *Server) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, sess := range s.sessions {
+		s.w.WakeIfBlocked(sess.th, nil)
+	}
+}
+
+func (s *Server) sessionBody(sess *srvSession) sim.Proc {
+	return func(t *sim.Thread) any {
+		for {
+			if sess.head == len(sess.q) {
+				sess.q, sess.head = sess.q[:0], 0
+				if s.closed {
+					return nil
+				}
+				t.Block(sim.BlockCV)
+				continue
+			}
+			req := sess.q[sess.head]
+			sess.head++
+			t.Compute(req.service)
+			s.Stats.Completed++
+			s.pending--
+			s.Stats.Latency.Add(t.Now().Sub(req.born))
+			s.lastDone = t.Now()
+		}
+	}
+}
+
+// First returns the arrival time of the first injected request (the
+// zero Time if none were injected).
+func (s *Server) First() vclock.Time { return s.firstAt }
+
+// LastDone returns the completion time of the last served request (the
+// zero Time if none completed). Together with First this lets a fleet
+// compute its aggregate measurement window — earliest first arrival to
+// latest last completion across instances — which per-instance
+// LoadStats.Window alone cannot express.
+func (s *Server) LastDone() vclock.Time { return s.lastDone }
+
+// Finish stamps the measurement window after the driving Run returns.
+func (s *Server) Finish() *LoadStats {
+	if s.Stats.Completed > 0 {
+		s.Stats.Window = s.lastDone.Sub(s.firstAt)
+	}
+	return &s.Stats
+}
