@@ -31,10 +31,11 @@ race:
 	$(GO) test -race ./...
 
 # Benchmarks plus the fixed-seed accounting sweep: every experiment —
-# the T/F/R artifact set, the W-series load workloads, and the C-series
-# cluster fleets — runs quick with the per-thread profiler attached, and
-# the combined metrics + scheduler-accounting summary lands in
-# BENCH_PR6.json. The sweep fails if any run's accounting residue is
+# the T/F/R artifact set, the W-series load workloads, the C-series
+# cluster fleets, and the D-series resilience study — runs quick with
+# the per-thread profiler attached, and the combined metrics +
+# scheduler-accounting summary lands in
+# BENCH_PR7.json. The sweep fails if any run's accounting residue is
 # nonzero, so `make bench` also certifies the exactness invariant on the
 # full experiment population. The hot-path allocs/op pin runs first: the
 # event loop, ready queues and discard-sink tracing must stay
@@ -42,7 +43,7 @@ race:
 bench:
 	$(GO) test -run TestHotPathAllocs ./internal/sim
 	$(GO) test -bench=. -benchmem -run='^$$'
-	$(GO) run ./cmd/threadstudy -bench BENCH_PR6.json
+	$(GO) run ./cmd/threadstudy -bench BENCH_PR7.json
 
 # Short coverage-guided fuzzing of the attacker-facing parsers: JSON
 # fault plans and the binary trace codec (decode robustness + encode/

@@ -26,6 +26,7 @@ var goldenCases = []struct {
 	{file: "t1-markdown.txt", args: []string{"-experiment", "T1", "-format", "markdown"}},
 	{file: "profile.txt", args: []string{"-profile", "-traceduration", "2s"}},
 	{file: "cseries-quick.txt", args: []string{"-cseries", "-quick"}},
+	{file: "dseries-quick.txt", args: []string{"-dseries", "-quick"}},
 	{file: "default.txt", args: nil, slow: true},
 }
 

@@ -46,12 +46,20 @@
 //	threadstudy -cseries         # run the C-series cluster fleets
 //	                             # (C1..C3): N worlds on a shared clock
 //	                             # behind routing and admission control
+//	threadstudy -dseries         # run the D-series resilience study
+//	                             # (D1..D4): instance crashes, stalls and
+//	                             # brownouts vs failover, breakers,
+//	                             # hedging and retry budgets
 //	threadstudy -experiment W1 -json -
 //	                             # one load workload, with throughput and
 //	                             # latency percentiles in the summary
 //	threadstudy -experiment C2 -json -
 //	                             # one fleet sweep, with per-instance and
 //	                             # aggregate SLO records in the summary
+//	threadstudy -experiment D3 -json -
+//	                             # one resilience experiment, with the
+//	                             # graceful-degradation buckets and the
+//	                             # mechanism ledger in the summary
 package main
 
 import (
@@ -110,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		expID     = fs.String("experiment", "", "run selected experiments by ID, comma-separated (default: all)")
 		wseries   = fs.Bool("wseries", false, "run the W-series open-loop load workloads (W1..W3) instead of the default set")
 		cseries   = fs.Bool("cseries", false, "run the C-series cluster fleet experiments (C1..C3) instead of the default set")
+		dseries   = fs.Bool("dseries", false, "run the D-series resilience experiments (D1..D4) instead of the default set")
 		quick     = fs.Bool("quick", false, "use ~3x shorter measurement windows")
 		format    = fs.String("format", "text", "output format: text or markdown")
 		verify    = fs.Bool("verify", false, "run each experiment twice concurrently and fail on nondeterminism")
@@ -161,7 +170,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := cliflag.Exclusive("experiment", *expID != "", "cseries", *cseries); err != nil {
 		return fs.Fail(err)
 	}
+	if err := cliflag.Exclusive("experiment", *expID != "", "dseries", *dseries); err != nil {
+		return fs.Fail(err)
+	}
 	if err := cliflag.Exclusive("wseries", *wseries, "cseries", *cseries); err != nil {
+		return fs.Fail(err)
+	}
+	if err := cliflag.Exclusive("wseries", *wseries, "dseries", *dseries); err != nil {
+		return fs.Fail(err)
+	}
+	if err := cliflag.Exclusive("cseries", *cseries, "dseries", *dseries); err != nil {
 		return fs.Fail(err)
 	}
 	// -experiment takes a comma-separated ID list; a duplicated ID would
@@ -177,6 +195,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fs.Fail(err)
 		}
+		// -faults replaces the R-series' single-world plans; the
+		// instance-scoped kinds only make sense inside a cluster fleet
+		// (the D-series carries its own built-in plans). fault.New would
+		// reject the plan anyway, but deep inside the run — fail at the
+		// flag boundary instead.
+		if p.HasInstanceFaults() {
+			return fs.Fail(fmt.Errorf("-faults %s: plan has cluster-scoped fault kinds (crash_instance/stall_instance/degrade_instance); -faults drives the single-world R experiments, which cannot host them", *faultsIn))
+		}
 		plan = &p
 	}
 
@@ -187,6 +213,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *cseries {
 			set = experiments.CSeries()
+		}
+		if *dseries {
+			set = experiments.DSeries()
 		}
 		for _, e := range set {
 			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
@@ -242,6 +271,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		todo = experiments.WSeries()
 	case *cseries:
 		todo = experiments.CSeries()
+	case *dseries:
+		todo = experiments.DSeries()
 	default:
 		todo = experiments.All()
 	}
@@ -258,6 +289,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			case target != "":
 			case *cseries:
 				target = "the C series"
+			case *dseries:
+				// The D-series injects instance faults, but from the specs'
+				// own deterministic plans: its fault seed derives from the
+				// run seed, not from -faultseed.
+				target = "the D series"
 			default:
 				target = "the W series"
 			}
@@ -474,12 +510,12 @@ type benchExperiment struct {
 	Profile *profile.Summary `json:"profile,omitempty"`
 }
 
-// benchSummary is the -bench output (BENCH_PR6.json): a fixed-seed quick
+// benchSummary is the -bench output (BENCH_PR7.json): a fixed-seed quick
 // sweep of every experiment — the T/F/R set plus the W-series load
-// workloads and the C-series cluster fleets — with profiling on, plus
-// the accounting summary of the default benchmark world. Wall-clock
-// fields vary between machines; every virtual-time field is
-// deterministic.
+// workloads, the C-series cluster fleets, and the D-series resilience
+// study — with profiling on, plus the accounting summary of the default
+// benchmark world. Wall-clock fields vary between machines; every
+// virtual-time field is deterministic.
 type benchSummary struct {
 	Schema      int               `json:"schema"`
 	Seed        int64             `json:"seed"`
@@ -504,10 +540,12 @@ func runBench(stdout io.Writer, path string, parallel int) error {
 		Parallelism: parallel,
 		Profile:     true,
 		// The sweep covers the full population: the T/F/R artifact set,
-		// the W-series load workloads, and the C-series cluster fleets,
-		// so the bench artifact tracks report fidelity, server-scale
-		// throughput, and fleet-scale SLOs together.
-		Experiments: append(append(experiments.All(), experiments.WSeries()...), experiments.CSeries()...),
+		// the W-series load workloads, the C-series cluster fleets, and
+		// the D-series resilience study, so the bench artifact tracks
+		// report fidelity, server-scale throughput, fleet-scale SLOs and
+		// fault-tolerance behavior together.
+		Experiments: append(append(append(experiments.All(),
+			experiments.WSeries()...), experiments.CSeries()...), experiments.DSeries()...),
 	})
 	sum := benchSummary{
 		Schema:      outputSchema,

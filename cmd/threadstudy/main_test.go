@@ -104,9 +104,22 @@ func TestCLIValidation(t *testing.T) {
 			[]string{"-experiment", "C1", "-cseries"}, 2, "mutually exclusive", ""},
 		{"wseries and cseries exclusive",
 			[]string{"-wseries", "-cseries"}, 2, "-wseries and -cseries are mutually exclusive", ""},
+		{"experiment and dseries exclusive",
+			[]string{"-experiment", "D1", "-dseries"}, 2, "mutually exclusive", ""},
+		{"wseries and dseries exclusive",
+			[]string{"-wseries", "-dseries"}, 2, "-wseries and -dseries are mutually exclusive", ""},
+		{"cseries and dseries exclusive",
+			[]string{"-cseries", "-dseries"}, 2, "-cseries and -dseries are mutually exclusive", ""},
+		{"duplicated D experiment rejected", []string{"-experiment", "D1,D1"}, 2, `duplicate value "D1"`, ""},
+		{"case-insensitive D duplicate rejected", []string{"-experiment", "D2,d2"}, 2, `duplicate value "d2"`, ""},
+		{"faultseed without faults on dseries warns",
+			[]string{"-dseries", "-quick", "-faultseed", "9"}, 0, "has no effect on the D series", "D1"},
 		{"unknown flag", []string{"-nope"}, 2, "flag provided but not defined", ""},
 		{"missing fault plan rejected",
 			[]string{"-faults", filepath.Join(t.TempDir(), "nope.json")}, 2, "no such file", ""},
+		{"instance-scoped fault plan rejected at the flag",
+			[]string{"-faults", instancePlan(t), "-experiment", "R1", "-quick"},
+			2, "cluster-scoped fault kinds", ""},
 		{"auditmin zero rejected", []string{"-audit", "-auditmin", "0"}, 2, "at least one observed wait", ""},
 		{"faultseed without faults on T experiment warns",
 			[]string{"-experiment", "T1", "-quick", "-faultseed", "9"}, 0, "-faultseed 9 has no effect", "T1"},
@@ -129,6 +142,18 @@ func TestCLIValidation(t *testing.T) {
 			}
 		})
 	}
+}
+
+// instancePlan writes a syntactically valid but cluster-scoped fault
+// plan, which -faults must reject before any experiment runs.
+func instancePlan(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "instance.json")
+	plan := `{"crash_instance": [{"instance": 1, "at": "220ms", "restart": "30ms"}]}`
+	if err := os.WriteFile(path, []byte(plan), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
 }
 
 // Warnings are stderr-only advisories: an R-series run consumes
@@ -396,6 +421,71 @@ func TestCLICSeries(t *testing.T) {
 		if s.Completed == 0 || len(s.PerInstance) != s.Instances {
 			t.Fatalf("degenerate cluster record: %+v", s)
 		}
+	}
+}
+
+// TestCLIDSeries: the resilience study is opt-in like the W and C
+// series — absent from the default list, selected by -dseries — and a
+// single D experiment's graceful-degradation buckets and mechanism
+// ledger flow into -json under the same schema.
+func TestCLIDSeries(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	if strings.Contains(stdout.String(), "D1") {
+		t.Fatalf("D series leaked into the default -list:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-list", "-dseries"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list -dseries exit %d", code)
+	}
+	for _, id := range []string{"D1", "D2", "D3", "D4"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list -dseries missing %s:\n%s", id, stdout.String())
+		}
+	}
+	if strings.Contains(stdout.String(), "T1") || strings.Contains(stdout.String(), "C1") {
+		t.Errorf("-list -dseries should list only the D series:\n%s", stdout.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "d3.json")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-experiment", "D3", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("D3 run exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "== D3:") {
+		t.Fatalf("D3 report missing:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum jsonSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	if sum.Schema != 1 || len(sum.Experiments) != 1 {
+		t.Fatalf("summary header wrong: %+v", sum)
+	}
+	cl := sum.Experiments[0].Cluster
+	if len(cl) != 3 {
+		t.Fatalf("cluster records missing from -json: %+v", sum.Experiments[0])
+	}
+	for _, s := range cl {
+		if got := s.Rejected + s.Shed + s.Failed + s.Degraded + s.Goodput; got != s.Offered {
+			t.Errorf("bucket identity broken in -json record: %+v", s)
+		}
+	}
+	// The overloaded rows carry the mechanism ledger; the run must show
+	// the storm (retries issued) and the budget's suppression (denials).
+	if cl[1].Resilience == nil || cl[1].Resilience.Retries == 0 {
+		t.Errorf("unmetered D3 row missing retry ledger: %+v", cl[1].Resilience)
+	}
+	if cl[2].Resilience == nil || cl[2].Resilience.RetriesDenied == 0 {
+		t.Errorf("metered D3 row missing denials: %+v", cl[2].Resilience)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vclock"
@@ -85,6 +86,66 @@ type Spec struct {
 	// into every instance world. Observe-only hooks never change the
 	// summary; sim.Probe and profile.Set are safe under sharded advance.
 	Hooks sim.Hooks
+
+	// --- Fault injection and resilience (all optional). Setting any of
+	// these switches Run onto the tracked-request resilient path; see
+	// resilience.go. ---
+
+	// Faults is the cluster-scoped fault plan; only instance-scoped
+	// kinds (crash_instance / stall_instance / degrade_instance) are
+	// accepted. Fault times are offsets from virtual time zero.
+	Faults *fault.Plan
+	// FaultSeed seeds AnyInstance victim picks during fault compilation.
+	// Zero derives a stream from Seed.
+	FaultSeed int64
+	// ProbeEvery enables the health monitor: every instance is probed at
+	// this period, ejected from routing after FailAfter consecutive
+	// failures and re-admitted after RecoverAfter consecutive successes.
+	// Zero disables health-aware routing entirely.
+	ProbeEvery   vclock.Duration
+	FailAfter    int // consecutive probe failures to eject; zero selects 3
+	RecoverAfter int // consecutive probe successes to re-admit; zero selects 2
+	// Timeout is the client's per-attempt deadline. Zero disables.
+	Timeout vclock.Duration
+	// Retries caps client retries per request beyond the first attempt,
+	// with capped exponential backoff (RetryBackoff doubling up to
+	// RetryBackoffCap; defaults 1ms and 8x).
+	Retries         int
+	RetryBackoff    vclock.Duration
+	RetryBackoffCap vclock.Duration
+	// RetryBudget caps fleet-wide retries at this fraction of offered
+	// arrivals so far — the retry-storm valve. Zero leaves retries
+	// unmetered.
+	RetryBudget float64
+	// HedgeAfter enables tail-latency hedging: an unanswered request is
+	// duplicated to a second instance after max(HedgeAfter, observed
+	// p99); first response wins, the loser is cancelled. Zero disables.
+	HedgeAfter vclock.Duration
+	// BreakerAfter enables a per-instance circuit breaker: BreakerAfter
+	// consecutive failures open it for BreakerOpenFor (default 25ms),
+	// then half-open admits one trial. Zero disables.
+	BreakerAfter   int
+	BreakerOpenFor vclock.Duration
+	// DegradedOver classifies successes slower than this as degraded
+	// rather than goodput even when served by the first attempt. Zero
+	// means only retried/hedged successes count as degraded.
+	DegradedOver vclock.Duration
+}
+
+// resilient reports whether the spec asks for the tracked-request run
+// path. A non-nil (even empty) fault plan qualifies: the caller asked
+// for fault semantics and gets the full accounting with it.
+func (s Spec) resilient() bool {
+	return s.Faults != nil || s.ProbeEvery > 0 || s.Timeout > 0 || s.Retries > 0 ||
+		s.HedgeAfter > 0 || s.BreakerAfter > 0 || s.DegradedOver > 0
+}
+
+// faultSeed resolves the victim-pick stream for AnyInstance rules.
+func (s Spec) faultSeed() int64 {
+	if s.FaultSeed != 0 {
+		return s.FaultSeed
+	}
+	return s.Seed + 0xfa017
 }
 
 // withDefaults returns the spec with zero knobs resolved.
@@ -113,6 +174,25 @@ func (s Spec) withDefaults() Spec {
 	if s.Shards < 1 {
 		s.Shards = 1
 	}
+	if s.ProbeEvery > 0 {
+		if s.FailAfter <= 0 {
+			s.FailAfter = 3
+		}
+		if s.RecoverAfter <= 0 {
+			s.RecoverAfter = 2
+		}
+	}
+	if s.Retries > 0 {
+		if s.RetryBackoff <= 0 {
+			s.RetryBackoff = vclock.Millisecond
+		}
+		if s.RetryBackoffCap <= 0 {
+			s.RetryBackoffCap = 8 * s.RetryBackoff
+		}
+	}
+	if s.BreakerAfter > 0 && s.BreakerOpenFor <= 0 {
+		s.BreakerOpenFor = 25 * vclock.Millisecond
+	}
 	return s
 }
 
@@ -138,6 +218,27 @@ func (s Spec) validate() error {
 	if s.HeavyFraction < 0 || s.HeavyFraction > 1 {
 		return fmt.Errorf("cluster: HeavyFraction must be in [0,1] (got %v)", s.HeavyFraction)
 	}
+	for _, d := range []struct {
+		name string
+		v    vclock.Duration
+	}{
+		{"ProbeEvery", s.ProbeEvery}, {"Timeout", s.Timeout},
+		{"HedgeAfter", s.HedgeAfter}, {"BreakerOpenFor", s.BreakerOpenFor},
+		{"DegradedOver", s.DegradedOver},
+	} {
+		if d.v < 0 {
+			return fmt.Errorf("cluster: %s must be >= 0 (got %v)", d.name, d.v)
+		}
+	}
+	if s.Retries < 0 {
+		return fmt.Errorf("cluster: Retries must be >= 0 (got %d)", s.Retries)
+	}
+	if s.RetryBudget < 0 {
+		return fmt.Errorf("cluster: RetryBudget must be >= 0 (got %v)", s.RetryBudget)
+	}
+	if s.BreakerAfter < 0 {
+		return fmt.Errorf("cluster: BreakerAfter must be >= 0 (got %d)", s.BreakerAfter)
+	}
 	return nil
 }
 
@@ -157,6 +258,8 @@ type Cluster struct {
 	insts  []*instance
 	route  router
 	admit  admitter
+	faults *instanceFaults // compiled fault timelines; nil when fault-free
+	rng    *rand.Rand      // arrival/identity/demand stream, owned by Run
 	ran    bool
 }
 
@@ -181,6 +284,14 @@ func New(spec Spec) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{spec: spec, preset: preset, route: route, admit: admit}
+	if spec.Faults != nil {
+		// Compile eagerly: a bad plan (thread-scoped kinds, out-of-range
+		// instance) fails at New, before any world exists to leak.
+		c.faults, err = compileFaults(spec.Faults, spec.Instances, spec.faultSeed())
+		if err != nil {
+			return nil, err
+		}
+	}
 	names := workload.NewNameTable("echo", spec.Sessions)
 	for i := 0; i < spec.Instances; i++ {
 		w := sim.NewWorld(sim.Config{
@@ -281,8 +392,12 @@ func (c *Cluster) Run() (*Summary, error) {
 		return nil, fmt.Errorf("cluster: Run called twice")
 	}
 	c.ran = true
+	c.rng = rand.New(rand.NewSource(c.spec.Seed))
+	if c.spec.resilient() {
+		return c.runResilient()
+	}
 	s := c.spec
-	rng := rand.New(rand.NewSource(s.Seed))
+	rng := c.rng
 	start := s.Start
 	if start <= 0 {
 		perPark := c.insts[0].w.Config().SwitchCost + 10*vclock.Microsecond
@@ -353,17 +468,56 @@ type Summary struct {
 	Router      string            `json:"router"`
 	Admission   string            `json:"admission"`
 	Seed        int64             `json:"seed"`
-	Offered     int64             `json:"offered"`
-	Admitted    int64             `json:"admitted"`
-	Rejected    int64             `json:"rejected"`
-	Completed   int64             `json:"completed"`
-	WindowUs    int64             `json:"window_us"`
-	Throughput  float64           `json:"throughput_rps"`
-	P50Us       int64             `json:"p50_us"`
-	P95Us       int64             `json:"p95_us"`
-	P99Us       int64             `json:"p99_us"`
-	MaxUs       int64             `json:"max_us"`
-	PerInstance []InstanceSummary `json:"per_instance"`
+	Offered   int64 `json:"offered"`
+	Admitted  int64 `json:"admitted"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	// Graceful-degradation buckets. Every offered request lands in
+	// exactly one: offered == rejected + shed + failed + degraded +
+	// goodput. On the legacy (fault-free, fire-and-forget) path goodput
+	// is simply completed and shed/degraded are zero.
+	Goodput     int64              `json:"goodput"`
+	Degraded    int64              `json:"degraded"`
+	Shed        int64              `json:"shed"`
+	Failed      int64              `json:"failed"`
+	WindowUs    int64              `json:"window_us"`
+	Throughput  float64            `json:"throughput_rps"`
+	P50Us       int64              `json:"p50_us"`
+	P95Us       int64              `json:"p95_us"`
+	P99Us       int64              `json:"p99_us"`
+	MaxUs       int64              `json:"max_us"`
+	PerInstance []InstanceSummary  `json:"per_instance"`
+	Resilience  *ResilienceSummary `json:"resilience,omitempty"`
+}
+
+// PhaseSummary is the client-observed latency of successes born in one
+// fault phase (before / during / after the compiled fault span).
+type PhaseSummary struct {
+	Phase string `json:"phase"`
+	Count int64  `json:"count"`
+	P50Us int64  `json:"p50_us"`
+	P95Us int64  `json:"p95_us"`
+	P99Us int64  `json:"p99_us"`
+	MaxUs int64  `json:"max_us"`
+}
+
+// ResilienceSummary is the resilient run path's mechanism ledger: how
+// often each policy fired, what the fleet lost, and how long the health
+// monitor took to notice and recover.
+type ResilienceSummary struct {
+	Timeouts         int64          `json:"timeouts"`
+	Retries          int64          `json:"retries"`
+	RetriesDenied    int64          `json:"retries_denied"` // suppressed by the retry budget
+	Hedges           int64          `json:"hedges"`
+	HedgeWins        int64          `json:"hedge_wins"`
+	Refused          int64          `json:"refused"` // dispatched at a down instance
+	Lost             int64          `json:"lost"`    // response died with a crash
+	BreakerOpens     int64          `json:"breaker_opens"`
+	BreakerFastFails int64          `json:"breaker_fast_fails"`
+	Ejections        int64          `json:"ejections"`
+	Readmissions     int64          `json:"readmissions"`
+	RecoveryUs       int64          `json:"recovery_us"` // slowest eject-to-readmit
+	Phases           []PhaseSummary `json:"phases,omitempty"`
 }
 
 func (c *Cluster) summarize(offered, admitted, rejected int64) *Summary {
@@ -401,6 +555,10 @@ func (c *Cluster) summarize(offered, admitted, rejected int64) *Summary {
 			MaxUs:      ls.Latency.Max().Micros(),
 		})
 	}
+	// Fire-and-forget has no partial outcomes: everything admitted was
+	// served (or, if the drain was cut short, failed-by-omission).
+	s.Goodput = s.Completed
+	s.Failed = s.Admitted - s.Completed
 	if s.Completed > 0 && last.After(first) {
 		window := last.Sub(first)
 		s.WindowUs = window.Micros()

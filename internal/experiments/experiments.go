@@ -42,6 +42,11 @@ type Config struct {
 	// seed from Seed so fault randomness never aliases workload
 	// randomness.
 	FaultSeed int64
+	// Shards sets cluster.Spec.Shards for the D-series fleets — advance
+	// parallelism only, byte-identical output at any value (the shard
+	// determinism tests run the D specs at several values). Zero leaves
+	// the cluster default (serial).
+	Shards int
 }
 
 func (c Config) window() vclock.Duration {
@@ -157,7 +162,7 @@ func All() []Experiment {
 // ByID returns the experiment with the given ID (case-insensitive),
 // searching the default set and the W and C series.
 func ByID(id string) (Experiment, error) {
-	all := append(append(All(), WSeries()...), CSeries()...)
+	all := append(append(append(All(), WSeries()...), CSeries()...), DSeries()...)
 	for _, e := range all {
 		if strings.EqualFold(e.ID, id) {
 			return e, nil

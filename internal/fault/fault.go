@@ -76,18 +76,44 @@ func (d *Dur) UnmarshalJSON(b []byte) error {
 
 // Plan is a declarative fault schedule. All times are virtual, measured
 // from the world's start (time 0). The zero Plan injects nothing.
+//
+// Two scopes of fault live side by side. The thread-scoped kinds
+// (LostNotify through ClockJitter) are compiled by an Injector against a
+// single world. The instance-scoped kinds (CrashInstance, StallInstance,
+// DegradeInstance) target whole fleet members and are compiled by the
+// cluster layer's own injector (internal/cluster), which owns the
+// instance-index namespace; a single-world Injector rejects them so an
+// instance fault can never silently no-op against the wrong scope.
 type Plan struct {
 	LostNotify     []LostNotify     `json:"lost_notify,omitempty"`
 	CrashThread    []CrashThread    `json:"crash_thread,omitempty"`
 	ForkExhaustion []ForkExhaustion `json:"fork_exhaustion,omitempty"`
 	StallThread    []StallThread    `json:"stall_thread,omitempty"`
 	ClockJitter    []ClockJitter    `json:"clock_jitter,omitempty"`
+
+	CrashInstance   []CrashInstance   `json:"crash_instance,omitempty"`
+	StallInstance   []StallInstance   `json:"stall_instance,omitempty"`
+	DegradeInstance []DegradeInstance `json:"degrade_instance,omitempty"`
 }
 
 // Empty reports whether the plan injects nothing.
 func (p Plan) Empty() bool {
 	return len(p.LostNotify) == 0 && len(p.CrashThread) == 0 &&
-		len(p.ForkExhaustion) == 0 && len(p.StallThread) == 0 && len(p.ClockJitter) == 0
+		len(p.ForkExhaustion) == 0 && len(p.StallThread) == 0 && len(p.ClockJitter) == 0 &&
+		!p.HasInstanceFaults()
+}
+
+// HasInstanceFaults reports whether the plan carries any cluster-scoped
+// (instance) fault rules.
+func (p Plan) HasInstanceFaults() bool {
+	return len(p.CrashInstance) > 0 || len(p.StallInstance) > 0 || len(p.DegradeInstance) > 0
+}
+
+// HasThreadFaults reports whether the plan carries any single-world
+// (thread-scoped) fault rules.
+func (p Plan) HasThreadFaults() bool {
+	return len(p.LostNotify) > 0 || len(p.CrashThread) > 0 ||
+		len(p.ForkExhaustion) > 0 || len(p.StallThread) > 0 || len(p.ClockJitter) > 0
 }
 
 // LostNotify swallows NOTIFYs (thread- or driver-context, not BROADCAST)
@@ -143,6 +169,46 @@ type ClockJitter struct {
 	Frac  float64 `json:"frac"`
 	From  Dur     `json:"from,omitempty"`
 	Until Dur     `json:"until,omitempty"`
+}
+
+// AnyInstance is the CrashInstance/StallInstance/DegradeInstance
+// Instance value meaning "let the cluster injector pick a victim with
+// its own seeded RNG" — the same instance for a given (plan, seed,
+// fleet size) triple, whatever the shard count.
+const AnyInstance = -1
+
+// CrashInstance stops a fleet instance from serving at virtual time At:
+// its queued requests are lost, in-flight responses are never delivered,
+// and new connections are refused. If Restart is nonzero the instance
+// comes back Restart later with cold session state (§5.5's uncaught
+// error, scaled from one thread to one machine).
+type CrashInstance struct {
+	// Instance is the fleet index of the victim, or AnyInstance (-1)
+	// for a seeded-random pick by the cluster injector.
+	Instance int `json:"instance"`
+	At       Dur `json:"at"`
+	// Restart is the downtime; zero means the instance never returns.
+	Restart Dur `json:"restart,omitempty"`
+}
+
+// StallInstance freezes a fleet instance's service during [From, Until):
+// it keeps admitting requests but completes none until the window ends —
+// the paper's §6.2 stall ("the system seemed to stop") writ large, the
+// failure mode that poisons a merged SLO without tripping liveness.
+type StallInstance struct {
+	Instance int `json:"instance"`
+	From     Dur `json:"from"`
+	Until    Dur `json:"until"`
+}
+
+// DegradeInstance multiplies a fleet instance's service time by Factor
+// during [From, Until) — a brownout: the instance stays up and passes
+// health probes while quietly dragging the tail.
+type DegradeInstance struct {
+	Instance int     `json:"instance"`
+	Factor   float64 `json:"factor"`
+	From     Dur     `json:"from"`
+	Until    Dur     `json:"until"`
 }
 
 // Load reads and parses a JSON fault plan from path.
@@ -248,6 +314,51 @@ func (p Plan) check() error {
 		what := fmt.Sprintf("clock_jitter[%d]", i)
 		if r.Frac <= 0 || r.Frac >= 1 {
 			return fmt.Errorf("%s: frac %v must be in (0, 1)", what, r.Frac)
+		}
+		if err := window(what, r.From, r.Until); err != nil {
+			return err
+		}
+	}
+	instance := func(what string, i int) error {
+		if i < AnyInstance {
+			return fmt.Errorf("%s: instance %d must be >= 0 (or %d for a seeded-random pick)", what, i, AnyInstance)
+		}
+		return nil
+	}
+	for i, r := range p.CrashInstance {
+		what := fmt.Sprintf("crash_instance[%d]", i)
+		if err := instance(what, r.Instance); err != nil {
+			return err
+		}
+		if r.At.Duration < 0 {
+			return fmt.Errorf("%s: negative at", what)
+		}
+		if r.Restart.Duration < 0 {
+			return fmt.Errorf("%s: negative restart", what)
+		}
+	}
+	for i, r := range p.StallInstance {
+		what := fmt.Sprintf("stall_instance[%d]", i)
+		if err := instance(what, r.Instance); err != nil {
+			return err
+		}
+		if r.Until.Duration == 0 {
+			return fmt.Errorf("%s: until is required (the stall must end)", what)
+		}
+		if err := window(what, r.From, r.Until); err != nil {
+			return err
+		}
+	}
+	for i, r := range p.DegradeInstance {
+		what := fmt.Sprintf("degrade_instance[%d]", i)
+		if err := instance(what, r.Instance); err != nil {
+			return err
+		}
+		if r.Factor <= 1 {
+			return fmt.Errorf("%s: factor %v must be > 1 (1 is no degradation)", what, r.Factor)
+		}
+		if r.Until.Duration == 0 {
+			return fmt.Errorf("%s: until is required (the brownout must end)", what)
 		}
 		if err := window(what, r.From, r.Until); err != nil {
 			return err

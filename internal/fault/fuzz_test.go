@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -30,6 +31,11 @@ func FuzzPlanJSON(f *testing.F) {
 	f.Add([]byte(`{"fork_exhaustion": [{"max": 0, "until": 1}]}`))
 	f.Add([]byte(`{"clock_jitter": [{"frac": 2}]}`))
 	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"crash_instance": [{"instance": -1, "at": "400ms", "restart": "250ms"}]}`))
+	f.Add([]byte(`{"crash_instance": [{"instance": -2, "at": 0}]}`))
+	f.Add([]byte(`{"stall_instance": [{"instance": 1, "from": "100ms"}]}`))
+	f.Add([]byte(`{"degrade_instance": [{"instance": 0, "factor": 1, "until": "1s"}]}`))
+	f.Add([]byte(`{"degrade_instance": [{"instance": 0, "factor": 8, "from": 0, "until": "1s"}]}`))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := Parse(data)
@@ -52,12 +58,51 @@ func FuzzPlanJSON(f *testing.F) {
 // TestSeedCorpusValid pins the checked-in corpus as parseable examples —
 // they double as documentation of the plan schema.
 func TestSeedCorpusValid(t *testing.T) {
-	for _, path := range []string{"testdata/r-series.json", "testdata/lost-notify.json"} {
+	for _, path := range []string{"testdata/r-series.json", "testdata/lost-notify.json", "testdata/d-series.json"} {
 		p, err := Load(path)
 		if err != nil {
 			t.Errorf("%s: %v", path, err)
 		} else if p.Empty() {
 			t.Errorf("%s: parsed empty", path)
+		}
+	}
+}
+
+// TestInstanceFaultScope pins the scope contract for the cluster-level
+// kinds: they parse and validate as plan JSON, but a single-world
+// Injector refuses them by name rather than silently injecting nothing,
+// and an old-style unknown kind is still rejected with the kind in the
+// message.
+func TestInstanceFaultScope(t *testing.T) {
+	p, err := Load("testdata/d-series.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasInstanceFaults() || p.HasThreadFaults() {
+		t.Fatalf("d-series corpus scope wrong: instance=%v thread=%v",
+			p.HasInstanceFaults(), p.HasThreadFaults())
+	}
+	if _, err := New(p, 1); !errors.Is(err, ErrInvalidPlan) {
+		t.Fatalf("single-world New accepted an instance-fault plan: %v", err)
+	} else if !strings.Contains(err.Error(), "crash_instance") {
+		t.Fatalf("rejection does not name the cluster kinds: %v", err)
+	}
+	// A typo'd / future kind still fails loudly, naming the field.
+	if _, err := Parse([]byte(`{"crash_fleet": [{"at": 1}]}`)); !errors.Is(err, ErrInvalidPlan) ||
+		!strings.Contains(err.Error(), "crash_fleet") {
+		t.Fatalf("unknown kind rejection = %v, want ErrInvalidPlan naming crash_fleet", err)
+	}
+	// Semantic validation of the new kinds.
+	bad := []Plan{
+		{CrashInstance: []CrashInstance{{Instance: -2, At: D(0)}}},
+		{CrashInstance: []CrashInstance{{Instance: 0, At: D(-1)}}},
+		{StallInstance: []StallInstance{{Instance: 0, From: D(5), Until: D(0)}}},
+		{DegradeInstance: []DegradeInstance{{Instance: 0, Factor: 1, Until: D(10)}}},
+		{DegradeInstance: []DegradeInstance{{Instance: 0, Factor: 4, From: D(10), Until: D(5)}}},
+	}
+	for i, plan := range bad {
+		if err := plan.Check(); !errors.Is(err, ErrInvalidPlan) {
+			t.Errorf("bad instance plan %d accepted (err=%v)", i, err)
 		}
 	}
 }

@@ -76,6 +76,14 @@ func New(p Plan, seed int64) (*Injector, error) {
 	if err := p.Check(); err != nil {
 		return nil, err
 	}
+	// Instance-scoped kinds name fleet members, a namespace a single
+	// world does not have; compiling them here would silently inject
+	// nothing, so refuse with the kind names spelled out.
+	if p.HasInstanceFaults() {
+		return nil, fmt.Errorf("%w: plan has cluster-scoped fault kinds "+
+			"(crash_instance/stall_instance/degrade_instance); they target fleet instances "+
+			"and need a cluster run, not a single world", ErrInvalidPlan)
+	}
 	in := &Injector{rng: rand.New(rand.NewSource(seed))}
 	for _, r := range p.LostNotify {
 		budget := r.Count

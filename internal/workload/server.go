@@ -42,10 +42,27 @@ func (t *NameTable) Len() int { return len(t.names) }
 // srvReq is one injected request: when it arrived at the instance and
 // how much CPU it demands. The demand travels with the request (rather
 // than being a server constant) so the driver can impose heavy-tailed
-// service distributions without the server knowing.
+// service distributions without the server knowing. Tracked requests
+// (InjectTracked) additionally carry the driver's token and the server
+// epoch they were injected in, so a crash between injection and
+// completion is detectable at completion time.
 type srvReq struct {
 	born    vclock.Time
 	service vclock.Duration
+	token   uint64
+	epoch   int
+	tracked bool
+}
+
+// Completion is one tracked request's outcome, reported back to the
+// driving cluster: the driver's token, the virtual completion time, and
+// whether the response was actually delivered (OK is false when the
+// instance crashed after admitting the request — the work may even have
+// been done, but the answer died with the machine).
+type Completion struct {
+	Token uint64
+	At    vclock.Time
+	OK    bool
 }
 
 // srvSession is one session thread plus its driver-owned request queue,
@@ -67,6 +84,19 @@ type Server struct {
 	closed   bool
 	firstAt  vclock.Time
 	lastDone vclock.Time
+
+	// Fault-model state (all driven from driver context; see Crash,
+	// Restore, StallUntil, CancelQueued). epoch counts crashes so a
+	// request injected before a crash fails even if its compute finishes
+	// after a restart.
+	down       bool
+	epoch      int
+	stallUntil vclock.Time
+	cancelSet  map[uint64]bool
+	events     []Completion
+	dropped    int64
+	cancelled  int64
+	failed     int64
 }
 
 // StartServer spawns sessions session threads at prio, naming them from
@@ -138,16 +168,134 @@ func (s *Server) sessionBody(sess *srvSession) sim.Proc {
 				t.Block(sim.BlockCV)
 				continue
 			}
+			// A stalled instance admits requests but serves none until the
+			// window passes — §6.2's "the system seemed to stop", scaled
+			// from one thread to one machine.
+			if s.stallUntil.After(t.Now()) {
+				t.BlockIO(s.stallUntil.Sub(t.Now()))
+				continue
+			}
 			req := sess.q[sess.head]
 			sess.head++
+			if req.tracked && s.cancelSet[req.token] {
+				// Cancelled while still queued (a hedge loser): consumes no
+				// service time and reports no completion.
+				delete(s.cancelSet, req.token)
+				s.pending--
+				s.cancelled++
+				continue
+			}
 			t.Compute(req.service)
-			s.Stats.Completed++
 			s.pending--
+			if req.tracked {
+				delete(s.cancelSet, req.token)
+				ok := !s.down && req.epoch == s.epoch
+				s.events = append(s.events, Completion{Token: req.token, At: t.Now(), OK: ok})
+				if !ok {
+					// The machine died between admission and response: the
+					// work happened, the answer was never delivered.
+					s.failed++
+					continue
+				}
+			}
+			s.Stats.Completed++
 			s.Stats.Latency.Add(t.Now().Sub(req.born))
 			s.lastDone = t.Now()
 		}
 	}
 }
+
+// InjectTracked posts one request like Inject, stamped with the driver's
+// token; its outcome is later reported through Drain as a Completion.
+// When the instance is down the request is refused on the spot — a
+// failed Completion at the current time — and consumes no service.
+func (s *Server) InjectTracked(i int, service vclock.Duration, token uint64) {
+	now := s.w.Now()
+	if s.down {
+		s.failed++
+		s.events = append(s.events, Completion{Token: token, At: now, OK: false})
+		return
+	}
+	if s.closed {
+		panic("workload: InjectTracked after Close")
+	}
+	if s.Stats.Offered == 0 {
+		s.firstAt = now
+	}
+	sess := s.sessions[i%len(s.sessions)]
+	sess.q = append(sess.q, srvReq{born: now, service: service, token: token, epoch: s.epoch, tracked: true})
+	s.Stats.Offered++
+	s.pending++
+	s.w.WakeIfBlocked(sess.th, nil)
+}
+
+// Drain returns the tracked completions recorded since the previous
+// Drain, in completion order. Call from the cluster driver after an
+// advance barrier — never while the world may still be stepping.
+func (s *Server) Drain() []Completion {
+	ev := s.events
+	s.events = nil
+	return ev
+}
+
+// Crash takes the instance down at the current virtual time: queued
+// requests are dropped cold (failed Completions for tracked ones),
+// in-flight responses will not be delivered, and InjectTracked refuses
+// new work until Restore. Session threads survive — the cold restart
+// reuses them with empty queues.
+func (s *Server) Crash() {
+	s.down = true
+	s.epoch++
+	now := s.w.Now()
+	for _, sess := range s.sessions {
+		for _, r := range sess.q[sess.head:] {
+			s.pending--
+			s.dropped++
+			if r.tracked {
+				s.events = append(s.events, Completion{Token: r.token, At: now, OK: false})
+			}
+		}
+		sess.q = sess.q[:0]
+		sess.head = 0
+	}
+}
+
+// Restore brings a crashed instance back with cold session state (the
+// queues were emptied by Crash; nothing carries over).
+func (s *Server) Restore() { s.down = false }
+
+// Down reports whether the instance is currently crashed.
+func (s *Server) Down() bool { return s.down }
+
+// StallUntil freezes service until the given virtual time: sessions keep
+// admitting requests but complete none before it. Later deadlines win.
+func (s *Server) StallUntil(until vclock.Time) {
+	if until.After(s.stallUntil) {
+		s.stallUntil = until
+	}
+}
+
+// CancelQueued marks a tracked request for cancellation. If it is still
+// queued when a session reaches it, it is skipped without consuming
+// service and without a Completion; if it already started computing the
+// cancel is too late and the request completes normally.
+func (s *Server) CancelQueued(token uint64) {
+	if s.cancelSet == nil {
+		s.cancelSet = make(map[uint64]bool)
+	}
+	s.cancelSet[token] = true
+}
+
+// Dropped returns the number of requests lost cold to Crash.
+func (s *Server) Dropped() int64 { return s.dropped }
+
+// Cancelled returns the number of tracked requests cancelled while
+// still queued (hedge losers that never consumed service).
+func (s *Server) Cancelled() int64 { return s.cancelled }
+
+// Undelivered returns the number of tracked requests refused by a down
+// instance or whose response was lost to a crash mid-service.
+func (s *Server) Undelivered() int64 { return s.failed }
 
 // First returns the arrival time of the first injected request (the
 // zero Time if none were injected).
