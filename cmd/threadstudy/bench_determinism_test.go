@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+)
+
+// normalizeBench strips the wall-clock-derived fields from a bench
+// artifact — per-experiment wall time, throughput ratios and allocator
+// deltas, plus the run-level wall total and machine knobs — leaving
+// only the deterministic virtual-time payload. Everything that survives
+// must be byte-identical between runs regardless of -shards.
+func normalizeBench(t *testing.T, path string) (whole string, perExp map[string]string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum benchSummary
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	sum.TotalWall = 0
+	sum.Parallelism = 0
+	sum.Shards = 0
+	perExp = make(map[string]string, len(sum.Experiments))
+	for i := range sum.Experiments {
+		e := &sum.Experiments[i]
+		e.WallTime = 0
+		e.EventsPerSec = 0
+		e.VirtualPerWall = 0
+		e.AllocBytes = 0
+		e.AllocObjects = 0
+		one, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perExp[e.ID] = string(one)
+	}
+	all, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(all), perExp
+}
+
+// TestBenchShardDeterminism runs the full -bench sweep at shard counts
+// {1, 4, GOMAXPROCS} and requires the artifacts to be byte-identical
+// modulo wall-clock fields. This is the acceptance bar for widening
+// Spec.Shards into the default `make bench` path: parallelism may only
+// change how fast the artifact is produced, never its contents. The
+// suite also runs under -race, so shard fan-out is exercised with the
+// race detector watching the cluster advance loops.
+func TestBenchShardDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full bench sweep per shard value; skipped in -short")
+	}
+	shardVals := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var baseWhole string
+	var basePer map[string]string
+	for _, sh := range shardVals {
+		if seen[sh] {
+			continue
+		}
+		seen[sh] = true
+		path := filepath.Join(t.TempDir(), "bench.json")
+		var stdout, stderr bytes.Buffer
+		args := []string{"-bench", path, "-shards", strconv.Itoa(sh)}
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
+		}
+		whole, per := normalizeBench(t, path)
+		if basePer == nil {
+			baseWhole, basePer = whole, per
+			continue
+		}
+		if whole == baseWhole {
+			continue
+		}
+		// Name the diverging experiments rather than dumping two blobs.
+		for id, want := range basePer {
+			if got, ok := per[id]; !ok {
+				t.Errorf("shards=%d: experiment %s missing", sh, id)
+			} else if got != want {
+				t.Errorf("shards=%d: experiment %s diverged from shards=1", sh, id)
+			}
+		}
+		if len(per) != len(basePer) {
+			t.Errorf("shards=%d: %d experiments, want %d", sh, len(per), len(basePer))
+		}
+		t.Errorf("shards=%d: bench JSON diverged from shards=1", sh)
+	}
+}

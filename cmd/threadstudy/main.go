@@ -68,6 +68,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
@@ -136,6 +137,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chromeOut = fs.String("chrometrace", "", "write the profiled -benchmark run as Chrome trace-event JSON to this file")
 		profJSON  = fs.String("profilejson", "", "write the profiled run's accounting summary as JSON (\"-\" for stdout)")
 		benchOut  = fs.String("bench", "", "run the fixed-seed quick sweep with profiling and write combined JSON to this file (\"-\" for stdout)")
+		benchBase = fs.String("benchbaseline", "", "compare the -bench sweep against this baseline JSON and fail if aggregate events/sec regresses")
+		shards    = fs.Int("shards", 0, "cluster advance parallelism for the C/D-series fleets (0: GOMAXPROCS; output is byte-identical at any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliflag.ExitUsage
@@ -163,6 +166,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if err := cliflag.MinInt("auditmin", *auditMin, 1, "a CV needs at least one observed wait to be auditable"); err != nil {
 		return fs.Fail(err)
+	}
+	if err := cliflag.MinInt("shards", *shards, 0, "negative shard counts are meaningless; 0 selects GOMAXPROCS"); err != nil {
+		return fs.Fail(err)
+	}
+	if *shards == 0 {
+		*shards = runtime.GOMAXPROCS(0)
+	}
+	if *benchBase != "" && *benchOut == "" {
+		return fs.Fail(fmt.Errorf("-benchbaseline requires -bench"))
 	}
 	if err := cliflag.Exclusive("experiment", *expID != "", "wseries", *wseries); err != nil {
 		return fs.Fail(err)
@@ -250,13 +262,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *benchOut != "" {
-		if err := runBench(stdout, *benchOut, *parallel); err != nil {
+		if err := runBench(stdout, *benchOut, *parallel, *shards, *benchBase); err != nil {
 			return fs.Error(err)
 		}
 		return cliflag.ExitOK
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Faults: plan, FaultSeed: *faultSeed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Faults: plan, FaultSeed: *faultSeed, Shards: *shards}
 	var todo []experiments.Experiment
 	switch {
 	case len(expIDs) > 0:
@@ -521,6 +533,7 @@ type benchSummary struct {
 	Seed        int64             `json:"seed"`
 	Quick       bool              `json:"quick"`
 	Parallelism int               `json:"parallelism"`
+	Shards      int               `json:"shards,omitempty"`
 	GoMaxProcs  int               `json:"gomaxprocs"`
 	TotalWall   time.Duration     `json:"total_wall_ns"`
 	Experiments []benchExperiment `json:"experiments"`
@@ -532,9 +545,17 @@ type benchSummary struct {
 
 // runBench executes the benchmark sweep and writes the combined JSON.
 // A nonzero accounting residue anywhere fails the run: the exactness
-// invariant is part of what the bench artifact certifies.
-func runBench(stdout io.Writer, path string, parallel int) error {
-	cfg := experiments.Config{Quick: true, Seed: 1}
+// invariant is part of what the bench artifact certifies. When baseline
+// names a previous bench artifact, the run also fails if aggregate
+// events/sec regresses below it.
+func runBench(stdout io.Writer, path string, parallel, shards int, baseline string) error {
+	// The sweep is a throughput benchmark over fixed deterministic work:
+	// virtual results do not depend on collector cadence, so amortize GC
+	// across the run instead of collecting at the default 100% heap-growth
+	// trigger (world setup — goroutine stacks, registries — dominates
+	// allocation; steady-state scheduling allocates nothing).
+	defer debug.SetGCPercent(debug.SetGCPercent(600))
+	cfg := experiments.Config{Quick: true, Seed: 1, Shards: shards}
 	start := time.Now()
 	outcomes := experiments.RunWith(cfg, experiments.Options{
 		Parallelism: parallel,
@@ -552,6 +573,7 @@ func runBench(stdout io.Writer, path string, parallel int) error {
 		Seed:        1,
 		Quick:       true,
 		Parallelism: parallel,
+		Shards:      shards,
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		TotalWall:   time.Since(start),
 	}
@@ -582,6 +604,18 @@ func runBench(stdout io.Writer, path string, parallel int) error {
 		return fmt.Errorf("benchmark profile: accounting residue %dus (want 0)", int64(r))
 	}
 
+	if baseline != "" {
+		// With the summary going to stdout, keep stdout pure JSON: the
+		// gate still fails loudly, only its progress line is suppressed.
+		gateOut := stdout
+		if path == "-" {
+			gateOut = io.Discard
+		}
+		if err := checkBenchBaseline(gateOut, sum, baseline); err != nil {
+			return err
+		}
+	}
+
 	data, err := json.MarshalIndent(sum, "", "  ")
 	if err != nil {
 		return err
@@ -595,5 +629,53 @@ func runBench(stdout io.Writer, path string, parallel int) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote bench summary (%d experiments) to %s\n", len(sum.Experiments), path)
+	return nil
+}
+
+// aggregateRate returns total events over total per-experiment wall time
+// in events/sec — the headline the BENCH_*.json trajectory tracks.
+func aggregateRate(exps []benchExperiment) (events int64, rate float64) {
+	var wall time.Duration
+	for _, e := range exps {
+		events += e.Events
+		wall += e.WallTime
+	}
+	if wall <= 0 {
+		return events, 0
+	}
+	return events, float64(events) / wall.Seconds()
+}
+
+// checkBenchBaseline fails the bench run if the new sweep's aggregate
+// events/sec fell below the baseline artifact's, or if the deterministic
+// per-experiment event counts drifted — a drifted count means the two
+// sweeps did different work, which would make the rate gate meaningless.
+func checkBenchBaseline(stdout io.Writer, sum benchSummary, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("benchbaseline: %w", err)
+	}
+	var base benchSummary
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchbaseline %s: %w", path, err)
+	}
+	baseEvents := make(map[string]int64, len(base.Experiments))
+	for _, e := range base.Experiments {
+		baseEvents[e.ID] = e.Events
+	}
+	for _, e := range sum.Experiments {
+		if want, ok := baseEvents[e.ID]; ok && want != e.Events {
+			return fmt.Errorf("benchbaseline %s: %s processed %d events, baseline %d — deterministic work drifted",
+				path, e.ID, e.Events, want)
+		}
+	}
+	_, baseRate := aggregateRate(base.Experiments)
+	events, rate := aggregateRate(sum.Experiments)
+	fmt.Fprintf(stdout, "bench aggregate: %d events at %.0f events/sec (baseline %.0f, %.2fx)\n",
+		events, rate, baseRate, rate/baseRate)
+	if rate < baseRate {
+		return fmt.Errorf("benchbaseline %s: aggregate %.0f events/sec regressed below baseline %.0f",
+			path, rate, baseRate)
+	}
 	return nil
 }

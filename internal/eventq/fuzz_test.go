@@ -1,0 +1,31 @@
+package eventq
+
+import "testing"
+
+// FuzzWheelDifferential feeds arbitrary operation streams through the
+// differential interpreter: the timing wheel + far-future heap hybrid
+// must match the naive sorted-reference model op for op — pop order,
+// NextTime, Len, and Handle-generation semantics (a stale Cancel is a
+// no-op) — on every input. The seed corpus under
+// testdata/fuzz/FuzzWheelDifferential covers the wheel's seams: level
+// boundaries, same-timestamp batches across cascades, cancel-of-minimum,
+// heap spillover and past timestamps. `make check` runs this target in
+// the fuzz-short pass.
+func FuzzWheelDifferential(f *testing.F) {
+	sched := func(scale byte, raw int) []byte {
+		return []byte{0, scale, byte(raw >> 16), byte(raw >> 8), byte(raw)}
+	}
+	f.Add(concat(sched(0, 0), sched(0, 0), sched(0, 1), []byte{4}))
+	f.Add(concat(sched(1, 63), sched(2, 64), sched(2, 65), []byte{3, 3, 3}))
+	f.Add(concat(sched(2, 4095), sched(3, 4096), []byte{3, 3}))
+	f.Add(concat(sched(4, (1<<24)-1), sched(5, 0), []byte{3, 3}))
+	f.Add(concat(sched(1, 10), sched(6, 5), []byte{3, 3}))
+	f.Add(concat(sched(1, 1), sched(1, 2), []byte{2, 0, 3}))
+	f.Add(concat(sched(2, 100), sched(2, 100), sched(2, 99), []byte{3, 4}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			data = data[:1<<14]
+		}
+		runDifferential(t, data)
+	})
+}

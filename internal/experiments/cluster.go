@@ -76,6 +76,7 @@ func ClusterScaling(cfg Config) *Report {
 			Sessions:  64,
 			Router:    cluster.RouteRoundRobin,
 			Seed:      cfg.seed(),
+			Shards:    cfg.Shards,
 			Requests:  int64(n) * perInstReq,
 			Rate:      float64(n) * 4000,
 			Service:   100 * vclock.Microsecond,
@@ -111,6 +112,7 @@ func ClusterRouting(cfg Config) *Report {
 		Instances:     8,
 		Sessions:      32,
 		Seed:          cfg.seed(),
+		Shards:        cfg.Shards,
 		Requests:      requests,
 		Rate:          24_000,
 		Service:       50 * vclock.Microsecond,
@@ -162,6 +164,7 @@ func ClusterAdmission(cfg Config) *Report {
 		Sessions:  16,
 		Router:    cluster.RouteRoundRobin,
 		Seed:      cfg.seed(),
+		Shards:    cfg.Shards,
 		Requests:  requests,
 		Rate:      16_000,
 		Service:   500 * vclock.Microsecond,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -34,6 +35,25 @@ func TestCSeriesShapes(t *testing.T) {
 			}
 			if again := e.Run(cfg); again.String() != rep.String() {
 				t.Fatalf("%s: nondeterministic report", e.ID)
+			}
+		})
+	}
+}
+
+// TestCSeriesShardDeterminism renders every C experiment at shard
+// counts {1, 4, GOMAXPROCS} and requires byte-identical output. The
+// default `make bench` path now passes GOMAXPROCS here, so this is the
+// invariant that keeps the bench artifact comparable across machines.
+func TestCSeriesShardDeterminism(t *testing.T) {
+	for _, e := range CSeries() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			base := renderD(t, e.Run(Config{Quick: true, Shards: 1}))
+			for _, sh := range []int{4, runtime.GOMAXPROCS(0)} {
+				if got := renderD(t, e.Run(Config{Quick: true, Shards: sh})); got != base {
+					t.Errorf("%s: shards=%d diverged from serial", e.ID, sh)
+				}
 			}
 		})
 	}

@@ -42,10 +42,12 @@ type Config struct {
 	// seed from Seed so fault randomness never aliases workload
 	// randomness.
 	FaultSeed int64
-	// Shards sets cluster.Spec.Shards for the D-series fleets — advance
-	// parallelism only, byte-identical output at any value (the shard
-	// determinism tests run the D specs at several values). Zero leaves
-	// the cluster default (serial).
+	// Shards sets cluster.Spec.Shards for the C- and D-series fleets —
+	// advance parallelism only, byte-identical output at any value (the
+	// shard determinism tests run both series at several values). Zero
+	// leaves the cluster default (serial). The default `make bench` path
+	// passes GOMAXPROCS so a single run uses every core inside one
+	// experiment.
 	Shards int
 }
 

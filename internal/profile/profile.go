@@ -271,12 +271,21 @@ func newLatencyHistogram() *stats.Histogram {
 }
 
 // threadRec is a ThreadProfile plus the profiler's live state-machine
-// fields.
+// fields. The mutex-queue and CV-wait trackers live inline rather than
+// in side maps: every event that needs them already resolved the rec,
+// so the hot path touches one cache line instead of three hash tables.
 type threadRec struct {
 	ThreadProfile
-	state  State
-	since  vclock.Time
-	runCPU int // CPU while running (span attribution)
+	state    State
+	since    vclock.Time
+	runCPU   int   // CPU while running (span attribution)
+	readyIdx int32 // index into Profiler.ready while StateReady, -1 otherwise
+
+	queueActive bool        // in a monitor mutex queue
+	queueSince  vclock.Time // queue entry time while queueActive
+	waitActive  bool        // in a CV wait
+	waitCV      int64       // CV waited on while waitActive
+	waitSince   vclock.Time // wait start while waitActive
 }
 
 type cpuRec struct {
@@ -286,7 +295,13 @@ type cpuRec struct {
 	switches  int64
 }
 
-type holdRec struct {
+// holdEntry is one live monitor hold. The handful of concurrently held
+// monitors lives in a flat slice scanned linearly: cheaper than a map
+// for the few-element populations the simulator produces, and — unlike
+// map iteration in the KindExit cleanup — deterministic to walk.
+type holdEntry struct {
+	mon    *MonitorProfile
+	monID  int64
 	thread int32
 	since  vclock.Time
 }
@@ -306,21 +321,37 @@ type Profiler struct {
 	// Set it before the first event; memory grows with trace length.
 	KeepSpans bool
 
-	cpus    int
-	now     vclock.Time
-	start   vclock.Time
-	threads map[int32]*threadRec
-	order   []int32
-	cpu     []cpuRec
+	cpus  int
+	now   vclock.Time
+	start vclock.Time
+	cpu   []cpuRec
 
-	monitors map[int64]*MonitorProfile
-	monOrder []int64
-	cvs      map[int64]*CVProfile
-	cvOrder  []int64
+	// Thread/monitor/CV lookup is a dense slice indexed by ID: the
+	// simulator allocates all three as small sequential integers, so the
+	// per-event resolve is one bounds-checked load instead of a map
+	// probe (the single hottest operation in a profiled run). Hostile or
+	// synthetic replay inputs with huge IDs spill into fallback maps.
+	denseThreads []*threadRec // index ID+1 (slot 0 is trace.NoThread)
+	threads      map[int32]*threadRec
+	order        []*threadRec // creation order
+	denseMons    []*MonitorProfile
+	monitors     map[int64]*MonitorProfile
+	monOrder     []*MonitorProfile
+	denseCVs     []*CVProfile
+	cvs          map[int64]*CVProfile
+	cvOrder      []*CVProfile
 
-	holders    map[int64]holdRec
-	queueSince map[int32]vclock.Time
-	waitStart  map[int32]waitRec
+	// ready holds exactly the StateReady threads, so the advance loop —
+	// run on every time-advancing event — charges inversion time without
+	// visiting the (mostly blocked) full thread population.
+	ready []*threadRec
+
+	holds []holdEntry // live monitor holds
+
+	// orphanWaits tracks CV waits recorded for threads the trace never
+	// otherwise introduced (possible only in synthetic replays; the
+	// simulator forks threads before they can wait).
+	orphanWaits map[int32]waitRec
 
 	invOpen  bool
 	invSince vclock.Time
@@ -342,14 +373,8 @@ func New(cpus int) *Profiler {
 		cpus = 1
 	}
 	p := &Profiler{
-		cpus:       cpus,
-		threads:    make(map[int32]*threadRec),
-		cpu:        make([]cpuRec, cpus),
-		monitors:   make(map[int64]*MonitorProfile),
-		cvs:        make(map[int64]*CVProfile),
-		holders:    make(map[int64]holdRec),
-		queueSince: make(map[int32]vclock.Time),
-		waitStart:  make(map[int32]waitRec),
+		cpus: cpus,
+		cpu:  make([]cpuRec, cpus),
 	}
 	for i := range p.cpu {
 		p.cpu[i].occupant = trace.NoThread
@@ -395,7 +420,8 @@ func (p *Profiler) Record(ev trace.Event) {
 		r := p.thread(ev.Thread, ev.Time)
 		s := blockState(ev.Aux)
 		if s == StateMutex {
-			p.queueSince[ev.Thread] = ev.Time
+			r.queueActive = true
+			r.queueSince = ev.Time
 		}
 		p.setState(r, ev.Time, s)
 
@@ -406,19 +432,25 @@ func (p *Profiler) Record(ev trace.Event) {
 		r := p.thread(ev.Thread, ev.Time)
 		// Kill-unwind releases held monitors without MLExit records
 		// (cf. the explore exclusion oracle); close those holds here.
-		for id, h := range p.holders {
-			if h.thread == ev.Thread {
-				m := p.monitor(id)
-				d := ev.Time.Sub(h.since)
-				m.Hold.Add(d)
-				if d > m.MaxHold {
-					m.MaxHold = d
-				}
-				delete(p.holders, id)
+		for i := 0; i < len(p.holds); {
+			h := p.holds[i]
+			if h.thread != ev.Thread {
+				i++
+				continue
 			}
+			d := ev.Time.Sub(h.since)
+			h.mon.Hold.Add(d)
+			if d > h.mon.MaxHold {
+				h.mon.MaxHold = d
+			}
+			p.holds[i] = p.holds[len(p.holds)-1]
+			p.holds = p.holds[:len(p.holds)-1]
 		}
-		delete(p.queueSince, ev.Thread)
-		delete(p.waitStart, ev.Thread)
+		r.queueActive = false
+		r.waitActive = false
+		if p.orphanWaits != nil {
+			delete(p.orphanWaits, ev.Thread)
+		}
 		p.setState(r, ev.Time, StateDead)
 		r.Died = ev.Time
 
@@ -434,30 +466,49 @@ func (p *Profiler) Record(ev trace.Event) {
 		if ev.Aux == 1 {
 			m.Contended++
 		}
-		if qs, ok := p.queueSince[ev.Thread]; ok {
-			d := ev.Time.Sub(qs)
+		if r := p.lookupThread(ev.Thread); r != nil && r.queueActive {
+			d := ev.Time.Sub(r.queueSince)
 			m.QueueWait.Add(d)
 			if d > m.MaxQueueWait {
 				m.MaxQueueWait = d
 			}
-			delete(p.queueSince, ev.Thread)
+			r.queueActive = false
 		}
-		p.holders[ev.Arg] = holdRec{thread: ev.Thread, since: ev.Time}
+		p.openHold(m, ev.Arg, ev.Thread, ev.Time)
 
 	case trace.KindMLExit:
-		if h, ok := p.holders[ev.Arg]; ok && h.thread == ev.Thread {
-			m := p.monitor(ev.Arg)
-			d := ev.Time.Sub(h.since)
-			m.Hold.Add(d)
-			if d > m.MaxHold {
-				m.MaxHold = d
+		for i := range p.holds {
+			h := p.holds[i]
+			if h.monID != ev.Arg {
+				continue
 			}
-			delete(p.holders, ev.Arg)
+			if h.thread == ev.Thread {
+				d := ev.Time.Sub(h.since)
+				h.mon.Hold.Add(d)
+				if d > h.mon.MaxHold {
+					h.mon.MaxHold = d
+				}
+				p.holds[i] = p.holds[len(p.holds)-1]
+				p.holds = p.holds[:len(p.holds)-1]
+			}
+			break
 		}
 
 	case trace.KindWait:
 		p.cv(ev.Arg) // register in first-use order even if the wait never completes
-		p.waitStart[ev.Thread] = waitRec{cv: ev.Arg, since: ev.Time}
+		if r := p.lookupThread(ev.Thread); r != nil {
+			r.waitActive = true
+			r.waitCV = ev.Arg
+			r.waitSince = ev.Time
+			if p.orphanWaits != nil {
+				delete(p.orphanWaits, ev.Thread)
+			}
+		} else {
+			if p.orphanWaits == nil {
+				p.orphanWaits = make(map[int32]waitRec)
+			}
+			p.orphanWaits[ev.Thread] = waitRec{cv: ev.Arg, since: ev.Time}
+		}
 
 	case trace.KindWaitDone:
 		cv := p.cv(ev.Arg)
@@ -465,13 +516,23 @@ func (p *Profiler) Record(ev trace.Event) {
 		if ev.Aux == 1 {
 			cv.Timeouts++
 		}
-		if ws, ok := p.waitStart[ev.Thread]; ok && ws.cv == ev.Arg {
-			d := ev.Time.Sub(ws.since)
+		var since vclock.Time
+		matched := false
+		if r := p.lookupThread(ev.Thread); r != nil && r.waitActive && r.waitCV == ev.Arg {
+			since = r.waitSince
+			r.waitActive = false
+			matched = true
+		} else if ws, ok := p.orphanWaits[ev.Thread]; ok && ws.cv == ev.Arg {
+			since = ws.since
+			delete(p.orphanWaits, ev.Thread)
+			matched = true
+		}
+		if matched {
+			d := ev.Time.Sub(since)
 			cv.Wait.Add(d)
 			if d > cv.MaxWait {
 				cv.MaxWait = d
 			}
-			delete(p.waitStart, ev.Thread)
 		}
 
 	case trace.KindNotify, trace.KindBroadcast:
@@ -479,6 +540,20 @@ func (p *Profiler) Record(ev trace.Event) {
 		cv.Signals++
 		cv.Woken += ev.Aux
 	}
+}
+
+// openHold records that thread holds the monitor as of t, replacing any
+// hold already open on the same monitor (an MLEnter without a matching
+// MLExit, as a handoff records).
+func (p *Profiler) openHold(m *MonitorProfile, id int64, thread int32, t vclock.Time) {
+	for i := range p.holds {
+		if p.holds[i].monID == id {
+			p.holds[i].thread = thread
+			p.holds[i].since = t
+			return
+		}
+	}
+	p.holds = append(p.holds, holdEntry{mon: m, monID: id, thread: thread, since: t})
 }
 
 // onSwitch applies a CPU dispatch record, using per-CPU occupancy (not
@@ -495,7 +570,7 @@ func (p *Profiler) onSwitch(ev trace.Event) {
 	}
 	c := &p.cpu[idx]
 	if c.occupant != trace.NoThread {
-		if r := p.threads[c.occupant]; r != nil && r.state == StateRunning {
+		if r := p.lookupThread(c.occupant); r != nil && r.state == StateRunning {
 			// No explicit ready/block/exit record preceded this switch
 			// (traces predating explicit re-queue events): infer the
 			// ready-queue re-entry.
@@ -518,14 +593,22 @@ func (p *Profiler) onSwitch(ev trace.Event) {
 
 // advance charges the interval (p.now, t) — during which the settled
 // state cannot change — with priority-inversion accounting, then moves
-// the profiler clock.
+// the profiler clock. With no runnable-but-waiting thread there is
+// nothing to charge, so the common case is a clock assignment; otherwise
+// only the ready set is visited, never the full thread population.
 func (p *Profiler) advance(t vclock.Time) {
+	if len(p.ready) == 0 {
+		if p.invOpen {
+			p.closeEpisode(p.now)
+		}
+		p.now = t
+		return
+	}
 	dt := t.Sub(p.now)
 	inverted := false
 	if minPri, busy := p.minRunningPriority(); busy {
-		for _, id := range p.order {
-			r := p.threads[id]
-			if r.state == StateReady && r.Priority > minPri {
+		for _, r := range p.ready {
+			if r.Priority > minPri {
 				r.InvertedReady += dt
 				inverted = true
 			}
@@ -550,7 +633,7 @@ func (p *Profiler) minRunningPriority() (int, bool) {
 		if occ == trace.NoThread {
 			return 0, false
 		}
-		if r := p.threads[occ]; r != nil && r.Priority < min {
+		if r := p.lookupThread(occ); r != nil && r.Priority < min {
 			min = r.Priority
 		}
 	}
@@ -572,7 +655,7 @@ func (p *Profiler) closeEpisode(end vclock.Time) {
 }
 
 // setState closes the thread's current state interval and opens a new
-// one at t.
+// one at t, keeping the ready set in sync.
 func (p *Profiler) setState(r *threadRec, t vclock.Time, s State) {
 	if r.state == s {
 		return
@@ -586,42 +669,106 @@ func (p *Profiler) setState(r *threadRec, t vclock.Time, s State) {
 		}
 		p.spans = append(p.spans, Span{Thread: r.ID, State: r.state, CPU: cpu, From: r.since, To: t})
 	}
+	if r.state == StateReady {
+		last := len(p.ready) - 1
+		moved := p.ready[last]
+		p.ready[r.readyIdx] = moved
+		moved.readyIdx = r.readyIdx
+		p.ready[last] = nil
+		p.ready = p.ready[:last]
+		r.readyIdx = -1
+	}
 	r.state = s
 	r.since = t
+	if s == StateReady {
+		r.readyIdx = int32(len(p.ready))
+		p.ready = append(p.ready, r)
+	}
+}
+
+// denseLimit bounds how large an ID the dense lookup tables will grow
+// to accommodate; anything beyond spills to the fallback maps so a
+// hostile replay with huge IDs cannot balloon memory.
+const denseLimit = 1 << 20
+
+// lookupThread resolves an already-registered thread, or nil.
+func (p *Profiler) lookupThread(id int32) *threadRec {
+	if idx := int(id) + 1; idx >= 0 && idx < len(p.denseThreads) {
+		return p.denseThreads[idx]
+	}
+	return p.threads[id]
 }
 
 func (p *Profiler) thread(id int32, t vclock.Time) *threadRec {
 	if id == trace.NoThread {
 		id = -1
 	}
-	if r, ok := p.threads[id]; ok {
+	if r := p.lookupThread(id); r != nil {
 		return r
 	}
-	r := &threadRec{state: StateNew, since: t, runCPU: -1}
+	r := &threadRec{state: StateNew, since: t, runCPU: -1, readyIdx: -1}
 	r.ID = id
 	r.Born = t
-	p.threads[id] = r
-	p.order = append(p.order, id)
+	if idx := int(id) + 1; idx >= 0 && idx < denseLimit {
+		for idx >= len(p.denseThreads) {
+			p.denseThreads = append(p.denseThreads, nil)
+		}
+		p.denseThreads[idx] = r
+	} else {
+		if p.threads == nil {
+			p.threads = make(map[int32]*threadRec)
+		}
+		p.threads[id] = r
+	}
+	p.order = append(p.order, r)
 	return r
 }
 
 func (p *Profiler) monitor(id int64) *MonitorProfile {
-	if m, ok := p.monitors[id]; ok {
+	if id >= 0 && id < int64(len(p.denseMons)) {
+		if m := p.denseMons[id]; m != nil {
+			return m
+		}
+	} else if m := p.monitors[id]; m != nil {
 		return m
 	}
 	m := &MonitorProfile{ID: id, Hold: newLatencyHistogram(), QueueWait: newLatencyHistogram()}
-	p.monitors[id] = m
-	p.monOrder = append(p.monOrder, id)
+	if id >= 0 && id < denseLimit {
+		for id >= int64(len(p.denseMons)) {
+			p.denseMons = append(p.denseMons, nil)
+		}
+		p.denseMons[id] = m
+	} else {
+		if p.monitors == nil {
+			p.monitors = make(map[int64]*MonitorProfile)
+		}
+		p.monitors[id] = m
+	}
+	p.monOrder = append(p.monOrder, m)
 	return m
 }
 
 func (p *Profiler) cv(id int64) *CVProfile {
-	if c, ok := p.cvs[id]; ok {
+	if id >= 0 && id < int64(len(p.denseCVs)) {
+		if c := p.denseCVs[id]; c != nil {
+			return c
+		}
+	} else if c := p.cvs[id]; c != nil {
 		return c
 	}
 	c := &CVProfile{ID: id, Wait: newLatencyHistogram()}
-	p.cvs[id] = c
-	p.cvOrder = append(p.cvOrder, id)
+	if id >= 0 && id < denseLimit {
+		for id >= int64(len(p.denseCVs)) {
+			p.denseCVs = append(p.denseCVs, nil)
+		}
+		p.denseCVs[id] = c
+	} else {
+		if p.cvs == nil {
+			p.cvs = make(map[int64]*CVProfile)
+		}
+		p.cvs[id] = c
+	}
+	p.cvOrder = append(p.cvOrder, c)
 	return c
 }
 
@@ -645,8 +792,7 @@ func (p *Profiler) Finish(end vclock.Time) *Profile {
 		End:       end,
 		Inversion: p.inv,
 	}
-	for _, id := range p.order {
-		r := p.threads[id]
+	for _, r := range p.order {
 		// Close the final interval without a state change.
 		d := end.Sub(r.since)
 		r.Durations[r.state] += d
@@ -673,12 +819,8 @@ func (p *Profiler) Finish(end vclock.Time) *Profile {
 		prof.CPUIdle = append(prof.CPUIdle, c.idle)
 		prof.CPUSwitches = append(prof.CPUSwitches, c.switches)
 	}
-	for _, id := range p.monOrder {
-		prof.Monitors = append(prof.Monitors, p.monitors[id])
-	}
-	for _, id := range p.cvOrder {
-		prof.CVs = append(prof.CVs, p.cvs[id])
-	}
+	prof.Monitors = append(prof.Monitors, p.monOrder...)
+	prof.CVs = append(prof.CVs, p.cvOrder...)
 	sortMonitors(prof.Monitors)
 	sortCVs(prof.CVs)
 	prof.Spans = p.spans

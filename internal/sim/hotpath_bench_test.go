@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/eventq"
 	"repro/internal/trace"
 	"repro/internal/vclock"
 )
@@ -97,6 +98,59 @@ func BenchmarkComputeFastPath(b *testing.B) {
 	stop = true
 }
 
+// BenchmarkWheelScheduleCancel measures the mostly-cancelled timer
+// population the paper's CV timeouts produce: schedule a spread of
+// pooled timers across every wheel level, then cancel them all before
+// any fires — pure O(1) bucket splices, no heap traffic.
+func BenchmarkWheelScheduleCancel(b *testing.B) {
+	w := NewWorld(Config{TimeoutGranularity: 1})
+	defer w.Shutdown()
+	nop := func() {}
+	offsets := []vclock.Duration{ // one per wheel level, plus slot strides
+		3 * vclock.Microsecond, 150 * vclock.Microsecond,
+		20 * vclock.Millisecond, 2 * vclock.Second,
+	}
+	handles := make([]eventq.Handle, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		handles = handles[:0]
+		for j := 0; j < 64; j++ {
+			d := offsets[j%len(offsets)] + vclock.Duration(j)*vclock.Microsecond
+			handles = append(handles, w.evq.Schedule(w.clock.Add(d), nop))
+		}
+		for _, h := range handles {
+			w.evq.Cancel(h)
+		}
+	}
+}
+
+// BenchmarkBatchAdmission measures a same-timestamp event run draining
+// through a single level-0 wheel bucket: after the first pop finds the
+// bucket, each further event is an O(1) head unlink with no per-event
+// heap consultation.
+func BenchmarkBatchAdmission(b *testing.B) {
+	w := NewWorld(Config{TimeoutGranularity: 1})
+	defer w.Shutdown()
+	const batch = 64
+	fired := 0
+	nop := func() { fired++ }
+	horizon := vclock.Time(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < batch; j++ {
+			w.After(vclock.Microsecond, nop) // all at the same instant
+		}
+		horizon = horizon.Add(2 * vclock.Microsecond)
+		w.Run(horizon)
+	}
+	b.StopTimer()
+	if fired != b.N*batch {
+		b.Fatalf("fired %d of %d", fired, b.N*batch)
+	}
+}
+
 // TestHotPathAllocs pins the steady-state allocation counts of the three
 // hot paths to exactly zero. `make bench` runs this test alongside the
 // benchmarks, so an allocation slipping back into the hot path fails CI
@@ -147,5 +201,51 @@ func TestHotPathAllocs(t *testing.T) {
 	ev := trace.Event{Time: 1, Kind: trace.KindYield, Thread: 1}
 	if got := testing.AllocsPerRun(100, func() { w.record(ev) }); got > 0 {
 		t.Errorf("discard tracing: %.1f allocs per record, want 0", got)
+	}
+
+	// Timing wheel schedule/cancel: the mostly-cancelled CV-timeout
+	// population. Offsets span all four wheel levels so a regression in
+	// any level's bucket splice shows up.
+	nop := func() {}
+	offsets := []vclock.Duration{
+		3 * vclock.Microsecond, 150 * vclock.Microsecond,
+		20 * vclock.Millisecond, 2 * vclock.Second,
+	}
+	handles := make([]eventq.Handle, 0, 64)
+	churn := func() {
+		handles = handles[:0]
+		for j := 0; j < 64; j++ {
+			d := offsets[j%len(offsets)] + vclock.Duration(j)*vclock.Microsecond
+			handles = append(handles, w.evq.Schedule(w.clock.Add(d), nop))
+		}
+		for _, h := range handles {
+			w.evq.Cancel(h)
+		}
+	}
+	churn() // warm the event pool across levels
+	if got := testing.AllocsPerRun(10, churn); got > 0 {
+		t.Errorf("wheel schedule/cancel: %.1f allocs per %d-timer churn, want 0", got, len(handles))
+	}
+
+	// Batch admission: a same-timestamp run drains through one level-0
+	// bucket without per-event heap consultation — and without allocating.
+	const batchN = 64
+	drained := 0
+	bump := func() { drained++ }
+	batchDrain := func() {
+		for j := 0; j < batchN; j++ {
+			w.After(vclock.Microsecond, bump)
+		}
+		horizon = horizon.Add(2 * vclock.Microsecond)
+		w.Run(horizon)
+	}
+	batchDrain() // warm the pool to batch depth
+	before := drained
+	if got := testing.AllocsPerRun(10, batchDrain); got > 0 {
+		t.Errorf("batch admission: %.1f allocs per %d-event drain, want 0", got, batchN)
+	}
+	if drained-before != 10*batchN+batchN {
+		// AllocsPerRun does runs+1 invocations (one extra warmup call).
+		t.Errorf("batch admission drained %d events, want %d", drained-before, 11*batchN)
 	}
 }

@@ -212,10 +212,31 @@ func (r *Ring) Snapshot() []Event {
 // Tee returns a Sink that forwards each event to all of sinks. Its
 // Flush flushes every branch and aggregates the errors (errors.Join),
 // so one failing file sink cannot mask another.
+//
+// Discard branches are dropped and nested tees flattened at
+// construction, so Tee(Discard, s) returns s itself: the per-event
+// fan-out loop — measurable on profiled benchmark runs, where every
+// world records millions of events into a single profiler sink — is
+// paid only when there are really two or more observers.
 func Tee(sinks ...Sink) Sink {
 	// Copy to guard against caller mutation of the slice.
-	s := make(teeSink, len(sinks))
-	copy(s, sinks)
+	s := make(teeSink, 0, len(sinks))
+	for _, sink := range sinks {
+		if sink == Discard {
+			continue
+		}
+		if t, ok := sink.(teeSink); ok {
+			s = append(s, t...)
+			continue
+		}
+		s = append(s, sink)
+	}
+	switch len(s) {
+	case 0:
+		return Discard
+	case 1:
+		return s[0]
+	}
 	return s
 }
 
