@@ -11,7 +11,7 @@ FUZZTIME ?= 10s
 EXPLORE_BUDGET ?= 200
 
 # Packages with a minimum-coverage bar (see `make cover`).
-COVER_PKGS = ./internal/sim ./internal/monitor ./internal/fault ./internal/cluster ./internal/eventq
+COVER_PKGS = ./internal/sim ./internal/monitor ./internal/fault ./internal/cluster ./internal/eventq ./internal/sched
 COVER_FLOOR = 75
 
 .PHONY: check vet build test race bench fuzz-short explore cover
@@ -35,20 +35,24 @@ race:
 # cluster fleets, and the D-series resilience study — runs quick with
 # the per-thread profiler attached, and the combined metrics +
 # scheduler-accounting summary lands in
-# BENCH_PR8.json. The sweep fails if any run's accounting residue is
+# BENCH_PR9.json. The sweep fails if any run's accounting residue is
 # nonzero, so `make bench` also certifies the exactness invariant on the
 # full experiment population, and -benchbaseline gates the aggregate
-# events/sec against the committed BENCH_PR7.json artifact — a sweep
+# events/sec against the committed BENCH_PR8.json artifact — a sweep
 # that does different work (event-count drift) or runs slower than the
-# previous PR's artifact fails. The hot-path allocs/op pin runs first:
-# the event loop, ready queues, discard-sink tracing, timing-wheel
+# previous PR's artifact fails. The S-series policy lab is deliberately
+# outside the sweep: its population must stay comparable to the
+# baseline, and under the default pcr-rr policy the sweep's event counts
+# are required to be identical to the baseline's (the policy API's
+# zero-cost proof). The hot-path allocs/op pin runs first: the event
+# loop, ready queues, discard-sink tracing, timing-wheel
 # schedule/cancel and batch admission must stay allocation-free in
 # steady state.
 bench:
 	$(GO) test -run TestHotPathAllocs ./internal/sim
 	$(GO) test -bench=. -benchmem -run='^$$'
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/sim ./internal/eventq
-	$(GO) run ./cmd/threadstudy -bench BENCH_PR8.json -benchbaseline BENCH_PR7.json
+	$(GO) run ./cmd/threadstudy -bench BENCH_PR9.json -benchbaseline BENCH_PR8.json
 
 # Short coverage-guided fuzzing of the attacker-facing parsers — JSON
 # fault plans and the binary trace codec (decode robustness + encode/

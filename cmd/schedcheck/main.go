@@ -8,8 +8,13 @@
 // Usage:
 //
 //	schedcheck                    # explore every scenario (fixtures must fail)
-//	schedcheck -list              # list scenarios and their oracles
+//	schedcheck -list              # list scenarios, oracles and policies
 //	schedcheck -scenario ping-pong -budget 2000
+//	schedcheck -policy mlfq       # explore under a non-default scheduling
+//	                              # policy (name[:key=val,...]); scenarios
+//	                              # that opted into the strict-priority
+//	                              # oracle are checked against the policy's
+//	                              # own invariant instead
 //	schedcheck -replay 'v1;broken-timeout-wait;seed=1;steps=1.1'
 //	schedcheck -shrink 'v1;broken-timeout-wait;seed=1;steps=1.1,7.2'
 //
@@ -27,6 +32,7 @@ import (
 	"repro/internal/cliflag"
 	"repro/internal/explore"
 	"repro/internal/paradigm"
+	"repro/internal/sched"
 )
 
 func main() {
@@ -42,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scenario = fs.String("scenario", "", "explore a single scenario by name (default: all)")
 		budget   = fs.Int("budget", 200, "run budget per scenario")
 		seed     = fs.Int64("seed", 1, "first world seed of the sweep (must be nonzero)")
+		policy   = fs.String("policy", "", "scheduling policy to explore under, as name[:key=val,...] (default pcr-rr)")
 		replay   = fs.String("replay", "", "replay one schedule token and report")
 		shrink   = fs.String("shrink", "", "replay one failing token and shrink it further")
 	)
@@ -54,11 +61,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := cliflag.Exclusive("replay", *replay != "", "shrink", *shrink != ""); err != nil {
 		return fs.Fail(err)
 	}
+	// A replay token reproduces the schedule it recorded, which only
+	// means anything under the policy it was recorded under (the
+	// default); -policy would silently change what the token replays.
+	if err := cliflag.Exclusive("policy", *policy != "", "replay", *replay != ""); err != nil {
+		return fs.Fail(err)
+	}
+	if err := cliflag.Exclusive("policy", *policy != "", "shrink", *shrink != ""); err != nil {
+		return fs.Fail(err)
+	}
 	if err := cliflag.CheckSeed(*seed, "must be nonzero (0 would disable the world RNG)"); err != nil {
 		return fs.Fail(err)
 	}
 	if err := cliflag.AtLeast("budget", *budget, 1); err != nil {
 		return fs.Fail(err)
+	}
+	// Validate the policy spec at the flag boundary: a typo'd name or
+	// parameter is a usage error here, not a per-run "policy" failure.
+	if *policy != "" {
+		if _, err := sched.Parse(*policy); err != nil {
+			return fs.Fail(err)
+		}
 	}
 
 	if *list {
@@ -71,10 +94,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		fmt.Fprintf(stdout, "\n%d scenarios ('!' = known-bad fixture, exploration must find its failure)\n", len(paradigm.Scenarios()))
 		fmt.Fprintf(stdout, "oracles: %v\n", explore.OracleNames())
+		fmt.Fprintf(stdout, "policies (-policy, each contributing its oracle above):\n")
+		for _, name := range sched.Names() {
+			fmt.Fprintf(stdout, "  %-7s %s\n", name, sched.Doc(name))
+		}
 		return 0
 	}
 
-	opts := explore.Options{Budget: *budget, Seeds: []int64{*seed, *seed + 1}}
+	opts := explore.Options{Budget: *budget, Seeds: []int64{*seed, *seed + 1}, Policy: *policy}
 
 	if *replay != "" || *shrink != "" {
 		tok := *replay

@@ -17,7 +17,7 @@ func TestSchedcheckCLI(t *testing.T) {
 			name:     "list",
 			args:     []string{"-list"},
 			wantCode: 0,
-			wantOut:  []string{"! broken-timeout-wait", "pump-chain", "r1-crash-rejuvenate", "oracles:"},
+			wantOut:  []string{"! broken-timeout-wait", "pump-chain", "r1-crash-rejuvenate", "oracles:", "policies", "mlfq", "hybrid"},
 		},
 		{
 			name:     "unknown flag",
@@ -68,10 +68,40 @@ func TestSchedcheckCLI(t *testing.T) {
 			wantErr:  []string{"no-such"},
 		},
 		{
+			name:     "unknown policy rejected",
+			args:     []string{"-policy", "bogus"},
+			wantCode: 2,
+			wantErr:  []string{`schedcheck: unknown policy "bogus"`},
+		},
+		{
+			name:     "unknown policy param rejected",
+			args:     []string{"-policy", "rr:nope=1"},
+			wantCode: 2,
+			wantErr:  []string{`unknown param "nope"`},
+		},
+		{
+			name:     "policy and replay exclusive",
+			args:     []string{"-policy", "rr", "-replay", "v1;x;seed=1;steps=-"},
+			wantCode: 2,
+			wantErr:  []string{"-policy and -replay are mutually exclusive"},
+		},
+		{
+			name:     "policy and shrink exclusive",
+			args:     []string{"-policy", "rr", "-shrink", "v1;x;seed=1;steps=-"},
+			wantCode: 2,
+			wantErr:  []string{"-policy and -shrink are mutually exclusive"},
+		},
+		{
 			name:     "explore healthy scenario",
 			args:     []string{"-scenario", "ping-pong", "-budget", "50"},
 			wantCode: 0,
 			wantOut:  []string{"ok   ping-pong", "50 runs"},
+		},
+		{
+			name:     "explore under a non-default policy",
+			args:     []string{"-scenario", "ping-pong", "-budget", "40", "-policy", "rr"},
+			wantCode: 0,
+			wantOut:  []string{"ok   ping-pong", "40 runs"},
 		},
 		{
 			name:     "explore fixture finds and shrinks",

@@ -27,6 +27,7 @@ var goldenCases = []struct {
 	{file: "profile.txt", args: []string{"-profile", "-traceduration", "2s"}},
 	{file: "cseries-quick.txt", args: []string{"-cseries", "-quick"}},
 	{file: "dseries-quick.txt", args: []string{"-dseries", "-quick"}},
+	{file: "sseries-quick.txt", args: []string{"-sseries", "-quick"}},
 	{file: "default.txt", args: nil, slow: true},
 }
 

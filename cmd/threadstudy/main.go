@@ -50,6 +50,14 @@
 //	                             # (D1..D4): instance crashes, stalls and
 //	                             # brownouts vs failover, breakers,
 //	                             # hedging and retry budgets
+//	threadstudy -sseries         # run the S-series scheduling-policy
+//	                             # lab (S1..S4): the same SLO-cohort
+//	                             # loads under pcr-rr, rr, edf, sjf,
+//	                             # mlfq and the promptness hybrid
+//	threadstudy -wseries -policy mlfq
+//	                             # run the W-series under a non-default
+//	                             # scheduling policy (name[:key=val,...];
+//	                             # see cmd/schedcheck -list for specs)
 //	threadstudy -experiment W1 -json -
 //	                             # one load workload, with throughput and
 //	                             # latency percentiles in the summary
@@ -78,6 +86,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/paradigm"
 	"repro/internal/profile"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vclock"
@@ -120,6 +129,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wseries   = fs.Bool("wseries", false, "run the W-series open-loop load workloads (W1..W3) instead of the default set")
 		cseries   = fs.Bool("cseries", false, "run the C-series cluster fleet experiments (C1..C3) instead of the default set")
 		dseries   = fs.Bool("dseries", false, "run the D-series resilience experiments (D1..D4) instead of the default set")
+		sseries   = fs.Bool("sseries", false, "run the S-series scheduling-policy lab (S1..S4) instead of the default set")
+		policy    = fs.String("policy", "", "scheduling policy for the W-series worlds, as name[:key=val,...] (default pcr-rr)")
 		quick     = fs.Bool("quick", false, "use ~3x shorter measurement windows")
 		format    = fs.String("format", "text", "output format: text or markdown")
 		verify    = fs.Bool("verify", false, "run each experiment twice concurrently and fail on nondeterminism")
@@ -194,6 +205,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := cliflag.Exclusive("cseries", *cseries, "dseries", *dseries); err != nil {
 		return fs.Fail(err)
 	}
+	for name, set := range map[string]bool{"experiment": *expID != "", "wseries": *wseries, "cseries": *cseries, "dseries": *dseries} {
+		if err := cliflag.Exclusive(name, set, "sseries", *sseries); err != nil {
+			return fs.Fail(err)
+		}
+	}
+	// Validate the policy spec at the flag boundary: a typo'd name or
+	// parameter is a usage error here, not a panic deep inside a world.
+	if *policy != "" {
+		if _, err := sched.Parse(*policy); err != nil {
+			return fs.Fail(err)
+		}
+	}
 	// -experiment takes a comma-separated ID list; a duplicated ID would
 	// silently run (and print) an experiment twice, so it is a usage
 	// error, not a request.
@@ -228,6 +251,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *dseries {
 			set = experiments.DSeries()
+		}
+		if *sseries {
+			set = experiments.SSeries()
 		}
 		for _, e := range set {
 			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
@@ -268,7 +294,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cliflag.ExitOK
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Faults: plan, FaultSeed: *faultSeed, Shards: *shards}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Faults: plan, FaultSeed: *faultSeed, Shards: *shards, Policy: *policy}
 	var todo []experiments.Experiment
 	switch {
 	case len(expIDs) > 0:
@@ -285,6 +311,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		todo = experiments.CSeries()
 	case *dseries:
 		todo = experiments.DSeries()
+	case *sseries:
+		todo = experiments.SSeries()
 	default:
 		todo = experiments.All()
 	}

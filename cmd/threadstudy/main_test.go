@@ -110,6 +110,14 @@ func TestCLIValidation(t *testing.T) {
 			[]string{"-wseries", "-dseries"}, 2, "-wseries and -dseries are mutually exclusive", ""},
 		{"cseries and dseries exclusive",
 			[]string{"-cseries", "-dseries"}, 2, "-cseries and -dseries are mutually exclusive", ""},
+		{"experiment and sseries exclusive",
+			[]string{"-experiment", "S1", "-sseries"}, 2, "mutually exclusive", ""},
+		{"wseries and sseries exclusive",
+			[]string{"-wseries", "-sseries"}, 2, "-wseries and -sseries are mutually exclusive", ""},
+		{"bad policy rejected",
+			[]string{"-policy", "bogus"}, 2, `threadstudy: unknown policy "bogus"`, ""},
+		{"bad policy param rejected",
+			[]string{"-policy", "rr:nope=1"}, 2, `unknown param "nope"`, ""},
 		{"duplicated D experiment rejected", []string{"-experiment", "D1,D1"}, 2, `duplicate value "D1"`, ""},
 		{"case-insensitive D duplicate rejected", []string{"-experiment", "D2,d2"}, 2, `duplicate value "d2"`, ""},
 		{"faultseed without faults on dseries warns",
@@ -520,5 +528,97 @@ func TestCLISchemaFields(t *testing.T) {
 	}
 	if _, ok := doc["threads"]; !ok {
 		t.Errorf("-profilejson missing accounting payload:\n%s", stdout.String())
+	}
+}
+
+// TestCLISSeries: the scheduling-policy lab is opt-in like the W series
+// — absent from the default list, selected by -sseries, per-policy
+// summaries in -json, and byte-identical output at any -shards value
+// (the S-series worlds never consult the shard count).
+func TestCLISSeries(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	if strings.Contains(stdout.String(), "S1") {
+		t.Fatalf("S series leaked into the default -list:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if code := run([]string{"-list", "-sseries"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list -sseries exit %d", code)
+	}
+	for _, id := range []string{"S1", "S2", "S3", "S4"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list -sseries missing %s:\n%s", id, stdout.String())
+		}
+	}
+	if strings.Contains(stdout.String(), "T1") || strings.Contains(stdout.String(), "W1") {
+		t.Errorf("-list -sseries should list only the S series:\n%s", stdout.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "s4.json")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-experiment", "S4", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("S4 run exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "== S4:") {
+		t.Fatalf("S4 report missing:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum jsonSummary
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, data)
+	}
+	sched := sum.Experiments[0].Sched
+	if len(sched) != 3 {
+		t.Fatalf("sched summaries missing from -json: %+v", sum.Experiments[0])
+	}
+	for _, s := range sched {
+		if s.Policy == "" || len(s.Classes) == 0 {
+			t.Errorf("malformed sched summary in -json: %+v", s)
+		}
+	}
+
+	// Shard determinism: -shards is advance parallelism for the cluster
+	// series and a no-op here; either way stdout must not move.
+	shardRun := func(n string) string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-sseries", "-quick", "-shards", n}, &out, &errb); code != 0 {
+			t.Fatalf("-sseries -shards %s exit %d, stderr: %s", n, code, errb.String())
+		}
+		return out.String()
+	}
+	if a, b := shardRun("1"), shardRun("4"); a != b {
+		t.Errorf("-sseries output differs between -shards 1 and -shards 4")
+	}
+}
+
+// TestCLIPolicyByteIdentical: an explicit -policy pcr-rr parses to the
+// simulator's default-policy singleton, so both the default experiment
+// stdout and the policy-sensitive W-series stdout are byte-identical
+// with and without the flag — while a genuinely different policy moves
+// the W-series numbers.
+func TestCLIPolicyByteIdentical(t *testing.T) {
+	runArgs := func(args ...string) string {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Fatalf("run(%v) = %d, stderr: %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	if def, exp := runArgs("-quick"), runArgs("-quick", "-policy", "pcr-rr"); def != exp {
+		t.Errorf("default stdout differs with explicit -policy pcr-rr")
+	}
+	w := runArgs("-experiment", "W3", "-quick")
+	if exp := runArgs("-experiment", "W3", "-quick", "-policy", "pcr-rr"); w != exp {
+		t.Errorf("W3 stdout differs with explicit -policy pcr-rr")
+	}
+	if rr := runArgs("-experiment", "W3", "-quick", "-policy", "rr"); w == rr {
+		t.Errorf("W3 stdout identical under -policy rr; the flag is not reaching the world")
 	}
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vclock"
@@ -42,6 +43,15 @@ type Config struct {
 	// seed from Seed so fault randomness never aliases workload
 	// randomness.
 	FaultSeed int64
+	// Policy is the scheduling-policy spec (sched.Parse syntax) the
+	// load-driven W series runs under; empty means the default pcr-rr.
+	// Specs must be pre-validated (cmd/threadstudy does): the
+	// experiments parse with sched.MustParse, one fresh instance per
+	// world, because stateful policies serve exactly one world. The T, F,
+	// R, C and D series never consult it — their worlds model the paper's
+	// fixed PCR discipline — and the S-series comparison ladders sweep
+	// their own fixed policy lists by design.
+	Policy string
 	// Shards sets cluster.Spec.Shards for the C- and D-series fleets —
 	// advance parallelism only, byte-identical output at any value (the
 	// shard determinism tests run both series at several values). Zero
@@ -81,6 +91,20 @@ func (c Config) faultPlan(def fault.Plan) fault.Plan {
 	return def
 }
 
+// hooks returns c.Hooks with the selected scheduling policy attached,
+// freshly parsed so every world gets its own instance. An explicit
+// "pcr-rr" parses to the shared default singleton, which the simulator
+// recognizes and keeps its pre-policy fast paths for — byte-identical
+// output to an empty Policy. A Policy already present in c.Hooks (tests
+// injecting instances directly) wins over the spec.
+func (c Config) hooks() sim.Hooks {
+	h := c.Hooks
+	if c.Policy != "" && h.Policy == nil {
+		h.Policy = sched.MustParse(c.Policy)
+	}
+	return h
+}
+
 // Report is one experiment's output: rendered tables plus free-form
 // notes recording the paper-vs-measured comparison.
 type Report struct {
@@ -99,6 +123,11 @@ type Report struct {
 	// point in presentation order; nil for every other series. Like
 	// Load, the runner copies it into the run's Metrics.
 	Cluster []*cluster.Summary
+
+	// Sched carries an S-series run's per-policy scheduling summaries,
+	// one per ladder entry in presentation order; nil for every other
+	// series. Like Load, the runner copies it into the run's Metrics.
+	Sched []*SchedSummary
 }
 
 // String renders the report as plain text.
@@ -162,9 +191,9 @@ func All() []Experiment {
 }
 
 // ByID returns the experiment with the given ID (case-insensitive),
-// searching the default set and the W and C series.
+// searching the default set and the W, C, D and S series.
 func ByID(id string) (Experiment, error) {
-	all := append(append(append(All(), WSeries()...), CSeries()...), DSeries()...)
+	all := append(append(append(append(All(), WSeries()...), CSeries()...), DSeries()...), SSeries()...)
 	for _, e := range all {
 		if strings.EqualFold(e.ID, id) {
 			return e, nil

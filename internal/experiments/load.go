@@ -79,7 +79,7 @@ func echoParams(quick bool) workload.EchoParams {
 // user, Poisson arrivals fanned uniformly across the population.
 func LoadEcho(cfg Config) *Report {
 	p := echoParams(cfg.Quick)
-	w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Hooks: cfg.Hooks})
+	w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Hooks: cfg.hooks()})
 	defer w.Shutdown()
 	e := workload.StartEcho(w, p)
 	// The horizon is generous: injection alone needs Requests/Rate, and
@@ -109,7 +109,7 @@ func LoadPipeline(cfg Config) *Report {
 		p.Pipelines = 16
 		p.Requests = 5000
 	}
-	w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Hooks: cfg.Hooks})
+	w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Hooks: cfg.hooks()})
 	defer w.Shutdown()
 	pl := workload.StartPipeline(w, p)
 	horizon := vclock.Duration(4 * float64(p.Requests) / p.Rate * 1e6)
@@ -138,7 +138,7 @@ func LoadMixed(cfg Config) *Report {
 		p.Requests = 8000
 		p.Horizon = 10 * vclock.Second
 	}
-	w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: true, Hooks: cfg.Hooks})
+	w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: true, Hooks: cfg.hooks()})
 	defer w.Shutdown()
 	m := workload.StartMixed(w, p)
 	outcome := w.Run(vclock.Time(0).Add(p.Horizon))

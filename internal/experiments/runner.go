@@ -51,6 +51,10 @@ type Metrics struct {
 	// Cluster is the C-series fleet summary list (one entry per sweep
 	// point, presentation order); omitted for every other series.
 	Cluster []*cluster.Summary `json:"cluster,omitempty"`
+
+	// Sched is the S-series per-policy summary list (one entry per
+	// ladder policy, presentation order); omitted for every other series.
+	Sched []*SchedSummary `json:"sched,omitempty"`
 }
 
 // Outcome couples an experiment's report with its run metrics and, in
@@ -233,6 +237,7 @@ func runOne(e Experiment, cfg Config, opts Options) Outcome {
 	}
 	m.Load = report.Load
 	m.Cluster = report.Cluster
+	m.Sched = report.Sched
 	out := Outcome{Report: report, Metrics: m}
 	if set != nil {
 		sum := set.Summary()

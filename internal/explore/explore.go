@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"repro/internal/paradigm"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vclock"
@@ -55,6 +56,16 @@ type Options struct {
 	// takes the default, bounding runs that a perturbation made livelock
 	// (default 4096).
 	MaxDecisions int
+
+	// Policy is the scheduling-policy spec (sched.Parse syntax) every run
+	// executes under; empty means the default pcr-rr. The explorer's
+	// steering hook layers over the policy unchanged — decision points
+	// are wherever the policy leaves genuine freedom — and a scenario
+	// that opted into the strict-priority oracle is checked against the
+	// selected policy's own invariant instead (sched.OracleFor). Specs
+	// must be pre-validated (the CLIs do); a bad spec fails every run
+	// with a "policy" pseudo-oracle failure.
+	Policy string
 }
 
 func (o Options) withDefaults() Options {
@@ -144,27 +155,53 @@ func (c *controller) choose(d sim.Decision) int {
 // is non-nil, random perturbation) and evaluates its oracles. It returns
 // the failure (nil if the run is clean) and the candidate count at every
 // decision point reached.
-func runSchedule(sc paradigm.Scenario, sched Schedule, opts Options, rng *rand.Rand) (*Failure, []int) {
+func runSchedule(sc paradigm.Scenario, schedule Schedule, opts Options, rng *rand.Rand) (*Failure, []int) {
 	ctl := &controller{
-		forced: make(map[int64]int, len(sched.Steps)),
+		forced: make(map[int64]int, len(schedule.Steps)),
 		rng:    rng,
 		prob:   opts.WalkProb,
 		cap:    int64(opts.MaxDecisions),
 	}
-	for _, s := range sched.Steps {
+	for _, s := range schedule.Steps {
 		ctl.forced[s.Seq] = s.Choice
 	}
 	var buf trace.Buffer
-	cfg := sim.Config{Seed: sched.Seed, Trace: &buf, Hooks: sim.Hooks{OnSchedule: ctl.choose}}
+	cfg := sim.Config{Seed: schedule.Seed, Trace: &buf, Hooks: sim.Hooks{OnSchedule: ctl.choose}}
+	polName := "pcr-rr"
+	if opts.Policy != "" {
+		// Fresh instance per run: stateful policies key state by thread
+		// pointer and serve exactly one world.
+		pol, err := sched.Parse(opts.Policy)
+		if err != nil {
+			return &Failure{Oracle: "policy", Msg: err.Error(), Schedule: schedule}, nil
+		}
+		cfg.Hooks.Policy = pol
+		polName = pol.Name()
+	}
 	w, hooks := sc.Build(cfg)
 	defer w.Shutdown()
 	out := w.Run(vclock.Time(sc.Horizon))
 
 	r := &Run{World: w, Hooks: hooks, Events: buf.Events, Outcome: out, Quantum: w.Config().Quantum}
-	applied := Schedule{Seed: sched.Seed, Steps: ctl.taken}
+	applied := Schedule{Seed: schedule.Seed, Steps: ctl.taken}
 	names := DefaultOracles
 	if hooks != nil && hooks.Oracles != nil {
 		names = hooks.Oracles
+	}
+	if polName != "pcr-rr" {
+		// A scenario that opted into the priority discipline's oracle is
+		// checked against the selected policy's own invariant instead:
+		// strict priority is simply not the contract any other policy
+		// makes. Copy-on-substitute keeps the scenario's slice intact.
+		if sub := sched.OracleFor(polName); sub != "" {
+			for i, n := range names {
+				if n == OracleStrictPriority {
+					names = append(append([]string{}, names[:i]...), names[i:]...)
+					names[i] = sub
+					break
+				}
+			}
+		}
 	}
 	for _, name := range names {
 		fn, ok := oracleTable[name]

@@ -334,3 +334,47 @@ func TestOracleStrictPrioritySynthetic(t *testing.T) {
 		t.Error("three-quantum starvation of a higher-priority thread not flagged")
 	}
 }
+
+// TestOracleNamesIncludePolicyInvariants: the oracle table is built from
+// the policy registry — every policy's invariant is a listable oracle.
+func TestOracleNamesIncludePolicyInvariants(t *testing.T) {
+	names := OracleNames()
+	has := func(want string) bool {
+		for _, n := range names {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{
+		"strict-priority", "bounded-wait:rr", "bounded-wait:edf",
+		"bounded-wait:sjf", "no-starvation:mlfq", "no-starvation:hybrid",
+	} {
+		if !has(want) {
+			t.Errorf("OracleNames() missing %q (have %v)", want, names)
+		}
+	}
+}
+
+// TestExploreUnderPolicy: the explorer is policy-parameterized. Under rr
+// the priority-ladder scenario — which opted into strict-priority — is
+// checked against rr's own bounded-wait invariant instead, and passes; a
+// bogus spec surfaces as a "policy" failure rather than a panic.
+func TestExploreUnderPolicy(t *testing.T) {
+	sc, ok := paradigm.ScenarioByName("priority-ladder")
+	if !ok {
+		t.Fatal("priority-ladder scenario missing")
+	}
+	v := Explore(sc, Options{Budget: 6, Policy: "rr"})
+	if v.Failure != nil {
+		t.Fatalf("priority-ladder under rr failed: %v", v.Failure)
+	}
+	if v.Decisions == 0 {
+		t.Errorf("no decision points under rr — flattening should merge the ladder into one level")
+	}
+	v = Explore(sc, Options{Budget: 2, Policy: "no-such-policy"})
+	if v.Failure == nil || v.Failure.Oracle != "policy" {
+		t.Fatalf("bogus policy spec: failure = %v, want policy pseudo-oracle", v.Failure)
+	}
+}

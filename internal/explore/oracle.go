@@ -6,9 +6,9 @@ import (
 	"strings"
 
 	"repro/internal/fault"
+	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/trace"
-	"repro/internal/vclock"
 )
 
 // Oracle names. A scenario selects oracles by listing these in
@@ -36,9 +36,12 @@ const (
 
 	// OracleStrictPriority checks that no runnable thread waits longer
 	// than a quantum (plus dispatch tolerance) while a strictly
-	// lower-priority thread runs. Opt-in — boosts and the SystemDaemon
-	// donate time to low-priority threads on purpose, and the check
-	// assumes one CPU.
+	// lower-priority thread runs — the pcr-rr policy's invariant, which
+	// lives in package sched (sched.CheckStrictPriority). Opt-in — boosts
+	// and the SystemDaemon donate time to low-priority threads on
+	// purpose, and the check assumes one CPU. When a scenario that opted
+	// in runs under a different policy (Options.Policy), the explorer
+	// substitutes that policy's own invariant (sched.OracleFor).
 	OracleStrictPriority = "strict-priority"
 
 	// OracleDeadlockSound cross-checks the outcome against the world's
@@ -59,7 +62,21 @@ var oracleTable = map[string]func(*Run) error{
 	OracleDeadlockSound:  checkDeadlockSound,
 }
 
-// OracleNames lists every library oracle, sorted.
+// The policy registry contributes one oracle per scheduling policy —
+// bounded-wait for the rotation disciplines, no-starvation for the
+// feedback ones. pcr-rr's is the static strict-priority entry above.
+func init() {
+	for _, inv := range sched.Invariants() {
+		if _, ok := oracleTable[inv.Oracle]; ok {
+			continue
+		}
+		check := inv.Check
+		oracleTable[inv.Oracle] = func(r *Run) error { return check(r.Events, r.Quantum) }
+	}
+}
+
+// OracleNames lists every library oracle, sorted — the concurrency
+// oracles plus every policy invariant from the sched registry.
 func OracleNames() []string {
 	names := make([]string, 0, len(oracleTable))
 	for n := range oracleTable {
@@ -224,66 +241,11 @@ func contains(q []int32, id int32) bool {
 	return false
 }
 
+// checkStrictPriority is the pcr-rr policy invariant; the replay itself
+// moved to package sched with the policy API, so the oracle table can be
+// built from the policy registry.
 func checkStrictPriority(r *Run) error {
-	tol := r.Quantum + vclock.Millisecond
-	pri := map[int32]int64{}
-	readySince := map[int32]vclock.Time{}
-	blocked := map[int32]bool{}
-	dead := map[int32]bool{}
-	running := int32(trace.NoThread)
-
-	violation := func(now vclock.Time) error {
-		ids := make([]int32, 0, len(readySince))
-		for id := range readySince {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			if running != trace.NoThread && pri[id] > pri[running] && now.Sub(readySince[id]) > tol {
-				return fmt.Errorf("t%d (pri %d) runnable since %v while t%d (pri %d) ran — starved %v at %v",
-					id, pri[id], readySince[id], running, pri[running], now.Sub(readySince[id]), now)
-			}
-		}
-		return nil
-	}
-
-	for _, ev := range r.Events {
-		if err := violation(ev.Time); err != nil {
-			return err
-		}
-		switch ev.Kind {
-		case trace.KindFork:
-			pri[int32(ev.Arg)] = ev.Aux
-		case trace.KindSetPriority:
-			pri[ev.Thread] = ev.Aux
-		case trace.KindReady:
-			delete(blocked, ev.Thread)
-			readySince[ev.Thread] = ev.Time
-		case trace.KindBlock:
-			blocked[ev.Thread] = true
-			delete(readySince, ev.Thread)
-		case trace.KindExit:
-			dead[ev.Thread] = true
-			delete(readySince, ev.Thread)
-			if running == ev.Thread {
-				running = trace.NoThread
-			}
-		case trace.KindSwitch:
-			from := int32(ev.Arg)
-			if ev.Thread != trace.NoThread {
-				delete(readySince, ev.Thread)
-				running = ev.Thread
-			} else {
-				running = trace.NoThread
-			}
-			// The switch-out target went back on the run queue unless its
-			// Block/Exit event (recorded before the switch) says otherwise.
-			if from != trace.NoThread && from != ev.Thread && !blocked[from] && !dead[from] {
-				readySince[from] = ev.Time
-			}
-		}
-	}
-	return nil
+	return sched.CheckStrictPriority(r.Events, r.Quantum)
 }
 
 func checkDeadlockSound(r *Run) error {

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+func init() {
+	register(&descriptor{
+		name:   "hybrid",
+		doc:    "promptness-vs-throughput: interactive EDF up top, batch below with a guaranteed share",
+		params: []string{"share", "slice"},
+		build: func(kv map[string]string) (Policy, error) {
+			slice, err := durParam(kv, "hybrid", "slice", 10*vclock.Millisecond)
+			if err != nil {
+				return nil, err
+			}
+			share, err := floatParam(kv, "hybrid", "share", 0.3, 0.01, 0.9)
+			if err != nil {
+				return nil, err
+			}
+			// A boost of `slice` every (slice + gap) grants batch ≈ share
+			// of the CPU even under saturating interactive load.
+			gap := vclock.Duration(float64(slice) * (1 - share) / share)
+			return &hybridPolicy{slice: slice, gap: gap}, nil
+		},
+	})
+}
+
+// hybridPolicy is the promptness-vs-throughput split that PAPERS.md's
+// Competitive Parallelism argues mixed interactive/batch loads need:
+//
+//   - Interactive work (SLO class "interactive", or any thread with a
+//     declared deadline) runs on a high band, EDF-ordered, so promptness
+//     stays near the strict-priority optimum.
+//   - Batch work (SLO class "batch") runs on a low band — but unlike
+//     strict priority it is never starved for long: a timed boost
+//     promotes one batch thread above the interactive band for a short
+//     slice on a fixed cadence, guaranteeing batch ≈ share of the CPU
+//     and bounding how long any batch thread goes without progress.
+//   - Unclassified threads (daemons, scenario machinery) keep their own
+//     PCR priority, so the policy composes with existing workloads.
+//
+// Pure strict priority starves batch progress under interactive bursts;
+// pure round-robin destroys interactive latency under batch pressure;
+// the hybrid bounds both, which experiment S4 demonstrates on the
+// mixed-load promptness metric. Per-thread boost state makes an instance
+// single-world, like mlfq.
+type hybridPolicy struct {
+	slice vclock.Duration // duration of one batch boost
+	gap   vclock.Duration // pause between boosts (derived from share)
+
+	boosted   *sim.Thread // the batch thread currently promoted, if any
+	nextBoost vclock.Time // earliest instant the next boost may start
+}
+
+const (
+	hybridBoostLevel       = sim.PriorityDaemon
+	hybridInteractiveLevel = sim.PriorityHigh
+	hybridBatchLevel       = sim.PriorityLow
+)
+
+type hybridClass int
+
+const (
+	classOther hybridClass = iota
+	classInteractive
+	classBatch
+)
+
+func classify(t *sim.Thread) hybridClass {
+	switch {
+	case t.SLOClass() == "batch":
+		return classBatch
+	case t.SLOClass() == "interactive" || t.Deadline() != 0:
+		return classInteractive
+	default:
+		return classOther
+	}
+}
+
+func (p *hybridPolicy) Name() string { return "hybrid" }
+
+func (p *hybridPolicy) Level(t *sim.Thread, wake bool, now vclock.Time) sim.Priority {
+	if t == p.boosted {
+		return hybridBoostLevel
+	}
+	switch classify(t) {
+	case classInteractive:
+		return hybridInteractiveLevel
+	case classBatch:
+		return hybridBatchLevel
+	default:
+		return t.Priority()
+	}
+}
+
+// Pick prefers the boosted batch thread (its guaranteed slice must not be
+// stolen by whatever shares its level), then falls back to EDF — which
+// orders the interactive band by deadline and degrades to FIFO on bands
+// with no deadlines.
+func (p *hybridPolicy) Pick(d sim.Decision) int {
+	if p.boosted != nil {
+		for i, c := range d.Candidates {
+			if c == p.boosted {
+				return i
+			}
+		}
+	}
+	return pickEDF(d.Candidates)
+}
+
+func (p *hybridPolicy) Rotate(d sim.Decision) int { return p.Pick(d) }
+
+func (p *hybridPolicy) Quantum(t *sim.Thread, def vclock.Duration) vclock.Duration {
+	if t == p.boosted {
+		return p.slice
+	}
+	return def
+}
+
+// Expired ends a boost when the boosted thread's slice runs out; the
+// dispatcher then refreshes its level, dropping it back to the batch band
+// at this very expiry.
+func (p *hybridPolicy) Expired(t *sim.Thread, now vclock.Time) {
+	if t == p.boosted {
+		p.boosted = nil
+	}
+}
+
+// Age grants the next batch boost: on each tick, once the cadence allows
+// and no boost is in flight, the longest-queued batch thread (the sweep
+// visits queues in FIFO order) is promoted above the interactive band.
+func (p *hybridPolicy) Age(t *sim.Thread, now vclock.Time) (sim.Priority, bool) {
+	if b := p.boosted; b != nil && (b.State() == sim.StateDead || b.State() == sim.StateBlocked) {
+		// The boosted thread stopped running before its slice expired;
+		// release the boost so batch progress doesn't stall behind it.
+		p.boosted = nil
+	}
+	if p.boosted == nil && now >= p.nextBoost && classify(t) == classBatch {
+		p.boosted = t
+		p.nextBoost = now.Add(p.slice + p.gap)
+		return hybridBoostLevel, true
+	}
+	return 0, false
+}
+
+func (p *hybridPolicy) Tick() vclock.Duration { return p.slice }

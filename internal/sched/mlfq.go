@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+func init() {
+	register(&descriptor{
+		name:   "mlfq",
+		doc:    "multi-level feedback: demote on quantum expiry, reset on wakeup, age back up",
+		params: []string{"age", "levels", "quantum"},
+		build: func(kv map[string]string) (Policy, error) {
+			levels, err := intParam(kv, "mlfq", "levels", 4, 2, 6)
+			if err != nil {
+				return nil, err
+			}
+			base, err := durParam(kv, "mlfq", "quantum", 10*vclock.Millisecond)
+			if err != nil {
+				return nil, err
+			}
+			age, err := durParam(kv, "mlfq", "age", 200*vclock.Millisecond)
+			if err != nil {
+				return nil, err
+			}
+			return &mlfqPolicy{
+				levels: levels,
+				base:   base,
+				age:    age,
+				state:  map[*sim.Thread]*mlfqState{},
+			}, nil
+		},
+	})
+}
+
+// mlfqPolicy is multi-level feedback queueing with aging: every thread
+// starts (and restarts, on each wakeup) at the top feedback level with a
+// short quantum; consuming a full quantum demotes it one level and
+// doubles its quantum; waiting `age` on the ready queue promotes it one
+// level back up. Interactive threads — which block long before their
+// quantum expires — thus float at the top with minimal latency while
+// CPU-bound threads sink, the classic estimate-free approximation of
+// SJF. Per-thread state is keyed by *sim.Thread, so an instance serves
+// exactly one world.
+type mlfqPolicy struct {
+	levels int             // feedback depth: sim levels Interrupt down to Interrupt-levels+1
+	base   vclock.Duration // quantum at the top level; doubles per demotion
+	age    vclock.Duration // ready wait that earns one promotion; also the sweep period
+	state  map[*sim.Thread]*mlfqState
+}
+
+type mlfqState struct {
+	level   int // 0 = top feedback level
+	readyAt vclock.Time
+}
+
+func (p *mlfqPolicy) st(t *sim.Thread) *mlfqState {
+	s := p.state[t]
+	if s == nil {
+		s = &mlfqState{}
+		p.state[t] = s
+	}
+	return s
+}
+
+// pri maps feedback level i (0 = top) onto the sim's ready levels,
+// growing downward from PriorityInterrupt.
+func (p *mlfqPolicy) pri(level int) sim.Priority {
+	return sim.PriorityInterrupt - sim.Priority(level)
+}
+
+func (p *mlfqPolicy) Name() string { return "mlfq" }
+
+func (p *mlfqPolicy) Level(t *sim.Thread, wake bool, now vclock.Time) sim.Priority {
+	s := p.st(t)
+	if wake {
+		// A fresh wakeup resets to the top: the thread just proved it
+		// blocks (interactive behavior), so give it the fast lane.
+		s.level = 0
+	}
+	s.readyAt = now
+	return p.pri(s.level)
+}
+
+func (p *mlfqPolicy) Pick(d sim.Decision) int   { return 0 }
+func (p *mlfqPolicy) Rotate(d sim.Decision) int { return 0 }
+
+func (p *mlfqPolicy) Quantum(t *sim.Thread, def vclock.Duration) vclock.Duration {
+	return p.base << uint(p.st(t).level)
+}
+
+func (p *mlfqPolicy) Expired(t *sim.Thread, now vclock.Time) {
+	if s := p.st(t); s.level < p.levels-1 {
+		s.level++
+	}
+}
+
+func (p *mlfqPolicy) Age(t *sim.Thread, now vclock.Time) (sim.Priority, bool) {
+	s := p.st(t)
+	if s.level > 0 && now.Sub(s.readyAt) >= p.age {
+		s.level--
+		s.readyAt = now
+		return p.pri(s.level), true
+	}
+	return 0, false
+}
+
+func (p *mlfqPolicy) Tick() vclock.Duration { return p.age }

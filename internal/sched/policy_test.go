@@ -1,0 +1,567 @@
+package sched
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// newWorld builds a test world running the given policy spec, with exact
+// virtual timings (zero switch cost) and an optional trace sink.
+func newWorld(t *testing.T, spec string, tr trace.Sink) *sim.World {
+	t.Helper()
+	pol, err := Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	cfg := sim.Config{SwitchCost: -1, TimeoutGranularity: 1, Trace: tr}
+	cfg.Hooks.Policy = pol
+	w := sim.NewWorld(cfg)
+	t.Cleanup(w.Shutdown)
+	return w
+}
+
+// runStarts spawns one worker per (name, pri) pair, each computing for
+// `work`, and returns the order in which they first got the CPU.
+func runStarts(t *testing.T, spec string, work vclock.Duration, names []string, pris []sim.Priority, prep func(i int, th *sim.Thread)) []string {
+	t.Helper()
+	w := newWorld(t, spec, nil)
+	var order []string
+	for i, name := range names {
+		name := name
+		th := w.Spawn(name, pris[i], func(th *sim.Thread) any {
+			order = append(order, name)
+			th.Compute(work)
+			return nil
+		})
+		if prep != nil {
+			prep(i, th)
+		}
+	}
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v, want quiescent", out)
+	}
+	return order
+}
+
+// TestRRFlattensPriorities: under pcr-rr a high-priority late spawn runs
+// first; under rr everything shares one level, so dispatch is pure FIFO in
+// spawn order.
+func TestRRFlattensPriorities(t *testing.T) {
+	names := []string{"low", "high"}
+	pris := []sim.Priority{sim.PriorityLow, sim.PriorityHigh}
+	if got := runStarts(t, "pcr-rr", 10*vclock.Millisecond, names, pris, nil); !reflect.DeepEqual(got, []string{"high", "low"}) {
+		t.Fatalf("pcr-rr order = %v, want [high low]", got)
+	}
+	if got := runStarts(t, "rr", 10*vclock.Millisecond, names, pris, nil); !reflect.DeepEqual(got, []string{"low", "high"}) {
+		t.Fatalf("rr order = %v, want FIFO [low high]", got)
+	}
+}
+
+// TestRRQuantumParam: rr's quantum override reaches the dispatcher. Two
+// 8 ms jobs under a 5 ms quantum interleave — the first finishes at 13 ms
+// (8 own + 5 of the peer's), not at 8 ms as the default 50 ms quantum
+// would have it.
+func TestRRQuantumParam(t *testing.T) {
+	finish := map[string]vclock.Time{}
+	run := func(spec string) {
+		w := newWorld(t, spec, nil)
+		for _, name := range []string{"a", "b"} {
+			name := name
+			w.Spawn(name, sim.PriorityNormal, func(th *sim.Thread) any {
+				th.Compute(8 * vclock.Millisecond)
+				finish[spec+"/"+name] = th.Now()
+				return nil
+			})
+		}
+		if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+			t.Fatalf("%s: outcome = %v", spec, out)
+		}
+	}
+	run("rr")
+	run("rr:quantum=5ms")
+	if got := finish["rr/a"]; got != vclock.Time(8*vclock.Millisecond) {
+		t.Errorf("rr default quantum: a finished at %v, want 8ms", got)
+	}
+	if got := finish["rr:quantum=5ms/a"]; got != vclock.Time(13*vclock.Millisecond) {
+		t.Errorf("rr 5ms quantum: a finished at %v, want 13ms", got)
+	}
+	for _, spec := range []string{"rr", "rr:quantum=5ms"} {
+		if got := finish[spec+"/b"]; got != vclock.Time(16*vclock.Millisecond) {
+			t.Errorf("%s: b finished at %v, want 16ms", spec, got)
+		}
+	}
+}
+
+// TestEDFOrdersByDeadline: dispatch follows declared deadlines, not spawn
+// order; a thread with no deadline sorts after every deadline-bearing one.
+func TestEDFOrdersByDeadline(t *testing.T) {
+	names := []string{"none", "late", "early", "mid"}
+	pris := []sim.Priority{sim.PriorityNormal, sim.PriorityNormal, sim.PriorityNormal, sim.PriorityNormal}
+	deadlines := []vclock.Duration{0, 300 * vclock.Millisecond, 100 * vclock.Millisecond, 200 * vclock.Millisecond}
+	got := runStarts(t, "edf", 10*vclock.Millisecond, names, pris, func(i int, th *sim.Thread) {
+		if deadlines[i] != 0 {
+			th.SetDeadline(vclock.Time(deadlines[i]))
+		}
+	})
+	if want := []string{"early", "mid", "late", "none"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("edf order = %v, want %v", got, want)
+	}
+}
+
+// TestSJFOrdersByEstimate: dispatch follows declared service estimates;
+// no estimate sorts last.
+func TestSJFOrdersByEstimate(t *testing.T) {
+	names := []string{"none", "long", "short", "mid"}
+	pris := []sim.Priority{sim.PriorityNormal, sim.PriorityNormal, sim.PriorityNormal, sim.PriorityNormal}
+	ests := []vclock.Duration{0, 30 * vclock.Millisecond, 10 * vclock.Millisecond, 20 * vclock.Millisecond}
+	got := runStarts(t, "sjf", 10*vclock.Millisecond, names, pris, func(i int, th *sim.Thread) {
+		if ests[i] != 0 {
+			th.SetServiceEstimate(ests[i])
+		}
+	})
+	if want := []string{"short", "mid", "long", "none"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("sjf order = %v, want %v", got, want)
+	}
+}
+
+// TestMLFQSeams drives the mlfq state machine through the Policy seams
+// directly: wakeups reset to the top level, quantum expiry demotes (and
+// doubles the quantum) down to the floor, and queued waiting ages a
+// thread back up one level per period.
+func TestMLFQSeams(t *testing.T) {
+	w := newWorld(t, "pcr-rr", nil) // only a thread factory here
+	th := w.Spawn("x", sim.PriorityNormal, func(*sim.Thread) any { return nil })
+	p := MustParse("mlfq:levels=3,quantum=10ms,age=50ms")
+
+	top := sim.PriorityInterrupt
+	if got := p.Level(th, true, 0); got != top {
+		t.Fatalf("fresh wake level = %v, want %v", got, top)
+	}
+	if got := p.Quantum(th, 50*vclock.Millisecond); got != 10*vclock.Millisecond {
+		t.Fatalf("top quantum = %v, want 10ms", got)
+	}
+
+	// Two expiries demote to the floor (levels=3 → floor is top-2);
+	// further expiries stay there. Quanta double per level.
+	p.Expired(th, 0)
+	if got := p.Level(th, false, 0); got != top-1 {
+		t.Fatalf("after 1 expiry level = %v, want %v", got, top-1)
+	}
+	if got := p.Quantum(th, 0); got != 20*vclock.Millisecond {
+		t.Fatalf("level-1 quantum = %v, want 20ms", got)
+	}
+	p.Expired(th, 0)
+	p.Expired(th, 0)
+	if got := p.Level(th, false, 0); got != top-2 {
+		t.Fatalf("floor level = %v, want %v", got, top-2)
+	}
+	if got := p.Quantum(th, 0); got != 40*vclock.Millisecond {
+		t.Fatalf("floor quantum = %v, want 40ms", got)
+	}
+
+	// Aging: enqueue (non-wake) at t=100ms; at 149ms nothing, at 150ms one
+	// promotion, another period later the next.
+	t0 := vclock.Time(100 * vclock.Millisecond)
+	p.Level(th, false, t0)
+	if _, ok := p.Age(th, t0.Add(49*vclock.Millisecond)); ok {
+		t.Fatalf("aged before the period elapsed")
+	}
+	nl, ok := p.Age(th, t0.Add(50*vclock.Millisecond))
+	if !ok || nl != top-1 {
+		t.Fatalf("age promotion = %v,%v, want %v,true", nl, ok, top-1)
+	}
+	nl, ok = p.Age(th, t0.Add(100*vclock.Millisecond))
+	if !ok || nl != top {
+		t.Fatalf("second promotion = %v,%v, want %v,true", nl, ok, top)
+	}
+	if _, ok := p.Age(th, vclock.Time(vclock.Second)); ok {
+		t.Fatalf("aged above the top level")
+	}
+
+	// A wakeup forgives everything: back to the top band.
+	p.Expired(th, 0)
+	if got := p.Level(th, true, 0); got != top {
+		t.Fatalf("wake reset level = %v, want %v", got, top)
+	}
+	if p.Tick() != 50*vclock.Millisecond {
+		t.Fatalf("tick = %v, want the age period", p.Tick())
+	}
+}
+
+// TestMLFQFavorsInteractive: end to end, a sleep-heavy interactive thread
+// finishes its bursts with low latency while a CPU hog sinks: the hog's
+// presence must not delay any burst by more than the hog's floor quantum.
+func TestMLFQFavorsInteractive(t *testing.T) {
+	w := newWorld(t, "mlfq:levels=3,quantum=5ms,age=500ms", nil)
+	var worst vclock.Duration
+	w.Spawn("hog", sim.PriorityNormal, func(th *sim.Thread) any {
+		th.Compute(400 * vclock.Millisecond)
+		return nil
+	})
+	w.Spawn("interactive", sim.PriorityNormal, func(th *sim.Thread) any {
+		for i := 0; i < 10; i++ {
+			th.Sleep(5 * vclock.Millisecond)
+			start := th.Now()
+			th.Compute(vclock.Millisecond)
+			if d := th.Now().Sub(start); d > worst {
+				worst = d
+			}
+		}
+		return nil
+	})
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v, want quiescent", out)
+	}
+	// Each 1 ms burst may wait out at most the hog's current quantum
+	// (≤ 20 ms at the floor) before the wakeup preempts at the next
+	// dispatch point.
+	if worst > 21*vclock.Millisecond {
+		t.Errorf("worst interactive burst latency %v, want ≤ hog floor quantum", worst)
+	}
+}
+
+// TestHybridBoundsBothClasses: a saturating interactive thread at high
+// priority starves a low-priority batch thread completely under pcr-rr;
+// under hybrid the timed boost guarantees batch progress while the
+// interactive class keeps the large majority of the CPU.
+func TestHybridBoundsBothClasses(t *testing.T) {
+	const horizon = 300 * vclock.Millisecond
+	chunks := func(spec string) int {
+		w := newWorld(t, spec, nil)
+		n := 0
+		it := w.Spawn("interactive", sim.PriorityHigh, func(th *sim.Thread) any {
+			for th.Now() < vclock.Time(horizon) {
+				th.Compute(5 * vclock.Millisecond)
+			}
+			return nil
+		})
+		it.SetSLOClass("interactive")
+		bt := w.Spawn("batch", sim.PriorityLow, func(th *sim.Thread) any {
+			for {
+				th.Compute(vclock.Millisecond)
+				n++
+			}
+		})
+		bt.SetSLOClass("batch")
+		w.Run(vclock.Time(horizon))
+		return n
+	}
+	if n := chunks("pcr-rr"); n != 0 {
+		t.Errorf("pcr-rr: batch ran %d chunks under saturating interactive load, want 0", n)
+	}
+	n := chunks("hybrid:slice=10ms,share=0.3")
+	if n < 20 {
+		t.Errorf("hybrid: batch ran only %d ms in %v, starvation not bounded", n, horizon)
+	}
+	if n > 150 {
+		t.Errorf("hybrid: batch ran %d ms in %v — interactive lost its majority share", n, horizon)
+	}
+}
+
+// TestHybridSeams covers the boost bookkeeping directly: classification,
+// band mapping, the boosted thread's pick preference and short quantum,
+// and boost release on expiry.
+func TestHybridSeams(t *testing.T) {
+	w := newWorld(t, "pcr-rr", nil)
+	mk := func(name, class string) *sim.Thread {
+		th := w.Spawn(name, sim.PriorityBackground, func(*sim.Thread) any { return nil })
+		th.SetSLOClass(class)
+		return th
+	}
+	inter := mk("i", "interactive")
+	batch := mk("b", "batch")
+	other := mk("o", "")
+	dlOnly := mk("d", "")
+	dlOnly.SetDeadline(vclock.Time(vclock.Second))
+
+	p := MustParse("hybrid:slice=10ms,share=0.5").(*hybridPolicy)
+	if got := p.Level(inter, false, 0); got != hybridInteractiveLevel {
+		t.Errorf("interactive level = %v", got)
+	}
+	if got := p.Level(dlOnly, false, 0); got != hybridInteractiveLevel {
+		t.Errorf("deadline-bearing level = %v, want interactive band", got)
+	}
+	if got := p.Level(batch, false, 0); got != hybridBatchLevel {
+		t.Errorf("batch level = %v", got)
+	}
+	if got := p.Level(other, false, 0); got != other.Priority() {
+		t.Errorf("unclassified level = %v, want own priority %v", got, other.Priority())
+	}
+
+	// share=0.5 → gap equals slice.
+	if p.gap != p.slice {
+		t.Errorf("gap = %v, want %v at share 0.5", p.gap, p.slice)
+	}
+
+	// First tick grants the boost to a queued batch thread; while boosted
+	// it outranks the interactive band, is picked over earlier deadlines,
+	// and runs a slice-length quantum.
+	nl, ok := p.Age(batch, vclock.Time(10*vclock.Millisecond))
+	if !ok || nl != hybridBoostLevel {
+		t.Fatalf("boost grant = %v,%v, want %v,true", nl, ok, hybridBoostLevel)
+	}
+	if got := p.Level(batch, false, 0); got != hybridBoostLevel {
+		t.Errorf("boosted level = %v", got)
+	}
+	if got := p.Pick(sim.Decision{Candidates: []*sim.Thread{dlOnly, batch}}); got != 1 {
+		t.Errorf("pick with boost = %d, want the boosted thread", got)
+	}
+	if got := p.Quantum(batch, 50*vclock.Millisecond); got != 10*vclock.Millisecond {
+		t.Errorf("boosted quantum = %v, want the slice", got)
+	}
+	if got := p.Quantum(inter, 50*vclock.Millisecond); got != 50*vclock.Millisecond {
+		t.Errorf("unboosted quantum = %v, want the default", got)
+	}
+	// No second boost while one is in flight, nor before the cadence.
+	if _, ok := p.Age(batch, vclock.Time(10*vclock.Millisecond)); ok {
+		t.Errorf("double boost granted")
+	}
+	p.Expired(batch, vclock.Time(20*vclock.Millisecond))
+	if got := p.Level(batch, false, 0); got != hybridBatchLevel {
+		t.Errorf("post-expiry level = %v, want batch band", got)
+	}
+	if _, ok := p.Age(batch, vclock.Time(25*vclock.Millisecond)); ok {
+		t.Errorf("boost re-granted before the cadence gap")
+	}
+	if nl, ok := p.Age(batch, vclock.Time(30*vclock.Millisecond)); !ok || nl != hybridBoostLevel {
+		t.Errorf("boost not re-granted at the cadence: %v,%v", nl, ok)
+	}
+	// Without the boosted thread in the candidate set, Pick falls back to
+	// EDF ordering.
+	if got := p.Pick(sim.Decision{Candidates: []*sim.Thread{other, dlOnly}}); got != 1 {
+		t.Errorf("edf fallback pick = %d, want the deadline-bearing thread", got)
+	}
+}
+
+// traceOf runs a mixed sleep/compute workload under the given policy and
+// returns the trace.
+func traceOf(t *testing.T, spec string) []trace.Event {
+	t.Helper()
+	var buf trace.Buffer
+	w := newWorld(t, spec, &buf)
+	for i, pri := range []sim.Priority{sim.PriorityLow, sim.PriorityNormal, sim.PriorityHigh} {
+		name := string(rune('a' + i))
+		w.Spawn(name, pri, func(th *sim.Thread) any {
+			for j := 0; j < 10; j++ {
+				th.Compute(7 * vclock.Millisecond)
+				th.Sleep(3 * vclock.Millisecond)
+			}
+			return nil
+		})
+	}
+	if out := w.Run(vclock.Time(2 * vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("%s: outcome = %v, want quiescent", spec, out)
+	}
+	return buf.Events
+}
+
+// TestInvariantsHold: every policy's own trace invariant accepts a run
+// scheduled under that policy.
+func TestInvariantsHold(t *testing.T) {
+	specs := map[string]string{
+		"pcr-rr": "pcr-rr",
+		"rr":     "rr",
+		"edf":    "edf",
+		"sjf":    "sjf",
+		"mlfq":   "mlfq:quantum=5ms,age=100ms",
+		"hybrid": "hybrid:slice=10ms,share=0.3",
+	}
+	for _, inv := range Invariants() {
+		events := traceOf(t, specs[inv.Policy])
+		if err := inv.Check(events, 50*vclock.Millisecond); err != nil {
+			t.Errorf("%s invariant (%s) rejected its own schedule: %v", inv.Policy, inv.Oracle, err)
+		}
+	}
+}
+
+// TestCheckStrictPriorityViolation: a synthetic trace where a
+// high-priority thread sits runnable while a low-priority thread runs
+// must be rejected — and the inverse accepted.
+func TestCheckStrictPriorityViolation(t *testing.T) {
+	mk := func(hiPri int64) []trace.Event {
+		none := int64(trace.NoThread)
+		return []trace.Event{
+			{Time: 0, Kind: trace.KindFork, Thread: trace.NoThread, Arg: 1, Aux: hiPri},
+			{Time: 0, Kind: trace.KindFork, Thread: trace.NoThread, Arg: 2, Aux: 3},
+			{Time: 0, Kind: trace.KindReady, Thread: 1},
+			{Time: 0, Kind: trace.KindReady, Thread: 2},
+			{Time: 0, Kind: trace.KindSwitch, Thread: 2, Arg: none},
+			{Time: vclock.Time(200 * vclock.Millisecond), Kind: trace.KindSwitch, Thread: 1, Arg: 2},
+		}
+	}
+	quantum := 50 * vclock.Millisecond
+	if err := CheckStrictPriority(mk(5), quantum); err == nil {
+		t.Errorf("starved high-priority thread not detected")
+	}
+	if err := CheckStrictPriority(mk(2), quantum); err != nil {
+		t.Errorf("legal low-priority wait rejected: %v", err)
+	}
+}
+
+// TestCheckBoundedWaitViolation: the priority-blind bound fires once a
+// ready thread's wait exceeds quantum×queue + slack, and not before.
+func TestCheckBoundedWaitViolation(t *testing.T) {
+	check := checkBoundedWait(250 * vclock.Millisecond)
+	none := int64(trace.NoThread)
+	mk := func(wait vclock.Duration) []trace.Event {
+		return []trace.Event{
+			{Time: 0, Kind: trace.KindReady, Thread: 1},
+			{Time: 0, Kind: trace.KindSwitch, Thread: 2, Arg: none},
+			{Time: vclock.Time(wait), Kind: trace.KindSwitch, Thread: 1, Arg: 2},
+		}
+	}
+	quantum := 50 * vclock.Millisecond
+	// Bound: 50ms×1 waiter + 50ms + 250ms + 1ms = 351 ms.
+	if err := check(mk(351*vclock.Millisecond), quantum); err != nil {
+		t.Errorf("wait at the bound rejected: %v", err)
+	}
+	if err := check(mk(352*vclock.Millisecond), quantum); err == nil {
+		t.Errorf("wait past the bound not detected")
+	}
+	// Blocked and exited threads stop counting as waiters.
+	events := []trace.Event{
+		{Time: 0, Kind: trace.KindReady, Thread: 1},
+		{Time: 0, Kind: trace.KindBlock, Thread: 1},
+		{Time: 0, Kind: trace.KindSwitch, Thread: 2, Arg: none},
+		{Time: vclock.Time(vclock.Second), Kind: trace.KindExit, Thread: 2},
+	}
+	if err := check(events, quantum); err != nil {
+		t.Errorf("blocked thread counted as starved: %v", err)
+	}
+}
+
+// TestExplicitDefaultIsByteIdentical: a world handed Parse("pcr-rr") must
+// produce the exact event stream of a world with no policy at all — the
+// API's central compatibility promise.
+func TestExplicitDefaultIsByteIdentical(t *testing.T) {
+	capture := func(pol Policy) []trace.Event {
+		var buf trace.Buffer
+		cfg := sim.Config{SwitchCost: -1, TimeoutGranularity: 1, Trace: &buf}
+		cfg.Hooks.Policy = pol
+		w := sim.NewWorld(cfg)
+		defer w.Shutdown()
+		for i, pri := range []sim.Priority{sim.PriorityNormal, sim.PriorityHigh, sim.PriorityNormal} {
+			name := string(rune('a' + i))
+			w.Spawn(name, pri, func(th *sim.Thread) any {
+				for j := 0; j < 5; j++ {
+					th.Compute(60 * vclock.Millisecond) // crosses quantum expiries
+					th.Yield()
+					th.Sleep(vclock.Millisecond)
+				}
+				return nil
+			})
+		}
+		w.Run(vclock.Time(2 * vclock.Second))
+		if n := w.ScheduleDecisions(); n != 0 {
+			t.Fatalf("default policy recorded %d schedule decisions, want 0", n)
+		}
+		return buf.Events
+	}
+	bare := capture(nil)
+	explicit := capture(MustParse("pcr-rr"))
+	if !reflect.DeepEqual(bare, explicit) {
+		t.Fatalf("explicit pcr-rr trace differs from nil-policy trace (%d vs %d events)", len(explicit), len(bare))
+	}
+}
+
+// badLevelPolicy answers an out-of-range level; the dispatcher must fall
+// back to the thread's own priority rather than corrupt its queues.
+type badLevelPolicy struct{ Policy }
+
+func (badLevelPolicy) Name() string                                             { return "bad-level" }
+func (badLevelPolicy) Level(*sim.Thread, bool, vclock.Time) sim.Priority        { return 0 }
+func (badLevelPolicy) Tick() vclock.Duration                                    { return 0 }
+func (badLevelPolicy) Age(*sim.Thread, vclock.Time) (sim.Priority, bool)        { return 0, false }
+func (badLevelPolicy) Expired(*sim.Thread, vclock.Time)                         {}
+func (badLevelPolicy) Quantum(t *sim.Thread, d vclock.Duration) vclock.Duration { return d }
+func (badLevelPolicy) Pick(sim.Decision) int                                    { return 0 }
+func (badLevelPolicy) Rotate(sim.Decision) int                                  { return 0 }
+
+// TestInvalidLevelFallsBack: a policy answering a level outside 1..7 gets
+// the thread's own priority instead, so the world still dispatches.
+func TestInvalidLevelFallsBack(t *testing.T) {
+	cfg := sim.Config{SwitchCost: -1, TimeoutGranularity: 1}
+	cfg.Hooks.Policy = badLevelPolicy{}
+	w := sim.NewWorld(cfg)
+	t.Cleanup(w.Shutdown)
+	var order []string
+	for _, name := range []string{"low", "high"} {
+		name := name
+		pri := sim.PriorityLow
+		if name == "high" {
+			pri = sim.PriorityHigh
+		}
+		w.Spawn(name, pri, func(th *sim.Thread) any {
+			order = append(order, name)
+			th.Compute(vclock.Millisecond)
+			return nil
+		})
+	}
+	if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+		t.Fatalf("outcome = %v, want quiescent", out)
+	}
+	// With every Level answer rejected, dispatch degrades to the threads'
+	// own priorities: strict priority order.
+	if !reflect.DeepEqual(order, []string{"high", "low"}) {
+		t.Fatalf("order = %v, want priority order [high low]", order)
+	}
+}
+
+// TestHookLayersOverPolicy: an OnSchedule hook wraps the configured base
+// policy — a positive in-range answer overrides the base's pick, while 0
+// defers to it (here EDF's earliest-deadline choice, not raw FIFO). This
+// is what keeps explore's decision recording/replay working over any
+// policy.
+func TestHookLayersOverPolicy(t *testing.T) {
+	run := func(hook func(sim.Decision) int) []string {
+		pol := MustParse("edf")
+		cfg := sim.Config{SwitchCost: -1, TimeoutGranularity: 1}
+		cfg.Hooks.Policy = pol
+		cfg.Hooks.OnSchedule = hook
+		w := sim.NewWorld(cfg)
+		defer w.Shutdown()
+		var order []string
+		// Spawn order c, b, a with deadlines 300, 200, 100 ms: FIFO order
+		// is [c b a], EDF order is [a b c].
+		for i, name := range []string{"c", "b", "a"} {
+			name := name
+			dl := vclock.Time(vclock.Duration(3-i) * 100 * vclock.Millisecond)
+			th := w.Spawn(name, sim.PriorityNormal, func(th *sim.Thread) any {
+				order = append(order, name)
+				th.Compute(vclock.Millisecond)
+				return nil
+			})
+			th.SetDeadline(dl)
+		}
+		if out := w.Run(vclock.Time(vclock.Second)); out != sim.OutcomeQuiescent {
+			t.Fatalf("outcome = %v, want quiescent", out)
+		}
+		if w.ScheduleDecisions() == 0 {
+			t.Fatalf("no decision points recorded with hook present")
+		}
+		return order
+	}
+	// Hook defers (0): EDF runs the deadlines in order despite FIFO [c b a].
+	if got := run(func(sim.Decision) int { return 0 }); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("deferring hook: order = %v, want EDF [a b c]", got)
+	}
+	// Hook overrides the first decision with index 1 ("b", neither the
+	// FIFO head nor EDF's choice); thereafter it defers, so EDF finishes
+	// the rest in deadline order.
+	forced := run(func(d sim.Decision) int {
+		if d.Seq == 0 {
+			if len(d.Candidates) != 3 || d.Candidates[1].Name() != "b" {
+				t.Errorf("first decision candidates unexpected: %v", d.Candidates)
+			}
+			return 1
+		}
+		return 0
+	})
+	if !reflect.DeepEqual(forced, []string{"b", "a", "c"}) {
+		t.Errorf("overriding hook: order = %v, want [b a c]", forced)
+	}
+}

@@ -53,7 +53,7 @@ func BenchmarkReadyQueueOps(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, t := range ths {
-			w.pushReady(t)
+			w.pushReady(t, false)
 		}
 		for w.readyMask != 0 {
 			w.removeReady(w.topRunnable())
@@ -187,7 +187,7 @@ func TestHotPathAllocs(t *testing.T) {
 	}
 	pushDrain := func() {
 		for _, th := range ths {
-			w.pushReady(th)
+			w.pushReady(th, false)
 		}
 		for w.readyMask != 0 {
 			w.removeReady(w.topRunnable())

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/eventq"
 	"repro/internal/trace"
+	"repro/internal/vclock"
 )
 
 // settle brings the scheduler to a fixed point at the current instant:
@@ -54,16 +55,18 @@ func (w *World) adjust(c *cpu) bool {
 
 // pickFor returns the thread c should be running right now: the boost
 // target while a boost is in force, otherwise the current thread unless a
-// strictly higher-priority thread is runnable (PCR preempts only for
-// higher priority between quantum expiries).
+// thread on a strictly higher ready level is runnable (preemption only
+// for higher levels between quantum expiries; under the default pcr-rr
+// policy levels are exactly the PCR priorities).
 //
 // When the dispatch is about to install a different thread and several
-// threads of the winning priority are queued, the choice among them is a
+// threads of the winning level are queued, the choice among them is a
 // genuine scheduling freedom — FIFO order is PCR's policy, not a
-// correctness requirement — so an OnSchedule hook is consulted exactly
-// once per such switch. The consultation never fires on the settle loop's
-// post-switch re-evaluation (the installed thread is then c.current and no
-// switch is pending), keeping decision sequences dense and replayable.
+// correctness requirement — so the policy's Pick (and any OnSchedule
+// hook layered over it) is consulted exactly once per such switch. The
+// consultation never fires on the settle loop's post-switch re-evaluation
+// (the installed thread is then c.current and no switch is pending),
+// keeping decision sequences dense and replayable.
 func (w *World) pickFor(c *cpu) *Thread {
 	if c.boost != nil {
 		b := c.boost
@@ -78,18 +81,28 @@ func (w *World) pickFor(c *cpu) *Thread {
 	}
 	top := w.topRunnable()
 	cur := c.current
-	if cur != nil && (top == nil || top.pri <= cur.pri) {
+	if cur != nil && (top == nil || top.level <= w.levelOf(cur)) {
 		return cur
 	}
 	if top == nil {
 		return nil
 	}
 	// A switch to top is imminent (top sits on the run queue, cur does
-	// not, so they differ). Offer the whole winning-priority queue.
-	if w.cfg.Hooks.OnSchedule != nil && top.qnext != nil {
-		return w.consultSchedule(c, w.scheduleCands(top, nil))
+	// not, so they differ). Offer the whole winning-level queue.
+	if w.needPick && top.qnext != nil {
+		return w.consultSchedule(c, w.scheduleCands(top, nil), false)
 	}
 	return top
+}
+
+// levelOf returns the ready level a thread competes at: its priority
+// under the default policy, else the level of its last enqueue (refreshed
+// at quantum expiry for the running thread).
+func (w *World) levelOf(t *Thread) Priority {
+	if w.defaultLevels {
+		return t.pri
+	}
+	return t.level
 }
 
 // scheduleCands assembles an OnSchedule candidate list by walking a ready
@@ -107,12 +120,18 @@ func (w *World) scheduleCands(head *Thread, extra *Thread) []*Thread {
 	return cands
 }
 
-// consultSchedule offers one decision point to the OnSchedule hook.
+// consultSchedule offers one decision point to the effective policy
+// (which layers any OnSchedule hook over the base policy's Pick/Rotate).
 // cands[0] is the default pick; out-of-range answers select it.
-func (w *World) consultSchedule(c *cpu, cands []*Thread) *Thread {
-	d := Decision{Seq: w.schedSeq, CPU: c.index, Candidates: cands}
+func (w *World) consultSchedule(c *cpu, cands []*Thread, rotation bool) *Thread {
+	d := Decision{Seq: w.schedSeq, CPU: c.index, Now: w.clock, Candidates: cands}
 	w.schedSeq++
-	i := w.cfg.Hooks.OnSchedule(d)
+	var i int
+	if rotation {
+		i = w.policy.Rotate(d)
+	} else {
+		i = w.policy.Pick(d)
+	}
 	if i < 0 || i >= len(cands) {
 		i = 0
 	}
@@ -134,7 +153,7 @@ func (w *World) switchTo(c *cpu, to *Thread) {
 		w.unscheduleCompute(from)
 		from.state = StateRunnable
 		from.cpu = -1
-		w.pushReady(from)
+		w.pushReady(from, false)
 		// A preempted thread re-enters the ready queue; record the
 		// transition explicitly (Arg = the preemptor) so per-thread state
 		// accounting never has to infer it from the switch record alone.
@@ -163,7 +182,7 @@ func (w *World) switchTo(c *cpu, to *Thread) {
 		if c.quantumEv.Valid() {
 			w.evq.Cancel(c.quantumEv)
 		}
-		c.quantumEnd = w.clock.Add(w.cfg.Quantum)
+		c.quantumEnd = w.clock.Add(w.quantumFor(to))
 		c.quantumEv = w.evq.Schedule(c.quantumEnd, c.quantumFn)
 	}
 	if w.cfg.SwitchCost > 0 {
@@ -188,15 +207,21 @@ func (w *World) unscheduleCompute(t *Thread) {
 }
 
 // quantumExpire implements end-of-timeslice: any boost ends, and the CPU
-// round-robins to another thread of equal or higher priority if one is
+// round-robins to another thread of equal or higher ready level if one is
 // ready; otherwise the current thread continues with a fresh quantum.
 //
-// Rotation is the second OnSchedule decision point: when the incoming
-// priority equals the expiring thread's, both "rotate to any queued peer"
-// and "let the current thread keep the CPU" are legal PCR schedules, so
-// the hook may choose among the queue plus the current thread (appended
-// last; picking it skips the switch). A strictly higher-priority top
-// offers only that queue — continuing would violate strict priority.
+// Rotation is the second decision point: when the incoming level equals
+// the expiring thread's, both "rotate to any queued peer" and "let the
+// current thread keep the CPU" are legal schedules, so the policy's
+// Rotate (and any OnSchedule hook) may choose among the queue plus the
+// current thread (appended last; picking it skips the switch). A strictly
+// higher-level top offers only that queue — continuing would violate the
+// level discipline.
+//
+// Under a non-default policy this is also where the Expired seam fires
+// (MLFQ demotion, hybrid boost expiry) and the running thread's level is
+// refreshed before the rotation comparison, so a policy that demotes the
+// expiring thread sees the demotion take effect at this very expiry.
 func (w *World) quantumExpire(c *cpu) {
 	c.quantumEv = eventq.Handle{}
 	c.boost = nil
@@ -204,26 +229,43 @@ func (w *World) quantumExpire(c *cpu) {
 	if t == nil {
 		return
 	}
+	if !w.defaultLevels {
+		w.policy.Expired(t, w.clock)
+		t.level = w.policyLevel(t, false)
+	}
 	top := w.topRunnable()
-	if top != nil && top.pri >= t.pri {
+	if top != nil && top.level >= w.levelOf(t) {
 		pick := top
-		if w.cfg.Hooks.OnSchedule != nil {
+		if w.needPick {
 			var keep *Thread
-			if t.pri == top.pri {
+			if w.levelOf(t) == top.level {
 				keep = t
 			}
-			if cands := w.scheduleCands(w.readyHead[top.pri], keep); len(cands) > 1 {
-				pick = w.consultSchedule(c, cands)
+			if cands := w.scheduleCands(w.readyHead[top.level], keep); len(cands) > 1 {
+				pick = w.consultSchedule(c, cands, true)
 			}
 		}
 		if pick != t {
 			w.switchTo(c, pick)
 			return
 		}
-		// The hook elected to continue the current thread.
+		// The policy elected to continue the current thread.
 	}
-	c.quantumEnd = w.clock.Add(w.cfg.Quantum)
+	c.quantumEnd = w.clock.Add(w.quantumFor(t))
 	c.quantumEv = w.evq.Schedule(c.quantumEnd, c.quantumFn)
+}
+
+// quantumFor returns the timeslice to grant t: Config.Quantum under the
+// default policy, else the policy's Quantum (non-positive answers fall
+// back to the default).
+func (w *World) quantumFor(t *Thread) vclock.Duration {
+	q := w.cfg.Quantum
+	if !w.defaultLevels {
+		if pq := w.policy.Quantum(t, q); pq > 0 {
+			q = pq
+		}
+	}
+	return q
 }
 
 // pump resumes t's goroutine, waits for it to park again, and applies the
@@ -305,7 +347,7 @@ func (w *World) afterPark(t *Thread) {
 		t.state = StateRunnable
 		t.cpu = -1
 		c.current = nil
-		w.pushReady(t)
+		w.pushReady(t, false)
 		// A yield vacates the CPU without a switch record of its own;
 		// record the ready-queue re-entry (Arg = the thread itself) so
 		// state accounting sees the running→ready edge at the yield

@@ -199,6 +199,18 @@ type Hooks struct {
 	// hook leaves the scheduler byte-identical to one built before the
 	// seam existed. Steering hook.
 	OnSchedule func(d Decision) int
+
+	// Policy, when non-nil, replaces the built-in pcr-rr dispatch
+	// discipline (see the Policy interface and package sched). A nil
+	// Policy — and the PCRPolicy value itself — selects the default and
+	// keeps the dispatcher byte-identical to a world built before the
+	// seam existed. When both Policy and OnSchedule are set, the hook is
+	// layered over the policy as an adapter: the hook sees every decision
+	// first and defers to the policy on 0/out-of-range answers, so
+	// explore can steer any policy's schedule. A Policy instance may hold
+	// per-thread state and must not be shared between worlds. Steering
+	// hook.
+	Policy Policy
 }
 
 // Decision is one scheduling decision point offered to Config.OnSchedule.
@@ -211,10 +223,12 @@ type Decision struct {
 	Seq int64
 	// CPU is the index of the CPU being dispatched.
 	CPU int
-	// Candidates are the legal picks, all of equal priority;
-	// Candidates[0] is the default (the choice an unhooked scheduler
-	// makes). The slice is reused between calls — hooks must not retain
-	// it.
+	// Now is the virtual time of the decision point.
+	Now vclock.Time
+	// Candidates are the legal picks, all on the same ready-queue level
+	// (the same priority under the default pcr-rr policy); Candidates[0]
+	// is the default (the choice an unhooked scheduler makes). The slice
+	// is reused between calls — hooks must not retain it.
 	Candidates []*Thread
 }
 

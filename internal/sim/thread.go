@@ -53,9 +53,20 @@ type Thread struct {
 	cpu int // index of the CPU running this thread, or -1
 
 	// Intrusive ready-queue linkage: threads are spliced directly into
-	// their priority's FIFO (World.readyHead/readyTail), so enqueue and
-	// dequeue are pointer writes with no per-operation allocation.
+	// their level's FIFO (World.readyHead/readyTail), so enqueue and
+	// dequeue are pointer writes with no per-operation allocation. level
+	// is the queue the thread was last enqueued on — always equal to pri
+	// under the default pcr-rr policy, possibly remapped by a scheduling
+	// Policy (Level) otherwise.
 	qnext, qprev *Thread
+	level        Priority
+
+	// Scheduling-policy metadata, declared by workloads and consumed by
+	// deadline-, size- and class-aware policies (package sched). The
+	// default pcr-rr policy never reads them.
+	deadline   vclock.Time     // absolute completion deadline; 0 = none
+	serviceEst vclock.Duration // expected remaining service demand; 0 = unknown
+	sloClass   string          // SLO class label ("interactive", "batch", ...)
 
 	// Virtual CPU demand. When positive, a completion event is scheduled
 	// while the thread occupies a CPU. completionFn is the pre-bound
@@ -106,6 +117,34 @@ func (t *Thread) Priority() Priority { return t.pri }
 
 // State returns the thread's current lifecycle state.
 func (t *Thread) State() State { return t.state }
+
+// Deadline returns the thread's absolute completion deadline, or 0 when
+// none has been declared.
+func (t *Thread) Deadline() vclock.Time { return t.deadline }
+
+// SetDeadline declares the thread's absolute completion deadline (0
+// clears it). Deadline-aware policies (edf, hybrid) order same-level
+// candidates by it; the default policy ignores it. Callable from thread
+// or driver context — workload arrival injectors stamp the deadline of
+// the oldest pending request; the new value takes effect at the next
+// scheduling decision.
+func (t *Thread) SetDeadline(d vclock.Time) { t.deadline = d }
+
+// ServiceEstimate returns the declared expected remaining service
+// demand, or 0 when unknown.
+func (t *Thread) ServiceEstimate() vclock.Duration { return t.serviceEst }
+
+// SetServiceEstimate declares the expected remaining service demand (0
+// clears it). Size-aware policies (sjf) order candidates by it. Callable
+// from thread or driver context.
+func (t *Thread) SetServiceEstimate(d vclock.Duration) { t.serviceEst = d }
+
+// SLOClass returns the thread's SLO class label, or "" when none is set.
+func (t *Thread) SLOClass() string { return t.sloClass }
+
+// SetSLOClass declares the thread's SLO class label. Class-aware
+// policies (hybrid) and the per-class latency breakdowns key on it.
+func (t *Thread) SetSLOClass(class string) { t.sloClass = class }
 
 // Generation returns the fork depth: 0 for threads created with Spawn,
 // parent+1 for forked threads. Section 3 of the paper observed that "none

@@ -34,9 +34,9 @@ type World struct {
 	// scan, and enqueue/dequeue are pointer splices rather than slice
 	// surgery. readyCount caches the total population for DumpState and
 	// the SystemDaemon's uniform victim choice.
-	readyHead [NumPriorities + 1]*Thread
-	readyTail [NumPriorities + 1]*Thread
-	readyMask uint32
+	readyHead  [NumPriorities + 1]*Thread
+	readyTail  [NumPriorities + 1]*Thread
+	readyMask  uint32
 	readyCount int
 
 	threads     []*Thread // every thread ever created (for Shutdown)
@@ -74,6 +74,26 @@ type World struct {
 	// candidate scratch slice reused across consultations.
 	schedSeq   int64
 	schedCands []*Thread
+
+	// policy is the effective scheduling discipline (Hooks.Policy with
+	// any OnSchedule hook layered on top; PCRPolicy when unset).
+	// defaultLevels is true when the base policy is the built-in pcr-rr:
+	// levels equal priorities, quanta are Config.Quantum, and the
+	// Expired/Age/Tick seams are never consulted — the exact pre-policy
+	// dispatch. needPick gates the Pick/Rotate consultation: it is set
+	// when an OnSchedule hook exists (the original seam) or the base
+	// policy is non-default (the policy must order its candidates).
+	policy        Policy
+	defaultLevels bool
+	needPick      bool
+	ageScratch    []ageMove
+}
+
+// ageMove is ageReady's scratch record: a queued thread and the level the
+// policy's Age wants it moved to.
+type ageMove struct {
+	t     *Thread
+	level Priority
 }
 
 type cpu struct {
@@ -98,6 +118,16 @@ func NewWorld(cfg Config) *World {
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		yield: make(chan *Thread),
 	}
+	pol := cfg.Hooks.Policy
+	if pol == nil {
+		pol = PCRPolicy
+	}
+	w.defaultLevels = pol == PCRPolicy
+	if h := cfg.Hooks.OnSchedule; h != nil {
+		pol = hookPolicy{base: pol, hook: h}
+	}
+	w.policy = pol
+	w.needPick = cfg.Hooks.OnSchedule != nil || !w.defaultLevels
 	for i := 0; i < cfg.CPUs; i++ {
 		c := &cpu{index: i}
 		c.quantumFn = func() { w.quantumExpire(c) }
@@ -118,8 +148,48 @@ func NewWorld(cfg Config) *World {
 	if cfg.SystemDaemon {
 		w.spawnSystemDaemon()
 	}
+	// A non-default policy may request a periodic aging sweep. The tick
+	// re-arms itself while live threads exist, so aging worlds still
+	// quiesce once every thread has exited. (A world that goes entirely
+	// dead and later spawns new threads from At callbacks loses its tick;
+	// none of the shipped workloads do that.)
+	if !w.defaultLevels {
+		if period := w.policy.Tick(); period > 0 {
+			w.schedulePolicyTick(period)
+		}
+	}
 	cfg.Hooks.Probe.observeWorld()
 	return w
+}
+
+// schedulePolicyTick arms the policy's aging sweep one period from now.
+func (w *World) schedulePolicyTick(period vclock.Duration) {
+	w.evq.Schedule(w.clock.Add(period), func() {
+		w.ageReady()
+		if w.liveCount > 0 && !w.stopped {
+			w.schedulePolicyTick(period)
+		}
+	})
+}
+
+// ageReady offers every queued thread to the policy's Age seam and
+// re-enqueues the movers at their new levels. Collect-then-move keeps the
+// sweep well-defined while the queues are being walked.
+func (w *World) ageReady() {
+	moved := w.ageScratch[:0]
+	for p := PriorityMin; p <= PriorityInterrupt; p++ {
+		for t := w.readyHead[p]; t != nil; t = t.qnext {
+			if nl, ok := w.policy.Age(t, w.clock); ok && nl.valid() && nl != t.level {
+				moved = append(moved, ageMove{t, nl})
+			}
+		}
+	}
+	for _, m := range moved {
+		w.removeReady(m.t)
+		m.t.level = m.level
+		w.pushReadyAt(m.t, m.level)
+	}
+	w.ageScratch = moved[:0]
 }
 
 // Now returns the current virtual time.
@@ -385,9 +455,10 @@ func (w *World) Deadlocked() []*Thread {
 func (w *World) EventsProcessed() int64 { return w.eventsProcessed }
 
 // ScheduleDecisions returns how many decision points have been offered to
-// Config.OnSchedule so far. It is always zero without a hook: decision
-// points exist only where a hook could have changed the schedule, so the
-// count doubles as the length of a replayable decision trace.
+// the scheduling policy (Config.Hooks.OnSchedule / Hooks.Policy) so far.
+// It is always zero without a hook or a non-default policy: decision
+// points exist only where a consultation could have changed the schedule,
+// so the count doubles as the length of a replayable decision trace.
 func (w *World) ScheduleDecisions() int64 { return w.schedSeq }
 
 // flushProbe forwards the not-yet-reported event and clock deltas to the
@@ -466,7 +537,7 @@ func (w *World) makeRunnable(t *Thread, by *Thread) {
 		panic(fmt.Sprintf("sim: makeRunnable on %v thread %s", t.state, t.name))
 	}
 	t.state = StateRunnable
-	w.pushReady(t)
+	w.pushReady(t, true)
 	byID := int64(trace.NoThread)
 	if by != nil {
 		byID = int64(by.id)
@@ -492,7 +563,7 @@ func (w *World) SetPriorityOf(t *Thread, p Priority) {
 	if t.state == StateRunnable {
 		w.removeReady(t)
 		t.pri = p
-		w.pushReady(t)
+		w.pushReady(t, false)
 		return
 	}
 	t.pri = p
@@ -585,10 +656,32 @@ func (w *World) WakeIfBlocked(t *Thread, by *Thread) bool {
 // runnableCount returns the number of threads in the run queue.
 func (w *World) runnableCount() int { return w.readyCount }
 
-// pushReady appends t to the tail of its priority's ready FIFO and marks
-// the level occupied.
-func (w *World) pushReady(t *Thread) {
+// pushReady enqueues t at the tail of the ready level the scheduling
+// policy assigns it — always the thread's own priority under the default
+// pcr-rr policy. wake distinguishes a fresh wakeup (blocked/new →
+// runnable) from a preemption or yield requeue; policies like mlfq treat
+// the two differently.
+func (w *World) pushReady(t *Thread, wake bool) {
 	p := t.pri
+	if !w.defaultLevels {
+		p = w.policyLevel(t, wake)
+	}
+	t.level = p
+	w.pushReadyAt(t, p)
+}
+
+// policyLevel asks the policy for t's ready level, falling back to the
+// thread's priority on an invalid answer.
+func (w *World) policyLevel(t *Thread, wake bool) Priority {
+	if p := w.policy.Level(t, wake, w.clock); p.valid() {
+		return p
+	}
+	return t.pri
+}
+
+// pushReadyAt appends t to the tail of level p's ready FIFO and marks
+// the level occupied. t.level must already equal p.
+func (w *World) pushReadyAt(t *Thread, p Priority) {
 	t.qnext = nil
 	t.qprev = w.readyTail[p]
 	if w.readyTail[p] != nil {
@@ -601,10 +694,10 @@ func (w *World) pushReady(t *Thread) {
 	w.readyCount++
 }
 
-// removeReady unlinks t from its priority's ready FIFO. It panics if t is
+// removeReady unlinks t from its level's ready FIFO. It panics if t is
 // not queued, which would indicate state corruption.
 func (w *World) removeReady(t *Thread) {
-	p := t.pri
+	p := t.level
 	if t.qprev == nil && w.readyHead[p] != t {
 		panic(fmt.Sprintf("sim: thread %s not on run queue", t.name))
 	}

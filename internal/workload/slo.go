@@ -1,0 +1,286 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/vclock"
+)
+
+// This file holds the S-series SLO workload: the open-loop echo machinery
+// of W1 generalized to named cohorts, each carrying a per-request latency
+// target (the SLO) and stamping the scheduler-visible metadata the policy
+// lab consults — Thread.SetDeadline with the oldest pending request's
+// deadline (EDF), SetServiceEstimate with the queued service demand (SJF),
+// and SetSLOClass with the cohort name (the hybrid's interactive/batch
+// split). An optional always-ready batch pool rides underneath, its chunk
+// latencies recorded under the "batch" class, so one run yields per-class
+// percentiles and SLO attainment for every policy under test.
+
+// SLOCohort describes one class of open-loop request traffic.
+type SLOCohort struct {
+	// Name is the SLO class label, stamped on the cohort's session
+	// threads and used as the per-class key in SLOStats.
+	Name string
+	// Sessions is the number of server session threads in the cohort.
+	Sessions int
+	// Requests is the total requests injected into the cohort.
+	Requests int64
+	// Rate is the cohort's Poisson arrival rate per virtual second,
+	// fanned uniformly across its sessions.
+	Rate float64
+	// Service is the CPU charged per request; it is also the unit of the
+	// service estimate stamped on the session (pending x Service).
+	Service vclock.Duration
+	// SLO is the per-request latency target: a request arriving at time a
+	// must complete by a+SLO to count as on time. It is also the deadline
+	// offset stamped on the session for deadline-aware policies.
+	SLO vclock.Duration
+	// Priority is the cohort's thread priority.
+	Priority sim.Priority
+}
+
+// SLOParams configures the S-series mixed-cohort workload.
+type SLOParams struct {
+	// Cohorts are the request classes; at least one is required.
+	Cohorts []SLOCohort
+	// Batch is the number of always-ready background compute workers
+	// (0 for none). Their chunk latencies are recorded under "batch".
+	Batch int
+	// BatchChunk is one batch compute grain.
+	BatchChunk vclock.Duration
+	// BatchSLO is the per-chunk latency target (start to finish of one
+	// grain, preemption included).
+	BatchSLO vclock.Duration
+	// BatchPriority is the batch workers' priority.
+	BatchPriority sim.Priority
+	// Horizon bounds the run; batch workers never exit on their own.
+	Horizon vclock.Duration
+	// Start delays the first arrival; 0 selects a bound derived from the
+	// population size, as in W1.
+	Start vclock.Duration
+}
+
+// SLOStats summarizes one SLO-workload run, keyed by class name.
+type SLOStats struct {
+	// Threads is the total worker population (sessions plus batch).
+	Threads int
+	// Offered, Completed, and OnTime count requests (or batch chunks)
+	// injected, served, and served within the class SLO.
+	Offered   map[string]int64
+	Completed map[string]int64
+	OnTime    map[string]int64
+	// Latency holds per-class end-to-end latency (arrival to completion,
+	// queueing and preemption included).
+	Latency stats.ClassLatency
+}
+
+// Classes lists every class that offered work, sorted — the union of the
+// cohort names and "batch", including classes that completed nothing.
+func (s *SLOStats) Classes() []string {
+	names := make([]string, 0, len(s.Offered))
+	for name := range s.Offered {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Attainment returns the fraction of a class's offered work that
+// completed within its SLO. Work offered but never completed counts
+// against the class; a class that offered nothing is trivially attained.
+func (s *SLOStats) Attainment(class string) float64 {
+	off := s.Offered[class]
+	if off == 0 {
+		return 1
+	}
+	return float64(s.OnTime[class]) / float64(off)
+}
+
+// sloSession is one session thread plus its request queue, interrupt
+// style like W1's echoSession.
+type sloSession struct {
+	th   *sim.Thread
+	q    []vclock.Time
+	head int
+}
+
+// sloCohortState is one cohort's arrival process.
+type sloCohortState struct {
+	p        SLOCohort
+	rng      *rand.Rand
+	sessions []*sloSession
+	injected int64
+}
+
+// SLOLoad is the S-series workload instance.
+type SLOLoad struct {
+	w       *sim.World
+	p       SLOParams
+	Stats   SLOStats
+	cohorts []*sloCohortState
+	closed  bool
+	stopped bool
+}
+
+// StartSLO spawns the cohort sessions and batch pool and schedules each
+// cohort's arrival process. Drive the world with Run to params.Horizon,
+// then read Stats (Finish is a convenience returning it).
+func StartSLO(w *sim.World, p SLOParams) *SLOLoad {
+	if len(p.Cohorts) == 0 || p.Horizon <= 0 {
+		panic(fmt.Sprintf("workload: bad SLOParams %+v", p))
+	}
+	if p.Batch > 0 && p.BatchChunk <= 0 {
+		p.BatchChunk = 5 * vclock.Millisecond
+	}
+	if !p.BatchPriority.Valid() {
+		p.BatchPriority = sim.PriorityBackground
+	}
+	l := &SLOLoad{w: w, p: p}
+	l.Stats.Offered = map[string]int64{}
+	l.Stats.Completed = map[string]int64{}
+	l.Stats.OnTime = map[string]int64{}
+	total := 0
+	for _, c := range p.Cohorts {
+		if c.Sessions < 1 || c.Requests < 1 || c.Rate <= 0 || c.Service <= 0 || c.SLO <= 0 {
+			panic(fmt.Sprintf("workload: bad SLOCohort %+v", c))
+		}
+		if !c.Priority.Valid() {
+			c.Priority = sim.PriorityNormal
+		}
+		st := &sloCohortState{p: c, rng: w.DeriveRand("workload.slo." + c.Name)}
+		for i := 0; i < c.Sessions; i++ {
+			s := &sloSession{}
+			s.th = w.Spawn(fmt.Sprintf("slo-%s-%d", c.Name, i), c.Priority, l.sessionBody(st, s))
+			s.th.SetSLOClass(c.Name)
+			st.sessions = append(st.sessions, s)
+		}
+		l.cohorts = append(l.cohorts, st)
+		total += c.Sessions
+	}
+	for i := 0; i < p.Batch; i++ {
+		th := w.Spawn(fmt.Sprintf("slo-batch-%d", i), p.BatchPriority, l.batchBody())
+		th.SetSLOClass("batch")
+		// A batch grain is the worker's perpetual remaining demand; the
+		// estimate lets SJF rank the pool against finite sessions.
+		th.SetServiceEstimate(p.BatchChunk)
+	}
+	l.Stats.Threads = total + p.Batch
+	start := p.Start
+	if start <= 0 {
+		perPark := w.Config().SwitchCost + 10*vclock.Microsecond
+		start = vclock.Duration(l.Stats.Threads)*perPark + 100*vclock.Millisecond
+	}
+	for _, st := range l.cohorts {
+		st := st
+		w.After(start, func() { l.arrive(st) })
+	}
+	w.At(vclock.Time(0).Add(p.Horizon), func() { l.stopped = true })
+	return l
+}
+
+// stamp refreshes the scheduler-visible metadata from the session's
+// queue: the head request's deadline and the pending service demand.
+// Runs in both driver context (arrivals) and thread context (completion).
+func (st *sloCohortState) stamp(s *sloSession) {
+	pending := len(s.q) - s.head
+	if pending > 0 {
+		s.th.SetDeadline(s.q[s.head].Add(st.p.SLO))
+	} else {
+		s.th.SetDeadline(0)
+	}
+	s.th.SetServiceEstimate(vclock.Duration(pending) * st.p.Service)
+}
+
+// arrive injects one request into the cohort (driver context) and
+// schedules the next; after the last, idle sessions are woken so the
+// whole cohort can observe the close and exit once drained.
+func (l *SLOLoad) arrive(st *sloCohortState) {
+	if st.injected >= st.p.Requests {
+		return
+	}
+	s := st.sessions[st.rng.Intn(len(st.sessions))]
+	s.q = append(s.q, l.w.Now())
+	st.stamp(s)
+	l.Stats.Offered[st.p.Name]++
+	st.injected++
+	l.w.WakeIfBlocked(s.th, nil)
+	if st.injected < st.p.Requests {
+		l.w.After(expDelay(st.rng, st.p.Rate), func() { l.arrive(st) })
+	} else if l.allInjected() {
+		l.close()
+	}
+}
+
+func (l *SLOLoad) allInjected() bool {
+	for _, st := range l.cohorts {
+		if st.injected < st.p.Requests {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *SLOLoad) close() {
+	l.closed = true
+	for _, st := range l.cohorts {
+		for _, s := range st.sessions {
+			l.w.WakeIfBlocked(s.th, nil)
+		}
+	}
+}
+
+func (l *SLOLoad) sessionBody(st *sloCohortState, s *sloSession) sim.Proc {
+	return func(t *sim.Thread) any {
+		for {
+			if s.head == len(s.q) {
+				s.q, s.head = s.q[:0], 0
+				st.stamp(s)
+				if l.closed {
+					return nil
+				}
+				t.Block(sim.BlockCV)
+				continue
+			}
+			arrival := s.q[s.head]
+			s.head++
+			t.Compute(st.p.Service)
+			lat := t.Now().Sub(arrival)
+			l.Stats.Completed[st.p.Name]++
+			l.Stats.Latency.Add(st.p.Name, lat)
+			if lat <= st.p.SLO {
+				l.Stats.OnTime[st.p.Name]++
+			}
+			st.stamp(s)
+		}
+	}
+}
+
+// batchBody is one always-ready compute worker. A chunk's latency spans
+// its start to its finish, so preemption while mid-grain — exactly what a
+// promptness-oriented policy inflicts on the pool — shows up in the
+// percentiles rather than vanishing into lost throughput.
+func (l *SLOLoad) batchBody() sim.Proc {
+	return func(t *sim.Thread) any {
+		for !l.stopped {
+			start := t.Now()
+			l.Stats.Offered["batch"]++
+			t.Compute(l.p.BatchChunk)
+			lat := t.Now().Sub(start)
+			l.Stats.Completed["batch"]++
+			l.Stats.Latency.Add("batch", lat)
+			if lat <= l.p.BatchSLO {
+				l.Stats.OnTime["batch"]++
+			}
+		}
+		return nil
+	}
+}
+
+// Finish returns the stats after the driving Run returns.
+func (l *SLOLoad) Finish() *SLOStats {
+	return &l.Stats
+}
