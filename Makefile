@@ -11,10 +11,10 @@ FUZZTIME ?= 10s
 EXPLORE_BUDGET ?= 200
 
 # Packages with a minimum-coverage bar (see `make cover`).
-COVER_PKGS = ./internal/sim ./internal/monitor ./internal/fault ./internal/cluster ./internal/eventq ./internal/sched
+COVER_PKGS = ./internal/sim ./internal/monitor ./internal/fault ./internal/cluster ./internal/eventq ./internal/sched ./internal/workload/spec ./internal/workload/capacity
 COVER_FLOOR = 75
 
-.PHONY: check vet build test race bench fuzz-short explore cover
+.PHONY: check vet build test race bench fuzz-short explore cover knee
 
 check: vet build race fuzz-short explore
 
@@ -35,32 +35,33 @@ race:
 # cluster fleets, and the D-series resilience study — runs quick with
 # the per-thread profiler attached, and the combined metrics +
 # scheduler-accounting summary lands in
-# BENCH_PR9.json. The sweep fails if any run's accounting residue is
+# BENCH_PR10.json. The sweep fails if any run's accounting residue is
 # nonzero, so `make bench` also certifies the exactness invariant on the
 # full experiment population, and -benchbaseline gates the aggregate
-# events/sec against the committed BENCH_PR8.json artifact — a sweep
+# events/sec against the committed BENCH_PR9.json artifact — a sweep
 # that does different work (event-count drift) or runs slower than the
-# previous PR's artifact fails. The S-series policy lab is deliberately
-# outside the sweep: its population must stay comparable to the
-# baseline, and under the default pcr-rr policy the sweep's event counts
-# are required to be identical to the baseline's (the policy API's
-# zero-cost proof). The hot-path allocs/op pin runs first: the event
-# loop, ready queues, discard-sink tracing, timing-wheel
-# schedule/cancel and batch admission must stay allocation-free in
-# steady state.
+# previous PR's artifact fails. The S-series policy lab and the K-series
+# capacity lab are deliberately outside the sweep: the S population must
+# stay comparable to the baseline (the policy API's zero-cost proof),
+# and a K knee search's event count is a step function of the measured
+# knee, useless as a regression baseline. The hot-path allocs/op pin
+# runs first: the event loop, ready queues, discard-sink tracing,
+# timing-wheel schedule/cancel and batch admission must stay
+# allocation-free in steady state.
 bench:
 	$(GO) test -run TestHotPathAllocs ./internal/sim
 	$(GO) test -bench=. -benchmem -run='^$$'
 	$(GO) test -bench=. -benchmem -run='^$$' ./internal/sim ./internal/eventq
-	$(GO) run ./cmd/threadstudy -bench BENCH_PR9.json -benchbaseline BENCH_PR8.json
+	$(GO) run ./cmd/threadstudy -bench BENCH_PR10.json -benchbaseline BENCH_PR9.json
 
 # Short coverage-guided fuzzing of the attacker-facing parsers — JSON
-# fault plans and the binary trace codec (decode robustness + encode/
-# decode round trip) — plus the timing-wheel/reference differential:
-# random op streams must keep the hierarchical wheel byte-for-byte
-# equivalent to the naive sorted-list event queue.
+# fault plans, JSON workload specs, and the binary trace codec (decode
+# robustness + encode/decode round trip) — plus the timing-wheel/
+# reference differential: random op streams must keep the hierarchical
+# wheel byte-for-byte equivalent to the naive sorted-list event queue.
 fuzz-short:
 	$(GO) test -run='^$$' -fuzz FuzzPlanJSON -fuzztime $(FUZZTIME) ./internal/fault
+	$(GO) test -run='^$$' -fuzz FuzzSpecJSON -fuzztime $(FUZZTIME) ./internal/workload/spec
 	$(GO) test -run='^$$' -fuzz FuzzRead'$$' -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz FuzzEncodeDecode -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run='^$$' -fuzz FuzzWheelDifferential -fuzztime $(FUZZTIME) ./internal/eventq
@@ -68,6 +69,14 @@ fuzz-short:
 # Bounded systematic schedule exploration over all registered scenarios.
 explore:
 	$(GO) run ./cmd/schedcheck -budget $(EXPLORE_BUDGET)
+
+# The K-series capacity sweep: ramp each configuration's offered load
+# until its overload criterion trips, bisect to the knee, and land the
+# schema-versioned knee records (with the full run summaries) in
+# CAPACITY_PR10.json. Quick-scale: the full-scale knees come from
+# `go run ./cmd/threadstudy -series k -json CAPACITY_PR10.json`.
+knee:
+	$(GO) run ./cmd/threadstudy -series k -quick -json CAPACITY_PR10.json
 
 # Per-package coverage with a floor: the simulator kernel, the monitor
 # implementation, and the fault injector must each stay above

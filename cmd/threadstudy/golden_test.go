@@ -25,9 +25,9 @@ var goldenCases = []struct {
 	{file: "quick-markdown.txt", args: []string{"-quick", "-format", "markdown"}},
 	{file: "t1-markdown.txt", args: []string{"-experiment", "T1", "-format", "markdown"}},
 	{file: "profile.txt", args: []string{"-profile", "-traceduration", "2s"}},
-	{file: "cseries-quick.txt", args: []string{"-cseries", "-quick"}},
-	{file: "dseries-quick.txt", args: []string{"-dseries", "-quick"}},
-	{file: "sseries-quick.txt", args: []string{"-sseries", "-quick"}},
+	{file: "cseries-quick.txt", args: []string{"-series", "c", "-quick"}},
+	{file: "dseries-quick.txt", args: []string{"-series", "d", "-quick"}},
+	{file: "sseries-quick.txt", args: []string{"-series", "s", "-quick"}},
 	{file: "default.txt", args: nil, slow: true},
 }
 

@@ -40,34 +40,38 @@
 //	threadstudy -audit -auditmin 1 -experiment F8
 //	                             # print §5.3 CV audit findings after
 //	                             # each report
-//	threadstudy -wseries         # run the W-series open-loop load
+//	threadstudy -series w        # run the W-series open-loop load
 //	                             # workloads (W1..W3) instead of the
 //	                             # default T/F/R set
-//	threadstudy -cseries         # run the C-series cluster fleets
-//	                             # (C1..C3): N worlds on a shared clock
-//	                             # behind routing and admission control
-//	threadstudy -dseries         # run the D-series resilience study
-//	                             # (D1..D4): instance crashes, stalls and
-//	                             # brownouts vs failover, breakers,
-//	                             # hedging and retry budgets
-//	threadstudy -sseries         # run the S-series scheduling-policy
-//	                             # lab (S1..S4): the same SLO-cohort
-//	                             # loads under pcr-rr, rr, edf, sjf,
-//	                             # mlfq and the promptness hybrid
-//	threadstudy -wseries -policy mlfq
+//	threadstudy -series c,d      # run several opt-in series in the
+//	                             # order given: w (load), c (cluster
+//	                             # fleets), d (resilience), s
+//	                             # (scheduling policies), k (capacity
+//	                             # knees); duplicate or unknown keys
+//	                             # are a usage error
+//	threadstudy -series k -json CAPACITY.json
+//	                             # run the K-series capacity sweeps and
+//	                             # write the schema-versioned knee
+//	                             # records into the metrics summary
+//	threadstudy -series w -policy mlfq
 //	                             # run the W-series under a non-default
 //	                             # scheduling policy (name[:key=val,...];
 //	                             # see cmd/schedcheck -list for specs)
-//	threadstudy -experiment W1 -json -
+//	threadstudy -series w -experiment W1 -json -
 //	                             # one load workload, with throughput and
 //	                             # latency percentiles in the summary
-//	threadstudy -experiment C2 -json -
+//	                             # (-experiment ids from an opt-in series
+//	                             # require that series in -series)
+//	threadstudy -series c -experiment C2 -json -
 //	                             # one fleet sweep, with per-instance and
 //	                             # aggregate SLO records in the summary
-//	threadstudy -experiment D3 -json -
+//	threadstudy -series d -experiment D3 -json -
 //	                             # one resilience experiment, with the
 //	                             # graceful-degradation buckets and the
 //	                             # mechanism ledger in the summary
+//
+// The former per-series flags (-wseries, -cseries, -dseries, -sseries)
+// remain as deprecated aliases for -series w/c/d/s and warn on stderr.
 package main
 
 import (
@@ -125,11 +129,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := cliflag.New("threadstudy", stderr)
 	var (
 		list      = fs.Bool("list", false, "list experiment IDs and exit")
-		expID     = fs.String("experiment", "", "run selected experiments by ID, comma-separated (default: all)")
-		wseries   = fs.Bool("wseries", false, "run the W-series open-loop load workloads (W1..W3) instead of the default set")
-		cseries   = fs.Bool("cseries", false, "run the C-series cluster fleet experiments (C1..C3) instead of the default set")
-		dseries   = fs.Bool("dseries", false, "run the D-series resilience experiments (D1..D4) instead of the default set")
-		sseries   = fs.Bool("sseries", false, "run the S-series scheduling-policy lab (S1..S4) instead of the default set")
+		expID     = fs.String("experiment", "", "run selected experiments by ID, comma-separated (default: all; opt-in series ids need their series in -series)")
+		series    = fs.String("series", "", "enable opt-in experiment series, comma-separated keys: w (load), c (cluster), d (resilience), s (scheduling), k (capacity)")
+		wseries   = fs.Bool("wseries", false, "deprecated alias for -series w")
+		cseries   = fs.Bool("cseries", false, "deprecated alias for -series c")
+		dseries   = fs.Bool("dseries", false, "deprecated alias for -series d")
+		sseries   = fs.Bool("sseries", false, "deprecated alias for -series s")
 		policy    = fs.String("policy", "", "scheduling policy for the W-series worlds, as name[:key=val,...] (default pcr-rr)")
 		quick     = fs.Bool("quick", false, "use ~3x shorter measurement windows")
 		format    = fs.String("format", "text", "output format: text or markdown")
@@ -187,28 +192,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *benchBase != "" && *benchOut == "" {
 		return fs.Fail(fmt.Errorf("-benchbaseline requires -bench"))
 	}
-	if err := cliflag.Exclusive("experiment", *expID != "", "wseries", *wseries); err != nil {
+	// -series enables opt-in experiment series by one-letter key, in the
+	// order given. The four former per-series flags survive as deprecated
+	// aliases that append their key (so existing scripts keep working),
+	// each warning once on stderr. A duplicated or unknown key is a usage
+	// error either way.
+	seriesKeys := cliflag.List(*series)
+	for _, alias := range []struct {
+		set  bool
+		flag string
+		key  string
+	}{
+		{*wseries, "wseries", "w"},
+		{*cseries, "cseries", "c"},
+		{*dseries, "dseries", "d"},
+		{*sseries, "sseries", "s"},
+	} {
+		if alias.set {
+			fs.Warnf("-%s is deprecated; use -series %s", alias.flag, alias.key)
+			seriesKeys = append(seriesKeys, alias.key)
+		}
+	}
+	if err := cliflag.NoDuplicates("series", seriesKeys); err != nil {
 		return fs.Fail(err)
 	}
-	if err := cliflag.Exclusive("experiment", *expID != "", "cseries", *cseries); err != nil {
-		return fs.Fail(err)
-	}
-	if err := cliflag.Exclusive("experiment", *expID != "", "dseries", *dseries); err != nil {
-		return fs.Fail(err)
-	}
-	if err := cliflag.Exclusive("wseries", *wseries, "cseries", *cseries); err != nil {
-		return fs.Fail(err)
-	}
-	if err := cliflag.Exclusive("wseries", *wseries, "dseries", *dseries); err != nil {
-		return fs.Fail(err)
-	}
-	if err := cliflag.Exclusive("cseries", *cseries, "dseries", *dseries); err != nil {
-		return fs.Fail(err)
-	}
-	for name, set := range map[string]bool{"experiment": *expID != "", "wseries": *wseries, "cseries": *cseries, "dseries": *dseries} {
-		if err := cliflag.Exclusive(name, set, "sseries", *sseries); err != nil {
+	enabled := make(map[string]bool, len(seriesKeys))
+	for _, key := range seriesKeys {
+		if _, err := experiments.BySeries(key); err != nil {
 			return fs.Fail(err)
 		}
+		enabled[key] = true
 	}
 	// Validate the policy spec at the flag boundary: a typo'd name or
 	// parameter is a usage error here, not a panic deep inside a world.
@@ -219,10 +232,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	// -experiment takes a comma-separated ID list; a duplicated ID would
 	// silently run (and print) an experiment twice, so it is a usage
-	// error, not a request.
+	// error, not a request. IDs belonging to an opt-in series require
+	// that series in -series — the same gate every series now shares.
 	expIDs := cliflag.List(*expID)
 	if err := cliflag.NoDuplicates("experiment", expIDs); err != nil {
 		return fs.Fail(err)
+	}
+	for _, id := range expIDs {
+		if key := experiments.SeriesOf(id); key != "" && !enabled[key] {
+			return fs.Fail(fmt.Errorf("-experiment %s selects an opt-in experiment; enable its series with -series %s", id, key))
+		}
 	}
 	var plan *fault.Plan
 	if *faultsIn != "" {
@@ -241,19 +260,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		plan = &p
 	}
 
+	// seriesSet is the enabled opt-in series' experiments, in the order
+	// the keys were given; empty when no series was enabled.
+	var seriesSet []experiments.Experiment
+	for _, key := range seriesKeys {
+		exps, _ := experiments.BySeries(key)
+		seriesSet = append(seriesSet, exps...)
+	}
+
 	if *list {
 		set := experiments.All()
-		if *wseries {
-			set = experiments.WSeries()
-		}
-		if *cseries {
-			set = experiments.CSeries()
-		}
-		if *dseries {
-			set = experiments.DSeries()
-		}
-		if *sseries {
-			set = experiments.SSeries()
+		if len(seriesSet) > 0 {
+			set = seriesSet
 		}
 		for _, e := range set {
 			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
@@ -305,37 +323,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			todo = append(todo, e)
 		}
-	case *wseries:
-		todo = experiments.WSeries()
-	case *cseries:
-		todo = experiments.CSeries()
-	case *dseries:
-		todo = experiments.DSeries()
-	case *sseries:
-		todo = experiments.SSeries()
+	case len(seriesSet) > 0:
+		todo = seriesSet
 	default:
 		todo = experiments.All()
 	}
 	if *faultSeed != 0 && plan == nil {
 		// Without -faults, only the R-series experiments (built-in plans)
-		// consult the injector seed. Flag the silently ignored knob.
+		// consult the injector seed. Flag the silently ignored knob. (The
+		// D-series injects instance faults, but from the specs' own
+		// deterministic plans: its fault seed derives from the run seed,
+		// not from -faultseed.)
 		hasR := false
 		for _, e := range todo {
 			hasR = hasR || strings.HasPrefix(e.ID, "R")
 		}
 		if !hasR {
 			target := *expID
-			switch {
-			case target != "":
-			case *cseries:
-				target = "the C series"
-			case *dseries:
-				// The D-series injects instance faults, but from the specs'
-				// own deterministic plans: its fault seed derives from the
-				// run seed, not from -faultseed.
-				target = "the D series"
-			default:
-				target = "the W series"
+			if target == "" {
+				var names []string
+				for _, key := range seriesKeys {
+					names = append(names, strings.ToUpper(key))
+				}
+				target = "the " + strings.Join(names, "/") + " series"
 			}
 			fs.Warnf("-faultseed %d has no effect on %s without -faults (only R-series experiments inject faults)",
 				*faultSeed, target)

@@ -100,28 +100,40 @@ func TestCLIValidation(t *testing.T) {
 		{"experiment list runs in given order",
 			[]string{"-experiment", "F5,T1", "-quick"}, 0, "", "== F5:"},
 		{"unknown ID in list rejected", []string{"-experiment", "T1,T9"}, 1, "unknown id", ""},
-		{"experiment and cseries exclusive",
-			[]string{"-experiment", "C1", "-cseries"}, 2, "mutually exclusive", ""},
-		{"wseries and cseries exclusive",
-			[]string{"-wseries", "-cseries"}, 2, "-wseries and -cseries are mutually exclusive", ""},
-		{"experiment and dseries exclusive",
-			[]string{"-experiment", "D1", "-dseries"}, 2, "mutually exclusive", ""},
-		{"wseries and dseries exclusive",
-			[]string{"-wseries", "-dseries"}, 2, "-wseries and -dseries are mutually exclusive", ""},
-		{"cseries and dseries exclusive",
-			[]string{"-cseries", "-dseries"}, 2, "-cseries and -dseries are mutually exclusive", ""},
-		{"experiment and sseries exclusive",
-			[]string{"-experiment", "S1", "-sseries"}, 2, "mutually exclusive", ""},
-		{"wseries and sseries exclusive",
-			[]string{"-wseries", "-sseries"}, 2, "-wseries and -sseries are mutually exclusive", ""},
+		{"opt-in C experiment needs -series c",
+			[]string{"-experiment", "C1"}, 2, "enable its series with -series c", ""},
+		{"opt-in W experiment needs -series w",
+			[]string{"-experiment", "W1"}, 2, "enable its series with -series w", ""},
+		{"opt-in D experiment needs -series d",
+			[]string{"-experiment", "D1"}, 2, "enable its series with -series d", ""},
+		{"opt-in S experiment needs -series s",
+			[]string{"-experiment", "S1"}, 2, "enable its series with -series s", ""},
+		{"opt-in K experiment needs -series k",
+			[]string{"-experiment", "K2"}, 2, "enable its series with -series k", ""},
+		{"opt-in gate is case-insensitive",
+			[]string{"-experiment", "w1"}, 2, "enable its series with -series w", ""},
+		{"gated experiment runs with its series",
+			[]string{"-series", "w", "-experiment", "W1", "-quick"}, 0, "", "== W1:"},
+		{"default-set experiment ignores enabled series",
+			[]string{"-series", "w", "-experiment", "T1", "-quick"}, 0, "", "== T1:"},
+		{"duplicate series key rejected",
+			[]string{"-series", "w,w"}, 2, `duplicate value "w"`, ""},
+		{"unknown series key rejected",
+			[]string{"-series", "x"}, 2, `unknown series "x"`, ""},
+		{"alias duplicating -series rejected",
+			[]string{"-series", "c", "-cseries"}, 2, `duplicate value "c"`, ""},
+		{"deprecated alias warns but lists",
+			[]string{"-list", "-wseries"}, 0, "-wseries is deprecated; use -series w", "W1"},
+		{"series union lists in given order",
+			[]string{"-list", "-series", "s,w"}, 0, "", "S1"},
 		{"bad policy rejected",
 			[]string{"-policy", "bogus"}, 2, `threadstudy: unknown policy "bogus"`, ""},
 		{"bad policy param rejected",
 			[]string{"-policy", "rr:nope=1"}, 2, `unknown param "nope"`, ""},
 		{"duplicated D experiment rejected", []string{"-experiment", "D1,D1"}, 2, `duplicate value "D1"`, ""},
 		{"case-insensitive D duplicate rejected", []string{"-experiment", "D2,d2"}, 2, `duplicate value "d2"`, ""},
-		{"faultseed without faults on dseries warns",
-			[]string{"-dseries", "-quick", "-faultseed", "9"}, 0, "has no effect on the D series", "D1"},
+		{"faultseed without faults on series d warns",
+			[]string{"-series", "d", "-quick", "-faultseed", "9"}, 0, "has no effect on the D series", "D1"},
 		{"unknown flag", []string{"-nope"}, 2, "flag provided but not defined", ""},
 		{"missing fault plan rejected",
 			[]string{"-faults", filepath.Join(t.TempDir(), "nope.json")}, 2, "no such file", ""},
@@ -325,31 +337,31 @@ func TestCLIWSeries(t *testing.T) {
 	}
 
 	stdout.Reset()
-	if code := run([]string{"-list", "-wseries"}, &stdout, &stderr); code != 0 {
-		t.Fatalf("-list -wseries exit %d", code)
+	if code := run([]string{"-list", "-series", "w"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list -series w exit %d", code)
 	}
 	for _, id := range []string{"W1", "W2", "W3"} {
 		if !strings.Contains(stdout.String(), id) {
-			t.Errorf("-list -wseries missing %s:\n%s", id, stdout.String())
+			t.Errorf("-list -series w missing %s:\n%s", id, stdout.String())
 		}
 	}
 	if strings.Contains(stdout.String(), "T1") {
-		t.Errorf("-list -wseries should list only the W series:\n%s", stdout.String())
+		t.Errorf("-list -series w should list only the W series:\n%s", stdout.String())
 	}
 
 	stdout.Reset()
 	stderr.Reset()
-	if code := run([]string{"-experiment", "T1", "-wseries"}, &stdout, &stderr); code != 2 {
-		t.Fatalf("-experiment+-wseries exit %d, want 2", code)
+	if code := run([]string{"-experiment", "W1"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-experiment W1 without -series w: exit %d, want 2", code)
 	}
-	if !strings.Contains(stderr.String(), "mutually exclusive") {
+	if !strings.Contains(stderr.String(), "-series w") {
 		t.Errorf("stderr %q", stderr.String())
 	}
 
 	path := filepath.Join(t.TempDir(), "w1.json")
 	stdout.Reset()
 	stderr.Reset()
-	if code := run([]string{"-experiment", "W1", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-series", "w", "-experiment", "W1", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
 		t.Fatalf("W1 run exit %d, stderr: %s", code, stderr.String())
 	}
 	if !strings.Contains(stdout.String(), "== W1:") {
@@ -389,22 +401,22 @@ func TestCLICSeries(t *testing.T) {
 	}
 
 	stdout.Reset()
-	if code := run([]string{"-list", "-cseries"}, &stdout, &stderr); code != 0 {
-		t.Fatalf("-list -cseries exit %d", code)
+	if code := run([]string{"-list", "-series", "c"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list -series c exit %d", code)
 	}
 	for _, id := range []string{"C1", "C2", "C3"} {
 		if !strings.Contains(stdout.String(), id) {
-			t.Errorf("-list -cseries missing %s:\n%s", id, stdout.String())
+			t.Errorf("-list -series c missing %s:\n%s", id, stdout.String())
 		}
 	}
 	if strings.Contains(stdout.String(), "T1") || strings.Contains(stdout.String(), "W1") {
-		t.Errorf("-list -cseries should list only the C series:\n%s", stdout.String())
+		t.Errorf("-list -series c should list only the C series:\n%s", stdout.String())
 	}
 
 	path := filepath.Join(t.TempDir(), "c1.json")
 	stdout.Reset()
 	stderr.Reset()
-	if code := run([]string{"-experiment", "C1", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-series", "c", "-experiment", "C1", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
 		t.Fatalf("C1 run exit %d, stderr: %s", code, stderr.String())
 	}
 	if !strings.Contains(stdout.String(), "== C1:") {
@@ -446,22 +458,22 @@ func TestCLIDSeries(t *testing.T) {
 	}
 
 	stdout.Reset()
-	if code := run([]string{"-list", "-dseries"}, &stdout, &stderr); code != 0 {
-		t.Fatalf("-list -dseries exit %d", code)
+	if code := run([]string{"-list", "-series", "d"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list -series d exit %d", code)
 	}
 	for _, id := range []string{"D1", "D2", "D3", "D4"} {
 		if !strings.Contains(stdout.String(), id) {
-			t.Errorf("-list -dseries missing %s:\n%s", id, stdout.String())
+			t.Errorf("-list -series d missing %s:\n%s", id, stdout.String())
 		}
 	}
 	if strings.Contains(stdout.String(), "T1") || strings.Contains(stdout.String(), "C1") {
-		t.Errorf("-list -dseries should list only the D series:\n%s", stdout.String())
+		t.Errorf("-list -series d should list only the D series:\n%s", stdout.String())
 	}
 
 	path := filepath.Join(t.TempDir(), "d3.json")
 	stdout.Reset()
 	stderr.Reset()
-	if code := run([]string{"-experiment", "D3", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-series", "d", "-experiment", "D3", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
 		t.Fatalf("D3 run exit %d, stderr: %s", code, stderr.String())
 	}
 	if !strings.Contains(stdout.String(), "== D3:") {
@@ -545,22 +557,22 @@ func TestCLISSeries(t *testing.T) {
 	}
 
 	stdout.Reset()
-	if code := run([]string{"-list", "-sseries"}, &stdout, &stderr); code != 0 {
-		t.Fatalf("-list -sseries exit %d", code)
+	if code := run([]string{"-list", "-series", "s"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list -series s exit %d", code)
 	}
 	for _, id := range []string{"S1", "S2", "S3", "S4"} {
 		if !strings.Contains(stdout.String(), id) {
-			t.Errorf("-list -sseries missing %s:\n%s", id, stdout.String())
+			t.Errorf("-list -series s missing %s:\n%s", id, stdout.String())
 		}
 	}
 	if strings.Contains(stdout.String(), "T1") || strings.Contains(stdout.String(), "W1") {
-		t.Errorf("-list -sseries should list only the S series:\n%s", stdout.String())
+		t.Errorf("-list -series s should list only the S series:\n%s", stdout.String())
 	}
 
 	path := filepath.Join(t.TempDir(), "s4.json")
 	stdout.Reset()
 	stderr.Reset()
-	if code := run([]string{"-experiment", "S4", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
+	if code := run([]string{"-series", "s", "-experiment", "S4", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
 		t.Fatalf("S4 run exit %d, stderr: %s", code, stderr.String())
 	}
 	if !strings.Contains(stdout.String(), "== S4:") {
@@ -588,13 +600,13 @@ func TestCLISSeries(t *testing.T) {
 	// series and a no-op here; either way stdout must not move.
 	shardRun := func(n string) string {
 		var out, errb bytes.Buffer
-		if code := run([]string{"-sseries", "-quick", "-shards", n}, &out, &errb); code != 0 {
-			t.Fatalf("-sseries -shards %s exit %d, stderr: %s", n, code, errb.String())
+		if code := run([]string{"-series", "s", "-quick", "-shards", n}, &out, &errb); code != 0 {
+			t.Fatalf("-series s -shards %s exit %d, stderr: %s", n, code, errb.String())
 		}
 		return out.String()
 	}
 	if a, b := shardRun("1"), shardRun("4"); a != b {
-		t.Errorf("-sseries output differs between -shards 1 and -shards 4")
+		t.Errorf("-series s output differs between -shards 1 and -shards 4")
 	}
 }
 
@@ -614,11 +626,66 @@ func TestCLIPolicyByteIdentical(t *testing.T) {
 	if def, exp := runArgs("-quick"), runArgs("-quick", "-policy", "pcr-rr"); def != exp {
 		t.Errorf("default stdout differs with explicit -policy pcr-rr")
 	}
-	w := runArgs("-experiment", "W3", "-quick")
-	if exp := runArgs("-experiment", "W3", "-quick", "-policy", "pcr-rr"); w != exp {
+	w := runArgs("-series", "w", "-experiment", "W3", "-quick")
+	if exp := runArgs("-series", "w", "-experiment", "W3", "-quick", "-policy", "pcr-rr"); w != exp {
 		t.Errorf("W3 stdout differs with explicit -policy pcr-rr")
 	}
-	if rr := runArgs("-experiment", "W3", "-quick", "-policy", "rr"); w == rr {
+	if rr := runArgs("-series", "w", "-experiment", "W3", "-quick", "-policy", "rr"); w == rr {
 		t.Errorf("W3 stdout identical under -policy rr; the flag is not reaching the world")
+	}
+}
+
+// TestCLIKSeries covers the capacity lab's CLI surface: opt-in listing,
+// and a run whose -json summary carries the knee records CI uploads as
+// an artifact.
+func TestCLIKSeries(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list", "-series", "k"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list -series k exit %d", code)
+	}
+	for _, id := range []string{"K1", "K2", "K3"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list -series k missing %s:\n%s", id, stdout.String())
+		}
+	}
+	if strings.Contains(stdout.String(), "T1") || strings.Contains(stdout.String(), "W1") {
+		t.Errorf("-list -series k should list only the K series:\n%s", stdout.String())
+	}
+
+	path := filepath.Join(t.TempDir(), "k1.json")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-series", "k", "-experiment", "K1", "-quick", "-json", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("K1 run exit %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum struct {
+		Experiments []struct {
+			ID       string `json:"id"`
+			Capacity []struct {
+				Schema    int     `json:"schema"`
+				Name      string  `json:"name"`
+				KneeRate  float64 `json:"knee_rate"`
+				Saturated bool    `json:"saturated"`
+			} `json:"capacity"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal(data, &sum); err != nil {
+		t.Fatalf("bad -json output: %v", err)
+	}
+	if len(sum.Experiments) != 1 || sum.Experiments[0].ID != "K1" {
+		t.Fatalf("unexpected experiments in -json: %+v", sum.Experiments)
+	}
+	caps := sum.Experiments[0].Capacity
+	if len(caps) == 0 {
+		t.Fatal("K1 -json summary has no capacity records")
+	}
+	for _, c := range caps {
+		if c.Schema != 1 || c.Name == "" || c.KneeRate <= 0 {
+			t.Errorf("malformed capacity record in -json: %+v", c)
+		}
 	}
 }

@@ -29,6 +29,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/vclock"
 	"repro/internal/workload"
+	wspec "repro/internal/workload/spec"
 )
 
 // Spec is one cluster run's complete configuration. The zero value is
@@ -130,6 +131,20 @@ type Spec struct {
 	// rather than goodput even when served by the first attempt. Zero
 	// means only retried/hedged successes count as degraded.
 	DegradedOver vclock.Duration
+
+	// Record, when non-nil, accumulates the fleet's admitted arrivals
+	// (virtual instant, user identity, drawn service demand) into the
+	// trace in arrival order. The driver loop is serial even under
+	// sharded advance, so the artifact is byte-identical across Shards.
+	// Fire-and-forget path only.
+	Record *wspec.Trace
+	// Replay, when non-nil, drives the fleet from a recorded trace
+	// instead of the spec's streams: the gap, user and service draws
+	// are skipped and admission is bypassed (the trace holds only
+	// admitted arrivals). Routing still runs live, so the same offered
+	// load can be replayed under a different router. Fire-and-forget
+	// path only.
+	Replay *wspec.Trace
 }
 
 // resilient reports whether the spec asks for the tracked-request run
@@ -239,6 +254,9 @@ func (s Spec) validate() error {
 	if s.BreakerAfter < 0 {
 		return fmt.Errorf("cluster: BreakerAfter must be >= 0 (got %d)", s.BreakerAfter)
 	}
+	if (s.Record != nil || s.Replay != nil) && s.resilient() {
+		return fmt.Errorf("cluster: Record/Replay are supported on the fire-and-forget path only")
+	}
 	return nil
 }
 
@@ -293,17 +311,32 @@ func New(spec Spec) (*Cluster, error) {
 		}
 	}
 	names := workload.NewNameTable("echo", spec.Sessions)
+	// Each instance world is one "server" workload spec: the preset's
+	// background population plus a passive session pool, compiled
+	// through the same StartSpec entry point every other workload uses.
+	wsp := &wspec.Spec{
+		Schema:       wspec.Schema,
+		Name:         "cluster-" + spec.Preset,
+		Kind:         wspec.KindServer,
+		Background:   spec.Preset,
+		SystemDaemon: true,
+		Cohorts: []wspec.Cohort{
+			{Name: "echo", Sessions: spec.Sessions, Priority: "normal"},
+		},
+	}
 	for i := 0; i < spec.Instances; i++ {
 		w := sim.NewWorld(sim.Config{
 			Seed:         spec.Seed + int64(i+1)*1_000_003,
-			SystemDaemon: true,
+			SystemDaemon: wsp.SystemDaemon,
 			Hooks:        spec.Hooks,
 		})
-		if preset.Background != nil {
-			preset.Background(w)
+		run, err := workload.StartSpec(w, wsp, workload.SpecOptions{Names: names})
+		if err != nil {
+			w.Shutdown()
+			c.Shutdown()
+			return nil, err
 		}
-		srv := workload.StartServer(w, names, spec.Sessions, sim.PriorityNormal)
-		c.insts = append(c.insts, &instance{id: i, w: w, srv: srv})
+		c.insts = append(c.insts, &instance{id: i, w: w, srv: run.Server})
 	}
 	return c, nil
 }
@@ -406,16 +439,9 @@ func (c *Cluster) Run() (*Summary, error) {
 	needLoads := c.route.NeedsLoads()
 	loads := make([]int, len(c.insts))
 	var offered, admitted, rejected int64
-	t := vclock.Time(0).Add(start)
-	for k := int64(0); k < s.Requests; k++ {
-		t = t.Add(expGap(rng, s.Rate))
-		offered++
-		if !c.admit.Admit(t) {
-			rejected++
-			continue
-		}
-		user := c.drawUser(rng)
-		service := c.drawService(rng)
+	// dispatch routes and injects one admitted arrival; recording taps
+	// here, so the trace holds exactly the admitted subsequence.
+	dispatch := func(t vclock.Time, user int, service vclock.Duration) {
 		var snapshot []int
 		if needLoads {
 			c.advanceAll(t)
@@ -427,8 +453,39 @@ func (c *Cluster) Run() (*Summary, error) {
 		in := c.insts[c.route.Route(user, snapshot)]
 		in.routed++
 		admitted++
+		if s.Record != nil {
+			s.Record.Add(t, "", user, service)
+		}
 		srv, sess := in.srv, user%s.Sessions
 		in.w.At(t, func() { srv.Inject(sess, service) })
+	}
+	t := vclock.Time(0).Add(start)
+	if rp := s.Replay; rp != nil {
+		// Replay: the recorded instants, identities and demands stand in
+		// for the gap/user/service draws; admission is bypassed (the
+		// trace holds only admitted arrivals), routing runs live.
+		for k := range rp.Entries {
+			e := &rp.Entries[k]
+			at := vclock.Time(0).Add(vclock.Duration(e.AtUS))
+			if at.Before(t) || e.ServiceUS <= 0 {
+				return nil, fmt.Errorf("cluster: replay entry %d: bad instant %dus or demand %dus", k, e.AtUS, e.ServiceUS)
+			}
+			t = at
+			offered++
+			dispatch(t, e.Session, vclock.Duration(e.ServiceUS))
+		}
+	} else {
+		for k := int64(0); k < s.Requests; k++ {
+			t = t.Add(expGap(rng, s.Rate))
+			offered++
+			if !c.admit.Admit(t) {
+				rejected++
+				continue
+			}
+			user := c.drawUser(rng)
+			service := c.drawService(rng)
+			dispatch(t, user, service)
+		}
 	}
 	// Flush every queued injection, close the pools strictly after the
 	// last arrival, and drain.

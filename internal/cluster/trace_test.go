@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	wspec "repro/internal/workload/spec"
+)
+
+// The fleet's request trace is an artifact: what the cluster admitted,
+// in arrival order, with the drawn demands. These tests pin its two
+// contracts — byte-determinism across advance shards, and replayability
+// under a different router.
+
+func recordRun(t *testing.T, spec Spec) (*wspec.Trace, *Summary) {
+	t.Helper()
+	tr := wspec.NewTrace("fleet", spec.Seed)
+	spec.Record = tr
+	sum := mustRun(t, spec)
+	if len(tr.Entries) == 0 {
+		t.Fatal("recorded no entries")
+	}
+	return tr, sum
+}
+
+func TestTraceRecordShardDeterminism(t *testing.T) {
+	base, baseSum := recordRun(t, smallSpec())
+	for _, shards := range []int{2, runtime.GOMAXPROCS(0)} {
+		spec := smallSpec()
+		spec.Shards = shards
+		tr, sum := recordRun(t, spec)
+		if !bytes.Equal(tr.Bytes(), base.Bytes()) {
+			t.Errorf("trace at %d shards differs from serial", shards)
+		}
+		if marshal(t, sum) != marshal(t, baseSum) {
+			t.Errorf("summary at %d shards differs from serial", shards)
+		}
+	}
+}
+
+// TestTraceReplayReproduces: replaying a recorded trace under the same
+// spec reproduces the run, and re-recording the replay reproduces the
+// trace byte-for-byte.
+func TestTraceReplayReproduces(t *testing.T) {
+	tr, live := recordRun(t, smallSpec())
+
+	spec := smallSpec()
+	spec.Replay = tr
+	rerec := wspec.NewTrace("fleet", spec.Seed)
+	spec.Record = rerec
+	replayed := mustRun(t, spec)
+	if marshal(t, replayed) != marshal(t, live) {
+		t.Errorf("replayed summary differs from the live run:\n%s\n%s",
+			marshal(t, replayed), marshal(t, live))
+	}
+	if !bytes.Equal(rerec.Bytes(), tr.Bytes()) {
+		t.Errorf("re-recorded trace differs from the original")
+	}
+}
+
+// TestTraceReplayUnderDifferentRouter: the trace fixes the offered load
+// (instants, users, demands — the admitted subsequence of a token-bucket
+// run), so a replay routes the *same* arrivals with a different policy.
+// That is the A/B experiment the artifact exists for.
+func TestTraceReplayUnderDifferentRouter(t *testing.T) {
+	spec := smallSpec()
+	spec.Admission = AdmitTokenBucket
+	spec.TokenRate = 15_000
+	spec.TokenBurst = 32
+	tr, live := recordRun(t, spec)
+	if live.Rejected == 0 {
+		t.Fatalf("token bucket rejected nothing; the admitted-subsequence claim is untested")
+	}
+	if int64(len(tr.Entries)) != live.Admitted {
+		t.Fatalf("trace holds %d entries, want the %d admitted", len(tr.Entries), live.Admitted)
+	}
+
+	replay := smallSpec()
+	replay.Router = RouteLeastLoaded
+	replay.Replay = tr
+	sum := mustRun(t, replay)
+	if sum.Offered != live.Admitted || sum.Admitted != live.Admitted || sum.Rejected != 0 {
+		t.Errorf("replay offered=%d admitted=%d rejected=%d, want %d/%d/0 (admission bypassed)",
+			sum.Offered, sum.Admitted, sum.Rejected, live.Admitted, live.Admitted)
+	}
+	if sum.Completed != live.Completed {
+		t.Errorf("replay completed %d of the same offered load, live completed %d",
+			sum.Completed, live.Completed)
+	}
+}
+
+func TestTraceRejectedOnResilientPath(t *testing.T) {
+	spec := smallSpec()
+	spec.Retries = 1
+	spec.Record = wspec.NewTrace("fleet", spec.Seed)
+	if _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "fire-and-forget") {
+		t.Errorf("Record on the resilient path: err = %v, want the fire-and-forget rejection", err)
+	}
+}

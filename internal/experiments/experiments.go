@@ -17,6 +17,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vclock"
+	"repro/internal/workload/capacity"
 )
 
 // Config scales the experiments. The zero value selects full-length runs.
@@ -128,6 +129,12 @@ type Report struct {
 	// one per ladder entry in presentation order; nil for every other
 	// series. Like Load, the runner copies it into the run's Metrics.
 	Sched []*SchedSummary
+
+	// Capacity carries a K-series run's schema-versioned saturation-knee
+	// records, one per configuration in presentation order; nil for
+	// every other series. Like Load, the runner copies it into the run's
+	// Metrics.
+	Capacity []*capacity.Result
 }
 
 // String renders the report as plain text.
@@ -190,10 +197,54 @@ func All() []Experiment {
 	}
 }
 
+// Series keys the opt-in experiment series for flag plumbing: each maps
+// a one-letter -series id to its experiment list, in presentation order.
+func Series() []struct {
+	Key  string
+	Exps []Experiment
+} {
+	return []struct {
+		Key  string
+		Exps []Experiment
+	}{
+		{"w", WSeries()},
+		{"c", CSeries()},
+		{"d", DSeries()},
+		{"s", SSeries()},
+		{"k", KSeries()},
+	}
+}
+
+// BySeries returns the opt-in series with the given one-letter key.
+func BySeries(key string) ([]Experiment, error) {
+	for _, s := range Series() {
+		if s.Key == key {
+			return s.Exps, nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown series %q", key)
+}
+
+// SeriesOf returns the one-letter key of the opt-in series owning the
+// experiment ID ("" for the always-on default set).
+func SeriesOf(id string) string {
+	for _, s := range Series() {
+		for _, e := range s.Exps {
+			if strings.EqualFold(e.ID, id) {
+				return s.Key
+			}
+		}
+	}
+	return ""
+}
+
 // ByID returns the experiment with the given ID (case-insensitive),
-// searching the default set and the W, C, D and S series.
+// searching the default set and the W, C, D, S and K series.
 func ByID(id string) (Experiment, error) {
-	all := append(append(append(append(All(), WSeries()...), CSeries()...), DSeries()...), SSeries()...)
+	all := All()
+	for _, s := range Series() {
+		all = append(all, s.Exps...)
+	}
 	for _, e := range all {
 		if strings.EqualFold(e.ID, id) {
 			return e, nil

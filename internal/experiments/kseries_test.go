@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+)
+
+// kneeJSON runs one K experiment and returns its knee records as JSON —
+// the artifact the CI job uploads, so byte equality here is byte
+// equality there.
+func kneeJSON(t *testing.T, id string, cfg Config) string {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatalf("ByID(%s): %v", id, err)
+	}
+	rep := e.Run(cfg)
+	if len(rep.Capacity) == 0 {
+		t.Fatalf("%s: no capacity records", id)
+	}
+	b, err := json.Marshal(rep.Capacity)
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", id, err)
+	}
+	return string(b)
+}
+
+func TestKSeriesRegistered(t *testing.T) {
+	for _, id := range []string{"K1", "K2", "K3"} {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("ByID(%s): %v", id, err)
+		}
+	}
+	exps, err := BySeries("k")
+	if err != nil {
+		t.Fatalf("BySeries(k): %v", err)
+	}
+	if len(exps) != 3 {
+		t.Fatalf("BySeries(k) = %d experiments, want 3", len(exps))
+	}
+	if got := SeriesOf("k2"); got != "k" {
+		t.Errorf("SeriesOf(k2) = %q, want k", got)
+	}
+	if got := SeriesOf("T1"); got != "" {
+		t.Errorf("SeriesOf(T1) = %q, want empty", got)
+	}
+}
+
+// TestKSeriesDeterministic pins the acceptance criterion: the knee JSON
+// is byte-identical across reruns, and each sweep actually finds a
+// saturation knee rather than running off the end of its ramp.
+func TestKSeriesDeterministic(t *testing.T) {
+	for _, id := range []string{"K1", "K2", "K3"} {
+		a := kneeJSON(t, id, Config{Quick: true})
+		b := kneeJSON(t, id, Config{Quick: true})
+		if a != b {
+			t.Errorf("%s: knee JSON differs across reruns:\n%s\n%s", id, a, b)
+		}
+		e, _ := ByID(id)
+		for _, res := range e.Run(Config{Quick: true}).Capacity {
+			if !res.Saturated {
+				t.Errorf("%s: sweep %s never saturated (knee %g is only a lower bound)", id, res.Name, res.KneeRate)
+			}
+			if res.KneeRate <= 0 {
+				t.Errorf("%s: sweep %s found no healthy rate at all", id, res.Name)
+			}
+		}
+	}
+}
+
+// TestKSeriesShardIndependent pins the other half of the criterion: the
+// fleet knee's JSON does not depend on the cluster's advance
+// parallelism.
+func TestKSeriesShardIndependent(t *testing.T) {
+	base := kneeJSON(t, "K2", Config{Quick: true, Shards: 1})
+	for _, shards := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := kneeJSON(t, "K2", Config{Quick: true, Shards: shards}); got != base {
+			t.Errorf("K2: knee JSON at %d shards differs from serial:\n%s\n%s", shards, got, base)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/vclock"
 	"repro/internal/workload"
+	"repro/internal/workload/spec"
 )
 
 // The W-series drives the simulator at server scale: open-loop Poisson
@@ -63,35 +64,52 @@ func loadTable(title string, s *workload.LoadStats) *stats.Table {
 	return t
 }
 
-// echoParams scales W1 to the run mode: the full-scale population is the
-// acceptance point (ten thousand threads, one hundred thousand requests);
-// quick mode keeps the shape at a tenth the size.
-func echoParams(quick bool) workload.EchoParams {
-	p := workload.DefaultEchoParams()
-	if quick {
-		p.Sessions = 1000
-		p.Requests = 10_000
+// shippedSpec loads a shipped W-series spec, scaled to the run mode by
+// the mutator. The experiments consume the embedded JSON through the
+// same StartSpec path any user-supplied spec takes; the bridge tests pin
+// this output byte-identical to the historical hardcoded parameters.
+func shippedSpec(name string, quick bool, scale func(*spec.Spec)) *spec.Spec {
+	sp := spec.MustShipped(name)
+	if quick && scale != nil {
+		scale(sp)
 	}
-	return p
+	return sp
+}
+
+// startSpec compiles sp into a fresh world built from cfg. Shipped specs
+// always compile; an error here is a bug, not an input problem.
+func startSpec(cfg Config, sp *spec.Spec) (*sim.World, *workload.SpecRun) {
+	w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: sp.SystemDaemon, Hooks: cfg.hooks()})
+	run, err := workload.StartSpec(w, sp, workload.SpecOptions{})
+	if err != nil {
+		w.Shutdown()
+		panic(err)
+	}
+	return w, run
 }
 
 // LoadEcho (W1) is the multi-user echo server: one session thread per
-// user, Poisson arrivals fanned uniformly across the population.
+// user, Poisson arrivals fanned uniformly across the population. The
+// full-scale population is the acceptance point (ten thousand threads,
+// one hundred thousand requests); quick mode keeps the shape at a tenth
+// the size.
 func LoadEcho(cfg Config) *Report {
-	p := echoParams(cfg.Quick)
-	w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Hooks: cfg.hooks()})
+	sp := shippedSpec("w1", cfg.Quick, func(sp *spec.Spec) {
+		sp.Cohorts[0].Sessions = 1000
+		sp.Cohorts[0].Requests = 10_000
+	})
+	w, run := startSpec(cfg, sp)
 	defer w.Shutdown()
-	e := workload.StartEcho(w, p)
 	// The horizon is generous: injection alone needs Requests/Rate, and
 	// the world quiesces (every session exits) well before 4x that.
-	horizon := vclock.Duration(4 * float64(p.Requests) / p.Rate * 1e6)
-	outcome := w.Run(vclock.Time(0).Add(horizon))
-	s := e.Finish()
+	outcome := w.Run(vclock.Time(0).Add(run.Horizon))
+	s := run.Load()
 
+	c := &sp.Cohorts[0]
 	rep := &Report{ID: "W1", Title: "Open-loop echo server under Poisson load",
 		Tables: []*stats.Table{loadTable(
 			fmt.Sprintf("Echo server: %d sessions, %.0f req/s offered, %s service",
-				p.Sessions, p.Rate, p.Service), s)},
+				c.Sessions, c.Arrival.Rate, c.ServiceMean()), s)},
 		Notes: []string{
 			fmt.Sprintf("open-loop: arrivals keep their own schedule, so the percentiles include queueing delay; run ended %v", outcome),
 			"one thread per user at a uniform priority — the paper's systems held hundreds of threads (§3);",
@@ -104,18 +122,16 @@ func LoadEcho(cfg Config) *Report {
 // LoadPipeline (W2) is the slack-process pipeline under load: stage
 // chains at descending priority joined by monitor-based bounded buffers.
 func LoadPipeline(cfg Config) *Report {
-	p := workload.DefaultPipelineParams()
-	if cfg.Quick {
-		p.Pipelines = 16
-		p.Requests = 5000
-	}
-	w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Hooks: cfg.hooks()})
+	sp := shippedSpec("w2", cfg.Quick, func(sp *spec.Spec) {
+		sp.Pipeline.Pipelines = 16
+		sp.Pipeline.Requests = 5000
+	})
+	w, run := startSpec(cfg, sp)
 	defer w.Shutdown()
-	pl := workload.StartPipeline(w, p)
-	horizon := vclock.Duration(4 * float64(p.Requests) / p.Rate * 1e6)
-	outcome := w.Run(vclock.Time(0).Add(horizon))
-	s := pl.Finish()
+	outcome := w.Run(vclock.Time(0).Add(run.Horizon))
+	s := run.Load()
 
+	p := sp.Pipeline
 	return &Report{ID: "W2", Title: "Slack-process pipelines under open-loop load (§5.2)",
 		Tables: []*stats.Table{loadTable(
 			fmt.Sprintf("Pipelines: %d chains x %d stages, buffer %d, %.0f req/s offered",
@@ -131,23 +147,23 @@ func LoadPipeline(cfg Config) *Report {
 // LoadMixed (W3) is the §6.2 priority mix under load: high-priority
 // interactive echo sessions over an always-ready background batch pool.
 func LoadMixed(cfg Config) *Report {
-	p := workload.DefaultMixedParams()
-	if cfg.Quick {
-		p.Interactive = 64
-		p.Batch = 16
-		p.Requests = 8000
-		p.Horizon = 10 * vclock.Second
-	}
-	w := sim.NewWorld(sim.Config{Seed: cfg.seed(), SystemDaemon: true, Hooks: cfg.hooks()})
+	sp := shippedSpec("w3", cfg.Quick, func(sp *spec.Spec) {
+		sp.Cohorts[0].Sessions = 64
+		sp.Cohorts[0].Requests = 8000
+		sp.Batch.Workers = 16
+		sp.HorizonUS = (10 * vclock.Second).Micros()
+	})
+	w, run := startSpec(cfg, sp)
 	defer w.Shutdown()
-	m := workload.StartMixed(w, p)
-	outcome := w.Run(vclock.Time(0).Add(p.Horizon))
-	s := m.Finish()
+	outcome := w.Run(vclock.Time(0).Add(run.Horizon))
+	m := run.Mixed
+	s := run.Load()
 
+	c := &sp.Cohorts[0]
 	t := loadTable(fmt.Sprintf("Interactive: %d sessions at %.0f req/s over %d batch threads",
-		p.Interactive, p.Rate, p.Batch), s)
+		c.Sessions, c.Arrival.Rate, sp.Batch.Workers), s)
 	t.AddRowf("%s", "batch chunks completed", "%d", m.BatchChunks)
-	t.AddRowf("%s", "batch throughput", "%.0f chunks/s", float64(m.BatchChunks)/p.Horizon.Seconds())
+	t.AddRowf("%s", "batch throughput", "%.0f chunks/s", float64(m.BatchChunks)/run.Horizon.Seconds())
 	return &Report{ID: "W3", Title: "Mixed interactive and batch priorities under load (§6.2)",
 		Tables: []*stats.Table{t},
 		Notes: []string{

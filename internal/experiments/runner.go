@@ -10,6 +10,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/vclock"
+	"repro/internal/workload/capacity"
 )
 
 // Metrics is one experiment run's observability record: how long the run
@@ -55,6 +56,11 @@ type Metrics struct {
 	// Sched is the S-series per-policy summary list (one entry per
 	// ladder policy, presentation order); omitted for every other series.
 	Sched []*SchedSummary `json:"sched,omitempty"`
+
+	// Capacity is the K-series saturation-knee record list (one entry
+	// per configuration, presentation order); omitted for every other
+	// series.
+	Capacity []*capacity.Result `json:"capacity,omitempty"`
 }
 
 // Outcome couples an experiment's report with its run metrics and, in
@@ -238,6 +244,7 @@ func runOne(e Experiment, cfg Config, opts Options) Outcome {
 	m.Load = report.Load
 	m.Cluster = report.Cluster
 	m.Sched = report.Sched
+	m.Capacity = report.Capacity
 	out := Outcome{Report: report, Metrics: m}
 	if set != nil {
 		sum := set.Summary()

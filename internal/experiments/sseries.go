@@ -6,6 +6,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/vclock"
 	"repro/internal/workload"
+	"repro/internal/workload/spec"
 )
 
 // The S-series is the scheduling-policy lab: each experiment runs the
@@ -45,20 +46,41 @@ type SchedSummary struct {
 	Score float64 `json:"score"`
 }
 
-// runPolicy executes the SLO workload once under the given policy spec
-// and summarizes the run. Each call builds a fresh world and a fresh
-// policy instance: stateful policies key their books by thread pointer
-// and serve exactly one world.
-func runPolicy(cfg Config, spec string, p workload.SLOParams) *SchedSummary {
+// sloCohort builds one constant-service Poisson cohort of the SLO spec.
+func sloCohort(name string, sessions int, requests int64, rate float64, service, slo vclock.Duration, prio string) spec.Cohort {
+	return spec.Cohort{
+		Name: name, Sessions: sessions, Requests: requests,
+		Arrival:  &spec.Arrival{Process: spec.ProcPoisson, Rate: rate},
+		Service:  &spec.Service{Dist: spec.DistConst, MeanUS: service.Micros()},
+		Priority: prio, SLOUS: slo.Micros(),
+	}
+}
+
+// sloSpec assembles an S-series workload description. The experiments
+// declare their operating points as spec documents and compile them
+// through StartSpec like any user-supplied spec.
+func sloSpec(name string, horizon vclock.Duration, batch *spec.Batch, cohorts ...spec.Cohort) *spec.Spec {
+	return &spec.Spec{Schema: spec.Schema, Name: name, Kind: spec.KindSLO,
+		Cohorts: cohorts, Batch: batch, HorizonUS: horizon.Micros()}
+}
+
+// runPolicy compiles the SLO spec once under the given policy and
+// summarizes the run. Each call builds a fresh world and a fresh policy
+// instance: stateful policies key their books by thread pointer and
+// serve exactly one world.
+func runPolicy(cfg Config, policy string, sp *spec.Spec) *SchedSummary {
 	h := cfg.Hooks
-	h.Policy = sched.MustParse(spec)
+	h.Policy = sched.MustParse(policy)
 	w := sim.NewWorld(sim.Config{Seed: cfg.seed(), Hooks: h})
 	defer w.Shutdown()
-	l := workload.StartSLO(w, p)
-	w.Run(vclock.Time(0).Add(p.Horizon))
-	s := l.Finish()
+	run, err := workload.StartSpec(w, sp, workload.SpecOptions{})
+	if err != nil {
+		panic(err) // the S-series specs are literals; failing to compile is a bug
+	}
+	w.Run(vclock.Time(0).Add(run.Horizon))
+	s := run.SLO.Finish()
 
-	sum := &SchedSummary{Policy: spec, Score: 1}
+	sum := &SchedSummary{Policy: policy, Score: 1}
 	var atts []float64
 	for _, class := range s.Classes() {
 		cs := ClassSummary{
@@ -83,12 +105,12 @@ func runPolicy(cfg Config, spec string, p workload.SLOParams) *SchedSummary {
 
 // sweepPolicies runs the ladder and renders the two shared S-series
 // tables: the per-class breakdown and the policy summary.
-func sweepPolicies(cfg Config, ladder []string, p workload.SLOParams, title string) ([]*SchedSummary, []*stats.Table) {
+func sweepPolicies(cfg Config, ladder []string, sp *spec.Spec, title string) ([]*SchedSummary, []*stats.Table) {
 	var sums []*SchedSummary
 	breakdown := stats.NewTable(title,
 		"Policy", "Class", "Offered", "Done", "p50", "p99", "On-time")
-	for _, spec := range ladder {
-		sum := runPolicy(cfg, spec, p)
+	for _, policy := range ladder {
+		sum := runPolicy(cfg, policy, sp)
 		sums = append(sums, sum)
 		for _, cs := range sum.Classes {
 			breakdown.AddRowf("%s", sum.Policy, "%s", cs.Class,
@@ -125,19 +147,15 @@ func sloHorizon(cfg Config, d vclock.Duration) vclock.Duration {
 // interactive/bulk mix with a background batch pool — the broad survey
 // the comparison experiments S2-S4 then sharpen.
 func SchedPolicyLab(cfg Config) *Report {
-	p := workload.SLOParams{
-		Cohorts: []workload.SLOCohort{
-			{Name: "interactive", Sessions: 16, Requests: sloScale(cfg, 2800), Rate: 450,
-				Service: vclock.Millisecond, SLO: 25 * vclock.Millisecond, Priority: sim.PriorityHigh},
-			{Name: "bulk", Sessions: 8, Requests: sloScale(cfg, 600), Rate: 100,
-				Service: 2 * vclock.Millisecond, SLO: 100 * vclock.Millisecond, Priority: sim.PriorityNormal},
-		},
-		Batch: 4, BatchChunk: 5 * vclock.Millisecond, BatchSLO: 50 * vclock.Millisecond,
-		BatchPriority: sim.PriorityBackground,
-		Horizon:       sloHorizon(cfg, 8*vclock.Second),
-	}
+	sp := sloSpec("s1-policy-lab", sloHorizon(cfg, 8*vclock.Second),
+		&spec.Batch{Workers: 4, ChunkUS: (5 * vclock.Millisecond).Micros(),
+			SLOUS: (50 * vclock.Millisecond).Micros(), Priority: "background"},
+		sloCohort("interactive", 16, sloScale(cfg, 2800), 450,
+			vclock.Millisecond, 25*vclock.Millisecond, "high"),
+		sloCohort("bulk", 8, sloScale(cfg, 600), 100,
+			2*vclock.Millisecond, 100*vclock.Millisecond, "normal"))
 	ladder := []string{"pcr-rr", "rr", "edf", "sjf", "mlfq", "hybrid"}
-	sums, tables := sweepPolicies(cfg, ladder, p,
+	sums, tables := sweepPolicies(cfg, ladder, sp,
 		"Policy lab: interactive (1ms/25ms SLO, ~45% load) + bulk (2ms/100ms SLO, ~20% load) over a 4-thread batch pool")
 	return &Report{ID: "S1", Title: "Scheduling-policy lab over an interactive/bulk/batch mix",
 		Tables: tables,
@@ -152,17 +170,13 @@ func SchedPolicyLab(cfg Config) *Report {
 // SchedDeadlines (S2) compares deadline-blind and deadline-aware
 // disciplines on tight- vs loose-deadline cohorts at equal priority.
 func SchedDeadlines(cfg Config) *Report {
-	p := workload.SLOParams{
-		Cohorts: []workload.SLOCohort{
-			{Name: "tight", Sessions: 8, Requests: sloScale(cfg, 1200), Rate: 150,
-				Service: 2 * vclock.Millisecond, SLO: 15 * vclock.Millisecond, Priority: sim.PriorityNormal},
-			{Name: "loose", Sessions: 8, Requests: sloScale(cfg, 2400), Rate: 300,
-				Service: 2 * vclock.Millisecond, SLO: 250 * vclock.Millisecond, Priority: sim.PriorityNormal},
-		},
-		Horizon: sloHorizon(cfg, 10*vclock.Second),
-	}
+	sp := sloSpec("s2-deadlines", sloHorizon(cfg, 10*vclock.Second), nil,
+		sloCohort("tight", 8, sloScale(cfg, 1200), 150,
+			2*vclock.Millisecond, 15*vclock.Millisecond, "normal"),
+		sloCohort("loose", 8, sloScale(cfg, 2400), 300,
+			2*vclock.Millisecond, 250*vclock.Millisecond, "normal"))
 	ladder := []string{"pcr-rr", "rr", "edf"}
-	sums, tables := sweepPolicies(cfg, ladder, p,
+	sums, tables := sweepPolicies(cfg, ladder, sp,
 		"Deadline cohorts at one priority: tight (15ms SLO) vs loose (250ms SLO), ~90% utilization")
 	return &Report{ID: "S2", Title: "EDF vs deadline-blind round-robin on mixed deadlines",
 		Tables: tables,
@@ -177,17 +191,13 @@ func SchedDeadlines(cfg Config) *Report {
 // SchedServiceAware (S3) compares service-blind and service-aware
 // disciplines on a bimodal short/long service mix at equal priority.
 func SchedServiceAware(cfg Config) *Report {
-	p := workload.SLOParams{
-		Cohorts: []workload.SLOCohort{
-			{Name: "short", Sessions: 12, Requests: sloScale(cfg, 4800), Rate: 600,
-				Service: 500 * vclock.Microsecond, SLO: 10 * vclock.Millisecond, Priority: sim.PriorityNormal},
-			{Name: "long", Sessions: 6, Requests: sloScale(cfg, 480), Rate: 60,
-				Service: 10 * vclock.Millisecond, SLO: 250 * vclock.Millisecond, Priority: sim.PriorityNormal},
-		},
-		Horizon: sloHorizon(cfg, 10*vclock.Second),
-	}
+	sp := sloSpec("s3-service-aware", sloHorizon(cfg, 10*vclock.Second), nil,
+		sloCohort("short", 12, sloScale(cfg, 4800), 600,
+			500*vclock.Microsecond, 10*vclock.Millisecond, "normal"),
+		sloCohort("long", 6, sloScale(cfg, 480), 60,
+			10*vclock.Millisecond, 250*vclock.Millisecond, "normal"))
 	ladder := []string{"pcr-rr", "sjf", "mlfq"}
-	sums, tables := sweepPolicies(cfg, ladder, p,
+	sums, tables := sweepPolicies(cfg, ladder, sp,
 		"Bimodal service at one priority: short (0.5ms/10ms SLO) vs long (10ms/250ms SLO)")
 	return &Report{ID: "S3", Title: "SJF and MLFQ vs FIFO on bimodal service times",
 		Tables: tables,
@@ -204,17 +214,13 @@ func SchedServiceAware(cfg Config) *Report {
 // round-robin destroys interactive latency, and the hybrid bounds both —
 // beating both pure disciplines on the min-attainment score.
 func SchedPromptness(cfg Config) *Report {
-	p := workload.SLOParams{
-		Cohorts: []workload.SLOCohort{
-			{Name: "interactive", Sessions: 24, Requests: sloScale(cfg, 4000), Rate: 600,
-				Service: vclock.Millisecond, SLO: 30 * vclock.Millisecond, Priority: sim.PriorityHigh},
-		},
-		Batch: 4, BatchChunk: 2 * vclock.Millisecond, BatchSLO: 15 * vclock.Millisecond,
-		BatchPriority: sim.PriorityBackground,
-		Horizon:       sloHorizon(cfg, 8*vclock.Second),
-	}
+	sp := sloSpec("s4-promptness", sloHorizon(cfg, 8*vclock.Second),
+		&spec.Batch{Workers: 4, ChunkUS: (2 * vclock.Millisecond).Micros(),
+			SLOUS: (15 * vclock.Millisecond).Micros(), Priority: "background"},
+		sloCohort("interactive", 24, sloScale(cfg, 4000), 600,
+			vclock.Millisecond, 30*vclock.Millisecond, "high"))
 	ladder := []string{"pcr-rr", "rr", "hybrid:slice=10ms,share=0.3"}
-	sums, tables := sweepPolicies(cfg, ladder, p,
+	sums, tables := sweepPolicies(cfg, ladder, sp,
 		"Promptness vs throughput: interactive (1ms/30ms SLO, ~60% load) over a 4-thread batch pool (2ms chunks, 15ms SLO)")
 	return &Report{ID: "S4", Title: "Hybrid promptness: bounding both interactive and batch latency",
 		Tables: tables,

@@ -1,0 +1,156 @@
+// Package capacity finds the saturation knee of a workload
+// configuration: the offered-load rate past which an overload criterion
+// trips. The driver ramps the rate geometrically across whole runs
+// until a point overloads, then bisects between the last healthy rate
+// and the first overloaded one — the vhive baseline_capacity loop
+// (sweep sizes until the overload flag appears) with a refinement
+// stage. Every measurement is one deterministic simulation at a fixed
+// seed, so the whole sweep — rates, points, knee — is byte-reproducible
+// and ships as a schema-versioned JSON record alongside the bench
+// artifact.
+package capacity
+
+import "fmt"
+
+// Schema is the knee-record schema version.
+const Schema = 1
+
+// Criterion says when a measured point counts as overloaded. Zero
+// fields disable that clause; at least one must be set.
+type Criterion struct {
+	// P99SLOUS trips when the run's p99 latency exceeds this many
+	// virtual microseconds.
+	P99SLOUS int64 `json:"p99_slo_us,omitempty"`
+	// MinRatio trips when completed/offered falls below this floor
+	// within the run's horizon.
+	MinRatio float64 `json:"min_ratio,omitempty"`
+}
+
+// enabled reports whether the criterion can trip at all.
+func (c Criterion) enabled() bool { return c.P99SLOUS > 0 || c.MinRatio > 0 }
+
+// classify fills the point's Ratio, Overloaded and Reason fields.
+func (c Criterion) classify(p *Point) {
+	if p.Offered > 0 {
+		p.Ratio = float64(p.Completed) / float64(p.Offered)
+	}
+	if c.P99SLOUS > 0 && p.P99US > c.P99SLOUS {
+		p.Overloaded = true
+		p.Reason = fmt.Sprintf("p99 %dus over SLO %dus", p.P99US, c.P99SLOUS)
+	}
+	if c.MinRatio > 0 && p.Ratio < c.MinRatio {
+		p.Overloaded = true
+		if p.Reason != "" {
+			p.Reason += "; "
+		}
+		p.Reason += fmt.Sprintf("completion ratio %.3f under floor %.3f", p.Ratio, c.MinRatio)
+	}
+}
+
+// Point is one measured operating point, in measurement order.
+type Point struct {
+	// Rate is the offered arrival rate, requests per virtual second.
+	Rate float64 `json:"rate"`
+	// Offered and Completed count the run's requests.
+	Offered   int64 `json:"offered"`
+	Completed int64 `json:"completed"`
+	// P99US is the run's end-to-end p99 latency in virtual microseconds.
+	P99US int64 `json:"p99_us"`
+	// Ratio is Completed/Offered within the run horizon.
+	Ratio float64 `json:"ratio"`
+	// Overloaded and Reason record the criterion's verdict.
+	Overloaded bool   `json:"overloaded"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// Sweep configures one knee search.
+type Sweep struct {
+	// Name labels the configuration under test.
+	Name string
+	// Start is the first offered rate; Factor scales it per ramp step
+	// (default 2). MaxSteps bounds the ramp (default 8).
+	Start    float64
+	Factor   float64
+	MaxSteps int
+	// Bisect is the number of bisection refinements between the last
+	// healthy and first overloaded rate (default 3; negative disables).
+	Bisect    int
+	Criterion Criterion
+}
+
+// Result is the schema-versioned knee record for one configuration.
+type Result struct {
+	Schema    int       `json:"schema"`
+	Name      string    `json:"name"`
+	Criterion Criterion `json:"criterion"`
+	// Points holds every measured operating point, in measurement
+	// order: the geometric ramp first, then the bisection probes.
+	Points []Point `json:"points"`
+	// KneeRate is the highest measured rate that stayed healthy (0 when
+	// even the first point overloaded).
+	KneeRate float64 `json:"knee_rate"`
+	// Saturated reports whether the criterion tripped at all: a false
+	// value means the ramp never found the knee and KneeRate is only a
+	// lower bound.
+	Saturated bool `json:"saturated"`
+}
+
+// Runner measures one operating point: run the configuration at the
+// given offered rate and report Offered/Completed/P99US. Rate, Ratio
+// and the verdict are filled in by Find.
+type Runner func(rate float64) Point
+
+// Find runs the sweep: geometric ramp until the criterion trips or
+// MaxSteps runs out, then bisection between the bracketing rates. The
+// runner must be deterministic in its rate argument for the result to
+// be reproducible.
+func Find(sw Sweep, run Runner) *Result {
+	if sw.Start <= 0 || !sw.Criterion.enabled() {
+		panic(fmt.Sprintf("capacity: bad sweep %+v", sw))
+	}
+	if sw.Factor <= 1 {
+		sw.Factor = 2
+	}
+	if sw.MaxSteps <= 0 {
+		sw.MaxSteps = 8
+	}
+	if sw.Bisect == 0 {
+		sw.Bisect = 3
+	} else if sw.Bisect < 0 {
+		sw.Bisect = 0
+	}
+	res := &Result{Schema: Schema, Name: sw.Name, Criterion: sw.Criterion}
+	measure := func(rate float64) Point {
+		p := run(rate)
+		p.Rate = rate
+		sw.Criterion.classify(&p)
+		res.Points = append(res.Points, p)
+		return p
+	}
+	var lastGood, firstBad float64
+	rate := sw.Start
+	for step := 0; step < sw.MaxSteps; step++ {
+		p := measure(rate)
+		if p.Overloaded {
+			res.Saturated = true
+			firstBad = rate
+			break
+		}
+		lastGood = rate
+		rate *= sw.Factor
+	}
+	if res.Saturated && lastGood > 0 {
+		lo, hi := lastGood, firstBad
+		for i := 0; i < sw.Bisect; i++ {
+			mid := (lo + hi) / 2
+			if measure(mid).Overloaded {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		lastGood = lo
+	}
+	res.KneeRate = lastGood
+	return res
+}

@@ -1,0 +1,138 @@
+package capacity
+
+import (
+	"strings"
+	"testing"
+)
+
+// mm1ish is a synthetic runner with a hard knee at capRate: below it
+// everything completes promptly, above it the tail blows up and work is
+// left undone. Deterministic in rate, like a real measured run.
+func mm1ish(capRate float64) Runner {
+	return func(rate float64) Point {
+		offered := int64(rate)
+		if rate <= capRate {
+			return Point{Offered: offered, Completed: offered, P99US: 100}
+		}
+		return Point{Offered: offered, Completed: int64(capRate), P99US: 50_000}
+	}
+}
+
+func TestFindBisectsToKnee(t *testing.T) {
+	res := Find(Sweep{
+		Name: "t", Start: 100,
+		Criterion: Criterion{P99SLOUS: 5000},
+	}, mm1ish(1000))
+	// Ramp: 100 200 400 800 1600(bad). Bisect: 1200(bad) 1000(ok) 1100(bad).
+	if !res.Saturated {
+		t.Fatalf("criterion never tripped: %+v", res)
+	}
+	if res.KneeRate != 1000 {
+		t.Errorf("KneeRate = %g, want 1000", res.KneeRate)
+	}
+	if len(res.Points) != 8 {
+		t.Errorf("measured %d points, want 5 ramp + 3 bisection", len(res.Points))
+	}
+	if res.Schema != Schema || res.Name != "t" {
+		t.Errorf("record header: %+v", res)
+	}
+	bad := res.Points[4]
+	if !bad.Overloaded || !strings.Contains(bad.Reason, "p99") {
+		t.Errorf("first overloaded point: %+v", bad)
+	}
+	if ok := res.Points[3]; ok.Overloaded || ok.Ratio != 1 {
+		t.Errorf("last healthy ramp point: %+v", ok)
+	}
+}
+
+func TestFindRatioCriterion(t *testing.T) {
+	res := Find(Sweep{
+		Name: "t", Start: 600, MaxSteps: 3, Bisect: -1,
+		Criterion: Criterion{MinRatio: 0.95},
+	}, mm1ish(1000))
+	// Ramp only: 600(ok) 1200(ratio 1000/1200 < 0.95, bad); bisection off.
+	if !res.Saturated || res.KneeRate != 600 {
+		t.Errorf("KneeRate = %g saturated=%t, want 600 true", res.KneeRate, res.Saturated)
+	}
+	if len(res.Points) != 2 {
+		t.Errorf("Bisect: -1 still measured %d points, want 2", len(res.Points))
+	}
+	if r := res.Points[1].Reason; !strings.Contains(r, "completion ratio") {
+		t.Errorf("reason = %q, want a ratio verdict", r)
+	}
+}
+
+func TestFindNeverSaturates(t *testing.T) {
+	res := Find(Sweep{
+		Name: "t", Start: 10, MaxSteps: 4,
+		Criterion: Criterion{P99SLOUS: 5000},
+	}, mm1ish(1e9))
+	if res.Saturated {
+		t.Errorf("saturated on an unreachable knee")
+	}
+	// The knee is only a lower bound: the last ramp rate, 10*2^3.
+	if res.KneeRate != 80 {
+		t.Errorf("KneeRate = %g, want 80", res.KneeRate)
+	}
+	if len(res.Points) != 4 {
+		t.Errorf("measured %d points, want 4", len(res.Points))
+	}
+}
+
+func TestFindFirstPointOverloaded(t *testing.T) {
+	res := Find(Sweep{
+		Name: "t", Start: 5000,
+		Criterion: Criterion{P99SLOUS: 5000},
+	}, mm1ish(1000))
+	if !res.Saturated || res.KneeRate != 0 {
+		t.Errorf("KneeRate = %g saturated=%t, want 0 true", res.KneeRate, res.Saturated)
+	}
+	// No healthy rate to bracket from: bisection must not run.
+	if len(res.Points) != 1 {
+		t.Errorf("measured %d points, want 1", len(res.Points))
+	}
+}
+
+func TestFindCustomFactor(t *testing.T) {
+	var rates []float64
+	Find(Sweep{
+		Name: "t", Start: 100, Factor: 10, MaxSteps: 3, Bisect: -1,
+		Criterion: Criterion{P99SLOUS: 5000},
+	}, func(rate float64) Point {
+		rates = append(rates, rate)
+		return Point{Offered: 1, Completed: 1, P99US: 100}
+	})
+	if len(rates) != 3 || rates[0] != 100 || rates[1] != 1000 || rates[2] != 10000 {
+		t.Errorf("ramp rates = %v, want [100 1000 10000]", rates)
+	}
+}
+
+func TestFindPanicsOnBadSweep(t *testing.T) {
+	for _, sw := range []Sweep{
+		{Name: "no start", Criterion: Criterion{P99SLOUS: 1}},
+		{Name: "no criterion", Start: 100},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Find accepted a sweep that can never terminate meaningfully", sw.Name)
+				}
+			}()
+			Find(sw, mm1ish(1000))
+		}()
+	}
+}
+
+// TestCriterionBothClauses: when both clauses trip, the reason names
+// both — a knee record should explain itself without the raw run.
+func TestCriterionBothClauses(t *testing.T) {
+	c := Criterion{P99SLOUS: 1000, MinRatio: 0.99}
+	p := Point{Offered: 100, Completed: 50, P99US: 9999}
+	c.classify(&p)
+	if !p.Overloaded || p.Ratio != 0.5 {
+		t.Fatalf("classify: %+v", p)
+	}
+	if !strings.Contains(p.Reason, "p99") || !strings.Contains(p.Reason, "completion ratio") {
+		t.Errorf("reason %q should name both tripped clauses", p.Reason)
+	}
+}

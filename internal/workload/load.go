@@ -8,6 +8,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vclock"
+	"repro/internal/workload/spec"
 )
 
 // This file holds the W-series open-loop load workloads: server-scale
@@ -128,12 +129,28 @@ type EchoServer struct {
 	closed   bool
 	firstAt  vclock.Time
 	lastDone vclock.Time
+	tap      RequestTap
+	cohort   string
+	replay   []spec.Entry
 }
 
 // StartEcho spawns the session population and schedules the arrival
 // process. Drive the world with Run until it quiesces (every session
 // exits once the offered load is injected and drained), then read Stats.
 func StartEcho(w *sim.World, p EchoParams) *EchoServer {
+	return startEcho(w, p, nil, "echo", nil)
+}
+
+// startEcho is the shared constructor behind StartEcho and the spec
+// path. A non-nil replay drives arrivals from the recorded entries —
+// same timestamps, same session picks, no RNG draws — producing the
+// identical event population the generated run had; tap observes each
+// injection for trace recording.
+func startEcho(w *sim.World, p EchoParams, tap RequestTap, cohort string, replay []spec.Entry) *EchoServer {
+	if replay != nil {
+		p.Requests = int64(len(replay))
+		p.Start = vclock.Duration(replay[0].AtUS)
+	}
 	if p.Sessions < 1 || p.Requests < 1 || p.Rate <= 0 {
 		panic(fmt.Sprintf("workload: bad EchoParams %+v", p))
 	}
@@ -143,10 +160,14 @@ func StartEcho(w *sim.World, p EchoParams) *EchoServer {
 	if !p.Priority.Valid() {
 		p.Priority = sim.PriorityNormal
 	}
-	e := &EchoServer{w: w, p: p, rng: w.DeriveRand("workload.echo")}
+	e := &EchoServer{w: w, p: p, rng: w.DeriveRand("workload.echo"),
+		tap: tap, cohort: cohort, replay: replay}
 	e.Stats.Threads = p.Sessions
 	for i := 0; i < p.Sessions; i++ {
 		s := &echoSession{}
+		// Thread names keep the historical "echo-" prefix whatever the
+		// cohort label says: names feed the profiler's per-thread books
+		// and must not drift when a spec renames its one cohort.
 		s.th = w.Spawn(fmt.Sprintf("echo-%d", i), p.Priority, e.sessionBody(s))
 		e.sessions = append(e.sessions, s)
 	}
@@ -166,7 +187,13 @@ func (e *EchoServer) arrive() {
 	if e.injected >= e.p.Requests {
 		return
 	}
-	s := e.sessions[e.rng.Intn(len(e.sessions))]
+	idx := 0
+	if e.replay != nil {
+		idx = e.replay[e.injected].Session
+	} else {
+		idx = e.rng.Intn(len(e.sessions))
+	}
+	s := e.sessions[idx]
 	now := e.w.Now()
 	if e.Stats.Offered == 0 {
 		e.firstAt = now
@@ -174,12 +201,24 @@ func (e *EchoServer) arrive() {
 	s.q = append(s.q, now)
 	e.Stats.Offered++
 	e.injected++
+	if e.tap != nil {
+		e.tap(now, e.cohort, idx, e.p.Service)
+	}
 	e.w.WakeIfBlocked(s.th, nil)
 	if e.injected < e.p.Requests {
-		e.w.After(expDelay(e.rng, e.p.Rate), e.arrive)
+		e.w.After(e.nextGap(now), e.arrive)
 	} else {
 		e.close()
 	}
+}
+
+// nextGap returns the delay to the next arrival: a fresh Poisson draw,
+// or — under replay — the recorded gap to the next entry.
+func (e *EchoServer) nextGap(now vclock.Time) vclock.Duration {
+	if e.replay != nil {
+		return vclock.Time(0).Add(vclock.Duration(e.replay[e.injected].AtUS)).Sub(now)
+	}
+	return expDelay(e.rng, e.p.Rate)
 }
 
 // close wakes every idle session so those with nothing left to serve can
@@ -316,6 +355,8 @@ type Pipeline struct {
 	closed   bool
 	firstAt  vclock.Time
 	lastDone vclock.Time
+	tap      RequestTap
+	replay   []spec.Entry
 }
 
 // pipeInbox is the driver-to-stage-0 handoff of one chain, interrupt
@@ -338,6 +379,17 @@ func stagePriority(i int) sim.Priority {
 // StartPipeline spawns the stage chains and schedules the arrival
 // process. Drive the world with Run until it quiesces.
 func StartPipeline(w *sim.World, p PipelineParams) *Pipeline {
+	return startPipeline(w, p, nil, nil)
+}
+
+// startPipeline is the shared constructor behind StartPipeline and the
+// spec path; see startEcho for the tap/replay contract. The recorded
+// service demand is the per-stage grain (each request costs Stages of
+// them end to end).
+func startPipeline(w *sim.World, p PipelineParams, tap RequestTap, replay []spec.Entry) *Pipeline {
+	if replay != nil {
+		p.Requests = int64(len(replay))
+	}
 	if p.Pipelines < 1 || p.Stages < 2 || p.Requests < 1 || p.Rate <= 0 {
 		panic(fmt.Sprintf("workload: bad PipelineParams %+v", p))
 	}
@@ -347,7 +399,8 @@ func StartPipeline(w *sim.World, p PipelineParams) *Pipeline {
 	if p.StageCost <= 0 {
 		p.StageCost = 10 * vclock.Microsecond
 	}
-	pl := &Pipeline{w: w, p: p, rng: w.DeriveRand("workload.pipeline")}
+	pl := &Pipeline{w: w, p: p, rng: w.DeriveRand("workload.pipeline"),
+		tap: tap, replay: replay}
 	pl.Stats.Threads = p.Pipelines * p.Stages
 	for i := 0; i < p.Pipelines; i++ {
 		bufs := make([]*loadBuffer, p.Stages-1)
@@ -365,8 +418,13 @@ func StartPipeline(w *sim.World, p PipelineParams) *Pipeline {
 			w.Spawn(fmt.Sprintf("pipe-%d-stage-%d", i, j), stagePriority(j), pl.stageBody(bufs[j-1], out))
 		}
 	}
-	perPark := w.Config().SwitchCost + 20*vclock.Microsecond
-	start := vclock.Duration(p.Pipelines*p.Stages)*perPark + 100*vclock.Millisecond
+	start := vclock.Duration(0)
+	if replay != nil {
+		start = vclock.Duration(replay[0].AtUS)
+	} else {
+		perPark := w.Config().SwitchCost + 20*vclock.Microsecond
+		start = vclock.Duration(p.Pipelines*p.Stages)*perPark + 100*vclock.Millisecond
+	}
 	w.After(start, pl.arrive)
 	return pl
 }
@@ -375,7 +433,13 @@ func (pl *Pipeline) arrive() {
 	if pl.injected >= pl.p.Requests {
 		return
 	}
-	in := pl.inboxes[pl.rng.Intn(len(pl.inboxes))]
+	idx := 0
+	if pl.replay != nil {
+		idx = pl.replay[pl.injected].Session
+	} else {
+		idx = pl.rng.Intn(len(pl.inboxes))
+	}
+	in := pl.inboxes[idx]
 	now := pl.w.Now()
 	if pl.Stats.Offered == 0 {
 		pl.firstAt = now
@@ -383,9 +447,18 @@ func (pl *Pipeline) arrive() {
 	in.q = append(in.q, now)
 	pl.Stats.Offered++
 	pl.injected++
+	if pl.tap != nil {
+		pl.tap(now, "pipeline", idx, pl.p.StageCost)
+	}
 	pl.w.WakeIfBlocked(in.th, nil)
 	if pl.injected < pl.p.Requests {
-		pl.w.After(expDelay(pl.rng, pl.p.Rate), pl.arrive)
+		var gap vclock.Duration
+		if pl.replay != nil {
+			gap = vclock.Time(0).Add(vclock.Duration(pl.replay[pl.injected].AtUS)).Sub(now)
+		} else {
+			gap = expDelay(pl.rng, pl.p.Rate)
+		}
+		pl.w.After(gap, pl.arrive)
 	} else {
 		pl.closed = true
 		for _, in := range pl.inboxes {
@@ -497,6 +570,16 @@ type Mixed struct {
 // the batch pool stays runnable forever, so the run ends at the horizon
 // (interactive load should drain well before it).
 func StartMixed(w *sim.World, p MixedParams) *Mixed {
+	return startMixed(w, p, nil, "interactive", nil)
+}
+
+// startMixed is the shared constructor behind StartMixed and the spec
+// path; tap/replay apply to the interactive echo half (the batch pool
+// is closed-loop and has no arrival process to record).
+func startMixed(w *sim.World, p MixedParams, tap RequestTap, cohort string, replay []spec.Entry) *Mixed {
+	if replay != nil {
+		p.Requests = int64(len(replay))
+	}
 	if p.Interactive < 1 || p.Batch < 0 || p.Requests < 1 || p.Rate <= 0 {
 		panic(fmt.Sprintf("workload: bad MixedParams %+v", p))
 	}
@@ -504,13 +587,13 @@ func StartMixed(w *sim.World, p MixedParams) *Mixed {
 		p.BatchChunk = 200 * vclock.Microsecond
 	}
 	m := &Mixed{}
-	m.Echo = StartEcho(w, EchoParams{
+	m.Echo = startEcho(w, EchoParams{
 		Sessions: p.Interactive,
 		Requests: p.Requests,
 		Rate:     p.Rate,
 		Service:  p.Service,
 		Priority: sim.PriorityHigh,
-	})
+	}, tap, cohort, replay)
 	m.Echo.Stats.Threads = p.Interactive + p.Batch
 	for i := 0; i < p.Batch; i++ {
 		w.Spawn(fmt.Sprintf("batch-%d", i), sim.PriorityBackground, func(t *sim.Thread) any {

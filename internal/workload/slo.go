@@ -8,6 +8,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/vclock"
+	"repro/internal/workload/spec"
 )
 
 // This file holds the S-series SLO workload: the open-loop echo machinery
@@ -114,6 +115,7 @@ type sloCohortState struct {
 	rng      *rand.Rand
 	sessions []*sloSession
 	injected int64
+	replay   []spec.Entry
 }
 
 // SLOLoad is the S-series workload instance.
@@ -124,12 +126,28 @@ type SLOLoad struct {
 	cohorts []*sloCohortState
 	closed  bool
 	stopped bool
+	tap     RequestTap
 }
 
 // StartSLO spawns the cohort sessions and batch pool and schedules each
 // cohort's arrival process. Drive the world with Run to params.Horizon,
 // then read Stats (Finish is a convenience returning it).
 func StartSLO(w *sim.World, p SLOParams) *SLOLoad {
+	return startSLO(w, p, nil, nil)
+}
+
+// startSLO is the shared constructor behind StartSLO and the spec path.
+// replays maps cohort name to that cohort's recorded entries; cohorts
+// absent from the map generate fresh arrivals (the two never mix in
+// practice — StartSpec replays all cohorts or none).
+func startSLO(w *sim.World, p SLOParams, tap RequestTap, replays map[string][]spec.Entry) *SLOLoad {
+	if replays != nil {
+		for i := range p.Cohorts {
+			if ents := replays[p.Cohorts[i].Name]; ents != nil {
+				p.Cohorts[i].Requests = int64(len(ents))
+			}
+		}
+	}
 	if len(p.Cohorts) == 0 || p.Horizon <= 0 {
 		panic(fmt.Sprintf("workload: bad SLOParams %+v", p))
 	}
@@ -139,7 +157,7 @@ func StartSLO(w *sim.World, p SLOParams) *SLOLoad {
 	if !p.BatchPriority.Valid() {
 		p.BatchPriority = sim.PriorityBackground
 	}
-	l := &SLOLoad{w: w, p: p}
+	l := &SLOLoad{w: w, p: p, tap: tap}
 	l.Stats.Offered = map[string]int64{}
 	l.Stats.Completed = map[string]int64{}
 	l.Stats.OnTime = map[string]int64{}
@@ -152,6 +170,9 @@ func StartSLO(w *sim.World, p SLOParams) *SLOLoad {
 			c.Priority = sim.PriorityNormal
 		}
 		st := &sloCohortState{p: c, rng: w.DeriveRand("workload.slo." + c.Name)}
+		if replays != nil {
+			st.replay = replays[c.Name]
+		}
 		for i := 0; i < c.Sessions; i++ {
 			s := &sloSession{}
 			s.th = w.Spawn(fmt.Sprintf("slo-%s-%d", c.Name, i), c.Priority, l.sessionBody(st, s))
@@ -176,7 +197,13 @@ func StartSLO(w *sim.World, p SLOParams) *SLOLoad {
 	}
 	for _, st := range l.cohorts {
 		st := st
-		w.After(start, func() { l.arrive(st) })
+		first := start
+		if st.replay != nil {
+			// The recorded first arrival is exactly where the generated
+			// chain began, so replayed runs schedule the same instants.
+			first = vclock.Duration(st.replay[0].AtUS)
+		}
+		w.After(first, func() { l.arrive(st) })
 	}
 	w.At(vclock.Time(0).Add(p.Horizon), func() { l.stopped = true })
 	return l
@@ -202,14 +229,30 @@ func (l *SLOLoad) arrive(st *sloCohortState) {
 	if st.injected >= st.p.Requests {
 		return
 	}
-	s := st.sessions[st.rng.Intn(len(st.sessions))]
-	s.q = append(s.q, l.w.Now())
+	idx := 0
+	if st.replay != nil {
+		idx = st.replay[st.injected].Session
+	} else {
+		idx = st.rng.Intn(len(st.sessions))
+	}
+	s := st.sessions[idx]
+	now := l.w.Now()
+	s.q = append(s.q, now)
 	st.stamp(s)
 	l.Stats.Offered[st.p.Name]++
 	st.injected++
+	if l.tap != nil {
+		l.tap(now, st.p.Name, idx, st.p.Service)
+	}
 	l.w.WakeIfBlocked(s.th, nil)
 	if st.injected < st.p.Requests {
-		l.w.After(expDelay(st.rng, st.p.Rate), func() { l.arrive(st) })
+		var gap vclock.Duration
+		if st.replay != nil {
+			gap = vclock.Time(0).Add(vclock.Duration(st.replay[st.injected].AtUS)).Sub(now)
+		} else {
+			gap = expDelay(st.rng, st.p.Rate)
+		}
+		l.w.After(gap, func() { l.arrive(st) })
 	} else if l.allInjected() {
 		l.close()
 	}

@@ -1,0 +1,67 @@
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzSpecJSON feeds arbitrary documents through Parse. The invariants:
+// Parse never panics, every rejection wraps ErrInvalidSpec, and any
+// accepted spec is a fixed point — its canonical re-encoding parses to
+// the same bytes (specs are diffable artifacts, so encode/decode must
+// not drift). Seeds are the shipped W-series specs plus the testdata
+// corpus (valid and invalid alike).
+func FuzzSpecJSON(f *testing.F) {
+	for _, name := range ShippedNames() {
+		data, err := shippedFS.ReadFile("shipped/" + name + ".json")
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seeds, err := filepath.Glob(filepath.Join("testdata", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"schema":1,"name":"x","kind":"server","cohorts":[{"name":"s","sessions":3}]}`))
+	f.Add([]byte(`{"schema":1,"name":"x","kind":"cohorts","cohorts":[{"name":"a","sessions":1,"requests":1,"arrival":{"process":"weibull","rate":0.5,"shape":0.1},"service":{"dist":"pareto","mean_us":1,"alpha":1.0001}}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if !errors.Is(err, ErrInvalidSpec) {
+				t.Fatalf("rejection does not wrap ErrInvalidSpec: %v", err)
+			}
+			return
+		}
+		if s.Horizon() < 0 {
+			t.Fatalf("accepted spec %q has negative horizon %v", s.Name, s.Horizon())
+		}
+		canon, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-encode: %v", err)
+		}
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%s", err, canon)
+		}
+		canon2, err := json.Marshal(again)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(canon) != string(canon2) {
+			t.Fatalf("canonical encoding not a fixed point:\n%s\n%s", canon, canon2)
+		}
+	})
+}

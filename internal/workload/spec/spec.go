@@ -1,0 +1,526 @@
+// Package spec defines the declarative workload description the
+// workload generators compile from: a schema-versioned JSON document
+// naming multi-client cohorts, their arrival processes (Poisson, Gamma,
+// Weibull), their service-demand distributions (constant, exponential,
+// Pareto), and rate modulation over virtual-time windows (diurnal and
+// burst shapes). The W-series load shapes that used to live as Go
+// literals ship as embedded spec files (see Shipped), so "what load did
+// this run offer" is data — diffable, fuzzable, and replayable — rather
+// than code.
+//
+// A Spec says what the load is; workload.StartSpec says how to run it.
+// This package deliberately imports only the simulator's leaf packages
+// (sim for priorities, vclock for time) so every layer above — the
+// generators, the cluster, the experiments, the CLI — can share one
+// description type without cycles.
+package spec
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/vclock"
+)
+
+// Schema is the workload-spec schema version this package reads and
+// writes. Parse rejects documents declaring any other version.
+const Schema = 1
+
+// ErrInvalidSpec is the sentinel every spec validation failure wraps,
+// in the style of fault.ErrInvalidPlan: callers gate on
+// errors.Is(err, ErrInvalidSpec) and print the wrapped detail.
+var ErrInvalidSpec = errors.New("spec: invalid workload spec")
+
+// failf wraps a validation failure around the sentinel.
+func failf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidSpec, fmt.Sprintf(format, args...))
+}
+
+// Kinds a Spec can declare. Each maps to one generator family in
+// internal/workload:
+//
+//	echo     — W1's open-loop echo server: one cohort, Poisson
+//	           arrivals fanned across a session pool.
+//	pipeline — W2's slack-process stage chains.
+//	mixed    — W3's interactive cohort over an always-ready batch pool.
+//	slo      — the S-series SLO workload: named cohorts with latency
+//	           targets and scheduler-visible metadata.
+//	cohorts  — the general form: any number of cohorts, any supported
+//	           arrival process and service distribution, optional rate
+//	           modulation windows.
+//	server   — a passive externally-driven session pool (the cluster
+//	           layer's per-instance world); no arrival process at all.
+const (
+	KindEcho     = "echo"
+	KindPipeline = "pipeline"
+	KindMixed    = "mixed"
+	KindSLO      = "slo"
+	KindCohorts  = "cohorts"
+	KindServer   = "server"
+)
+
+// Arrival processes and service distributions.
+const (
+	ProcPoisson = "poisson"
+	ProcGamma   = "gamma"
+	ProcWeibull = "weibull"
+
+	DistConst  = "const"
+	DistExp    = "exp"
+	DistPareto = "pareto"
+)
+
+// Spec is one complete workload description. All durations are integer
+// virtual microseconds so the JSON form is exact and platform-free.
+type Spec struct {
+	// Schema must equal the package Schema constant.
+	Schema int `json:"schema"`
+	// Name labels the workload; it is stamped on recorded traces.
+	Name string `json:"name"`
+	// Kind selects the generator family (see the Kind constants).
+	Kind string `json:"kind"`
+	// SystemDaemon asks the compiled world for the paper's §6.2
+	// timeslice-donating daemon (advisory: StartSpec cannot retrofit a
+	// world, so callers building their own world read this knob).
+	SystemDaemon bool `json:"system_daemon,omitempty"`
+	// Background names a preset population (workload.Presets: "cedar",
+	// "gvx") to build underneath the load; "" or "w1-echo" means none.
+	Background string `json:"background,omitempty"`
+	// Cohorts are the request classes (all kinds except pipeline).
+	Cohorts []Cohort `json:"cohorts,omitempty"`
+	// Pipeline configures the pipeline kind.
+	Pipeline *Pipeline `json:"pipeline,omitempty"`
+	// Batch configures the always-ready compute pool (mixed and slo).
+	Batch *Batch `json:"batch,omitempty"`
+	// HorizonUS bounds the run in virtual microseconds. Required for
+	// kinds whose populations never exit on their own (mixed, slo);
+	// optional elsewhere (0 derives 4x the injection span).
+	HorizonUS int64 `json:"horizon_us,omitempty"`
+	// StartUS delays the first arrival; 0 derives a bound from the
+	// population size, as the generators always have.
+	StartUS int64 `json:"start_us,omitempty"`
+}
+
+// Cohort is one named class of request traffic.
+type Cohort struct {
+	// Name labels the cohort; names must be unique within a Spec.
+	Name string `json:"name"`
+	// Sessions is the cohort's session-thread pool size.
+	Sessions int `json:"sessions"`
+	// Requests is the total offered load (not used by the server kind,
+	// whose driver owns the arrival process).
+	Requests int64 `json:"requests,omitempty"`
+	// Arrival is the cohort's arrival process (absent for server).
+	Arrival *Arrival `json:"arrival,omitempty"`
+	// Service is the per-request demand distribution (absent for
+	// server; echo defaults to const 5us when omitted).
+	Service *Service `json:"service,omitempty"`
+	// Priority names the session threads' priority: "min",
+	// "background", "low", "normal", "high", "daemon", "interrupt".
+	// Empty selects the generator's default.
+	Priority string `json:"priority,omitempty"`
+	// SLOUS is the per-request latency target in microseconds (slo
+	// kind: required; cohorts kind: optional on-time accounting).
+	SLOUS int64 `json:"slo_us,omitempty"`
+	// Modulation scales the arrival rate over virtual-time windows
+	// (cohorts kind only). Overlapping windows multiply, so a diurnal
+	// base curve composes with a burst overlay.
+	Modulation []Window `json:"modulation,omitempty"`
+}
+
+// Arrival describes an inter-arrival process with the given mean rate.
+type Arrival struct {
+	// Process is poisson, gamma, or weibull.
+	Process string `json:"process"`
+	// Rate is the mean arrival rate, requests per virtual second.
+	Rate float64 `json:"rate"`
+	// Shape is the gamma/weibull shape parameter (>1 regularizes the
+	// process, <1 makes it burstier than Poisson). Ignored for poisson.
+	Shape float64 `json:"shape,omitempty"`
+}
+
+// Service describes a per-request CPU demand distribution.
+type Service struct {
+	// Dist is const, exp, or pareto.
+	Dist string `json:"dist"`
+	// MeanUS is the mean demand in microseconds.
+	MeanUS int64 `json:"mean_us"`
+	// Alpha is the Pareto tail index (>1 so the mean exists). Ignored
+	// for const and exp.
+	Alpha float64 `json:"alpha,omitempty"`
+}
+
+// Window scales a cohort's arrival rate by Factor over [FromUS, ToUS).
+type Window struct {
+	FromUS int64   `json:"from_us"`
+	ToUS   int64   `json:"to_us"`
+	Factor float64 `json:"factor"`
+}
+
+// Pipeline configures the W2 stage-chain kind.
+type Pipeline struct {
+	Pipelines   int     `json:"pipelines"`
+	Stages      int     `json:"stages"`
+	Buffer      int     `json:"buffer,omitempty"`
+	Requests    int64   `json:"requests"`
+	Rate        float64 `json:"rate"`
+	StageCostUS int64   `json:"stage_cost_us,omitempty"`
+}
+
+// Batch configures the always-ready background compute pool.
+type Batch struct {
+	Workers int `json:"workers"`
+	// ChunkUS is one compute grain in microseconds.
+	ChunkUS int64 `json:"chunk_us,omitempty"`
+	// SLOUS is the per-chunk latency target (slo kind only).
+	SLOUS int64 `json:"slo_us,omitempty"`
+	// Priority names the workers' priority; empty means background.
+	Priority string `json:"priority,omitempty"`
+}
+
+// priorities maps spec priority names onto the simulator's ladder.
+var priorities = map[string]sim.Priority{
+	"min":        sim.PriorityMin,
+	"background": sim.PriorityBackground,
+	"low":        sim.PriorityLow,
+	"normal":     sim.PriorityNormal,
+	"high":       sim.PriorityHigh,
+	"daemon":     sim.PriorityDaemon,
+	"interrupt":  sim.PriorityInterrupt,
+}
+
+// PriorityNames returns the valid priority names, sorted, for messages.
+func PriorityNames() []string {
+	names := make([]string, 0, len(priorities))
+	for n := range priorities {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParsePriority maps a spec priority name to the simulator's ladder.
+// The empty name returns 0, meaning "the generator's default".
+func ParsePriority(name string) (sim.Priority, error) {
+	if name == "" {
+		return 0, nil
+	}
+	p, ok := priorities[name]
+	if !ok {
+		return 0, failf("unknown priority %q (want one of %v)", name, PriorityNames())
+	}
+	return p, nil
+}
+
+// Parse decodes and validates one spec document.
+func Parse(data []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, failf("parse: %v", err)
+	}
+	if err := s.Check(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and validates a spec file.
+func Load(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Check validates the spec. Every failure wraps ErrInvalidSpec.
+func (s *Spec) Check() error {
+	if s.Schema != Schema {
+		return failf("schema %d unsupported (want %d)", s.Schema, Schema)
+	}
+	if s.Name == "" {
+		return failf("name is required")
+	}
+	if s.HorizonUS < 0 || s.StartUS < 0 {
+		return failf("%s: horizon_us and start_us must be >= 0", s.Name)
+	}
+	if err := s.checkCohortNames(); err != nil {
+		return err
+	}
+	switch s.Kind {
+	case KindEcho:
+		return s.checkEcho()
+	case KindPipeline:
+		return s.checkPipeline()
+	case KindMixed:
+		return s.checkMixed()
+	case KindSLO:
+		return s.checkSLO()
+	case KindCohorts:
+		return s.checkCohorts()
+	case KindServer:
+		return s.checkServer()
+	default:
+		return failf("%s: unknown kind %q (want echo, pipeline, mixed, slo, cohorts or server)", s.Name, s.Kind)
+	}
+}
+
+// checkCohortNames rejects unnamed and duplicate cohorts for every kind.
+func (s *Spec) checkCohortNames() error {
+	seen := make(map[string]bool, len(s.Cohorts))
+	for i, c := range s.Cohorts {
+		if c.Name == "" {
+			return failf("%s: cohort %d has no name", s.Name, i)
+		}
+		if seen[c.Name] {
+			return failf("%s: duplicate cohort name %q", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+		if _, err := ParsePriority(c.Priority); err != nil {
+			return failf("%s: cohort %q: %v", s.Name, c.Name, err)
+		}
+		if c.SLOUS < 0 {
+			return failf("%s: cohort %q: slo_us must be >= 0", s.Name, c.Name)
+		}
+	}
+	return nil
+}
+
+// checkCohortLoad validates the open-loop fields shared by every
+// arrival-driven cohort. Which processes and distributions are legal
+// depends on the kind: the legacy kinds compile onto the historical
+// Poisson/constant generators, the cohorts kind onto the general one.
+func (s *Spec) checkCohortLoad(c *Cohort, procs, dists []string) error {
+	if c.Sessions < 1 {
+		return failf("%s: cohort %q: sessions must be >= 1", s.Name, c.Name)
+	}
+	if c.Requests < 1 {
+		return failf("%s: cohort %q: requests must be >= 1", s.Name, c.Name)
+	}
+	if c.Arrival == nil {
+		return failf("%s: cohort %q: arrival is required", s.Name, c.Name)
+	}
+	if !contains(procs, c.Arrival.Process) {
+		return failf("%s: cohort %q: arrival process %q not valid for kind %s (want %v)",
+			s.Name, c.Name, c.Arrival.Process, s.Kind, procs)
+	}
+	if c.Arrival.Rate <= 0 {
+		return failf("%s: cohort %q: arrival rate must be > 0 (got %v)", s.Name, c.Name, c.Arrival.Rate)
+	}
+	if (c.Arrival.Process == ProcGamma || c.Arrival.Process == ProcWeibull) && c.Arrival.Shape <= 0 {
+		return failf("%s: cohort %q: %s arrivals need shape > 0", s.Name, c.Name, c.Arrival.Process)
+	}
+	if c.Service != nil {
+		if !contains(dists, c.Service.Dist) {
+			return failf("%s: cohort %q: service dist %q not valid for kind %s (want %v)",
+				s.Name, c.Name, c.Service.Dist, s.Kind, dists)
+		}
+		if c.Service.MeanUS <= 0 {
+			return failf("%s: cohort %q: service mean_us must be > 0", s.Name, c.Name)
+		}
+		if c.Service.Dist == DistPareto && c.Service.Alpha <= 1 {
+			return failf("%s: cohort %q: pareto service needs alpha > 1", s.Name, c.Name)
+		}
+	}
+	if len(c.Modulation) > 0 && s.Kind != KindCohorts {
+		return failf("%s: cohort %q: modulation is only valid for kind cohorts", s.Name, c.Name)
+	}
+	for i, w := range c.Modulation {
+		if w.FromUS < 0 || w.ToUS <= w.FromUS {
+			return failf("%s: cohort %q: modulation window %d must have 0 <= from_us < to_us", s.Name, c.Name, i)
+		}
+		if w.Factor <= 0 {
+			return failf("%s: cohort %q: modulation window %d factor must be > 0", s.Name, c.Name, i)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) checkBatch(required bool) error {
+	if s.Batch == nil {
+		if required {
+			return failf("%s: kind %s requires a batch block", s.Name, s.Kind)
+		}
+		return nil
+	}
+	b := s.Batch
+	if b.Workers < 0 {
+		return failf("%s: batch workers must be >= 0", s.Name)
+	}
+	if b.ChunkUS < 0 || b.SLOUS < 0 {
+		return failf("%s: batch chunk_us and slo_us must be >= 0", s.Name)
+	}
+	if _, err := ParsePriority(b.Priority); err != nil {
+		return failf("%s: batch: %v", s.Name, err)
+	}
+	return nil
+}
+
+func (s *Spec) checkEcho() error {
+	if len(s.Cohorts) != 1 || s.Pipeline != nil || s.Batch != nil {
+		return failf("%s: kind echo wants exactly one cohort and no pipeline/batch blocks", s.Name)
+	}
+	c := &s.Cohorts[0]
+	if c.SLOUS != 0 {
+		return failf("%s: cohort %q: slo_us is not valid for kind echo", s.Name, c.Name)
+	}
+	return s.checkCohortLoad(c, []string{ProcPoisson}, []string{DistConst})
+}
+
+func (s *Spec) checkPipeline() error {
+	if s.Pipeline == nil || len(s.Cohorts) != 0 || s.Batch != nil {
+		return failf("%s: kind pipeline wants a pipeline block and no cohorts/batch", s.Name)
+	}
+	if s.StartUS != 0 {
+		return failf("%s: kind pipeline derives its own start delay; start_us must be 0", s.Name)
+	}
+	p := s.Pipeline
+	if p.Pipelines < 1 || p.Stages < 2 {
+		return failf("%s: pipeline wants pipelines >= 1 and stages >= 2", s.Name)
+	}
+	if p.Requests < 1 {
+		return failf("%s: pipeline requests must be >= 1", s.Name)
+	}
+	if p.Rate <= 0 {
+		return failf("%s: pipeline rate must be > 0 (got %v)", s.Name, p.Rate)
+	}
+	if p.Buffer < 0 || p.StageCostUS < 0 {
+		return failf("%s: pipeline buffer and stage_cost_us must be >= 0", s.Name)
+	}
+	return nil
+}
+
+func (s *Spec) checkMixed() error {
+	if len(s.Cohorts) != 1 || s.Pipeline != nil {
+		return failf("%s: kind mixed wants exactly one cohort and no pipeline block", s.Name)
+	}
+	if s.HorizonUS <= 0 {
+		return failf("%s: kind mixed requires horizon_us > 0 (the batch pool never exits)", s.Name)
+	}
+	if s.StartUS != 0 {
+		return failf("%s: kind mixed derives its own start delay; start_us must be 0", s.Name)
+	}
+	c := &s.Cohorts[0]
+	if c.Priority != "" && c.Priority != "high" {
+		return failf("%s: cohort %q: kind mixed pins the interactive cohort at priority high", s.Name, c.Name)
+	}
+	if c.SLOUS != 0 {
+		return failf("%s: cohort %q: slo_us is not valid for kind mixed", s.Name, c.Name)
+	}
+	if err := s.checkBatch(true); err != nil {
+		return err
+	}
+	if s.Batch.Priority != "" && s.Batch.Priority != "background" {
+		return failf("%s: kind mixed pins the batch pool at priority background", s.Name)
+	}
+	return s.checkCohortLoad(c, []string{ProcPoisson}, []string{DistConst})
+}
+
+func (s *Spec) checkSLO() error {
+	if len(s.Cohorts) == 0 || s.Pipeline != nil {
+		return failf("%s: kind slo wants at least one cohort and no pipeline block", s.Name)
+	}
+	if s.HorizonUS <= 0 {
+		return failf("%s: kind slo requires horizon_us > 0", s.Name)
+	}
+	for i := range s.Cohorts {
+		c := &s.Cohorts[i]
+		if c.SLOUS <= 0 {
+			return failf("%s: cohort %q: kind slo requires slo_us > 0", s.Name, c.Name)
+		}
+		if c.Service == nil {
+			return failf("%s: cohort %q: kind slo requires a service block", s.Name, c.Name)
+		}
+		if err := s.checkCohortLoad(c, []string{ProcPoisson}, []string{DistConst}); err != nil {
+			return err
+		}
+	}
+	return s.checkBatch(false)
+}
+
+func (s *Spec) checkCohorts() error {
+	if len(s.Cohorts) == 0 || s.Pipeline != nil || s.Batch != nil {
+		return failf("%s: kind cohorts wants at least one cohort and no pipeline/batch blocks", s.Name)
+	}
+	for i := range s.Cohorts {
+		c := &s.Cohorts[i]
+		if c.Service == nil {
+			return failf("%s: cohort %q: kind cohorts requires a service block", s.Name, c.Name)
+		}
+		if err := s.checkCohortLoad(c,
+			[]string{ProcPoisson, ProcGamma, ProcWeibull},
+			[]string{DistConst, DistExp, DistPareto}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *Spec) checkServer() error {
+	if len(s.Cohorts) != 1 || s.Pipeline != nil || s.Batch != nil {
+		return failf("%s: kind server wants exactly one cohort and no pipeline/batch blocks", s.Name)
+	}
+	c := &s.Cohorts[0]
+	if c.Sessions < 1 {
+		return failf("%s: cohort %q: sessions must be >= 1", s.Name, c.Name)
+	}
+	if c.Arrival != nil || c.Service != nil || c.Requests != 0 || c.SLOUS != 0 || len(c.Modulation) > 0 {
+		return failf("%s: cohort %q: kind server is externally driven — only sessions and priority apply", s.Name, c.Name)
+	}
+	return nil
+}
+
+// ServiceMean returns the cohort's mean service demand as a duration,
+// with the echo generator's historical 5us default when unspecified.
+func (c *Cohort) ServiceMean() vclock.Duration {
+	if c.Service == nil {
+		return 5 * vclock.Microsecond
+	}
+	return vclock.Duration(c.Service.MeanUS)
+}
+
+// SimPriority returns the cohort's parsed priority (0 when unset or
+// unknown — Check has already rejected unknown names).
+func (c *Cohort) SimPriority() sim.Priority {
+	p, _ := ParsePriority(c.Priority)
+	return p
+}
+
+// Horizon returns the spec's run bound: the declared horizon, or — for
+// the self-draining kinds — four times the nominal injection span, the
+// derivation the W-series experiments have always used.
+func (s *Spec) Horizon() vclock.Duration {
+	if s.HorizonUS > 0 {
+		return vclock.Duration(s.HorizonUS)
+	}
+	var h vclock.Duration
+	if s.Kind == KindPipeline && s.Pipeline != nil {
+		return vclock.Duration(4 * float64(s.Pipeline.Requests) / s.Pipeline.Rate * 1e6)
+	}
+	for _, c := range s.Cohorts {
+		if c.Arrival == nil || c.Arrival.Rate <= 0 {
+			continue
+		}
+		if d := vclock.Duration(4 * float64(c.Requests) / c.Arrival.Rate * 1e6); d > h {
+			h = d
+		}
+	}
+	return h
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
